@@ -1,0 +1,373 @@
+package cfq
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// marketDataset builds the running example of the paper: snacks and beers
+// with prices, plus transactions correlating them.
+func marketDataset(t *testing.T) *Dataset {
+	t.Helper()
+	ds := NewDataset(6)
+	// Items: 0 chips($2), 1 pretzels($3), 2 nuts($4) — snacks;
+	//        3 lager($8), 4 stout($12), 5 porter($20) — beers.
+	if err := ds.SetNumeric("Price", []float64{2, 3, 4, 8, 12, 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.SetCategorical("Type", []string{
+		"snacks", "snacks", "snacks", "beer", "beer", "beer",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	txs := [][]int{
+		{0, 1, 3}, {0, 1, 3}, {0, 1, 4}, {0, 2, 4}, {1, 2, 5},
+		{0, 1, 3, 4}, {0, 3}, {1, 4}, {2, 5}, {0, 1, 2, 3, 4, 5},
+	}
+	if err := ds.AddTransactions(txs); err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func pairKeys(res *Result) []string {
+	var keys []string
+	for _, p := range res.Pairs {
+		keys = append(keys, joinInts(p.S.Items)+"|"+joinInts(p.T.Items))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func joinInts(v []int) string {
+	var b strings.Builder
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(string(rune('0' + x)))
+	}
+	return b.String()
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	ds := marketDataset(t)
+	res, err := NewQuery(ds).
+		MinSupport(2).
+		Where2(Join(Max, "Price", LE, Min, "Price")).
+		Run(Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PairCount == 0 {
+		t.Fatal("no pairs found")
+	}
+	// Every pair must satisfy the constraint.
+	priced := []float64{2, 3, 4, 8, 12, 20}
+	for _, p := range res.Pairs {
+		maxS := math.Inf(-1)
+		for _, it := range p.S.Items {
+			maxS = math.Max(maxS, priced[it])
+		}
+		minT := math.Inf(1)
+		for _, it := range p.T.Items {
+			minT = math.Min(minT, priced[it])
+		}
+		if maxS > minT {
+			t.Errorf("pair (%v, %v) violates max(S) <= min(T)", p.S.Items, p.T.Items)
+		}
+		if p.S.Support < 2 || p.T.Support < 2 {
+			t.Errorf("pair (%v, %v) below support", p.S.Items, p.T.Items)
+		}
+	}
+	if res.Plan == "" {
+		t.Error("optimized run has no plan description")
+	}
+}
+
+func TestStrategiesAgreeOnPublicAPI(t *testing.T) {
+	ds := marketDataset(t)
+	build := func() *Query {
+		return NewQuery(ds).
+			MinSupport(2).
+			WhereS(Domain(SubsetOf, "Type", "snacks")).
+			WhereT(Domain(SubsetOf, "Type", "beer"), Aggregate(Min, "Price", GE, 8)).
+			Where2(Join(Max, "Price", LE, Min, "Price"))
+	}
+	var want []string
+	for i, st := range []Strategy{Optimized, OptimizedNoJmax, CAPOnly, AprioriPlus, FM} {
+		res, err := build().Run(st)
+		if err != nil {
+			t.Fatalf("strategy %d: %v", st, err)
+		}
+		got := pairKeys(res)
+		if i == 0 {
+			want = got
+			if len(want) == 0 {
+				t.Fatal("query returned nothing; test needs a non-empty answer")
+			}
+			continue
+		}
+		if strings.Join(got, ";") != strings.Join(want, ";") {
+			t.Errorf("strategy %d disagrees: %v vs %v", st, got, want)
+		}
+	}
+}
+
+func TestSnackBeerSemantics(t *testing.T) {
+	ds := marketDataset(t)
+	res, err := NewQuery(ds).
+		MinSupport(2).
+		WhereS(Domain(EqualTo, "Type", "snacks")).
+		WhereT(Domain(EqualTo, "Type", "beer")).
+		Run(Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.ValidS {
+		for _, it := range s.Items {
+			if it > 2 {
+				t.Errorf("S-set %v contains non-snack", s.Items)
+			}
+		}
+	}
+	for _, s := range res.ValidT {
+		for _, it := range s.Items {
+			if it < 3 {
+				t.Errorf("T-set %v contains non-beer", s.Items)
+			}
+		}
+	}
+	// No 2-var constraint: cross product, no pair checks.
+	if res.PairCount != int64(len(res.ValidS))*int64(len(res.ValidT)) {
+		t.Errorf("PairCount = %d", res.PairCount)
+	}
+	if res.Stats.PairChecks != 0 {
+		t.Errorf("PairChecks = %d", res.Stats.PairChecks)
+	}
+}
+
+func TestMinSupportFraction(t *testing.T) {
+	ds := marketDataset(t) // 10 transactions
+	q := NewQuery(ds).MinSupportFraction(0.25)
+	if q.minSupS != 3 || q.minSupT != 3 {
+		t.Errorf("fraction threshold = %d/%d, want 3/3", q.minSupS, q.minSupT)
+	}
+	q = NewQuery(ds).MinSupportFraction(0)
+	if q.minSupS != 1 {
+		t.Errorf("zero fraction = %d, want 1", q.minSupS)
+	}
+	q = NewQuery(ds).MinSupportS(4).MinSupportT(2)
+	if q.minSupS != 4 || q.minSupT != 2 {
+		t.Error("per-side thresholds not applied")
+	}
+}
+
+func TestDomainsAndMaxPairs(t *testing.T) {
+	ds := marketDataset(t)
+	res, err := NewQuery(ds).
+		MinSupport(2).
+		DomainS(0, 1).DomainT(3, 4).
+		MaxPairs(2).
+		Run(Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.ValidS {
+		for _, it := range s.Items {
+			if it != 0 && it != 1 {
+				t.Errorf("S domain violated: %v", s.Items)
+			}
+		}
+	}
+	if len(res.Pairs) > 2 {
+		t.Errorf("MaxPairs ignored: %d pairs", len(res.Pairs))
+	}
+	if res.PairCount < int64(len(res.Pairs)) {
+		t.Errorf("PairCount %d < materialized %d", res.PairCount, len(res.Pairs))
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	ds := marketDataset(t)
+	if _, err := NewQuery(ds).WhereS(Aggregate(Sum, "Nope", LE, 1)).Run(Optimized); err == nil {
+		t.Error("unknown numeric attribute accepted")
+	}
+	if _, err := NewQuery(ds).WhereS(Domain(SubsetOf, "Nope")).Run(Optimized); err == nil {
+		t.Error("unknown categorical attribute accepted")
+	}
+	if _, err := NewQuery(ds).WhereS(Domain(SubsetOf, "Type", "wine")).Run(Optimized); err == nil {
+		t.Error("unknown label accepted")
+	}
+	if _, err := NewQuery(ds).Where2(Join(Sum, "Nope", LE, Sum, "Price")).Run(Optimized); err == nil {
+		t.Error("unknown 2-var attribute accepted")
+	}
+	if _, err := NewQuery(ds).DomainS(99).Run(Optimized); err == nil {
+		t.Error("out-of-range domain item accepted")
+	}
+	if _, err := NewQuery(nil).Run(Optimized); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if err := ds.AddTransaction(1, 99); err == nil {
+		t.Error("out-of-range transaction item accepted")
+	}
+	if err := ds.SetNumeric("Short", []float64{1}); err == nil {
+		t.Error("short attribute accepted")
+	}
+	if err := ds.SetCategorical("Short", []string{"a"}); err == nil {
+		t.Error("short categorical accepted")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	ds := marketDataset(t)
+	desc, err := NewQuery(ds).
+		MinSupport(2).
+		Where2(
+			Join(Max, "Price", LE, Min, "Price"),
+			Join(Sum, "Price", LE, Sum, "Price"),
+		).Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(desc, "quasi-succinct") || !strings.Contains(desc, "non-quasi-succinct") {
+		t.Errorf("Explain output incomplete:\n%s", desc)
+	}
+}
+
+func TestTransactionsRoundTrip(t *testing.T) {
+	ds := marketDataset(t)
+	var sb strings.Builder
+	if err := ds.WriteTransactions(&sb); err != nil {
+		t.Fatal(err)
+	}
+	ds2 := NewDataset(6)
+	if err := ds2.ReadTransactions(strings.NewReader(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+	if ds2.NumTransactions() != ds.NumTransactions() {
+		t.Errorf("round trip: %d transactions, want %d", ds2.NumTransactions(), ds.NumTransactions())
+	}
+	// Out-of-domain transactions rejected.
+	ds3 := NewDataset(2)
+	if err := ds3.ReadTransactions(strings.NewReader("0 5\n")); err == nil {
+		t.Error("out-of-domain text transactions accepted")
+	}
+}
+
+func TestConstraintStrings(t *testing.T) {
+	specs := []string{
+		Aggregate(Sum, "Price", LE, 100).String(),
+		Range("Price", 0, 400).String(),
+		Domain(SubsetOf, "Type", "beer").String(),
+		Cardinality(GE, 2).String(),
+		DistinctCount("Type", EQ, 1).String(),
+		Join(Max, "Price", LE, Min, "Price").String(),
+		DomainJoin(EqualTo, "Type", "Type").String(),
+	}
+	for _, s := range specs {
+		if s == "" {
+			t.Error("empty constraint string")
+		}
+	}
+}
+
+func TestRunRules(t *testing.T) {
+	ds := marketDataset(t)
+	rules, err := NewQuery(ds).
+		MinSupport(2).
+		WhereS(Domain(SubsetOf, "Type", "snacks")).
+		WhereT(Domain(SubsetOf, "Type", "beer")).
+		RunRules(Optimized, RuleParams{MinConfidence: 0.5, SkipOverlapping: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 {
+		t.Fatal("no rules generated")
+	}
+	prev := 2.0
+	for _, r := range rules {
+		if r.Confidence < 0.5 {
+			t.Errorf("rule below confidence threshold: %+v", r)
+		}
+		if r.Confidence > prev {
+			t.Error("rules not sorted by confidence")
+		}
+		prev = r.Confidence
+		if r.SupportUnion > r.SupportS || r.SupportUnion > r.SupportT {
+			t.Errorf("union support exceeds marginal: %+v", r)
+		}
+		for _, it := range r.S {
+			if it > 2 {
+				t.Errorf("rule S-side has non-snack: %+v", r)
+			}
+		}
+	}
+	// Error propagation from a bad query.
+	if _, err := NewQuery(ds).WhereS(Aggregate(Sum, "Nope", LE, 1)).
+		RunRules(Optimized, RuleParams{}); err == nil {
+		t.Error("bad query accepted by RunRules")
+	}
+}
+
+func TestVerboseTracing(t *testing.T) {
+	ds := marketDataset(t)
+	var buf strings.Builder
+	_, err := NewQuery(ds).
+		MinSupport(2).
+		Where2(Join(Max, "Price", LE, Min, "Price")).
+		Verbose(&buf).
+		Run(Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"reduction:", "S level 1", "T level 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+	// Workers plumb-through smoke test: identical answer with parallelism.
+	par, err := NewQuery(ds).MinSupport(2).
+		Where2(Join(Max, "Price", LE, Min, "Price")).
+		Workers(4).
+		Run(Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, _ := NewQuery(ds).MinSupport(2).
+		Where2(Join(Max, "Price", LE, Min, "Price")).
+		Run(Optimized)
+	if par.PairCount != ser.PairCount {
+		t.Errorf("parallel PairCount %d, serial %d", par.PairCount, ser.PairCount)
+	}
+}
+
+func TestCardinalityAndDistinctCount(t *testing.T) {
+	ds := marketDataset(t)
+	res, err := NewQuery(ds).
+		MinSupport(2).
+		WhereS(Cardinality(LE, 1)).
+		WhereT(DistinctCount("Type", EQ, 1)).
+		Run(Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.ValidS {
+		if len(s.Items) > 1 {
+			t.Errorf("cardinality violated: %v", s.Items)
+		}
+	}
+	types := []string{"snacks", "snacks", "snacks", "beer", "beer", "beer"}
+	for _, s := range res.ValidT {
+		seen := map[string]bool{}
+		for _, it := range s.Items {
+			seen[types[it]] = true
+		}
+		if len(seen) != 1 {
+			t.Errorf("distinct count violated: %v", s.Items)
+		}
+	}
+}

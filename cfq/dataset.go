@@ -1,0 +1,203 @@
+package cfq
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/attr"
+	"repro/internal/itemset"
+	"repro/internal/txdb"
+)
+
+// Dataset is a transaction database plus the itemInfo attribute relation:
+// items are dense integer ids 0 … NumItems-1; each item may carry numeric
+// attributes (Price-like) and categorical attributes (Type-like).
+//
+// Datasets are mutable until the first query runs against them; after that,
+// adding transactions or attributes invalidates nothing but only affects
+// later queries.
+type Dataset struct {
+	numItems    int
+	txs         []itemset.Set
+	numeric     map[string][]float64
+	categorical map[string][]string
+
+	db    *txdb.DB
+	attrs *attr.Table
+	dirty bool
+}
+
+// NewDataset creates an empty dataset over an item domain of the given
+// size.
+func NewDataset(numItems int) *Dataset {
+	return &Dataset{
+		numItems:    numItems,
+		numeric:     map[string][]float64{},
+		categorical: map[string][]string{},
+		dirty:       true,
+	}
+}
+
+// NumItems returns the size of the item domain.
+func (d *Dataset) NumItems() int { return d.numItems }
+
+// NumTransactions returns the number of transactions added so far.
+func (d *Dataset) NumTransactions() int { return len(d.txs) }
+
+// AddTransaction appends one transaction. Duplicate items are collapsed;
+// out-of-domain items are an error.
+func (d *Dataset) AddTransaction(items ...int) error {
+	conv := make([]itemset.Item, len(items))
+	for i, it := range items {
+		if it < 0 || it >= d.numItems {
+			return fmt.Errorf("cfq: item %d outside domain [0, %d)", it, d.numItems)
+		}
+		conv[i] = itemset.Item(it)
+	}
+	d.txs = append(d.txs, itemset.New(conv...))
+	d.dirty = true
+	return nil
+}
+
+// AddTransactions appends many transactions.
+func (d *Dataset) AddTransactions(txs [][]int) error {
+	for _, t := range txs {
+		if err := d.AddTransaction(t...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetNumeric registers a numeric item attribute; values must cover the
+// whole item domain.
+func (d *Dataset) SetNumeric(name string, values []float64) error {
+	if len(values) != d.numItems {
+		return fmt.Errorf("cfq: attribute %q has %d values, domain has %d items",
+			name, len(values), d.numItems)
+	}
+	d.numeric[name] = append([]float64(nil), values...)
+	d.dirty = true
+	return nil
+}
+
+// SetCategorical registers a categorical item attribute as one label per
+// item.
+func (d *Dataset) SetCategorical(name string, labels []string) error {
+	if len(labels) != d.numItems {
+		return fmt.Errorf("cfq: attribute %q has %d labels, domain has %d items",
+			name, len(labels), d.numItems)
+	}
+	d.categorical[name] = append([]string(nil), labels...)
+	d.dirty = true
+	return nil
+}
+
+// WrapDB adopts an existing internal transaction database (used by the
+// experiment harness and the data generator CLI; not needed by API users).
+func WrapDB(db *txdb.DB, numItems int) *Dataset {
+	d := NewDataset(numItems)
+	for i := 0; i < db.Len(); i++ {
+		d.txs = append(d.txs, db.Transaction(i))
+	}
+	return d
+}
+
+// ReadTransactions loads transactions in the one-per-line text format
+// (space-separated item ids).
+func (d *Dataset) ReadTransactions(r io.Reader) error {
+	db, err := txdb.ReadText(r)
+	if err != nil {
+		return err
+	}
+	if db.NumItems() > d.numItems {
+		return fmt.Errorf("cfq: transactions reference item %d outside domain [0, %d)",
+			db.NumItems()-1, d.numItems)
+	}
+	for i := 0; i < db.Len(); i++ {
+		d.txs = append(d.txs, db.Transaction(i))
+	}
+	d.dirty = true
+	return nil
+}
+
+// WriteTransactions saves the transactions in the text format.
+func (d *Dataset) WriteTransactions(w io.Writer) error {
+	return txdb.New(d.txs).WriteText(w)
+}
+
+// compile freezes the dataset into the internal representations.
+func (d *Dataset) compile() error {
+	if !d.dirty && d.db != nil {
+		return nil
+	}
+	d.db = txdb.New(d.txs)
+	d.attrs = attr.NewTable(d.numItems)
+	for name, vals := range d.numeric {
+		if err := d.attrs.SetNumeric(name, vals); err != nil {
+			return err
+		}
+	}
+	for name, labels := range d.categorical {
+		ids, labelNames := internCategories(labels)
+		if err := d.attrs.SetCategorical(name, ids, labelNames); err != nil {
+			return err
+		}
+	}
+	d.dirty = false
+	return nil
+}
+
+// internCategories maps per-item label strings to dense category ids.
+func internCategories(labels []string) ([]int32, []string) {
+	uniq := map[string]int32{}
+	var names []string
+	for _, l := range labels {
+		if _, ok := uniq[l]; !ok {
+			uniq[l] = 0
+			names = append(names, l)
+		}
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		uniq[n] = int32(i)
+	}
+	ids := make([]int32, len(labels))
+	for i, l := range labels {
+		ids[i] = uniq[l]
+	}
+	return ids, names
+}
+
+func (d *Dataset) numericAttr(name string) (attr.Numeric, error) {
+	if err := d.compile(); err != nil {
+		return nil, err
+	}
+	num, ok := d.attrs.Numeric(name)
+	if !ok {
+		return nil, fmt.Errorf("cfq: unknown numeric attribute %q", name)
+	}
+	return num, nil
+}
+
+// categoricalValues resolves a categorical attribute and, optionally, a
+// list of labels into category ids (unknown labels are an error).
+func (d *Dataset) categoricalValues(name string, labels []string) (*attr.Categorical, attr.ValueSet, error) {
+	if err := d.compile(); err != nil {
+		return nil, nil, err
+	}
+	cat, ok := d.attrs.Categorical(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("cfq: unknown categorical attribute %q", name)
+	}
+	vals := make([]int32, 0, len(labels))
+	for _, l := range labels {
+		id := cat.CategoryID(l)
+		if id < 0 {
+			return nil, nil, fmt.Errorf("cfq: attribute %q has no category %q", name, l)
+		}
+		vals = append(vals, id)
+	}
+	return cat, attr.NewValueSet(vals...), nil
+}

@@ -1,0 +1,100 @@
+package cfq
+
+import (
+	"strings"
+	"testing"
+)
+
+// Fuzz targets: parsers must never panic, and whatever they accept must
+// compile and run against a real dataset. The seed corpus runs on every
+// plain `go test`; use `go test -fuzz=FuzzParseConstraint ./cfq` to fuzz.
+
+func fuzzDataset() *Dataset {
+	ds := NewDataset(4)
+	_ = ds.SetNumeric("Price", []float64{1, 2, 3, 4})
+	_ = ds.SetCategorical("Type", []string{"a", "a", "b", "b"})
+	for i := 0; i < 4; i++ {
+		_ = ds.AddTransaction(0, 1, 2, 3)
+	}
+	return ds
+}
+
+func FuzzParseConstraint(f *testing.F) {
+	for _, seed := range []string{
+		"sum(Price) <= 10", "min(Price)>=8", "max(Price)<4", "avg(Price) > 1",
+		"count() <= 2", "count(Type) = 1", "range(Price, 2, 4)",
+		"Type subset {a}", "Type disjoint {b}", "Type equal {a, b}",
+		"", "garbage", "min(", "))((", "Type subset", "range(Price,,)",
+		"min(Price) <= \x00", "Type subset {a", "〹(Price) <= 1",
+	} {
+		f.Add(seed)
+	}
+	ds := fuzzDataset()
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := ParseConstraint(s)
+		if err != nil {
+			return
+		}
+		// Anything accepted must either build cleanly or fail with a
+		// proper error (unknown attribute), never panic.
+		ic, err := c.build(ds)
+		if err != nil {
+			return
+		}
+		_ = ic.Satisfies(toSet([]int{0, 1}))
+		_ = ic.String()
+	})
+}
+
+func FuzzParseConstraint2(f *testing.F) {
+	for _, seed := range []string{
+		"max(S.Price) <= min(T.Price)", "sum(S.Price) >= sum(T.Price)",
+		"S.Type = T.Type", "S.Type disjoint T.Type", "S.Type subset T.Type",
+		"", "max(S.Price)", "S.Type ~ T.Type", "min(S.Price) <= 5",
+		"avg(S.Price) = avg(T.Price)", "count(S.Price) <= count(T.Price)",
+	} {
+		f.Add(seed)
+	}
+	ds := fuzzDataset()
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := ParseConstraint2(s)
+		if err != nil {
+			return
+		}
+		ic, err := c.build(ds)
+		if err != nil {
+			return
+		}
+		_ = ic.Satisfies(toSet([]int{0}), toSet([]int{2}))
+		_ = ic.String()
+	})
+}
+
+func FuzzParseQuery(f *testing.F) {
+	for _, seed := range []string{
+		"{(S, T) | freq(S) >= 2 & max(S.Price) <= min(T.Price)}",
+		"freq(S) & freq(T) & S.Type = T.Type",
+		"{(S,T) | }", "{", "}", "& & &", "freq(S) >= 999999999999999999999",
+		"min(S.Price) >= 1 & min(T.Price) >= 1",
+	} {
+		f.Add(seed)
+	}
+	ds := fuzzDataset()
+	f.Fuzz(func(t *testing.T, s string) {
+		if len(s) > 512 {
+			return // keep runs fast; long inputs add nothing structural
+		}
+		q, err := ParseQuery(ds, s)
+		if err != nil {
+			return
+		}
+		// Accepted queries must run without panicking. Cap the work.
+		q.MaxPairs(4).MaxLevel(3)
+		if _, err := q.Run(Optimized); err != nil {
+			// Run may reject (e.g. unknown attribute) — as an error.
+			if !strings.Contains(err.Error(), "cfq:") && !strings.Contains(err.Error(), "core:") {
+				t.Errorf("unexpected error shape: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,298 @@
+package cfq
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseConstraint parses a 1-variable constraint from a compact textual
+// form (the CLI's query language):
+//
+//	min(Price) >= 100        — aggregation constraints (min, max, sum, avg)
+//	count() <= 3             — cardinality
+//	count(Type) = 1          — distinct categorical values
+//	range(Price, 400, 1000)  — every item's attribute in [lo, hi]
+//	Type subset {beer, ale}  — domain constraints: subset, superset, equal,
+//	                           disjoint, intersects, notsubset
+func ParseConstraint(s string) (Constraint, error) {
+	s = strings.TrimSpace(s)
+	if rest, ok := trimPrefixFold(s, "range("); ok {
+		args, err := splitArgs(rest)
+		if err != nil || len(args) != 3 {
+			return Constraint{}, fmt.Errorf("cfq: range wants (attr, lo, hi): %q", s)
+		}
+		lo, err1 := strconv.ParseFloat(args[1], 64)
+		hi, err2 := strconv.ParseFloat(args[2], 64)
+		if err1 != nil || err2 != nil {
+			return Constraint{}, fmt.Errorf("cfq: bad range bounds in %q", s)
+		}
+		return Range(args[0], lo, hi), nil
+	}
+	if agg, rest, ok := parseAggHead(s); ok {
+		attrName, opStr, valStr, err := parseAggTail(rest)
+		if err != nil {
+			return Constraint{}, fmt.Errorf("cfq: %v in %q", err, s)
+		}
+		op, err := parseOp(opStr)
+		if err != nil {
+			return Constraint{}, err
+		}
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return Constraint{}, fmt.Errorf("cfq: bad constant %q in %q", valStr, s)
+		}
+		if agg == Count {
+			if attrName == "" {
+				return Cardinality(op, int(val)), nil
+			}
+			return DistinctCount(attrName, op, int(val)), nil
+		}
+		if attrName == "" {
+			return Constraint{}, fmt.Errorf("cfq: %v needs an attribute in %q", agg, s)
+		}
+		return Aggregate(agg, attrName, op, val), nil
+	}
+	// Domain form: "Attr REL {a, b, c}".
+	for rel, name := range relNames {
+		idx := foldIndexWord(s, name)
+		if idx < 0 {
+			continue
+		}
+		attrName := strings.TrimSpace(s[:idx])
+		setPart := strings.TrimSpace(s[idx+len(name):])
+		labels, err := parseLabelSet(setPart)
+		if err != nil {
+			return Constraint{}, fmt.Errorf("cfq: %v in %q", err, s)
+		}
+		if attrName == "" {
+			return Constraint{}, fmt.Errorf("cfq: missing attribute in %q", s)
+		}
+		return Domain(rel, attrName, labels...), nil
+	}
+	return Constraint{}, fmt.Errorf("cfq: cannot parse constraint %q", s)
+}
+
+// ParseConstraint2 parses a 2-variable constraint:
+//
+//	max(S.Price) <= min(T.Price)   — aggregation joins
+//	S.Type = T.Type                — domain joins: =, subset, superset,
+//	S.Type disjoint T.Type           disjoint, intersects, notsubset
+func ParseConstraint2(s string) (Constraint2, error) {
+	s = strings.TrimSpace(s)
+	if agg1, rest, ok := parseAggHead(s); ok {
+		// agg1(S.A) OP agg2(T.B)
+		close1 := strings.IndexByte(rest, ')')
+		if close1 < 0 {
+			return Constraint2{}, fmt.Errorf("cfq: missing ')' in %q", s)
+		}
+		ref1 := strings.TrimSpace(rest[:close1])
+		tail := strings.TrimSpace(rest[close1+1:])
+		opStr, tail := takeOp(tail)
+		if opStr == "" {
+			return Constraint2{}, fmt.Errorf("cfq: missing operator in %q", s)
+		}
+		op, err := parseOp(opStr)
+		if err != nil {
+			return Constraint2{}, err
+		}
+		agg2, rest2, ok := parseAggHead(tail)
+		if !ok {
+			return Constraint2{}, fmt.Errorf("cfq: right side of %q is not an aggregate", s)
+		}
+		close2 := strings.IndexByte(rest2, ')')
+		if close2 < 0 {
+			return Constraint2{}, fmt.Errorf("cfq: missing ')' in %q", s)
+		}
+		ref2 := strings.TrimSpace(rest2[:close2])
+		attrA, err := stripVarRef(ref1, "S")
+		if err != nil {
+			return Constraint2{}, err
+		}
+		attrB, err := stripVarRef(ref2, "T")
+		if err != nil {
+			return Constraint2{}, err
+		}
+		return Join(agg1, attrA, op, agg2, attrB), nil
+	}
+	// Domain join: "S.A REL T.B" (REL a word or '=').
+	fields := strings.Fields(s)
+	if len(fields) == 3 {
+		attrA, err1 := stripVarRef(fields[0], "S")
+		attrB, err2 := stripVarRef(fields[2], "T")
+		if err1 == nil && err2 == nil {
+			if fields[1] == "=" {
+				return DomainJoin(EqualTo, attrA, attrB), nil
+			}
+			for rel, name := range relNames {
+				if strings.EqualFold(fields[1], name) {
+					return DomainJoin(rel, attrA, attrB), nil
+				}
+			}
+		}
+	}
+	return Constraint2{}, fmt.Errorf("cfq: cannot parse 2-var constraint %q", s)
+}
+
+var relNames = map[Rel]string{
+	SubsetOf:     "subset",
+	SupersetOf:   "superset",
+	EqualTo:      "equal",
+	DisjointFrom: "disjoint",
+	Intersects:   "intersects",
+	NotSubsetOf:  "notsubset",
+}
+
+var aggNames = map[string]Agg{
+	"min": Min, "max": Max, "sum": Sum, "avg": Avg, "count": Count,
+}
+
+// parseAggHead matches "agg(" and returns the remainder after '('.
+func parseAggHead(s string) (Agg, string, bool) {
+	for name, agg := range aggNames {
+		if rest, ok := trimPrefixFold(s, name+"("); ok {
+			return agg, rest, true
+		}
+	}
+	return 0, "", false
+}
+
+// parseAggTail parses "Attr) OP value" (Attr may be empty for count()).
+func parseAggTail(rest string) (attrName, op, val string, err error) {
+	close1 := strings.IndexByte(rest, ')')
+	if close1 < 0 {
+		return "", "", "", fmt.Errorf("missing ')'")
+	}
+	attrName = strings.TrimSpace(rest[:close1])
+	tail := strings.TrimSpace(rest[close1+1:])
+	op, tail = takeOp(tail)
+	if op == "" {
+		return "", "", "", fmt.Errorf("missing comparison operator")
+	}
+	val = strings.TrimSpace(tail)
+	if val == "" {
+		return "", "", "", fmt.Errorf("missing constant")
+	}
+	return attrName, op, val, nil
+}
+
+// takeOp strips a leading comparison operator.
+func takeOp(s string) (op, rest string) {
+	s = strings.TrimSpace(s)
+	for _, cand := range []string{"<=", ">=", "!=", "<", ">", "="} {
+		if strings.HasPrefix(s, cand) {
+			return cand, strings.TrimSpace(s[len(cand):])
+		}
+	}
+	return "", s
+}
+
+func parseOp(s string) (Op, error) {
+	switch s {
+	case "<=":
+		return LE, nil
+	case "<":
+		return LT, nil
+	case ">=":
+		return GE, nil
+	case ">":
+		return GT, nil
+	case "=", "==":
+		return EQ, nil
+	case "!=":
+		return NE, nil
+	}
+	return 0, fmt.Errorf("cfq: unknown operator %q", s)
+}
+
+// parseLabelSet parses "{a, b, c}".
+func parseLabelSet(s string) ([]string, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "{") || !strings.HasSuffix(s, "}") {
+		return nil, fmt.Errorf("expected {…} label set, got %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	if inner == "" {
+		return nil, nil
+	}
+	parts := strings.Split(inner, ",")
+	labels := make([]string, len(parts))
+	for i, p := range parts {
+		labels[i] = strings.TrimSpace(p)
+	}
+	return labels, nil
+}
+
+// splitArgs splits "a, b, c)" on commas, stripping the trailing ')'.
+func splitArgs(rest string) ([]string, error) {
+	close1 := strings.IndexByte(rest, ')')
+	if close1 < 0 {
+		return nil, fmt.Errorf("missing ')'")
+	}
+	parts := strings.Split(rest[:close1], ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts, nil
+}
+
+// stripVarRef turns "S.Price" into "Price", enforcing the variable name.
+func stripVarRef(s, varName string) (string, error) {
+	s = strings.TrimSpace(s)
+	prefix := varName + "."
+	if !strings.HasPrefix(strings.ToUpper(s[:min(len(s), len(prefix))]), prefix) {
+		return "", fmt.Errorf("cfq: expected %s.<attr>, got %q", varName, s)
+	}
+	return s[len(prefix):], nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// trimPrefixFold is strings.TrimPrefix with ASCII case folding.
+func trimPrefixFold(s, prefix string) (string, bool) {
+	if len(s) < len(prefix) {
+		return s, false
+	}
+	if strings.EqualFold(s[:len(prefix)], prefix) {
+		return s[len(prefix):], true
+	}
+	return s, false
+}
+
+// foldIndexWord finds an ASCII-case-insensitive occurrence of word
+// surrounded by spaces. Byte-wise folding keeps the returned index valid in
+// s itself (strings.ToLower can change byte offsets on non-UTF-8 input).
+func foldIndexWord(s, word string) int {
+	needle := " " + word + " "
+	for i := 0; i+len(needle) <= len(s); i++ {
+		if asciiFoldEq(s[i:i+len(needle)], needle) {
+			return i + 1
+		}
+	}
+	return -1
+}
+
+// asciiFoldEq compares equal-length strings byte-wise, folding ASCII case.
+func asciiFoldEq(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,148 @@
+package cfq
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/itemset"
+)
+
+func TestParseConstraint(t *testing.T) {
+	ds := marketDataset(t)
+	valid := []struct {
+		in string
+		// a set the constraint should accept / reject (items of the market
+		// dataset: prices {2,3,4,8,12,20}, types snacks×3 + beer×3)
+		accept, reject []int
+	}{
+		{"sum(Price) <= 10", []int{0, 1, 2}, []int{5}},
+		{"min(Price) >= 8", []int{3, 4}, []int{0, 3}},
+		{"max(Price)<4", []int{0, 1}, []int{2}},
+		{"avg(Price) > 10", []int{4, 5}, []int{0, 1}},
+		{"count() <= 2", []int{0, 1}, []int{0, 1, 2}},
+		{"count(Type) = 1", []int{0, 1}, []int{0, 3}},
+		{"range(Price, 2, 4)", []int{0, 2}, []int{0, 3}},
+		{"Type subset {snacks}", []int{0, 1}, []int{3}},
+		{"Type disjoint {beer}", []int{0, 2}, []int{4}},
+		{"Type intersects {beer}", []int{0, 4}, []int{0, 1}},
+		{"Type equal {snacks, beer}", []int{0, 3}, []int{0, 1}},
+		{"Type superset {snacks, beer}", []int{2, 5}, []int{0}},
+		{"Type notsubset {snacks}", []int{0, 3}, []int{0, 1}},
+	}
+	for _, tt := range valid {
+		c, err := ParseConstraint(tt.in)
+		if err != nil {
+			t.Errorf("ParseConstraint(%q): %v", tt.in, err)
+			continue
+		}
+		ic, err := c.build(ds)
+		if err != nil {
+			t.Errorf("build(%q): %v", tt.in, err)
+			continue
+		}
+		if !ic.Satisfies(toSet(tt.accept)) {
+			t.Errorf("%q rejected %v", tt.in, tt.accept)
+		}
+		if ic.Satisfies(toSet(tt.reject)) {
+			t.Errorf("%q accepted %v", tt.in, tt.reject)
+		}
+	}
+
+	invalid := []string{
+		"", "garbage", "min(Price", "min() <= 3", "min(Price) ?? 3",
+		"min(Price) <= x", "range(Price, 1)", "range(Price, a, b)",
+		"Type subset snacks", "subset {a}",
+	}
+	for _, in := range invalid {
+		if _, err := ParseConstraint(in); err == nil {
+			t.Errorf("ParseConstraint(%q) succeeded", in)
+		}
+	}
+}
+
+func TestParseConstraint2(t *testing.T) {
+	ds := marketDataset(t)
+	valid := []struct {
+		in    string
+		s, tt []int
+		want  bool
+	}{
+		{"max(S.Price) <= min(T.Price)", []int{0, 1}, []int{3, 4}, true},
+		{"max(S.Price) <= min(T.Price)", []int{4}, []int{3}, false},
+		{"sum(S.Price) >= sum(T.Price)", []int{5}, []int{0, 1}, true},
+		{"avg(S.Price) = avg(T.Price)", []int{0, 2}, []int{1}, true}, // (2+4)/2 = 3
+		{"S.Type = T.Type", []int{0}, []int{1}, true},
+		{"S.Type = T.Type", []int{0}, []int{3}, false},
+		{"S.Type disjoint T.Type", []int{0}, []int{3}, true},
+		{"S.Type subset T.Type", []int{0, 1}, []int{2, 3}, true},
+		{"S.Type intersects T.Type", []int{0, 3}, []int{4}, true},
+		{"S.Type notsubset T.Type", []int{0, 3}, []int{4}, true},
+		{"S.Type superset T.Type", []int{0, 3}, []int{4}, true},
+	}
+	for _, tt := range valid {
+		c, err := ParseConstraint2(tt.in)
+		if err != nil {
+			t.Errorf("ParseConstraint2(%q): %v", tt.in, err)
+			continue
+		}
+		ic, err := c.build(ds)
+		if err != nil {
+			t.Errorf("build(%q): %v", tt.in, err)
+			continue
+		}
+		if got := ic.Satisfies(toSet(tt.s), toSet(tt.tt)); got != tt.want {
+			t.Errorf("%q on (%v, %v) = %v, want %v", tt.in, tt.s, tt.tt, got, tt.want)
+		}
+	}
+
+	invalid := []string{
+		"", "max(S.Price) <= 5", "max(Price) <= min(T.Price)",
+		"S.Type ~ T.Type", "max(S.Price min(T.Price)", "S.Type = Price",
+		"max(S.Price) min(T.Price)",
+	}
+	for _, in := range invalid {
+		if _, err := ParseConstraint2(in); err == nil {
+			t.Errorf("ParseConstraint2(%q) succeeded", in)
+		}
+	}
+}
+
+// TestParsedQueryEndToEnd wires parsed constraints through a full run.
+func TestParsedQueryEndToEnd(t *testing.T) {
+	ds := marketDataset(t)
+	c1, err := ParseConstraint("Type subset {snacks}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ParseConstraint("min(Price) >= 8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := ParseConstraint2("max(S.Price) <= min(T.Price)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewQuery(ds).MinSupport(2).WhereS(c1).WhereT(c2).Where2(j).Run(Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewQuery(ds).MinSupport(2).
+		WhereS(Domain(SubsetOf, "Type", "snacks")).
+		WhereT(Aggregate(Min, "Price", GE, 8)).
+		Where2(Join(Max, "Price", LE, Min, "Price")).
+		Run(Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(pairKeys(res), ";") != strings.Join(pairKeys(want), ";") {
+		t.Error("parsed and built queries disagree")
+	}
+}
+
+func toSet(items []int) itemset.Set {
+	conv := make([]itemset.Item, len(items))
+	for i, it := range items {
+		conv[i] = itemset.Item(it)
+	}
+	return itemset.New(conv...)
+}

@@ -1,0 +1,356 @@
+package cfq
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/itemset"
+	"repro/internal/mine"
+	"repro/internal/rules"
+)
+
+// Query is a CFQ under construction. Build one with NewQuery, chain the
+// configuration methods, then call Run. Queries are reusable and
+// independent of each other; methods mutate and return the receiver.
+type Query struct {
+	ds           *Dataset
+	minSupS      int
+	minSupT      int
+	domS, domT   []int
+	consS, consT []Constraint
+	cons2        []Constraint2
+	maxPairs     int
+	maxLevel     int
+	workers      int
+	traceW       io.Writer
+	// explicitSupS/T record whether a parsed query set its own freq()
+	// thresholds (see ApplyDefaultSupports).
+	explicitSupS, explicitSupT bool
+}
+
+// NewQuery starts a query against the dataset with a default minimum
+// support of 1 transaction.
+func NewQuery(ds *Dataset) *Query {
+	return &Query{ds: ds, minSupS: 1, minSupT: 1}
+}
+
+// MinSupport sets the absolute support threshold for both variables.
+func (q *Query) MinSupport(n int) *Query {
+	q.minSupS, q.minSupT = n, n
+	return q
+}
+
+// MinSupportFraction sets the support threshold for both variables as a
+// fraction of the number of transactions (rounded up, at least 1).
+func (q *Query) MinSupportFraction(f float64) *Query {
+	n := int(f*float64(q.ds.NumTransactions()) + 0.999999)
+	if n < 1 {
+		n = 1
+	}
+	return q.MinSupport(n)
+}
+
+// MinSupportS sets the S-variable threshold only.
+func (q *Query) MinSupportS(n int) *Query { q.minSupS = n; return q }
+
+// MinSupportT sets the T-variable threshold only.
+func (q *Query) MinSupportT(n int) *Query { q.minSupT = n; return q }
+
+// ApplyDefaultSupports copies def's thresholds for each side whose
+// threshold this query did not set via an explicit freq() conjunct. It is
+// meant for callers combining ParseQuery output with configured defaults.
+func (q *Query) ApplyDefaultSupports(def *Query) *Query {
+	if !q.explicitSupS {
+		q.minSupS = def.minSupS
+	}
+	if !q.explicitSupT {
+		q.minSupT = def.minSupT
+	}
+	return q
+}
+
+// DomainS restricts S to the given items.
+func (q *Query) DomainS(items ...int) *Query { q.domS = items; return q }
+
+// DomainT restricts T to the given items.
+func (q *Query) DomainT(items ...int) *Query { q.domT = items; return q }
+
+// WhereS adds 1-var constraints on S.
+func (q *Query) WhereS(cs ...Constraint) *Query {
+	q.consS = append(q.consS, cs...)
+	return q
+}
+
+// WhereT adds 1-var constraints on T.
+func (q *Query) WhereT(cs ...Constraint) *Query {
+	q.consT = append(q.consT, cs...)
+	return q
+}
+
+// Where2 adds 2-var constraints binding S and T.
+func (q *Query) Where2(cs ...Constraint2) *Query {
+	q.cons2 = append(q.cons2, cs...)
+	return q
+}
+
+// MaxPairs caps the number of materialized answer pairs (the count of all
+// valid pairs is still reported).
+func (q *Query) MaxPairs(n int) *Query { q.maxPairs = n; return q }
+
+// MaxLevel stops each lattice after the given level (0 = unlimited).
+func (q *Query) MaxLevel(n int) *Query { q.maxLevel = n; return q }
+
+// Workers sets the support-counting parallelism (values below 2 keep
+// counting serial; results are identical either way).
+func (q *Query) Workers(n int) *Query { q.workers = n; return q }
+
+// Verbose streams one progress line per completed mining level (and per
+// optimizer phase) to w while the query runs.
+func (q *Query) Verbose(w io.Writer) *Query { q.traceW = w; return q }
+
+// FrequentSet is a frequent itemset with its support.
+type FrequentSet struct {
+	Items   []int
+	Support int
+}
+
+// Pair is one CFQ answer: a valid (S, T) pair of frequent sets.
+type Pair struct {
+	S, T FrequentSet
+}
+
+// Stats reports the work a strategy performed — the cost components of the
+// paper's ccc-optimality analysis plus scan accounting.
+type Stats struct {
+	// CandidatesCounted is the number of sets whose support was counted.
+	CandidatesCounted int64
+	// ItemConstraintChecks / SetConstraintChecks split constraint-checking
+	// invocations by operand size; ccc-optimal strategies use only the
+	// former during set computation.
+	ItemConstraintChecks int64
+	SetConstraintChecks  int64
+	// PairChecks counts 2-var evaluations during final pair formation.
+	PairChecks int64
+	// FrequentSets / ValidSets count discovered sets.
+	FrequentSets int64
+	ValidSets    int64
+	// DBScans counts full passes over the transaction data.
+	DBScans int64
+}
+
+// Result is a CFQ answer.
+type Result struct {
+	// Pairs is the answer (possibly truncated to MaxPairs); PairCount is
+	// the true total.
+	Pairs     []Pair
+	PairCount int64
+	// ValidS/ValidT are the frequent valid sets per side.
+	ValidS, ValidT []FrequentSet
+	// LevelsS/LevelsT are the same, grouped by cardinality.
+	LevelsS, LevelsT [][]FrequentSet
+	// Stats reports the strategy's work counters.
+	Stats Stats
+	// Plan describes the optimizer's decisions (empty for baselines).
+	Plan string
+}
+
+// compile translates the public query into the internal CFQ.
+func (q *Query) compile() (core.CFQ, error) {
+	var zero core.CFQ
+	if q.ds == nil {
+		return zero, fmt.Errorf("cfq: query has no dataset")
+	}
+	if err := q.ds.compile(); err != nil {
+		return zero, err
+	}
+	icfq := core.CFQ{
+		DB:          q.ds.db,
+		MinSupportS: q.minSupS,
+		MinSupportT: q.minSupT,
+		MaxPairs:    q.maxPairs,
+		MaxLevel:    q.maxLevel,
+		Workers:     q.workers,
+	}
+	if q.traceW != nil {
+		w := q.traceW
+		icfq.Trace = func(msg string) { fmt.Fprintln(w, msg) }
+	}
+	conv := func(items []int) (itemset.Set, error) {
+		if items == nil {
+			return nil, nil
+		}
+		out := make([]itemset.Item, len(items))
+		for i, it := range items {
+			if it < 0 || it >= q.ds.numItems {
+				return nil, fmt.Errorf("cfq: domain item %d outside [0, %d)", it, q.ds.numItems)
+			}
+			out[i] = itemset.Item(it)
+		}
+		return itemset.New(out...), nil
+	}
+	var err error
+	if icfq.DomainS, err = conv(q.domS); err != nil {
+		return zero, err
+	}
+	if icfq.DomainT, err = conv(q.domT); err != nil {
+		return zero, err
+	}
+	for _, c := range q.consS {
+		ic, err := c.build(q.ds)
+		if err != nil {
+			return zero, err
+		}
+		icfq.ConstraintsS = append(icfq.ConstraintsS, ic)
+	}
+	for _, c := range q.consT {
+		ic, err := c.build(q.ds)
+		if err != nil {
+			return zero, err
+		}
+		icfq.ConstraintsT = append(icfq.ConstraintsT, ic)
+	}
+	for _, c := range q.cons2 {
+		ic, err := c.build(q.ds)
+		if err != nil {
+			return zero, err
+		}
+		icfq.Constraints2 = append(icfq.Constraints2, ic)
+	}
+	return icfq, nil
+}
+
+// Run evaluates the query with the given strategy.
+func (q *Query) Run(strat Strategy) (*Result, error) {
+	icfq, err := q.compile()
+	if err != nil {
+		return nil, err
+	}
+	ires, err := core.Run(icfq, strat.internal())
+	if err != nil {
+		return nil, err
+	}
+	return convertResult(ires), nil
+}
+
+// Explain returns a description of the optimizer's plan for the query.
+func (q *Query) Explain() (string, error) {
+	icfq, err := q.compile()
+	if err != nil {
+		return "", err
+	}
+	plan, err := core.Explain(icfq)
+	if err != nil {
+		return "", err
+	}
+	return plan.Describe(), nil
+}
+
+// Rule is an association rule S ⇒ T derived from a valid CFQ pair — the
+// second phase of the paper's architecture.
+type Rule struct {
+	S, T                             []int
+	SupportS, SupportT, SupportUnion int
+	// Confidence is sup(S ∪ T)/sup(S); Lift normalizes it by T's base rate.
+	Confidence, Lift float64
+}
+
+// RuleParams filters generated rules.
+type RuleParams struct {
+	// MinConfidence keeps rules with confidence >= this value.
+	MinConfidence float64
+	// MinLift keeps rules with lift >= this value (0 disables).
+	MinLift float64
+	// MinJointSupport requires sup(S ∪ T) to reach this count (0 disables).
+	MinJointSupport int
+	// SkipOverlapping drops pairs whose sides share items.
+	SkipOverlapping bool
+}
+
+// RunRules evaluates the query and derives rules S ⇒ T from the valid
+// pairs, sorted by descending confidence. Rules are formed from the
+// materialized pairs, so raise MaxPairs (or leave it 0 = unlimited) to
+// cover the whole answer.
+func (q *Query) RunRules(strat Strategy, p RuleParams) ([]Rule, error) {
+	icfq, err := q.compile()
+	if err != nil {
+		return nil, err
+	}
+	ires, err := core.Run(icfq, strat.internal())
+	if err != nil {
+		return nil, err
+	}
+	irules, err := rules.FromPairs(icfq.DB, ires.Pairs, rules.Params{
+		MinConfidence:   p.MinConfidence,
+		MinLift:         p.MinLift,
+		MinJointSupport: p.MinJointSupport,
+		SkipOverlapping: p.SkipOverlapping,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Rule, len(irules))
+	for i, r := range irules {
+		out[i] = Rule{
+			S:            itemsOf(r.S),
+			T:            itemsOf(r.T),
+			SupportS:     r.SupportS,
+			SupportT:     r.SupportT,
+			SupportUnion: r.SupportUnion,
+			Confidence:   r.Confidence,
+			Lift:         r.Lift,
+		}
+	}
+	return out, nil
+}
+
+func itemsOf(s itemset.Set) []int {
+	out := make([]int, s.Len())
+	for i, it := range s {
+		out[i] = int(it)
+	}
+	return out
+}
+
+func convertSet(c mine.Counted) FrequentSet {
+	items := make([]int, c.Set.Len())
+	for i, it := range c.Set {
+		items[i] = int(it)
+	}
+	return FrequentSet{Items: items, Support: c.Support}
+}
+
+func convertLevels(levels [][]mine.Counted) (flat []FrequentSet, byLevel [][]FrequentSet) {
+	for _, lv := range levels {
+		var conv []FrequentSet
+		for _, c := range lv {
+			fs := convertSet(c)
+			conv = append(conv, fs)
+			flat = append(flat, fs)
+		}
+		byLevel = append(byLevel, conv)
+	}
+	return flat, byLevel
+}
+
+func convertResult(ires *core.Result) *Result {
+	res := &Result{PairCount: ires.PairCount}
+	res.ValidS, res.LevelsS = convertLevels(ires.LevelsS)
+	res.ValidT, res.LevelsT = convertLevels(ires.LevelsT)
+	for _, p := range ires.Pairs {
+		res.Pairs = append(res.Pairs, Pair{S: convertSet(p.S), T: convertSet(p.T)})
+	}
+	res.Stats = Stats{
+		CandidatesCounted:    ires.Stats.CandidatesCounted,
+		ItemConstraintChecks: ires.Stats.ItemConstraintChecks,
+		SetConstraintChecks:  ires.Stats.SetConstraintChecks,
+		PairChecks:           ires.Stats.PairChecks,
+		FrequentSets:         ires.Stats.FrequentSets,
+		ValidSets:            ires.Stats.ValidSets,
+		DBScans:              ires.Stats.DBScans,
+	}
+	if ires.Plan != nil {
+		res.Plan = ires.Plan.Describe()
+	}
+	return res
+}

@@ -1,0 +1,153 @@
+package cfq
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseQuery parses a complete CFQ in the paper's notation against a
+// dataset and returns a ready-to-run Query:
+//
+//	{(S, T) | freq(S) >= 50 & freq(T) >= 50 &
+//	          S.Type subset {snacks} & T.Type subset {beer} &
+//	          max(S.Price) <= min(T.Price)}
+//
+// The surrounding "{(S, T) | … }" is optional; conjuncts are separated by
+// '&'. Each conjunct is either a frequency constraint (freq(S) >= n — when
+// omitted the query's default threshold applies), a 1-var constraint
+// mentioning exactly one variable (min(S.Price) >= 8, T.Type subset {ale},
+// count(S) <= 3, range(S.Price, 400, 1000)), or a 2-var constraint
+// mentioning both (max(S.Price) <= min(T.Price), S.Type = T.Type).
+func ParseQuery(ds *Dataset, s string) (*Query, error) {
+	q := NewQuery(ds)
+	body := strings.TrimSpace(s)
+	if strings.HasPrefix(body, "{") {
+		if !strings.HasSuffix(body, "}") {
+			return nil, fmt.Errorf("cfq: unbalanced braces in %q", s)
+		}
+		body = body[1 : len(body)-1]
+		if i := strings.Index(body, "|"); i >= 0 {
+			head := strings.ReplaceAll(strings.TrimSpace(body[:i]), " ", "")
+			if head != "(S,T)" {
+				return nil, fmt.Errorf("cfq: expected (S, T) head, got %q", body[:i])
+			}
+			body = body[i+1:]
+		}
+	}
+	conjuncts := strings.Split(body, "&")
+	for _, raw := range conjuncts {
+		c := strings.TrimSpace(raw)
+		if c == "" {
+			continue
+		}
+		if err := parseConjunct(q, c); err != nil {
+			return nil, err
+		}
+	}
+	return q, nil
+}
+
+func parseConjunct(q *Query, c string) error {
+	// Frequency constraints.
+	if rest, ok := trimPrefixFold(c, "freq("); ok {
+		return parseFreq(q, rest, c)
+	}
+	refS := mentionsVar(c, "S")
+	refT := mentionsVar(c, "T")
+	switch {
+	case refS && refT:
+		c2, err := ParseConstraint2(c)
+		if err != nil {
+			return err
+		}
+		q.Where2(c2)
+		return nil
+	case refS:
+		c1, err := ParseConstraint(stripVar(c, "S"))
+		if err != nil {
+			return err
+		}
+		q.WhereS(c1)
+		return nil
+	case refT:
+		c1, err := ParseConstraint(stripVar(c, "T"))
+		if err != nil {
+			return err
+		}
+		q.WhereT(c1)
+		return nil
+	}
+	return fmt.Errorf("cfq: conjunct %q mentions neither S nor T", c)
+}
+
+// parseFreq handles "freq(S) >= n" and the bare "freq(S)".
+func parseFreq(q *Query, rest, whole string) error {
+	close1 := strings.IndexByte(rest, ')')
+	if close1 < 0 {
+		return fmt.Errorf("cfq: missing ')' in %q", whole)
+	}
+	varName := strings.TrimSpace(rest[:close1])
+	tail := strings.TrimSpace(rest[close1+1:])
+	if varName != "S" && varName != "T" {
+		return fmt.Errorf("cfq: freq() of unknown variable %q", varName)
+	}
+	if tail == "" {
+		return nil // implicit threshold: the query default applies
+	}
+	op, tail := takeOp(tail)
+	if op != ">=" && op != ">" {
+		return fmt.Errorf("cfq: freq() supports only >= (got %q in %q)", op, whole)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(tail))
+	if err != nil {
+		return fmt.Errorf("cfq: bad frequency threshold in %q", whole)
+	}
+	if op == ">" {
+		n++
+	}
+	if varName == "S" {
+		q.MinSupportS(n)
+		q.explicitSupS = true
+	} else {
+		q.MinSupportT(n)
+		q.explicitSupT = true
+	}
+	return nil
+}
+
+// mentionsVar reports whether the conjunct references variable v: "v." or
+// the bare "count(v)".
+func mentionsVar(c, v string) bool {
+	if strings.Contains(c, v+".") {
+		return true
+	}
+	compact := strings.ReplaceAll(c, " ", "")
+	return strings.Contains(strings.ToLower(compact), "count("+strings.ToLower(v)+")")
+}
+
+// stripVar rewrites a single-variable conjunct into the variable-free form
+// ParseConstraint takes: "min(S.Price) >= 8" → "min(Price) >= 8",
+// "count(S)" → "count()", "S.Type subset {a}" → "Type subset {a}".
+func stripVar(c, v string) string {
+	out := strings.ReplaceAll(c, v+".", "")
+	// count(S) → count(); tolerate spaces inside the parens.
+	for _, form := range []string{"count(" + v + ")", "count( " + v + " )"} {
+		if i := foldIndex(out, form); i >= 0 {
+			out = out[:i] + "count()" + out[i+len(form):]
+		}
+	}
+	return out
+}
+
+// foldIndex is an ASCII-case-insensitive strings.Index whose result is a
+// valid byte offset into s (unlike indexing a ToLower copy, which can shift
+// offsets on non-UTF-8 input).
+func foldIndex(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if asciiFoldEq(s[i:i+len(sub)], sub) {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,89 @@
+package cfq
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseQueryFull(t *testing.T) {
+	ds := marketDataset(t)
+	q, err := ParseQuery(ds, `{(S, T) | freq(S) >= 2 & freq(T) >= 3 &
+		S.Type subset {snacks} & T.Type subset {beer} &
+		max(S.Price) <= min(T.Price)}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.minSupS != 2 || q.minSupT != 3 {
+		t.Errorf("thresholds = %d/%d", q.minSupS, q.minSupT)
+	}
+	if len(q.consS) != 1 || len(q.consT) != 1 || len(q.cons2) != 1 {
+		t.Fatalf("constraints = %d/%d/%d", len(q.consS), len(q.consT), len(q.cons2))
+	}
+	res, err := q.Run(Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must match the builder-constructed equivalent.
+	want, err := NewQuery(ds).MinSupportS(2).MinSupportT(3).
+		WhereS(Domain(SubsetOf, "Type", "snacks")).
+		WhereT(Domain(SubsetOf, "Type", "beer")).
+		Where2(Join(Max, "Price", LE, Min, "Price")).
+		Run(Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(pairKeys(res), ";") != strings.Join(pairKeys(want), ";") {
+		t.Error("parsed query disagrees with built query")
+	}
+}
+
+func TestParseQueryForms(t *testing.T) {
+	ds := marketDataset(t)
+	valid := []string{
+		"max(S.Price) <= min(T.Price)",               // bare conjunct
+		"{ (S,T) | S.Type = T.Type }",                // no head spaces
+		"freq(S) & freq(T) & S.Type disjoint T.Type", // bare freq
+		"count(S) <= 2 & count(T.Type) = 1",          // counts
+		"range(S.Price, 2, 4) & sum(T.Price) >= 10",  // range + sum
+		"freq(S) > 1 & min(S.Price) >= 2",            // strict freq
+		"avg(S.Price) <= avg(T.Price) & S.Type subset {snacks}",
+	}
+	for _, s := range valid {
+		q, err := ParseQuery(ds, s)
+		if err != nil {
+			t.Errorf("ParseQuery(%q): %v", s, err)
+			continue
+		}
+		if _, err := q.Run(Optimized); err != nil {
+			t.Errorf("Run(%q): %v", s, err)
+		}
+	}
+
+	invalid := []string{
+		"{(S,T) | max(S.Price) <= 3",  // unbalanced brace
+		"{(X,Y) | max(S.Price) <= 3}", // wrong head
+		"max(Price) <= 3",             // no variable
+		"freq(Q) >= 3",                // unknown variable
+		"freq(S) <= 3",                // wrong direction
+		"freq(S) >= lots",             // bad number
+		"freq(S",                      // missing paren
+		"garbage in & garbage out",    // unparseable conjuncts
+		"min(S.Price) <=",             // missing constant
+	}
+	for _, s := range invalid {
+		if _, err := ParseQuery(ds, s); err == nil {
+			t.Errorf("ParseQuery(%q) succeeded", s)
+		}
+	}
+}
+
+func TestParseQueryFreqStrict(t *testing.T) {
+	ds := marketDataset(t)
+	q, err := ParseQuery(ds, "freq(S) > 4 & min(S.Price) >= 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.minSupS != 5 {
+		t.Errorf("strict freq threshold = %d, want 5", q.minSupS)
+	}
+}

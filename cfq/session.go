@@ -1,0 +1,180 @@
+package cfq
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/itemset"
+	"repro/internal/mine"
+)
+
+// Session supports the exploratory loop the two-phase architecture is
+// designed around: a user poses a CFQ, inspects the answer, tightens or
+// changes constraints, and asks again. A Session caches each variable
+// domain's unconstrained frequent lattice (at the lowest support threshold
+// seen), so every refinement — different constraints, higher thresholds —
+// is answered by filtering the cache with zero database scans.
+//
+// The trade-off is deliberate: the first query on a domain costs about as
+// much as Apriori⁺ (the cache must hold the *unconstrained* lattice to
+// serve arbitrary future constraints), so a one-shot query is cheaper via
+// Query.Run(Optimized). Sessions pay that once and then make the
+// interactive loop free.
+//
+// A Session is safe for concurrent use. Mutating the underlying Dataset
+// invalidates the cache on the next Run.
+type Session struct {
+	ds *Dataset
+
+	mu    sync.Mutex
+	db    interface{} // the compiled *txdb.DB the cache was built from
+	cache map[string]*latticeEntry
+
+	// Hits and Misses count cache lookups (for tests and diagnostics).
+	Hits, Misses int
+}
+
+type latticeEntry struct {
+	minSup int
+	sets   []mine.Counted
+}
+
+// NewSession starts an exploratory session over the dataset.
+func NewSession(ds *Dataset) *Session {
+	return &Session{ds: ds, cache: map[string]*latticeEntry{}}
+}
+
+// Run evaluates the query against the session cache. Results are identical
+// to q.Run with any strategy; only the work differs.
+func (s *Session) Run(q *Query) (*Result, error) {
+	if q == nil || q.ds != s.ds {
+		return nil, fmt.Errorf("cfq: session and query use different datasets")
+	}
+	icfq, err := q.compile()
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if s.db != interface{}(s.ds.db) {
+		// The dataset was recompiled (new transactions or attributes):
+		// every cached lattice is stale.
+		s.cache = map[string]*latticeEntry{}
+		s.db = s.ds.db
+	}
+	s.mu.Unlock()
+
+	res := &core.Result{}
+	sSets, err := s.side(icfq.DomainS, icfq.MinSupportS)
+	if err != nil {
+		return nil, err
+	}
+	tSets, err := s.side(icfq.DomainT, icfq.MinSupportT)
+	if err != nil {
+		return nil, err
+	}
+	res.LevelsS = filterLattice(sSets, icfq.MinSupportS, icfq.ConstraintsS, &res.Stats)
+	res.LevelsT = filterLattice(tSets, icfq.MinSupportT, icfq.ConstraintsT, &res.Stats)
+
+	// Pair formation with the 2-var constraints, as in the engine.
+	validS, validT := res.ValidS(), res.ValidT()
+	if len(icfq.Constraints2) == 0 {
+		res.PairCount = int64(len(validS)) * int64(len(validT))
+		limit := res.PairCount
+		if icfq.MaxPairs > 0 && int64(icfq.MaxPairs) < limit {
+			limit = int64(icfq.MaxPairs)
+		}
+		for i := int64(0); i < limit; i++ {
+			res.Pairs = append(res.Pairs, core.Pair{
+				S: validS[i/int64(len(validT))], T: validT[i%int64(len(validT))]})
+		}
+	} else {
+		for _, sv := range validS {
+			for _, tv := range validT {
+				ok := true
+				for _, c2 := range icfq.Constraints2 {
+					res.Stats.PairChecks++
+					if !c2.Satisfies(sv.Set, tv.Set) {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				res.PairCount++
+				if icfq.MaxPairs == 0 || len(res.Pairs) < icfq.MaxPairs {
+					res.Pairs = append(res.Pairs, core.Pair{S: sv, T: tv})
+				}
+			}
+		}
+	}
+	return convertResult(res), nil
+}
+
+// side returns the cached unconstrained lattice for a domain, mining it if
+// absent or cached at a higher threshold than requested.
+func (s *Session) side(domain itemset.Set, minSup int) ([]mine.Counted, error) {
+	key := "*"
+	if domain != nil {
+		key = domain.Key()
+	}
+	s.mu.Lock()
+	entry := s.cache[key]
+	s.mu.Unlock()
+	if entry != nil && entry.minSup <= minSup {
+		s.mu.Lock()
+		s.Hits++
+		s.mu.Unlock()
+		return entry.sets, nil
+	}
+	levels, err := mine.AllFrequent(s.ds.db, minSup, domain, nil)
+	if err != nil {
+		return nil, err
+	}
+	var sets []mine.Counted
+	for _, lv := range levels {
+		sets = append(sets, lv...)
+	}
+	s.mu.Lock()
+	s.Misses++
+	// Keep the lowest-threshold lattice: it can serve every refinement.
+	if old := s.cache[key]; old == nil || minSup < old.minSup {
+		s.cache[key] = &latticeEntry{minSup: minSup, sets: sets}
+	}
+	s.mu.Unlock()
+	return sets, nil
+}
+
+// filterLattice applies the support threshold and 1-var constraints to a
+// cached lattice, regrouping by level (generate-and-test over the cache:
+// each check is counted as a set-level constraint check).
+func filterLattice(sets []mine.Counted, minSup int, cons []constraint.Constraint, stats *mine.Stats) [][]mine.Counted {
+	var levels [][]mine.Counted
+	for _, c := range sets {
+		if c.Support < minSup {
+			continue
+		}
+		ok := true
+		for _, con := range cons {
+			stats.SetConstraintChecks++
+			if !con.Satisfies(c.Set) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for len(levels) < c.Set.Len() {
+			levels = append(levels, nil)
+		}
+		levels[c.Set.Len()-1] = append(levels[c.Set.Len()-1], c)
+	}
+	for len(levels) > 0 && len(levels[len(levels)-1]) == 0 {
+		levels = levels[:len(levels)-1]
+	}
+	return levels
+}

@@ -1,0 +1,302 @@
+// Command cfq evaluates constrained frequent set queries from the command
+// line. Transactions are loaded from a text file (one transaction per line,
+// space-separated item ids) or generated with the built-in Quest generator;
+// item attributes come from value-per-line files; constraints use the
+// textual mini-language of cfq.ParseConstraint:
+//
+//	cfq -gen -gentx 10000 -prices prices.txt \
+//	    -minsup 100 \
+//	    -wheres 'range(Price, 400, 1000)' \
+//	    -where2 'max(S.Price) <= min(T.Price)' \
+//	    -strategy optimized -maxpairs 10 -stats
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/cfq"
+	"repro/internal/gen"
+)
+
+// stringsFlag collects repeatable string flags.
+type stringsFlag []string
+
+func (s *stringsFlag) String() string     { return strings.Join(*s, "; ") }
+func (s *stringsFlag) Set(v string) error { *s = append(*s, v); return nil }
+
+func main() {
+	if err := realMain(); err != nil {
+		fmt.Fprintln(os.Stderr, "cfq:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain() error {
+	var (
+		dataFile               = flag.String("data", "", "transaction file (text format)")
+		numItems               = flag.Int("items", 1000, "item domain size")
+		genData                = flag.Bool("gen", false, "generate transactions with the Quest generator")
+		genTx                  = flag.Int("gentx", 10000, "generated transaction count")
+		seed                   = flag.Int64("seed", 1, "random seed for generation")
+		priceFile              = flag.String("prices", "", "numeric 'Price' attribute file (one value per line); 'uniform' generates U[0,1000)")
+		typeFile               = flag.String("types", "", "categorical 'Type' attribute file (one label per line); 'uniform:N' generates N types")
+		minSup                 = flag.Int("minsup", 0, "absolute minimum support")
+		minSupFrac             = flag.Float64("minsupfrac", 0.01, "minimum support as a fraction of transactions (ignored when -minsup > 0)")
+		strategy               = flag.String("strategy", "optimized", "optimized, nojmax, cap, apriori, fm")
+		maxPairs               = flag.Int("maxpairs", 20, "answer pairs to print (0 = all)")
+		explain                = flag.Bool("explain", false, "print the optimizer plan and exit")
+		stats                  = flag.Bool("stats", false, "print work counters")
+		verbose                = flag.Bool("v", false, "print per-level mining progress to stderr")
+		workers                = flag.Int("workers", 0, "support-counting goroutines (0 = serial)")
+		jsonOut                = flag.Bool("json", false, "emit the result as JSON")
+		queryStr               = flag.String("query", "", "full CFQ, e.g. '{(S,T) | freq(S) >= 100 & max(S.Price) <= min(T.Price)}' (overrides -wheres/-wheret/-where2)")
+		whereS, whereT, where2 stringsFlag
+	)
+	flag.Var(&whereS, "wheres", "1-var constraint on S (repeatable)")
+	flag.Var(&whereT, "wheret", "1-var constraint on T (repeatable)")
+	flag.Var(&where2, "where2", "2-var constraint (repeatable)")
+	flag.Parse()
+
+	ds := cfq.NewDataset(*numItems)
+	switch {
+	case *genData:
+		p := gen.Default(1)
+		p.NumTransactions = *genTx
+		p.NumItems = *numItems
+		p.NumPatterns = *genTx / 50
+		if p.NumPatterns < 10 {
+			p.NumPatterns = 10
+		}
+		p.Seed = *seed
+		db, err := gen.Quest(p)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < db.Len(); i++ {
+			items := make([]int, db.Transaction(i).Len())
+			for j, it := range db.Transaction(i) {
+				items[j] = int(it)
+			}
+			if err := ds.AddTransaction(items...); err != nil {
+				return err
+			}
+		}
+	case *dataFile != "":
+		f, err := os.Open(*dataFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := ds.ReadTransactions(f); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -data FILE or -gen")
+	}
+
+	if *priceFile != "" {
+		var prices []float64
+		if *priceFile == "uniform" {
+			prices = gen.UniformPrices(*numItems, 0, 1000, *seed+1)
+		} else {
+			var err error
+			prices, err = readFloats(*priceFile, *numItems)
+			if err != nil {
+				return err
+			}
+		}
+		if err := ds.SetNumeric("Price", prices); err != nil {
+			return err
+		}
+	}
+	if *typeFile != "" {
+		var labels []string
+		if n, ok := strings.CutPrefix(*typeFile, "uniform:"); ok {
+			k, err := strconv.Atoi(n)
+			if err != nil || k < 1 {
+				return fmt.Errorf("bad -types %q", *typeFile)
+			}
+			vals, names := gen.UniformTypes(*numItems, k, *seed+2)
+			labels = make([]string, *numItems)
+			for i, v := range vals {
+				labels[i] = names[v]
+			}
+		} else {
+			var err error
+			labels, err = readLines(*typeFile, *numItems)
+			if err != nil {
+				return err
+			}
+		}
+		if err := ds.SetCategorical("Type", labels); err != nil {
+			return err
+		}
+	}
+
+	var q *cfq.Query
+	if *queryStr != "" {
+		var err error
+		// Defaults apply first so freq() conjuncts can override them.
+		q, err = parseFullQuery(ds, *queryStr, *minSup, *minSupFrac)
+		if err != nil {
+			return err
+		}
+		q.MaxPairs(*maxPairs).Workers(*workers)
+		if *verbose {
+			q.Verbose(os.Stderr)
+		}
+		return execute(q, *explain, *strategy, *stats, *jsonOut)
+	}
+	q = cfq.NewQuery(ds).MaxPairs(*maxPairs).Workers(*workers)
+	if *minSup > 0 {
+		q.MinSupport(*minSup)
+	} else {
+		q.MinSupportFraction(*minSupFrac)
+	}
+	for _, s := range whereS {
+		c, err := cfq.ParseConstraint(s)
+		if err != nil {
+			return err
+		}
+		q.WhereS(c)
+	}
+	for _, s := range whereT {
+		c, err := cfq.ParseConstraint(s)
+		if err != nil {
+			return err
+		}
+		q.WhereT(c)
+	}
+	for _, s := range where2 {
+		c, err := cfq.ParseConstraint2(s)
+		if err != nil {
+			return err
+		}
+		q.Where2(c)
+	}
+
+	if *verbose {
+		q.Verbose(os.Stderr)
+	}
+	return execute(q, *explain, *strategy, *stats, *jsonOut)
+}
+
+// parseFullQuery applies the CLI support defaults, then lets the query
+// string's freq() conjuncts override them.
+func parseFullQuery(ds *cfq.Dataset, s string, minSup int, minSupFrac float64) (*cfq.Query, error) {
+	q, err := cfq.ParseQuery(ds, s)
+	if err != nil {
+		return nil, err
+	}
+	// ParseQuery starts from threshold 1; re-apply defaults only where the
+	// query left them untouched.
+	def := cfq.NewQuery(ds)
+	if minSup > 0 {
+		def.MinSupport(minSup)
+	} else {
+		def.MinSupportFraction(minSupFrac)
+	}
+	q.ApplyDefaultSupports(def)
+	return q, nil
+}
+
+// execute runs (or explains) the query and prints the results.
+func execute(q *cfq.Query, explain bool, strategy string, stats, jsonOut bool) error {
+	if explain {
+		plan, err := q.Explain()
+		if err != nil {
+			return err
+		}
+		fmt.Print(plan)
+		return nil
+	}
+	st, err := parseStrategy(strategy)
+	if err != nil {
+		return err
+	}
+	res, err := q.Run(st)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+
+	fmt.Printf("valid S-sets: %d, valid T-sets: %d, answer pairs: %d\n",
+		len(res.ValidS), len(res.ValidT), res.PairCount)
+	for i, p := range res.Pairs {
+		fmt.Printf("  %3d: S=%v (sup %d)  T=%v (sup %d)\n",
+			i+1, p.S.Items, p.S.Support, p.T.Items, p.T.Support)
+	}
+	if res.Plan != "" && stats {
+		fmt.Println(res.Plan)
+	}
+	if stats {
+		s := res.Stats
+		fmt.Printf("candidates counted: %d\nitem constraint checks: %d\nset constraint checks: %d\npair checks: %d\nDB scans: %d\n",
+			s.CandidatesCounted, s.ItemConstraintChecks, s.SetConstraintChecks, s.PairChecks, s.DBScans)
+	}
+	return nil
+}
+
+func parseStrategy(s string) (cfq.Strategy, error) {
+	switch s {
+	case "optimized":
+		return cfq.Optimized, nil
+	case "nojmax":
+		return cfq.OptimizedNoJmax, nil
+	case "cap":
+		return cfq.CAPOnly, nil
+	case "apriori":
+		return cfq.AprioriPlus, nil
+	case "fm":
+		return cfq.FM, nil
+	case "sequential":
+		return cfq.Sequential, nil
+	}
+	return 0, fmt.Errorf("unknown strategy %q", s)
+}
+
+func readFloats(path string, n int) ([]float64, error) {
+	lines, err := readLines(path, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(lines))
+	for i, l := range lines {
+		v, err := strconv.ParseFloat(l, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, i+1, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func readLines(path string, n int) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		out = append(out, strings.TrimSpace(sc.Text()))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) != n {
+		return nil, fmt.Errorf("%s: %d lines, want %d (one per item)", path, len(out), n)
+	}
+	return out, nil
+}

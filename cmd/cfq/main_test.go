@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/cfq"
+)
+
+func TestParseStrategy(t *testing.T) {
+	valid := map[string]cfq.Strategy{
+		"optimized":  cfq.Optimized,
+		"nojmax":     cfq.OptimizedNoJmax,
+		"cap":        cfq.CAPOnly,
+		"apriori":    cfq.AprioriPlus,
+		"fm":         cfq.FM,
+		"sequential": cfq.Sequential,
+	}
+	for in, want := range valid {
+		got, err := parseStrategy(in)
+		if err != nil || got != want {
+			t.Errorf("parseStrategy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseStrategy("bogus"); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+}
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadFloatsAndLines(t *testing.T) {
+	p := writeTemp(t, "vals.txt", "1.5\n2\n-3.25\n")
+	got, err := readFloats(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, 2, -3.25}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("readFloats[%d] = %v", i, got[i])
+		}
+	}
+	if _, err := readFloats(p, 5); err == nil {
+		t.Error("wrong line count accepted")
+	}
+	bad := writeTemp(t, "bad.txt", "1\nx\n3\n")
+	if _, err := readFloats(bad, 3); err == nil {
+		t.Error("non-numeric value accepted")
+	}
+	if _, err := readLines(filepath.Join(t.TempDir(), "missing"), 1); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestStringsFlag(t *testing.T) {
+	var f stringsFlag
+	if err := f.Set("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Set("b"); err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != 2 || f.String() != "a; b" {
+		t.Errorf("stringsFlag = %v (%q)", f, f.String())
+	}
+}
+
+func TestParseFullQueryDefaults(t *testing.T) {
+	ds := cfq.NewDataset(4)
+	if err := ds.SetNumeric("Price", []float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := ds.AddTransaction(0, 1, 2, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Explicit freq(S) wins; the flag default fills in T.
+	q, err := parseFullQuery(ds, "freq(S) >= 7 & max(S.Price) <= min(T.Price)", 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Run(cfq.Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With support 7 on S and 3 on T, all singletons qualify on both
+	// sides (support 10); smoke-check the run works end to end.
+	if res.PairCount == 0 {
+		t.Error("query returned nothing")
+	}
+	// Fraction default path.
+	if _, err := parseFullQuery(ds, "max(S.Price) <= min(T.Price)", 0, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	// Parse errors propagate.
+	if _, err := parseFullQuery(ds, "freq(", 1, 0); err == nil {
+		t.Error("bad query accepted")
+	}
+}

@@ -1,0 +1,68 @@
+// Command questgen generates synthetic transaction databases with the
+// IBM-Quest-style generator the paper's experiments use, in the text format
+// (one transaction per line, space-separated item ids) or the compact
+// binary format.
+//
+// Usage:
+//
+//	questgen -tx 100000 -items 1000 -avgtx 10 -patterns 2000 -avgpat 4 -o trans.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/gen"
+)
+
+func main() {
+	var (
+		numTx    = flag.Int("tx", 100000, "number of transactions")
+		numItems = flag.Int("items", 1000, "item domain size")
+		avgTx    = flag.Float64("avgtx", 10, "mean transaction size")
+		patterns = flag.Int("patterns", 2000, "number of potentially frequent patterns")
+		avgPat   = flag.Float64("avgpat", 4, "mean pattern size")
+		corr     = flag.Float64("corr", 0.5, "pattern correlation level")
+		corrupt  = flag.Float64("corrupt", 0.5, "mean corruption level")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("o", "-", "output file (- for stdout); .bin suffix selects the binary format")
+	)
+	flag.Parse()
+
+	db, err := gen.Quest(gen.QuestParams{
+		NumTransactions: *numTx,
+		NumItems:        *numItems,
+		AvgTxSize:       *avgTx,
+		NumPatterns:     *patterns,
+		AvgPatternSize:  *avgPat,
+		Correlation:     *corr,
+		CorruptionMean:  *corrupt,
+		Seed:            *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if strings.HasSuffix(*out, ".bin") {
+		err = db.WriteBinary(w)
+	} else {
+		err = db.WriteText(w)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,85 @@
+// Rules: the second phase of the paper's two-phase architecture. Phase one
+// computes the constrained frequent pairs (here: cheap snack sets on the
+// left, pricier beer sets on the right, jointly constrained so the snacks
+// are cheaper than the beers); phase two turns them into association rules
+// S ⇒ T with confidence and lift, which is where the "purchase of cheaper
+// items leads to the purchase of more expensive ones" stories come from.
+//
+// Run with: go run ./examples/rules
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/cfq"
+)
+
+const numItems = 40
+
+func main() {
+	ds := buildDataset()
+
+	rules, err := cfq.NewQuery(ds).
+		MinSupportFraction(0.02).
+		WhereS(cfq.Domain(cfq.SubsetOf, "Type", "snacks")).
+		WhereT(cfq.Domain(cfq.SubsetOf, "Type", "beer")).
+		Where2(cfq.Join(cfq.Max, "Price", cfq.LE, cfq.Min, "Price")).
+		RunRules(cfq.Optimized, cfq.RuleParams{
+			MinConfidence:   0.25,
+			MinJointSupport: 5,
+			SkipOverlapping: true,
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("top snack => beer rules (of %d):\n", len(rules))
+	for i, r := range rules {
+		if i == 10 {
+			break
+		}
+		fmt.Printf("  %v => %v   conf %.2f  lift %.2f  (joint sup %d)\n",
+			r.S, r.T, r.Confidence, r.Lift, r.SupportUnion)
+	}
+}
+
+// buildDataset correlates specific snacks with specific beers so the rules
+// have signal: basket i buys snack s and, with high probability, the beer
+// paired with s.
+func buildDataset() *cfq.Dataset {
+	ds := cfq.NewDataset(numItems)
+	types := make([]string, numItems)
+	prices := make([]float64, numItems)
+	r := rand.New(rand.NewSource(21))
+	for i := 0; i < numItems; i++ {
+		if i < 20 {
+			types[i] = "snacks"
+			prices[i] = 1 + r.Float64()*5
+		} else {
+			types[i] = "beer"
+			prices[i] = 8 + r.Float64()*15
+		}
+	}
+	if err := ds.SetCategorical("Type", types); err != nil {
+		log.Fatal(err)
+	}
+	if err := ds.SetNumeric("Price", prices); err != nil {
+		log.Fatal(err)
+	}
+	for b := 0; b < 2000; b++ {
+		snack := r.Intn(20)
+		items := []int{snack}
+		if r.Float64() < 0.7 {
+			items = append(items, 20+snack%20) // the paired beer
+		}
+		if r.Float64() < 0.3 {
+			items = append(items, r.Intn(numItems)) // noise
+		}
+		if err := ds.AddTransaction(items...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return ds
+}

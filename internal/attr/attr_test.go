@@ -1,0 +1,195 @@
+package attr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/itemset"
+)
+
+func TestAggregateString(t *testing.T) {
+	tests := []struct {
+		a    Aggregate
+		want string
+	}{
+		{Min, "min"}, {Max, "max"}, {Sum, "sum"}, {Avg, "avg"}, {Count, "count"},
+		{Aggregate(99), "Aggregate(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.a.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", int(tt.a), got, tt.want)
+		}
+	}
+}
+
+func TestNumericEval(t *testing.T) {
+	n := Numeric{10, 20, 30, 5}
+	s := itemset.New(0, 2, 3)
+	tests := []struct {
+		agg    Aggregate
+		want   float64
+		wantOK bool
+	}{
+		{Min, 5, true},
+		{Max, 30, true},
+		{Sum, 45, true},
+		{Avg, 15, true},
+		{Count, 3, true},
+	}
+	for _, tt := range tests {
+		got, ok := n.Eval(tt.agg, s)
+		if ok != tt.wantOK || math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Eval(%v) = %v, %v; want %v, %v", tt.agg, got, ok, tt.want, tt.wantOK)
+		}
+	}
+}
+
+func TestNumericEvalEmptySet(t *testing.T) {
+	n := Numeric{1, 2}
+	empty := itemset.New()
+	for _, agg := range []Aggregate{Min, Max, Avg} {
+		if _, ok := n.Eval(agg, empty); ok {
+			t.Errorf("Eval(%v, ∅) ok = true, want false", agg)
+		}
+	}
+	if v, ok := n.Eval(Sum, empty); !ok || v != 0 {
+		t.Errorf("Eval(sum, ∅) = %v, %v; want 0, true", v, ok)
+	}
+	if v, ok := n.Eval(Count, empty); !ok || v != 0 {
+		t.Errorf("Eval(count, ∅) = %v, %v; want 0, true", v, ok)
+	}
+}
+
+func TestNonNegativeOver(t *testing.T) {
+	n := Numeric{1, -2, 3}
+	if !n.NonNegativeOver(itemset.New(0, 2)) {
+		t.Error("NonNegativeOver({0,2}) = false")
+	}
+	if n.NonNegativeOver(itemset.New(0, 1, 2)) {
+		t.Error("NonNegativeOver({0,1,2}) = true")
+	}
+}
+
+func TestValuesOver(t *testing.T) {
+	n := Numeric{5, 3, 5, 1}
+	got := n.ValuesOver(itemset.New(0, 1, 2, 3))
+	want := []float64{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("ValuesOver = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ValuesOver = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCategorical(t *testing.T) {
+	c := &Categorical{Values: []int32{0, 1, 0, 2}, Labels: []string{"snacks", "beer", "dairy"}}
+	if c.Value(1) != 1 {
+		t.Errorf("Value(1) = %d", c.Value(1))
+	}
+	if c.Label(2) != "dairy" {
+		t.Errorf("Label(2) = %q", c.Label(2))
+	}
+	if c.Label(9) != "cat9" {
+		t.Errorf("Label(9) = %q", c.Label(9))
+	}
+	if c.CategoryID("beer") != 1 {
+		t.Errorf("CategoryID(beer) = %d", c.CategoryID("beer"))
+	}
+	if c.CategoryID("wine") != -1 {
+		t.Errorf("CategoryID(wine) = %d", c.CategoryID("wine"))
+	}
+	if got := c.SetOf(itemset.New(0, 2, 3)); !got.Equal(NewValueSet(0, 2)) {
+		t.Errorf("SetOf = %v", got)
+	}
+	if got := c.DistinctCount(itemset.New(0, 1, 2)); got != 2 {
+		t.Errorf("DistinctCount = %d, want 2", got)
+	}
+}
+
+func TestValueSetOps(t *testing.T) {
+	v := NewValueSet(3, 1, 3, 2)
+	if !v.Equal(NewValueSet(1, 2, 3)) {
+		t.Fatalf("NewValueSet = %v", v)
+	}
+	if !v.Contains(2) || v.Contains(4) {
+		t.Error("Contains wrong")
+	}
+	if !v.ContainsAll(NewValueSet(1, 3)) || v.ContainsAll(NewValueSet(1, 4)) {
+		t.Error("ContainsAll wrong")
+	}
+	if !v.Intersects(NewValueSet(0, 3)) || v.Intersects(NewValueSet(0, 9)) {
+		t.Error("Intersects wrong")
+	}
+	if v.Equal(NewValueSet(1, 2)) {
+		t.Error("Equal on different lengths")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tbl := NewTable(3)
+	if err := tbl.SetNumeric("Price", []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.SetNumeric("Price", []float64{1}); err == nil {
+		t.Error("short numeric accepted")
+	}
+	if err := tbl.SetCategorical("Type", []int32{0, 1, 0}, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.SetCategorical("Bad", []int32{0, 5, 0}, []string{"a"}); err == nil {
+		t.Error("out-of-range category accepted")
+	}
+	if err := tbl.SetCategorical("Bad2", []int32{0}, []string{"a"}); err == nil {
+		t.Error("short categorical accepted")
+	}
+	if _, ok := tbl.Numeric("Price"); !ok {
+		t.Error("Numeric(Price) missing")
+	}
+	if _, ok := tbl.Numeric("Nope"); ok {
+		t.Error("Numeric(Nope) found")
+	}
+	if _, ok := tbl.Categorical("Type"); !ok {
+		t.Error("Categorical(Type) missing")
+	}
+	if got := tbl.NumericNames(); len(got) != 1 || got[0] != "Price" {
+		t.Errorf("NumericNames = %v", got)
+	}
+	if got := tbl.CategoricalNames(); len(got) != 1 || got[0] != "Type" {
+		t.Errorf("CategoricalNames = %v", got)
+	}
+}
+
+// Property: aggregate identities — min ≤ avg ≤ max, sum = avg·count, and
+// for non-negative attributes max ≤ sum. These are exactly the inequalities
+// the paper's induced-weaker-constraint rules (Section 5.1) rely on.
+func TestQuickAggregateInequalities(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := make(Numeric, 12)
+		for i := range n {
+			n[i] = float64(r.Intn(1000)) // non-negative
+		}
+		m := 1 + r.Intn(6)
+		items := make([]itemset.Item, m)
+		for i := range items {
+			items[i] = itemset.Item(r.Intn(12))
+		}
+		s := itemset.New(items...)
+		mn, _ := n.Eval(Min, s)
+		mx, _ := n.Eval(Max, s)
+		av, _ := n.Eval(Avg, s)
+		su, _ := n.Eval(Sum, s)
+		ct, _ := n.Eval(Count, s)
+		const eps = 1e-9
+		return mn <= av+eps && av <= mx+eps && mx <= su+eps &&
+			math.Abs(su-av*ct) < 1e-6 && ct == float64(s.Len())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

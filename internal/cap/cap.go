@@ -1,0 +1,410 @@
+// Package cap implements the CAP algorithm of Ng, Lakshmanan, Han & Pang
+// (SIGMOD'98): levelwise frequent-set mining with 1-variable constraints
+// pushed as deeply as their classification allows —
+//
+//   - succinct universal parts filter the item domain once (item-level
+//     constraint checks only, the MGF's selection step);
+//   - succinct existential parts steer candidate generation (a Required
+//     item class with required-first ordering);
+//   - anti-monotone non-succinct constraints (sum bounds, cardinality
+//     caps) are pushed as levelwise candidate filters, like frequency;
+//   - everything else (monotone-only, avg, ≠-forms) gets its sound induced
+//     weakening pushed and is re-checked on the final frequent sets.
+//
+// The package also provides the Apriori⁺ baseline (mine everything, then
+// test every frequent set against every constraint), and both report the
+// ccc cost counters of Section 6.2.
+package cap
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/constraint"
+	"repro/internal/itemset"
+	"repro/internal/mine"
+	"repro/internal/txdb"
+)
+
+// Query is a 1-var constrained frequent set query over one itemset
+// variable.
+type Query struct {
+	// DB is the transaction database. Required.
+	DB *txdb.DB
+	// MinSupport is the absolute support threshold.
+	MinSupport int
+	// Domain restricts the variable to these items (nil = all active
+	// items). 1-var constraints are classified relative to this domain.
+	Domain itemset.Set
+	// Constraints is the conjunction of 1-var constraints on the variable.
+	Constraints []constraint.Constraint
+	// ExtraFilter, when non-nil, is an additional anti-monotone candidate
+	// predicate supplied by the caller (the CFQ engine uses it to inject
+	// the Jmax-derived sum bounds, which tighten between levels). It is
+	// invoked outside the constraint-check accounting; callers that model
+	// it as constraint checking account for it themselves.
+	ExtraFilter func(level int, s itemset.Set) bool
+	// OnLevel, when non-nil, is invoked after each level with the valid
+	// frequent sets found there (dovetailing hook).
+	OnLevel func(level int, sets []mine.Counted)
+	// GenMode selects the candidate generation algorithm.
+	GenMode mine.GenMode
+	// MaxLevel stops mining after this level; 0 means unlimited.
+	MaxLevel int
+	// Workers sets the support-counting parallelism (see mine.Config).
+	Workers int
+	// PresetL1, when non-nil, supplies already-counted frequent singletons
+	// so level 1 costs nothing (see mine.Config.PresetL1). The CFQ engine
+	// uses it to re-plan with reduced constraints after the first counting
+	// iteration.
+	PresetL1 []mine.Counted
+}
+
+// Result is the outcome of a constrained mining run.
+type Result struct {
+	// Levels holds the valid frequent sets per level (index 0 = size 1).
+	Levels [][]mine.Counted
+	// FrequentItems is L1: every frequent item of the (universally
+	// filtered) domain, whether or not the singleton is valid. Its
+	// attribute projections provide the quasi-succinct reduction constants.
+	FrequentItems itemset.Set
+	// Stats carries the ccc cost counters.
+	Stats mine.Stats
+}
+
+// Sets flattens the per-level results.
+func (r *Result) Sets() []mine.Counted {
+	var out []mine.Counted
+	for _, lv := range r.Levels {
+		out = append(out, lv...)
+	}
+	return out
+}
+
+// Count returns the total number of valid frequent sets.
+func (r *Result) Count() int {
+	n := 0
+	for _, lv := range r.Levels {
+		n += len(lv)
+	}
+	return n
+}
+
+// Runner is a step-at-a-time CAP execution, created by Prepare. The CFQ
+// engine dovetails two Runners (one per variable) level by level.
+type Runner struct {
+	q              Query
+	lw             *mine.Levelwise
+	stats          *mine.Stats
+	finalChecks    []constraint.Constraint
+	hasExistential bool
+	unsat          bool
+	levels         [][]mine.Counted
+	l1             itemset.Set
+}
+
+// Step advances one level and returns the valid frequent sets found there
+// (after final verification of non-fully-enforced constraints), plus
+// whether mining has finished.
+func (r *Runner) Step() ([]mine.Counted, bool) {
+	if r.lw.Done() {
+		return nil, true
+	}
+	sets, _ := r.lw.Step()
+	if r.lw.Level() == 1 {
+		r.l1 = r.lw.FrequentItems()
+	}
+	if len(r.finalChecks) > 0 {
+		kept := sets[:0]
+		for _, c := range sets {
+			ok := true
+			for _, fc := range r.finalChecks {
+				r.stats.SetConstraintChecks++
+				if !fc.Satisfies(c.Set) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, c)
+			}
+		}
+		sets = kept
+	}
+	if r.unsat {
+		sets = nil
+	}
+	if r.lw.Level() > len(r.levels) {
+		r.levels = append(r.levels, sets)
+	}
+	if r.q.OnLevel != nil {
+		r.q.OnLevel(r.lw.Level(), sets)
+	}
+	return sets, r.lw.Done()
+}
+
+// Done reports whether mining has finished.
+func (r *Runner) Done() bool { return r.lw.Done() }
+
+// Level returns the last completed level.
+func (r *Runner) Level() int { return r.lw.Level() }
+
+// LastFrequent returns every frequent set counted at the last completed
+// level, including invalid ones — the complete level that Jmax summaries
+// require.
+func (r *Runner) LastFrequent() []mine.Counted { return r.lw.LastFrequent() }
+
+// FrequentItems returns L1 (available after the first Step).
+func (r *Runner) FrequentItems() itemset.Set { return r.l1 }
+
+// FrequentItemCounts returns L1 with supports, for PresetL1 re-planning.
+func (r *Runner) FrequentItemCounts() []mine.Counted { return r.lw.FrequentItemCounts() }
+
+// HasExistential reports whether an existential (Required-class) push is
+// active. When it is, LastFrequent is not the complete set of frequent
+// sets of the level, and Jmax summaries over it would be unsound.
+func (r *Runner) HasExistential() bool { return r.hasExistential }
+
+// Stats returns a snapshot of the accumulated cost counters.
+func (r *Runner) Stats() mine.Stats { return *r.stats }
+
+// Result packages the levels mined so far.
+func (r *Runner) Result() *Result {
+	levels := r.levels
+	for len(levels) > 0 && len(levels[len(levels)-1]) == 0 {
+		levels = levels[:len(levels)-1]
+	}
+	if r.unsat {
+		levels = nil
+	}
+	return &Result{Levels: levels, FrequentItems: r.l1, Stats: *r.stats}
+}
+
+// Run executes CAP on the query to completion.
+func Run(q Query) (*Result, error) {
+	r, err := Prepare(q)
+	if err != nil {
+		return nil, err
+	}
+	for !r.Done() {
+		r.Step()
+	}
+	return r.Result(), nil
+}
+
+// Prepare classifies the query's constraints, assembles the pushdown plan
+// and returns a step-wise Runner.
+func Prepare(q Query) (*Runner, error) {
+	if q.DB == nil {
+		return nil, fmt.Errorf("cap: Query.DB is nil")
+	}
+	stats := &mine.Stats{}
+	domain := q.Domain
+	if domain == nil {
+		domain = q.DB.ActiveItems()
+	}
+
+	// Normalize the conjunction first: merge redundant interval
+	// constraints, detect contradictions.
+	simplified, unsatConj := constraint.Simplify(q.Constraints, domain)
+	if unsatConj {
+		// The conjunction is contradictory: nothing will be valid. The
+		// unsatisfiable path below still computes L1 (the 2-var reduction
+		// constants must exist) while reporting no sets.
+		q.Constraints = nil
+	} else {
+		q.Constraints = simplified
+	}
+
+	// Classify every constraint against the base domain.
+	type analyzed struct {
+		c  constraint.Constraint
+		cl constraint.Class
+	}
+	an := make([]analyzed, len(q.Constraints))
+	for i, c := range q.Constraints {
+		an[i] = analyzed{c, c.Classify(domain)}
+	}
+
+	// 1. Universal item predicates filter the domain (item-level checks).
+	var universals []constraint.ItemPredicate
+	var existentials []constraint.ItemPredicate
+	var amFilters []constraint.Constraint // anti-monotone, non-succinct
+	var finalChecks []constraint.Constraint
+	for _, a := range an {
+		snf := a.cl.Succinct
+		if snf == nil {
+			snf = a.cl.Induced
+		}
+		if snf != nil {
+			if snf.Universal != nil {
+				universals = append(universals, snf.Universal)
+			}
+			existentials = append(existentials, snf.Existential...)
+		}
+		if a.cl.AntiMonotone && a.cl.Succinct == nil {
+			amFilters = append(amFilters, a.c)
+		}
+		if !a.cl.FullyEnforced() {
+			finalChecks = append(finalChecks, a.c)
+		}
+	}
+
+	filtered := make([]itemset.Item, 0, domain.Len())
+	for _, it := range domain {
+		ok := true
+		for _, u := range universals {
+			stats.ItemConstraintChecks++
+			if !u(it) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			filtered = append(filtered, it)
+		}
+	}
+	fdomain := itemset.FromSorted(filtered)
+
+	// 2. Existential predicates become item classes; the most selective
+	// one steers generation, the rest gate reporting.
+	classes := make([]itemset.Set, 0, len(existentials))
+	for _, ex := range existentials {
+		var members []itemset.Item
+		for _, it := range fdomain {
+			stats.ItemConstraintChecks++
+			if ex(it) {
+				members = append(members, it)
+			}
+		}
+		classes = append(classes, itemset.New(members...))
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i].Len() < classes[j].Len() })
+
+	var required itemset.Set
+	var reportClasses []itemset.Set
+	unsatisfiable := unsatConj
+	for i, cl := range classes {
+		if cl.Empty() {
+			unsatisfiable = true
+		}
+		if i == 0 {
+			required = cl
+		} else {
+			reportClasses = append(reportClasses, cl)
+		}
+	}
+
+	cfg := mine.Config{
+		DB:         q.DB,
+		MinSupport: q.MinSupport,
+		Domain:     fdomain,
+		GenMode:    q.GenMode,
+		MaxLevel:   q.MaxLevel,
+		Workers:    q.Workers,
+		PresetL1:   q.PresetL1,
+		Stats:      stats,
+	}
+	if required != nil && !required.Empty() {
+		cfg.Required = required
+	}
+	if len(reportClasses) > 0 {
+		cfg.ReportValid = func(s itemset.Set) bool {
+			for _, cl := range reportClasses {
+				stats.SetConstraintChecks++
+				if !s.Intersects(cl) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	if len(amFilters) > 0 || q.ExtraFilter != nil {
+		cfg.CandidateFilter = func(level int, s itemset.Set) bool {
+			for _, c := range amFilters {
+				stats.SetConstraintChecks++
+				if !c.Satisfies(s) {
+					return false
+				}
+			}
+			if q.ExtraFilter != nil && !q.ExtraFilter(level, s) {
+				return false
+			}
+			return true
+		}
+	}
+
+	if unsatisfiable {
+		// An empty existential class: no set can be valid. Still compute
+		// L1 (one level, reporting nothing) so reduction constants exist.
+		cfg.Required = nil
+		cfg.ReportValid = func(itemset.Set) bool { return false }
+		cfg.MaxLevel = 1
+	}
+
+	lw, err := mine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{
+		q:              q,
+		lw:             lw,
+		stats:          stats,
+		finalChecks:    finalChecks,
+		hasExistential: len(classes) > 0,
+		unsat:          unsatisfiable,
+	}, nil
+}
+
+// AprioriPlus is the naive baseline: mine every frequent set over the
+// domain, then test each against every constraint (generate-and-test).
+func AprioriPlus(q Query) (*Result, error) {
+	if q.DB == nil {
+		return nil, fmt.Errorf("cap: Query.DB is nil")
+	}
+	stats := &mine.Stats{}
+	lw, err := mine.New(mine.Config{
+		DB:         q.DB,
+		MinSupport: q.MinSupport,
+		Domain:     q.Domain,
+		GenMode:    q.GenMode,
+		MaxLevel:   q.MaxLevel,
+		Workers:    q.Workers,
+		Stats:      stats,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var levels [][]mine.Counted
+	var l1 itemset.Set
+	for !lw.Done() {
+		sets, _ := lw.Step()
+		if lw.Level() == 1 {
+			l1 = lw.FrequentItems()
+		}
+		kept := make([]mine.Counted, 0, len(sets))
+		for _, c := range sets {
+			ok := true
+			for _, con := range q.Constraints {
+				stats.SetConstraintChecks++
+				if !con.Satisfies(c.Set) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, c)
+			}
+		}
+		if lw.Level() > len(levels) {
+			levels = append(levels, kept)
+		}
+		if q.OnLevel != nil {
+			q.OnLevel(lw.Level(), kept)
+		}
+	}
+	for len(levels) > 0 && len(levels[len(levels)-1]) == 0 {
+		levels = levels[:len(levels)-1]
+	}
+	return &Result{Levels: levels, FrequentItems: l1, Stats: *stats}, nil
+}

@@ -1,0 +1,108 @@
+package cap
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/constraint"
+	"repro/internal/mine"
+)
+
+// TestRunnerStepwise drives a Runner level by level and checks it exposes
+// the same information Run aggregates.
+func TestRunnerStepwise(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	w := newWorld(r, 8, 50)
+	q := Query{
+		DB: w.db, MinSupport: 2,
+		Constraints: []constraint.Constraint{
+			constraint.Agg(attr.Max, w.num, "A", constraint.LE, 7),
+		},
+	}
+	runner, err := Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runner.HasExistential() {
+		t.Error("universal-only query reported existential push")
+	}
+	var stepped []mine.Counted
+	levels := 0
+	for !runner.Done() {
+		sets, _ := runner.Step()
+		levels++
+		stepped = append(stepped, sets...)
+		if runner.Level() != levels {
+			t.Errorf("Level() = %d after %d steps", runner.Level(), levels)
+		}
+		// LastFrequent is a superset of the valid sets of the level.
+		lf := map[string]bool{}
+		for _, c := range runner.LastFrequent() {
+			lf[c.Set.Key()] = true
+		}
+		for _, c := range sets {
+			if !lf[c.Set.Key()] {
+				t.Errorf("valid set %v missing from LastFrequent", c.Set)
+			}
+		}
+	}
+	// Stepping after Done is a no-op.
+	if sets, done := runner.Step(); sets != nil || !done {
+		t.Error("Step after Done returned work")
+	}
+	// Same results as the one-shot Run.
+	res, err := Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stepped) != res.Count() {
+		t.Errorf("stepwise found %d sets, Run found %d", len(stepped), res.Count())
+	}
+	got := runner.Result()
+	if got.Count() != res.Count() || !got.FrequentItems.Equal(res.FrequentItems) {
+		t.Error("Runner.Result disagrees with Run")
+	}
+}
+
+// TestRunnerExistentialFlag: existential pushes must be reported so the
+// CFQ engine can disable Jmax summaries over incomplete levels.
+func TestRunnerExistentialFlag(t *testing.T) {
+	r := rand.New(rand.NewSource(45))
+	w := newWorld(r, 8, 50)
+	runner, err := Prepare(Query{
+		DB: w.db, MinSupport: 2,
+		Constraints: []constraint.Constraint{
+			constraint.Agg(attr.Min, w.num, "A", constraint.LE, 3), // existential SNF
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !runner.HasExistential() {
+		t.Error("existential query not flagged")
+	}
+	// LastFrequent must still be the *counted* sets, which with an
+	// existential class omits required-free sets: every reported set
+	// intersects the required class, so Jmax over it would be unsound —
+	// exactly why the flag exists.
+	for !runner.Done() {
+		runner.Step()
+	}
+}
+
+// TestRunnerStatsSnapshot: Stats returns a copy, not a live reference.
+func TestRunnerStatsSnapshot(t *testing.T) {
+	r := rand.New(rand.NewSource(46))
+	w := newWorld(r, 7, 30)
+	runner, err := Prepare(Query{DB: w.db, MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner.Step()
+	snap := runner.Stats()
+	runner.Step()
+	if runner.Stats().CandidatesCounted == snap.CandidatesCounted && !runner.Done() {
+		t.Error("stats did not advance between steps")
+	}
+}

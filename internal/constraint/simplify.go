@@ -1,0 +1,232 @@
+package constraint
+
+import (
+	"math"
+
+	"repro/internal/attr"
+	"repro/internal/itemset"
+)
+
+// Aliases keep the type switch below readable.
+const (
+	attrMin = attr.Min
+	attrMax = attr.Max
+)
+
+// Simplify rewrites a conjunction of 1-var constraints into an equivalent,
+// usually smaller one — classic query-optimizer normalization before
+// classification and pushdown:
+//
+//   - aggregation constraints on the same aggregate and attribute merge
+//     into their tightest interval (max(S.A) <= 5 & max(S.A) <= 9 keeps
+//     only the former), and contradictory intervals (min(S.A) >= 10 &
+//     min(S.A) < 10) make the conjunction unsatisfiable;
+//   - numeric range constraints on the same attribute intersect;
+//   - cardinality constraints merge, and count(S) < 1 is unsatisfiable
+//     (frequent sets are non-empty);
+//   - min(S.A) >= c together with max(S.A) <= d is unsatisfiable when
+//     c > d (min ≤ max on non-empty sets).
+//
+// Unrecognized constraints pass through untouched. Attributes are keyed by
+// name: two constraints naming the same attribute are assumed to read the
+// same data (the cfq facade guarantees this). The returned unsat flag
+// means no non-empty itemset can satisfy the conjunction.
+func Simplify(cons []Constraint, domain itemset.Set) (out []Constraint, unsat bool) {
+	type interval struct {
+		lo, hi             float64
+		loStrict, hiStrict bool
+		eq                 *float64
+	}
+	newInterval := func() *interval {
+		return &interval{lo: math.Inf(-1), hi: math.Inf(1)}
+	}
+	// tighten merges one comparison into the interval; reports false on
+	// contradiction.
+	tighten := func(iv *interval, op Op, c float64) bool {
+		switch op {
+		case LE:
+			if c < iv.hi {
+				iv.hi, iv.hiStrict = c, false
+			}
+		case LT:
+			if c < iv.hi || (c == iv.hi && !iv.hiStrict) {
+				iv.hi, iv.hiStrict = c, true
+			}
+		case GE:
+			if c > iv.lo {
+				iv.lo, iv.loStrict = c, false
+			}
+		case GT:
+			if c > iv.lo || (c == iv.lo && !iv.loStrict) {
+				iv.lo, iv.loStrict = c, true
+			}
+		case EQ:
+			if iv.eq != nil && *iv.eq != c {
+				return false
+			}
+			v := c
+			iv.eq = &v
+		default:
+			return true // NE and others pass through separately
+		}
+		if iv.lo > iv.hi {
+			return false
+		}
+		if iv.lo == iv.hi && (iv.loStrict || iv.hiStrict) {
+			return false
+		}
+		if iv.eq != nil {
+			if *iv.eq < iv.lo || *iv.eq > iv.hi ||
+				(*iv.eq == iv.lo && iv.loStrict) || (*iv.eq == iv.hi && iv.hiStrict) {
+				return false
+			}
+		}
+		return true
+	}
+	// emit rebuilds the minimal constraint list for one interval.
+	emit := func(mk func(op Op, c float64) Constraint, iv *interval) []Constraint {
+		if iv.eq != nil {
+			return []Constraint{mk(EQ, *iv.eq)}
+		}
+		var cs []Constraint
+		if !math.IsInf(iv.lo, -1) {
+			op := GE
+			if iv.loStrict {
+				op = GT
+			}
+			cs = append(cs, mk(op, iv.lo))
+		}
+		if !math.IsInf(iv.hi, 1) {
+			op := LE
+			if iv.hiStrict {
+				op = LT
+			}
+			cs = append(cs, mk(op, iv.hi))
+		}
+		return cs
+	}
+
+	type aggKey struct {
+		agg  interface{}
+		name string
+	}
+	aggIvs := map[aggKey]*interval{}
+	aggAttr := map[aggKey]Constraint{} // a representative, for rebuilding
+	var cardIv *interval
+	rangeIvs := map[string]*interval{}
+	rangeAttr := map[string]*rangeConstraint{}
+	var passthrough []Constraint
+	order := []interface{}{} // preserve first-appearance order of merged groups
+
+	for _, c := range cons {
+		switch k := c.(type) {
+		case *aggConstraint:
+			if k.op == NE {
+				passthrough = append(passthrough, c)
+				continue
+			}
+			key := aggKey{k.agg, k.name}
+			iv := aggIvs[key]
+			if iv == nil {
+				iv = newInterval()
+				aggIvs[key] = iv
+				aggAttr[key] = c
+				order = append(order, key)
+			}
+			if !tighten(iv, k.op, k.c) {
+				return nil, true
+			}
+		case *cardConstraint:
+			if k.op == NE {
+				passthrough = append(passthrough, c)
+				continue
+			}
+			if cardIv == nil {
+				cardIv = newInterval()
+				order = append(order, "card")
+			}
+			if !tighten(cardIv, k.op, float64(k.c)) {
+				return nil, true
+			}
+		case *rangeConstraint:
+			iv := rangeIvs[k.name]
+			if iv == nil {
+				iv = newInterval()
+				rangeIvs[k.name] = iv
+				rangeAttr[k.name] = k
+				order = append(order, "range:"+k.name)
+			}
+			// Ranges are closed intervals: intersect.
+			if !tighten(iv, GE, k.lo) || !tighten(iv, LE, k.hi) {
+				return nil, true
+			}
+		default:
+			passthrough = append(passthrough, c)
+		}
+	}
+
+	// Cross-aggregate contradiction on the same attribute:
+	// min(S.A) must be <= max(S.A) on non-empty sets.
+	for key := range aggIvs {
+		rep := aggAttr[key].(*aggConstraint)
+		if rep.agg != attrMin {
+			continue
+		}
+		minIv := aggIvs[key]
+		for key2 := range aggIvs {
+			rep2 := aggAttr[key2].(*aggConstraint)
+			if rep2.agg != attrMax || rep2.name != rep.name {
+				continue
+			}
+			maxIv := aggIvs[key2]
+			lo := minIv.lo
+			if minIv.eq != nil {
+				lo = *minIv.eq
+			}
+			hi := maxIv.hi
+			if maxIv.eq != nil {
+				hi = *maxIv.eq
+			}
+			if lo > hi {
+				return nil, true
+			}
+		}
+	}
+	// Cardinality: non-empty sets need count >= 1.
+	if cardIv != nil {
+		if cardIv.hi < 1 || (cardIv.hi == 1 && cardIv.hiStrict) {
+			return nil, true
+		}
+	}
+
+	// Rebuild in first-appearance order.
+	for _, o := range order {
+		switch key := o.(type) {
+		case aggKey:
+			rep := aggAttr[key].(*aggConstraint)
+			out = append(out, emit(func(op Op, c float64) Constraint {
+				return Agg(rep.agg, rep.a, rep.name, op, c)
+			}, aggIvs[key])...)
+		case string:
+			if key == "card" {
+				// Cardinality equality splits into <= and >= so the
+				// anti-monotone half can still be pushed levelwise.
+				iv := cardIv
+				if iv.eq != nil {
+					v := *iv.eq
+					iv = &interval{lo: v, hi: v}
+				}
+				out = append(out, emit(func(op Op, c float64) Constraint {
+					return Card(op, int(c))
+				}, iv)...)
+				continue
+			}
+			name := key[len("range:"):]
+			iv := rangeIvs[name]
+			rep := rangeAttr[name]
+			out = append(out, NumRange(rep.a, name, iv.lo, iv.hi))
+		}
+	}
+	out = append(out, passthrough...)
+	return out, false
+}

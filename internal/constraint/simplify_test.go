@@ -1,0 +1,127 @@
+package constraint
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/attr"
+	"repro/internal/itemset"
+)
+
+func TestSimplifyMerging(t *testing.T) {
+	num := attr.Numeric{1, 2, 3, 4, 5, 6, 7}
+	dom := itemset.New(0, 1, 2, 3, 4, 5, 6)
+	cases := []struct {
+		name      string
+		in        []Constraint
+		wantLen   int
+		wantUnsat bool
+	}{
+		{"merge LE", []Constraint{
+			Agg(attr.Max, num, "A", LE, 9), Agg(attr.Max, num, "A", LE, 5),
+		}, 1, false},
+		{"merge GE and LE", []Constraint{
+			Agg(attr.Sum, num, "A", GE, 2), Agg(attr.Sum, num, "A", LE, 9),
+			Agg(attr.Sum, num, "A", GE, 4),
+		}, 2, false},
+		{"EQ absorbs bounds", []Constraint{
+			Agg(attr.Min, num, "A", LE, 9), Agg(attr.Min, num, "A", EQ, 3),
+		}, 1, false},
+		{"conflicting EQ", []Constraint{
+			Agg(attr.Min, num, "A", EQ, 3), Agg(attr.Min, num, "A", EQ, 4),
+		}, 0, true},
+		{"empty interval", []Constraint{
+			Agg(attr.Avg, num, "A", GE, 5), Agg(attr.Avg, num, "A", LT, 5),
+		}, 0, true},
+		{"EQ outside interval", []Constraint{
+			Agg(attr.Min, num, "A", EQ, 10), Agg(attr.Min, num, "A", LE, 5),
+		}, 0, true},
+		{"min above max", []Constraint{
+			Agg(attr.Min, num, "A", GE, 6), Agg(attr.Max, num, "A", LE, 4),
+		}, 0, true},
+		{"card merge", []Constraint{
+			Card(LE, 5), Card(LE, 3), Card(GE, 2),
+		}, 2, false},
+		{"card EQ splits", []Constraint{Card(EQ, 2)}, 2, false},
+		{"card impossible", []Constraint{Card(LT, 1)}, 0, true},
+		{"card window empty", []Constraint{Card(GE, 4), Card(LE, 2)}, 0, true},
+		{"range intersect", []Constraint{
+			NumRange(num, "A", 1, 6), NumRange(num, "A", 3, 9),
+		}, 1, false},
+		{"range empty", []Constraint{
+			NumRange(num, "A", 5, 9), NumRange(num, "A", 1, 4),
+		}, 0, true},
+		{"different attrs untouched", []Constraint{
+			Agg(attr.Max, num, "A", LE, 5), Agg(attr.Max, num, "B", LE, 5),
+		}, 2, false},
+		{"NE passes through", []Constraint{
+			Agg(attr.Min, num, "A", NE, 3), Agg(attr.Min, num, "A", LE, 5),
+		}, 2, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, unsat := Simplify(tc.in, dom)
+			if unsat != tc.wantUnsat {
+				t.Fatalf("unsat = %v, want %v", unsat, tc.wantUnsat)
+			}
+			if !unsat && len(out) != tc.wantLen {
+				t.Fatalf("len(out) = %d, want %d (%v)", len(out), tc.wantLen, out)
+			}
+		})
+	}
+}
+
+// TestQuickSimplifyEquivalent: the simplified conjunction must accept
+// exactly the sets the original does (and unsat must mean no non-empty set
+// satisfies it).
+func TestQuickSimplifyEquivalent(t *testing.T) {
+	ops := []Op{LE, LT, GE, GT, EQ}
+	aggs := []attr.Aggregate{attr.Min, attr.Max, attr.Sum, attr.Avg}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := newWorld(r, 6)
+		var cons []Constraint
+		for i := 0; i < 1+r.Intn(4); i++ {
+			switch r.Intn(3) {
+			case 0:
+				cons = append(cons, Agg(aggs[r.Intn(len(aggs))], w.num, "A",
+					ops[r.Intn(len(ops))], float64(r.Intn(15))))
+			case 1:
+				cons = append(cons, Card(ops[r.Intn(len(ops))], 1+r.Intn(4)))
+			case 2:
+				lo := float64(r.Intn(8))
+				cons = append(cons, NumRange(w.num, "A", lo, lo+float64(r.Intn(6))))
+			}
+		}
+		out, unsat := Simplify(cons, w.domain)
+		satAll := func(cs []Constraint, s itemset.Set) bool {
+			for _, c := range cs {
+				if !c.Satisfies(s) {
+					return false
+				}
+			}
+			return true
+		}
+		okEverywhere := true
+		w.domain.ForEachSubset(func(s itemset.Set) bool {
+			orig := satAll(cons, s)
+			if unsat {
+				if orig {
+					okEverywhere = false
+					return false
+				}
+				return true
+			}
+			if orig != satAll(out, s) {
+				okEverywhere = false
+				return false
+			}
+			return true
+		})
+		return okEverywhere
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

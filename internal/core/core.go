@@ -1,0 +1,840 @@
+// Package core implements the CFQ query engine of Section 6: given a
+// constrained frequent set query {(S, T) | C}, the optimizer (Figure 7)
+// separates 1-var from 2-var constraints, reduces quasi-succinct 2-var
+// constraints to succinct 1-var constraints after the first counting
+// iteration, induces weaker constraints plus iterative Jmax pruning for the
+// non-quasi-succinct ones, hands everything to CAP on dovetailed S- and
+// T-lattices, and finally forms the valid pairs.
+//
+// Several strategies are provided so the paper's experiments (and the ccc
+// analysis) can compare them: the optimizer's strategy, an ablation without
+// Jmax, CAP on 1-var constraints only, the Apriori⁺ baseline, and the FM
+// full-materialization counterexample.
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/attr"
+	"repro/internal/cap"
+	"repro/internal/constraint"
+	"repro/internal/itemset"
+	"repro/internal/jmax"
+	"repro/internal/mine"
+	"repro/internal/twovar"
+	"repro/internal/txdb"
+)
+
+// Strategy selects a CFQ computation strategy.
+type Strategy int
+
+// The strategies.
+const (
+	// StrategyOptimized is the optimizer's output (Figure 7): 1-var
+	// pushdown via CAP, quasi-succinct reduction of 2-var constraints,
+	// induced weaker constraints and Jmax iterative pruning for the rest.
+	StrategyOptimized Strategy = iota
+	// StrategyOptimizedNoJmax is the ablation without iterative pruning.
+	StrategyOptimizedNoJmax
+	// StrategyCAPOnly pushes only the 1-var constraints (the published CAP
+	// algorithm); 2-var constraints are checked at pair formation.
+	StrategyCAPOnly
+	// StrategyAprioriPlus mines every frequent set and tests everything at
+	// the end — the paper's baseline.
+	StrategyAprioriPlus
+	// StrategyFM materializes every valid subset first and counts
+	// afterwards — the ccc counterexample of Section 6.2. Only usable on
+	// tiny item domains.
+	StrategyFM
+	// StrategySequential is the alternative Section 5.2 discusses instead
+	// of dovetailing: mine the T lattice to completion first, then prune S
+	// with the *exact* global bounds (e.g. max{sum(T.B) | freq(T)}). Best
+	// possible pruning, but it forfeits the scan sharing dovetailing
+	// enables — compare its DBScans/pruning trade-off against
+	// StrategyOptimized.
+	StrategySequential
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyOptimized:
+		return "optimized"
+	case StrategyOptimizedNoJmax:
+		return "optimized-nojmax"
+	case StrategyCAPOnly:
+		return "cap-1var"
+	case StrategyAprioriPlus:
+		return "apriori+"
+	case StrategyFM:
+		return "fm"
+	case StrategySequential:
+		return "sequential"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// CFQ is a constrained frequent set query {(S, T) | C} over a shared
+// transaction database.
+type CFQ struct {
+	// DB is the transaction database. Required.
+	DB *txdb.DB
+	// MinSupportS/MinSupportT are the absolute support thresholds for each
+	// variable (values below 1 are clamped to 1).
+	MinSupportS, MinSupportT int
+	// DomainS/DomainT restrict the variables to item sub-domains (nil =
+	// all active items). The paper's S ⊆ Item, T ⊆ Dom generality.
+	DomainS, DomainT itemset.Set
+	// ConstraintsS/ConstraintsT are the 1-var constraints per variable.
+	ConstraintsS, ConstraintsT []constraint.Constraint
+	// Constraints2 are the 2-var constraints binding S and T.
+	Constraints2 []twovar.Constraint2
+	// MaxPairs caps the number of materialized answer pairs (0 =
+	// unlimited); PairCount always reflects the true total.
+	MaxPairs int
+	// MaxLevel stops each lattice after this level (0 = unlimited).
+	MaxLevel int
+	// GenMode selects the candidate generation algorithm.
+	GenMode mine.GenMode
+	// Workers sets the support-counting parallelism (see mine.Config).
+	Workers int
+	// Trace, when non-nil, receives one progress line per completed level
+	// per variable and per optimizer phase (for -v style logging).
+	Trace func(msg string)
+}
+
+// trace emits a progress line when tracing is enabled.
+func (q *CFQ) trace(format string, args ...interface{}) {
+	if q.Trace != nil {
+		q.Trace(fmt.Sprintf(format, args...))
+	}
+}
+
+// traceLevels attaches per-level progress logging to a side query.
+func (q *CFQ) traceLevels(cq *cap.Query, side twovar.Side) {
+	if q.Trace == nil {
+		return
+	}
+	prev := cq.OnLevel
+	cq.OnLevel = func(level int, sets []mine.Counted) {
+		q.trace("%v level %d: %d valid frequent sets", side, level, len(sets))
+		if prev != nil {
+			prev(level, sets)
+		}
+	}
+}
+
+func (q *CFQ) normalize() error {
+	if q.DB == nil {
+		return fmt.Errorf("core: CFQ.DB is nil")
+	}
+	if q.MinSupportS < 1 {
+		q.MinSupportS = 1
+	}
+	if q.MinSupportT < 1 {
+		q.MinSupportT = 1
+	}
+	return nil
+}
+
+// Pair is one element of a CFQ answer: a frequent valid (S, T) pair.
+type Pair struct {
+	S, T mine.Counted
+}
+
+// Result is the outcome of evaluating a CFQ.
+type Result struct {
+	// LevelsS/LevelsT hold the frequent valid S-/T-sets per level.
+	LevelsS, LevelsT [][]mine.Counted
+	// Pairs is the answer (possibly truncated to CFQ.MaxPairs).
+	Pairs []Pair
+	// PairCount is the true number of valid pairs.
+	PairCount int64
+	// Stats accumulates the ccc cost counters across all phases.
+	Stats mine.Stats
+	// Plan describes what the optimizer decided (nil for baselines).
+	Plan *Plan
+}
+
+// ValidS flattens the S-side levels.
+func (r *Result) ValidS() []mine.Counted { return flatten(r.LevelsS) }
+
+// ValidT flattens the T-side levels.
+func (r *Result) ValidT() []mine.Counted { return flatten(r.LevelsT) }
+
+func flatten(levels [][]mine.Counted) []mine.Counted {
+	var out []mine.Counted
+	for _, lv := range levels {
+		out = append(out, lv...)
+	}
+	return out
+}
+
+// Plan records the optimizer's decisions for a query (Figure 7's boxes).
+type Plan struct {
+	Strategy Strategy
+	// OneVarS/OneVarT describe each 1-var constraint's classification and
+	// how it will be pushed.
+	OneVarS, OneVarT []string
+	// QuasiSuccinct and NonQuasiSuccinct partition the 2-var constraints.
+	QuasiSuccinct    []twovar.Constraint2
+	NonQuasiSuccinct []twovar.Constraint2
+	// ReducedS/ReducedT are the 1-var conditions obtained by reduction
+	// (including induced weaker constraints), rendered for explanation.
+	ReducedS, ReducedT []string
+	// DynamicBounds lists the iterative (Jmax) pruning hooks.
+	DynamicBounds []string
+}
+
+// Describe renders the plan as a human-readable explanation.
+func (p *Plan) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "strategy: %v\n", p.Strategy)
+	for _, s := range p.OneVarS {
+		fmt.Fprintf(&b, "1-var on S: %s\n", s)
+	}
+	for _, s := range p.OneVarT {
+		fmt.Fprintf(&b, "1-var on T: %s\n", s)
+	}
+	for _, c := range p.QuasiSuccinct {
+		fmt.Fprintf(&b, "quasi-succinct: %v\n", c)
+	}
+	for _, c := range p.NonQuasiSuccinct {
+		fmt.Fprintf(&b, "non-quasi-succinct (induced + iterative): %v\n", c)
+	}
+	for _, s := range p.ReducedS {
+		fmt.Fprintf(&b, "  S-side condition: %s\n", s)
+	}
+	for _, s := range p.ReducedT {
+		fmt.Fprintf(&b, "  T-side condition: %s\n", s)
+	}
+	for _, s := range p.DynamicBounds {
+		fmt.Fprintf(&b, "  dynamic bound: %s\n", s)
+	}
+	return b.String()
+}
+
+// describeClass renders a 1-var constraint's classification and pushdown.
+func describeClass(c constraint.Constraint, dom itemset.Set) string {
+	cl := c.Classify(dom)
+	var tags []string
+	if cl.Succinct != nil {
+		tags = append(tags, "succinct: generate-only")
+	} else if cl.Induced != nil {
+		tags = append(tags, "induced succinct weakening + final check")
+	}
+	if cl.AntiMonotone {
+		tags = append(tags, "anti-monotone: levelwise filter")
+	}
+	if cl.Monotone {
+		tags = append(tags, "monotone")
+	}
+	if len(tags) == 0 {
+		tags = append(tags, "unclassified: final check only")
+	}
+	return fmt.Sprintf("%v  [%s]", c, strings.Join(tags, ", "))
+}
+
+// Explain classifies the query's constraints without running it.
+func Explain(q CFQ) (*Plan, error) {
+	if err := q.normalize(); err != nil {
+		return nil, err
+	}
+	domS, domT := q.DomainS, q.DomainT
+	if domS == nil {
+		domS = q.DB.ActiveItems()
+	}
+	if domT == nil {
+		domT = q.DB.ActiveItems()
+	}
+	p := &Plan{Strategy: StrategyOptimized}
+	for _, c := range q.ConstraintsS {
+		p.OneVarS = append(p.OneVarS, describeClass(c, domS))
+	}
+	for _, c := range q.ConstraintsT {
+		p.OneVarT = append(p.OneVarT, describeClass(c, domT))
+	}
+	for _, c2 := range q.Constraints2 {
+		if c2.Classify(domS, domT).QuasiSuccinct {
+			p.QuasiSuccinct = append(p.QuasiSuccinct, c2)
+		} else {
+			p.NonQuasiSuccinct = append(p.NonQuasiSuccinct, c2)
+		}
+	}
+	return p, nil
+}
+
+// Run evaluates the CFQ with the selected strategy. All strategies return
+// the same answer set; they differ in the work counted by Stats.
+func Run(q CFQ, strat Strategy) (*Result, error) {
+	if err := q.normalize(); err != nil {
+		return nil, err
+	}
+	switch strat {
+	case StrategyAprioriPlus:
+		return runBaseline(q, false)
+	case StrategyCAPOnly:
+		return runBaseline(q, true)
+	case StrategyOptimized:
+		return runOptimized(q, true)
+	case StrategyOptimizedNoJmax:
+		return runOptimized(q, false)
+	case StrategyFM:
+		return runFM(q)
+	case StrategySequential:
+		return runSequential(q)
+	}
+	return nil, fmt.Errorf("core: unknown strategy %d", int(strat))
+}
+
+func (q *CFQ) sideQuery(side twovar.Side) cap.Query {
+	cq := cap.Query{
+		DB:       q.DB,
+		GenMode:  q.GenMode,
+		MaxLevel: q.MaxLevel,
+		Workers:  q.Workers,
+	}
+	if side == twovar.SideS {
+		cq.MinSupport = q.MinSupportS
+		cq.Domain = q.DomainS
+		cq.Constraints = q.ConstraintsS
+	} else {
+		cq.MinSupport = q.MinSupportT
+		cq.Domain = q.DomainT
+		cq.Constraints = q.ConstraintsT
+	}
+	return cq
+}
+
+// runBaseline implements Apriori⁺ (pushOneVar = false) and CAP-only
+// (pushOneVar = true): mine each side, then form pairs checking the 2-var
+// constraints there.
+func runBaseline(q CFQ, pushOneVar bool) (*Result, error) {
+	runSide := cap.AprioriPlus
+	if pushOneVar {
+		runSide = cap.Run
+	}
+	sq := q.sideQuery(twovar.SideS)
+	q.traceLevels(&sq, twovar.SideS)
+	tq := q.sideQuery(twovar.SideT)
+	q.traceLevels(&tq, twovar.SideT)
+	sRes, err := runSide(sq)
+	if err != nil {
+		return nil, err
+	}
+	tRes, err := runSide(tq)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{LevelsS: sRes.Levels, LevelsT: tRes.Levels}
+	res.Stats.Add(sRes.Stats)
+	res.Stats.Add(tRes.Stats)
+	formPairs(q, res)
+	return res, nil
+}
+
+// dynState tracks one evolving sum bound: the condition prunes d.PruneSide
+// using the series observed from the opposite lattice.
+type dynState struct {
+	d       *twovar.DynamicBound
+	series  *jmax.Series
+	allowed bool // opposite side counts complete levels (no existential push)
+}
+
+func (ds *dynState) bound() float64 {
+	if !ds.allowed {
+		return math.Inf(1)
+	}
+	if ds.d.Kind == twovar.BoundCount {
+		sb := ds.series.SizeBound()
+		if sb >= jmax.Unbounded {
+			return math.Inf(1)
+		}
+		return float64(sb)
+	}
+	return ds.series.Bound()
+}
+
+// runOptimized is the optimizer's strategy: reduce after level 1, re-plan
+// both sides with the reduced constraints, dovetail the lattices tightening
+// Jmax bounds, then form pairs.
+func runOptimized(q CFQ, useJmax bool) (*Result, error) {
+	plan, err := Explain(q)
+	if err != nil {
+		return nil, err
+	}
+	if !useJmax {
+		plan.Strategy = StrategyOptimizedNoJmax
+	}
+	res := &Result{Plan: plan}
+
+	// Phase 1: one counting iteration per side with 1-var pushdown only.
+	sq1 := q.sideQuery(twovar.SideS)
+	sq1.MaxLevel = 1
+	tq1 := q.sideQuery(twovar.SideT)
+	tq1.MaxLevel = 1
+	s1, err := cap.Prepare(sq1)
+	if err != nil {
+		return nil, err
+	}
+	t1, err := cap.Prepare(tq1)
+	if err != nil {
+		return nil, err
+	}
+	s1.Step()
+	t1.Step()
+	l1S, l1T := s1.FrequentItems(), t1.FrequentItems()
+	res.Stats.Add(s1.Stats())
+	res.Stats.Add(t1.Stats())
+
+	// Reduce every 2-var constraint to 1-var conditions (Figures 2–4).
+	sq := q.sideQuery(twovar.SideS)
+	tq := q.sideQuery(twovar.SideT)
+	// Copy the constraint slices before appending reductions: the caller's
+	// CFQ must stay reusable.
+	sq.Constraints = append([]constraint.Constraint(nil), sq.Constraints...)
+	tq.Constraints = append([]constraint.Constraint(nil), tq.Constraints...)
+	var dyns []*dynState
+	for _, c2 := range q.Constraints2 {
+		red := c2.Reduce(l1S, l1T)
+		sq.Constraints = append(sq.Constraints, red.C1...)
+		tq.Constraints = append(tq.Constraints, red.C2...)
+		for _, c := range red.C1 {
+			plan.ReducedS = append(plan.ReducedS, c.String())
+		}
+		for _, c := range red.C2 {
+			plan.ReducedT = append(plan.ReducedT, c.String())
+		}
+		if useJmax {
+			for _, d := range red.Dynamic {
+				dyns = append(dyns, &dynState{d: d, series: jmax.NewSeries()})
+				plan.DynamicBounds = append(plan.DynamicBounds,
+					fmt.Sprintf("%v(%s.%s) %v V^k from %v-side sums of %s",
+						d.Agg, d.PruneSide, d.AttrName, d.Op, otherSide(d.PruneSide), d.OtherName))
+			}
+		}
+	}
+
+	// Phase 2: re-plan both sides with the reduced constraints; level 1 is
+	// preset from phase 1, so nothing is re-counted.
+	sq.PresetL1 = s1.FrequentItemCounts()
+	tq.PresetL1 = t1.FrequentItemCounts()
+	q.trace("reduction: |L1(S)| = %d, |L1(T)| = %d; %d S-conditions, %d T-conditions, %d dynamic bounds",
+		l1S.Len(), l1T.Len(), len(plan.ReducedS), len(plan.ReducedT), len(dyns))
+	q.traceLevels(&sq, twovar.SideS)
+	q.traceLevels(&tq, twovar.SideT)
+	var dynChecks int64
+	sq.ExtraFilter = dynFilter(dyns, twovar.SideS, &dynChecks)
+	tq.ExtraFilter = dynFilter(dyns, twovar.SideT, &dynChecks)
+	sRun, err := cap.Prepare(sq)
+	if err != nil {
+		return nil, err
+	}
+	tRun, err := cap.Prepare(tq)
+	if err != nil {
+		return nil, err
+	}
+	// Jmax summaries are sound only over complete levels: a side whose
+	// counting omits sets (existential pushdown) cannot feed them.
+	for _, ds := range dyns {
+		if ds.d.PruneSide == twovar.SideS {
+			ds.allowed = !tRun.HasExistential()
+		} else {
+			ds.allowed = !sRun.HasExistential()
+		}
+	}
+
+	// Dovetail: one S level, then one T level, tightening bounds as each
+	// side's levels complete (Section 5.2).
+	for !sRun.Done() || !tRun.Done() {
+		if !sRun.Done() {
+			sRun.Step()
+			observeLevel(dyns, twovar.SideT, sRun)
+		}
+		if !tRun.Done() {
+			tRun.Step()
+			observeLevel(dyns, twovar.SideS, tRun)
+		}
+		for _, ds := range dyns {
+			if b := ds.bound(); !math.IsInf(b, 1) {
+				q.trace("dynamic bound on %v: %v(%s) %v %.4g", ds.d.PruneSide, ds.d.Agg, ds.d.AttrName, ds.d.Op, b)
+			}
+		}
+	}
+	for _, ds := range dyns {
+		if ds.allowed {
+			ds.series.Finish()
+		}
+	}
+
+	sResult, tResult := sRun.Result(), tRun.Result()
+	res.Stats.Add(sResult.Stats)
+	res.Stats.Add(tResult.Stats)
+	res.Stats.SetConstraintChecks += dynChecks
+
+	// Apply the final (tightest) bounds to the reported sets: sound for
+	// answer formation, and it also covers the non-anti-monotone dynamic
+	// conditions (avg series) that could not prune candidates.
+	res.LevelsS = applyFinalDynamic(dyns, twovar.SideS, sResult.Levels, &res.Stats)
+	res.LevelsT = applyFinalDynamic(dyns, twovar.SideT, tResult.Levels, &res.Stats)
+
+	formPairs(q, res)
+	return res, nil
+}
+
+func otherSide(s twovar.Side) twovar.Side {
+	if s == twovar.SideS {
+		return twovar.SideT
+	}
+	return twovar.SideS
+}
+
+// dynFilter builds the candidate filter enforcing the anti-monotone
+// dynamic bounds that prune the given side.
+func dynFilter(dyns []*dynState, side twovar.Side, checks *int64) func(int, itemset.Set) bool {
+	var active []*dynState
+	for _, ds := range dyns {
+		if ds.d.PruneSide == side && ds.d.AntiMonotonePrunable() {
+			active = append(active, ds)
+		}
+	}
+	if len(active) == 0 {
+		return nil
+	}
+	return func(_ int, s itemset.Set) bool {
+		for _, ds := range active {
+			b := ds.bound()
+			if math.IsInf(b, 1) {
+				continue
+			}
+			*checks++
+			if !ds.d.Condition(b).Satisfies(s) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// observeLevel feeds a just-completed level of `from` into the series of
+// every dynamic bound pruning `pruneSide` (whose sums are tracked on the
+// *other* side, i.e. the side that just stepped).
+func observeLevel(dyns []*dynState, pruneSide twovar.Side, from *cap.Runner) {
+	level := from.Level()
+	var sets []itemset.Set
+	for _, ds := range dyns {
+		if ds.d.PruneSide != pruneSide || !ds.allowed {
+			continue
+		}
+		if sets == nil {
+			for _, c := range from.LastFrequent() {
+				sets = append(sets, c.Set)
+			}
+		}
+		sum, err := jmax.Summarize(sets, level, ds.d.OtherAttr)
+		if err != nil {
+			continue // malformed level: leave the bound loose (sound)
+		}
+		ds.series.Observe(sum)
+	}
+}
+
+// applyFinalDynamic re-filters the reported sets with each dynamic bound's
+// final value.
+func applyFinalDynamic(dyns []*dynState, side twovar.Side, levels [][]mine.Counted, stats *mine.Stats) [][]mine.Counted {
+	var conds []constraint.Constraint
+	for _, ds := range dyns {
+		if ds.d.PruneSide != side {
+			continue
+		}
+		if b := ds.bound(); !math.IsInf(b, 1) {
+			conds = append(conds, ds.d.Condition(b))
+		}
+	}
+	if len(conds) == 0 {
+		return levels
+	}
+	out := make([][]mine.Counted, len(levels))
+	for i, lv := range levels {
+		kept := make([]mine.Counted, 0, len(lv))
+		for _, c := range lv {
+			ok := true
+			for _, cond := range conds {
+				stats.SetConstraintChecks++
+				if !cond.Satisfies(c.Set) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, c)
+			}
+		}
+		out[i] = kept
+	}
+	for len(out) > 0 && len(out[len(out)-1]) == 0 {
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+// formPairs materializes the answer: every (valid S, valid T) pair
+// satisfying all 2-var constraints. With no 2-var constraints the answer is
+// the cross product and no checks are spent.
+func formPairs(q CFQ, res *Result) {
+	validS, validT := res.ValidS(), res.ValidT()
+	if len(q.Constraints2) == 0 {
+		res.PairCount = int64(len(validS)) * int64(len(validT))
+		if res.PairCount == 0 {
+			return
+		}
+		limit := res.PairCount
+		if q.MaxPairs > 0 && int64(q.MaxPairs) < limit {
+			limit = int64(q.MaxPairs)
+		}
+		for i := int64(0); i < limit; i++ {
+			res.Pairs = append(res.Pairs, Pair{S: validS[i/int64(len(validT))], T: validT[i%int64(len(validT))]})
+		}
+		return
+	}
+	for _, s := range validS {
+		for _, t := range validT {
+			ok := true
+			for _, c2 := range q.Constraints2 {
+				res.Stats.PairChecks++
+				if !c2.Satisfies(s.Set, t.Set) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			res.PairCount++
+			if q.MaxPairs == 0 || len(res.Pairs) < q.MaxPairs {
+				res.Pairs = append(res.Pairs, Pair{S: s, T: t})
+			}
+		}
+	}
+}
+
+// runSequential is the non-dovetailed alternative of Section 5.2: the T
+// lattice is mined to completion first, each dynamic bound is set to the
+// *exact* maximum over the finished opposite lattice, and only then does
+// the S lattice run (and symmetrically for bounds pruning T, which are
+// resolved against the finished S side afterwards). Pruning is maximal;
+// the cost is that the two lattices cannot share database scans.
+func runSequential(q CFQ) (*Result, error) {
+	plan, err := Explain(q)
+	if err != nil {
+		return nil, err
+	}
+	plan.Strategy = StrategySequential
+	res := &Result{Plan: plan}
+
+	// Phase 1 + reduction, as in runOptimized.
+	sq1 := q.sideQuery(twovar.SideS)
+	sq1.MaxLevel = 1
+	tq1 := q.sideQuery(twovar.SideT)
+	tq1.MaxLevel = 1
+	s1, err := cap.Prepare(sq1)
+	if err != nil {
+		return nil, err
+	}
+	t1, err := cap.Prepare(tq1)
+	if err != nil {
+		return nil, err
+	}
+	s1.Step()
+	t1.Step()
+	res.Stats.Add(s1.Stats())
+	res.Stats.Add(t1.Stats())
+
+	sq := q.sideQuery(twovar.SideS)
+	tq := q.sideQuery(twovar.SideT)
+	sq.Constraints = append([]constraint.Constraint(nil), sq.Constraints...)
+	tq.Constraints = append([]constraint.Constraint(nil), tq.Constraints...)
+	var dyns []*dynState
+	for _, c2 := range q.Constraints2 {
+		red := c2.Reduce(s1.FrequentItems(), t1.FrequentItems())
+		sq.Constraints = append(sq.Constraints, red.C1...)
+		tq.Constraints = append(tq.Constraints, red.C2...)
+		for _, d := range red.Dynamic {
+			dyns = append(dyns, &dynState{d: d, series: jmax.NewSeries(), allowed: true})
+		}
+	}
+	sq.PresetL1 = s1.FrequentItemCounts()
+	tq.PresetL1 = t1.FrequentItemCounts()
+
+	// Mine T to completion; the exact maxima over its counted frequent
+	// sets become the bounds for S-pruning dynamics.
+	tRun, err := cap.Prepare(tq)
+	if err != nil {
+		return nil, err
+	}
+	sBounds := map[*dynState]float64{}
+	for _, ds := range dyns {
+		if ds.d.PruneSide == twovar.SideS {
+			sBounds[ds] = math.Inf(-1)
+		}
+	}
+	for !tRun.Done() {
+		tRun.Step()
+		for _, c := range tRun.LastFrequent() {
+			for ds := range sBounds {
+				v := float64(c.Set.Len())
+				if ds.d.Kind == twovar.BoundSum {
+					v, _ = ds.d.OtherAttr.Eval(attr.Sum, c.Set)
+				}
+				if v > sBounds[ds] {
+					sBounds[ds] = v
+				}
+			}
+		}
+	}
+	var dynChecks int64
+	var sConds []constraint.Constraint
+	for ds, b := range sBounds {
+		if !math.IsInf(b, -1) {
+			if ds.d.AntiMonotonePrunable() {
+				sConds = append(sConds, ds.d.Condition(b))
+			}
+		} else {
+			// No frequent T-set at all: nothing can pair; an unsatisfiable
+			// filter is sound.
+			sConds = append(sConds, constraint.Card(constraint.LE, -1))
+		}
+	}
+	if len(sConds) > 0 {
+		sq.ExtraFilter = func(_ int, s itemset.Set) bool {
+			for _, c := range sConds {
+				dynChecks++
+				if !c.Satisfies(s) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	sRun, err := cap.Prepare(sq)
+	if err != nil {
+		return nil, err
+	}
+	for !sRun.Done() {
+		sRun.Step()
+		observeLevel(dyns, twovar.SideT, sRun)
+	}
+	for _, ds := range dyns {
+		if ds.d.PruneSide == twovar.SideT {
+			ds.series.Finish()
+		}
+	}
+	sResult, tResult := sRun.Result(), tRun.Result()
+	res.Stats.Add(sResult.Stats)
+	res.Stats.Add(tResult.Stats)
+	res.Stats.SetConstraintChecks += dynChecks
+	res.LevelsS = sResult.Levels
+	// T-pruning dynamics could not run during T's mining (S was not mined
+	// yet); apply their final bounds now.
+	res.LevelsT = applyFinalDynamic(dyns, twovar.SideT, tResult.Levels, &res.Stats)
+	// And the non-anti-monotone S dynamics (avg forms) as report filters:
+	// seed their series with the exact bound so applyFinalDynamic sees it.
+	for ds, b := range sBounds {
+		if !ds.d.AntiMonotonePrunable() && !math.IsInf(b, -1) {
+			ds.series.Observe(&jmax.Summary{K: int(b), Jmax: 0, V: b, MaxExact: b})
+		}
+	}
+	res.LevelsS = applyFinalDynamic(dyns, twovar.SideS, res.LevelsS, &res.Stats)
+
+	formPairs(q, res)
+	return res, nil
+}
+
+// runFM is the full-materialization counterexample: constraint-check every
+// subset of each domain up front (2^N checks), then count the valid ones in
+// ascending cardinality. It exists to make the ccc argument measurable and
+// is guarded to tiny domains.
+func runFM(q CFQ) (*Result, error) {
+	const maxFMItems = 16
+	res := &Result{}
+	run := func(domain itemset.Set, minSup int, cons []constraint.Constraint) ([][]mine.Counted, error) {
+		if domain == nil {
+			domain = q.DB.ActiveItems()
+		}
+		if domain.Len() > maxFMItems {
+			return nil, fmt.Errorf("core: FM strategy on %d items (max %d)", domain.Len(), maxFMItems)
+		}
+		// Materialize the valid subsets (checking constraints on all 2^N).
+		var valid []itemset.Set
+		domain.ForEachSubset(func(s itemset.Set) bool {
+			ok := true
+			for _, c := range cons {
+				res.Stats.SetConstraintChecks++
+				if !c.Satisfies(s) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				valid = append(valid, s.Clone())
+			}
+			return true
+		})
+		// Count in ascending cardinality; a set is counted only when its
+		// valid proper subsets are all known frequent.
+		frequent := map[string]bool{}
+		var levels [][]mine.Counted
+		for _, s := range valid { // ForEachSubset yields ascending sizes
+			countable := true
+			s.ForEachSubset(func(sub itemset.Set) bool {
+				if sub.Len() == s.Len() {
+					return true
+				}
+				// Only valid subsets were materialized and counted.
+				isValid := true
+				for _, c := range cons {
+					if !c.Satisfies(sub) {
+						isValid = false
+						break
+					}
+				}
+				if isValid && !frequent[sub.Key()] {
+					countable = false
+					return false
+				}
+				return true
+			})
+			if !countable {
+				continue
+			}
+			res.Stats.CandidatesCounted++
+			sup := q.DB.Support(s)
+			res.Stats.DBScans++
+			if sup < minSup {
+				continue
+			}
+			res.Stats.FrequentSets++
+			res.Stats.ValidSets++
+			frequent[s.Key()] = true
+			for len(levels) < s.Len() {
+				levels = append(levels, nil)
+			}
+			levels[s.Len()-1] = append(levels[s.Len()-1], mine.Counted{Set: s, Support: sup})
+		}
+		for len(levels) > 0 && len(levels[len(levels)-1]) == 0 {
+			levels = levels[:len(levels)-1]
+		}
+		return levels, nil
+	}
+	var err error
+	if res.LevelsS, err = run(q.DomainS, q.MinSupportS, q.ConstraintsS); err != nil {
+		return nil, err
+	}
+	if res.LevelsT, err = run(q.DomainT, q.MinSupportT, q.ConstraintsT); err != nil {
+		return nil, err
+	}
+	formPairs(q, res)
+	return res, nil
+}

@@ -1,0 +1,264 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// testConfig is small enough for CI but large enough that the constraint
+// selectivities resemble the paper's. The raised support fraction keeps the
+// small database's sampling noise out of the frequent sets, which would
+// otherwise blow up the Apriori⁺ baselines' lattices.
+func testConfig() Config { return Config{Scale: 50, Seed: 1, SupportFrac: 0.02} }
+
+// TestFig8aShape asserts the qualitative claims of Figure 8(a): speedup is
+// meaningfully above 1 at low overlap and non-increasing (within noise) as
+// overlap grows.
+func TestFig8aShape(t *testing.T) {
+	res, err := Fig8a(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Speedups) != len(Fig8aOverlaps) {
+		t.Fatalf("points = %d", len(res.Speedups))
+	}
+	first := res.Speedups[0].Work
+	last := res.Speedups[len(res.Speedups)-1].Work
+	if first <= 1.2 {
+		t.Errorf("work speedup at 16.6%% overlap = %.2f, want > 1.2", first)
+	}
+	if last >= first {
+		t.Errorf("speedup did not shrink with overlap: first %.2f, last %.2f", first, last)
+	}
+	for i, sp := range res.Speedups {
+		if sp.Work < 1 {
+			t.Errorf("overlap %v: optimized did MORE work (%.2f)", res.Overlaps[i], sp.Work)
+		}
+	}
+	if !strings.Contains(res.Table.String(), "overlap") {
+		t.Error("table formatting broken")
+	}
+}
+
+// TestLevelTableShape asserts the §7.1 per-level table's qualitative
+// claims: valid counts never exceed frequent counts, and pruning deepens
+// with level on the T side (the optimized T lattice stops no later than the
+// unconstrained one).
+func TestLevelTableShape(t *testing.T) {
+	res, err := LevelTable(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SFreq) == 0 {
+		t.Fatal("no levels")
+	}
+	for k := range res.SFreq {
+		if res.SValid[k] > res.SFreq[k] {
+			t.Errorf("S level %d: valid %d > frequent %d", k+1, res.SValid[k], res.SFreq[k])
+		}
+		if res.TValid[k] > res.TFreq[k] {
+			t.Errorf("T level %d: valid %d > frequent %d", k+1, res.TValid[k], res.TFreq[k])
+		}
+	}
+	// Pruning must bite somewhere.
+	pruned := false
+	for k := range res.SFreq {
+		if res.SValid[k] < res.SFreq[k] || res.TValid[k] < res.TFreq[k] {
+			pruned = true
+		}
+	}
+	if !pruned {
+		t.Error("no pruning visible in the level table")
+	}
+	if !strings.Contains(res.Table.String(), "L1") {
+		t.Error("table missing level columns")
+	}
+}
+
+// TestRangeTableShape: narrower S ranges give (weakly) larger speedups.
+func TestRangeTableShape(t *testing.T) {
+	res, err := RangeTable(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Speedups) != 3 {
+		t.Fatalf("rows = %d", len(res.Speedups))
+	}
+	if res.Speedups[2].Work+1e-9 < res.Speedups[0].Work {
+		t.Errorf("narrowest range has smaller speedup: %.2f vs %.2f",
+			res.Speedups[2].Work, res.Speedups[0].Work)
+	}
+	for i, sp := range res.Speedups {
+		if sp.Work < 1 {
+			t.Errorf("row %d: speedup %.2f < 1", i, sp.Work)
+		}
+	}
+}
+
+// TestFig8bShape asserts Figure 8(b)'s qualitative claims: the full
+// strategy beats CAP-only everywhere, and its advantage grows as the Type
+// overlap shrinks.
+func TestFig8bShape(t *testing.T) {
+	res, err := Fig8b(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Full) != len(Fig8bOverlaps) {
+		t.Fatalf("points = %d", len(res.Full))
+	}
+	for i := range res.Full {
+		if res.Full[i].Work < res.CAPOnly[i].Work {
+			t.Errorf("overlap %v: full %.2f < CAP-only %.2f",
+				res.Overlaps[i], res.Full[i].Work, res.CAPOnly[i].Work)
+		}
+		if res.CAPOnly[i].Work < 1 {
+			t.Errorf("overlap %v: CAP-only below baseline (%.2f)", res.Overlaps[i], res.CAPOnly[i].Work)
+		}
+	}
+	if res.Full[0].Work <= res.Full[len(res.Full)-1].Work {
+		t.Errorf("full speedup did not grow as overlap shrank: %.2f at 20%%, %.2f at 80%%",
+			res.Full[0].Work, res.Full[len(res.Full)-1].Work)
+	}
+}
+
+// TestRangeTable2Shape: speedups grow as the ranges narrow.
+func TestRangeTable2Shape(t *testing.T) {
+	res, err := RangeTable2(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Full) != 3 {
+		t.Fatalf("rows = %d", len(res.Full))
+	}
+	if res.Full[2].Work+1e-9 < res.Full[0].Work {
+		t.Errorf("narrow ranges slower: %.2f vs %.2f", res.Full[2].Work, res.Full[0].Work)
+	}
+	for i := range res.Full {
+		if res.Full[i].Work < res.CAPOnly[i].Work {
+			t.Errorf("row %d: full %.2f < CAP %.2f", i, res.Full[i].Work, res.CAPOnly[i].Work)
+		}
+	}
+}
+
+// TestJmaxShape asserts §7.3's qualitative claim: iterative pruning speeds
+// up the sum-sum query, more so the cheaper the T side.
+func TestJmaxShape(t *testing.T) {
+	res, err := JmaxTable(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Speedups) != len(JmaxTMeans) {
+		t.Fatalf("points = %d", len(res.Speedups))
+	}
+	if res.Speedups[0].Work <= 1 {
+		t.Errorf("no speedup at T mean 400: %.2f", res.Speedups[0].Work)
+	}
+	if res.Speedups[0].Work < res.Speedups[len(res.Speedups)-1].Work {
+		t.Errorf("speedup did not shrink towards equal means: %.2f vs %.2f",
+			res.Speedups[0].Work, res.Speedups[len(res.Speedups)-1].Work)
+	}
+	// The Vᵏ series must beat the static bound somewhere.
+	improved := false
+	for _, ab := range res.Ablation {
+		if ab.Work > 1.05 {
+			improved = true
+		}
+	}
+	if !improved {
+		t.Error("Jmax series never improved on the static bound")
+	}
+}
+
+// TestCCCTableShape asserts Corollary 2's measurable content: the optimized
+// strategy spends zero set-level checks where the baselines spend many, and
+// counts no more candidates than either baseline.
+func TestCCCTableShape(t *testing.T) {
+	res, err := CCCTable(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Strategies) != 3 {
+		t.Fatalf("strategies = %d", len(res.Strategies))
+	}
+	// Order: apriori+, cap-1var, optimized.
+	if res.SetChecks[2] != 0 {
+		t.Errorf("optimized set-level checks = %d, want 0", res.SetChecks[2])
+	}
+	if res.SetChecks[0] == 0 {
+		t.Error("baseline performed no set-level checks")
+	}
+	if res.Counted[2] > res.Counted[1] || res.Counted[1] > res.Counted[0] {
+		t.Errorf("counting not monotone across strategies: %v", res.Counted)
+	}
+	if res.ItemChecks[2] == 0 {
+		t.Error("optimized performed no item-level checks (nothing pushed?)")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := &Table{
+		Title:  "demo",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	s := tbl.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "long-header") {
+		t.Errorf("bad table:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("table has %d lines:\n%s", len(lines), s)
+	}
+}
+
+func TestTableMarkdownAndCSV(t *testing.T) {
+	tbl := &Table{
+		Title:  "demo",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "x|y"}, {"2", `quote " and, comma`}},
+	}
+	md := tbl.Markdown()
+	for _, want := range []string{"**demo**", "| a | b |", "| --- | --- |", `x\|y`} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	csv := tbl.CSV()
+	for _, want := range []string{"a,b\n", "1,x|y\n", `"quote "" and, comma"`} {
+		if !strings.Contains(csv, want) {
+			t.Errorf("csv missing %q:\n%s", want, csv)
+		}
+	}
+}
+
+func TestConfigNormalize(t *testing.T) {
+	c := Config{}.normalize()
+	if c.Scale != 10 || c.Seed != 1 {
+		t.Errorf("normalize: %+v", c)
+	}
+	if (Config{Scale: 4, Seed: 9}).normalize().Scale != 4 {
+		t.Error("normalize clobbered explicit scale")
+	}
+}
+
+// TestScalingShape: the work-metric speedup must stay comfortably above 1
+// at every database size (pruning is data-volume independent).
+func TestScalingShape(t *testing.T) {
+	res, err := ScalingTable(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Speedups) != 4 {
+		t.Fatalf("points = %d", len(res.Speedups))
+	}
+	for i, sp := range res.Speedups {
+		if sp.Work <= 1 {
+			t.Errorf("size %d: work speedup %.2f <= 1", res.NumTx[i], sp.Work)
+		}
+	}
+	for i := 1; i < len(res.NumTx); i++ {
+		if res.NumTx[i] <= res.NumTx[i-1] {
+			t.Error("sizes not increasing")
+		}
+	}
+}

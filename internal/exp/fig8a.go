@@ -1,0 +1,211 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/attr"
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/mine"
+	"repro/internal/twovar"
+	"repro/internal/txdb"
+)
+
+// Fig8a reproduces Figure 8(a): a single quasi-succinct 2-var constraint
+// max(S.Price) <= min(T.Price), S over items priced in [400, 1000], T over
+// items priced in [0, v], with v sweeping the percentage overlap between
+// the two ranges. Speedup of the optimized strategy over Apriori⁺.
+type Fig8aResult struct {
+	Overlaps []float64 // percent
+	Speedups []Speedup
+	Table    *Table
+}
+
+// fig8aWorld bundles the Figure 8(a)/(§7.1) workload.
+type fig8aWorld struct {
+	db     *txdb.DB
+	prices attr.Numeric
+	minSup int
+}
+
+func newFig8aWorld(cfg Config) (*fig8aWorld, error) {
+	cfg = cfg.normalize()
+	db, err := cfg.QuestDB()
+	if err != nil {
+		return nil, err
+	}
+	prices := attr.Numeric(gen.UniformPrices(1000, 0, 1000, cfg.Seed+101))
+	return &fig8aWorld{db: db, prices: prices, minSup: cfg.minSup(cfg.numTx())}, nil
+}
+
+// query builds the workload query for S prices in [sLo, 1000] and T prices
+// in [0, v].
+func (w *fig8aWorld) query(sLo, v float64) core.CFQ {
+	return core.CFQ{
+		DB:          w.db,
+		MinSupportS: w.minSup,
+		MinSupportT: w.minSup,
+		DomainS:     itemsWhere(1000, w.prices, func(p float64) bool { return p >= sLo }),
+		DomainT:     itemsWhere(1000, w.prices, func(p float64) bool { return p <= v }),
+		Constraints2: []twovar.Constraint2{
+			twovar.Agg2(attr.Max, w.prices, "Price", constraint.LE, attr.Min, w.prices, "Price"),
+		},
+		MaxPairs: 16,
+	}
+}
+
+// Fig8aOverlaps are the paper's x-axis points (percent overlap).
+var Fig8aOverlaps = []float64{16.6, 33.3, 50, 66.7, 83.4}
+
+// Fig8aQuery exposes one workload point of experiment E1 (S prices in
+// [sLo, 1000], T prices in [0, v]) for external benchmarks.
+func Fig8aQuery(cfg Config, sLo, v float64) (core.CFQ, error) {
+	w, err := newFig8aWorld(cfg)
+	if err != nil {
+		return core.CFQ{}, err
+	}
+	return w.query(sLo, v), nil
+}
+
+// Fig8a runs experiment E1.
+func Fig8a(cfg Config) (*Fig8aResult, error) {
+	w, err := newFig8aWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig8aResult{
+		Table: &Table{
+			Title:  "Figure 8(a): speedup of quasi-succinctness vs Apriori+ (max(S.Price) <= min(T.Price))",
+			Header: []string{"overlap %", "speedup (time)", "speedup (work)", "pairs"},
+		},
+	}
+	for _, overlap := range Fig8aOverlaps {
+		v := 400 + overlap/100*600
+		q := w.query(400, v)
+		base, _, err := run(q, core.StrategyAprioriPlus)
+		if err != nil {
+			return nil, err
+		}
+		opt, optRes, err := run(q, core.StrategyOptimized)
+		if err != nil {
+			return nil, err
+		}
+		if base.Pairs != opt.Pairs {
+			return nil, fmt.Errorf("exp: fig8a overlap %v: answers disagree (%d vs %d pairs)",
+				overlap, base.Pairs, opt.Pairs)
+		}
+		sp := speedup(base, opt)
+		res.Overlaps = append(res.Overlaps, overlap)
+		res.Speedups = append(res.Speedups, sp)
+		res.Table.Rows = append(res.Table.Rows, []string{
+			fmt.Sprintf("%.1f", overlap), f2(sp.Time), f2(sp.Work),
+			fmt.Sprintf("%d", optRes.PairCount),
+		})
+	}
+	return res, nil
+}
+
+// LevelTableResult reproduces the §7.1 per-level table: for each level, the
+// number of frequent sets satisfying the reduced succinct constraint (a)
+// over the total number of frequent sets (b), for both variables.
+type LevelTableResult struct {
+	SValid, SFreq []int
+	TValid, TFreq []int
+	Table         *Table
+}
+
+// LevelTable runs experiment E2 (the v = 500, 16.6%-overlap point).
+func LevelTable(cfg Config) (*LevelTableResult, error) {
+	w, err := newFig8aWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	q := w.query(400, 500)
+	_, baseRes, err := run(q, core.StrategyAprioriPlus)
+	if err != nil {
+		return nil, err
+	}
+	_, optRes, err := run(q, core.StrategyOptimized)
+	if err != nil {
+		return nil, err
+	}
+	res := &LevelTableResult{}
+	levels := len(baseRes.LevelsS)
+	if len(baseRes.LevelsT) > levels {
+		levels = len(baseRes.LevelsT)
+	}
+	for k := 0; k < levels; k++ {
+		res.SValid = append(res.SValid, levelLen(optRes.LevelsS, k))
+		res.SFreq = append(res.SFreq, levelLen(baseRes.LevelsS, k))
+		res.TValid = append(res.TValid, levelLen(optRes.LevelsT, k))
+		res.TFreq = append(res.TFreq, levelLen(baseRes.LevelsT, k))
+	}
+	tbl := &Table{
+		Title:  "Per-level valid/frequent sets at 16.6% overlap (a/b as in §7.1)",
+		Header: []string{"var"},
+	}
+	for k := 0; k < levels; k++ {
+		tbl.Header = append(tbl.Header, fmt.Sprintf("L%d", k+1))
+	}
+	rowS := []string{"for S"}
+	rowT := []string{"for T"}
+	for k := 0; k < levels; k++ {
+		rowS = append(rowS, fmt.Sprintf("%d/%d", res.SValid[k], res.SFreq[k]))
+		rowT = append(rowT, fmt.Sprintf("%d/%d", res.TValid[k], res.TFreq[k]))
+	}
+	tbl.Rows = [][]string{rowS, rowT}
+	res.Table = tbl
+	return res, nil
+}
+
+func levelLen(levels [][]mine.Counted, k int) int {
+	if k < len(levels) {
+		return len(levels[k])
+	}
+	return 0
+}
+
+// RangeTableResult reproduces the §7.1 range table: speedup at 50% overlap
+// as the S.Price range varies.
+type RangeTableResult struct {
+	Ranges   [][2]float64
+	Speedups []Speedup
+	Table    *Table
+}
+
+// RangeTable runs experiment E3.
+func RangeTable(cfg Config) (*RangeTableResult, error) {
+	w, err := newFig8aWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &RangeTableResult{
+		Table: &Table{
+			Title:  "Speedup at 50% overlap for varying S.Price ranges (§7.1)",
+			Header: []string{"S.Price range", "speedup (time)", "speedup (work)"},
+		},
+	}
+	for _, sLo := range []float64{300, 400, 500} {
+		v := sLo + 0.5*(1000-sLo) // 50% of the S range overlapped by [0, v]
+		q := w.query(sLo, v)
+		base, _, err := run(q, core.StrategyAprioriPlus)
+		if err != nil {
+			return nil, err
+		}
+		opt, _, err := run(q, core.StrategyOptimized)
+		if err != nil {
+			return nil, err
+		}
+		if base.Pairs != opt.Pairs {
+			return nil, fmt.Errorf("exp: range table sLo=%v: answers disagree", sLo)
+		}
+		sp := speedup(base, opt)
+		res.Ranges = append(res.Ranges, [2]float64{sLo, 1000})
+		res.Speedups = append(res.Speedups, sp)
+		res.Table.Rows = append(res.Table.Rows, []string{
+			fmt.Sprintf("[%g, 1000]", sLo), f2(sp.Time), f2(sp.Work),
+		})
+	}
+	return res, nil
+}

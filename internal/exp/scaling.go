@@ -1,0 +1,57 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ScalingResult extends the paper's evaluation with a database-size sweep
+// (the axis its Section 7 holds fixed at 100k transactions): the Figure
+// 8(a) 16.6%-overlap point re-run at growing database sizes, showing that
+// the quasi-succinctness speedup is stable in the work metric (pruning is a
+// property of the constraint, not the data volume) while wall-clock savings
+// grow with the data.
+type ScalingResult struct {
+	NumTx    []int
+	Speedups []Speedup
+	Table    *Table
+}
+
+// ScalingTable runs the size sweep. The configured Scale is the *largest*
+// database used; smaller ones are derived by doubling the divisor.
+func ScalingTable(cfg Config) (*ScalingResult, error) {
+	cfg = cfg.normalize()
+	res := &ScalingResult{
+		Table: &Table{
+			Title:  "Speedup vs database size (Fig 8(a) point, 16.6% overlap)",
+			Header: []string{"transactions", "speedup (time)", "speedup (work)"},
+		},
+	}
+	for _, mult := range []int{8, 4, 2, 1} {
+		c := cfg
+		c.Scale = cfg.Scale * mult
+		q, err := Fig8aQuery(c, 400, 500)
+		if err != nil {
+			return nil, err
+		}
+		base, _, err := run(q, core.StrategyAprioriPlus)
+		if err != nil {
+			return nil, err
+		}
+		opt, _, err := run(q, core.StrategyOptimized)
+		if err != nil {
+			return nil, err
+		}
+		if base.Pairs != opt.Pairs {
+			return nil, fmt.Errorf("exp: scaling x%d: answers disagree", mult)
+		}
+		sp := speedup(base, opt)
+		res.NumTx = append(res.NumTx, c.numTx())
+		res.Speedups = append(res.Speedups, sp)
+		res.Table.Rows = append(res.Table.Rows, []string{
+			fmt.Sprintf("%d", c.numTx()), f2(sp.Time), f2(sp.Work),
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,139 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// UniformPrices assigns every item an independent uniform price in [lo, hi).
+func UniformPrices(numItems int, lo, hi float64, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	prices := make([]float64, numItems)
+	for i := range prices {
+		prices[i] = lo + r.Float64()*(hi-lo)
+	}
+	return prices
+}
+
+// NormalPrices assigns every item a normal price with the given mean and
+// standard deviation, clamped below at zero (the constraint-weakening rules
+// assume non-negative attribute domains, as does the paper).
+func NormalPrices(numItems int, mean, sd float64, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	prices := make([]float64, numItems)
+	for i := range prices {
+		v := r.NormFloat64()*sd + mean
+		if v < 0 {
+			v = 0
+		}
+		prices[i] = v
+	}
+	return prices
+}
+
+// SplitNormalPrices assigns items for which inS returns true a
+// N(sMean, sd) price and the rest a N(tMean, sd) price, clamped at zero.
+// This reproduces the Section 7.3 workload: S-side items with mean price
+// 1000 and variance 100, T-side items with a sweeping mean.
+func SplitNormalPrices(numItems int, inS func(item int) bool, sMean, tMean, sd float64, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	prices := make([]float64, numItems)
+	for i := range prices {
+		mean := tMean
+		if inS(i) {
+			mean = sMean
+		}
+		v := r.NormFloat64()*sd + mean
+		if v < 0 {
+			v = 0
+		}
+		prices[i] = v
+	}
+	return prices
+}
+
+// TypeAssignment is the result of TypesWithOverlap: category values per
+// item, their labels, and the category-id ranges used by each side.
+type TypeAssignment struct {
+	Values []int32
+	Labels []string
+	// STypes and TTypes are the category ids each side draws from; their
+	// intersection size over |STypes| is the configured overlap.
+	STypes []int32
+	TTypes []int32
+}
+
+// TypesWithOverlap assigns each item a Type category such that the set of
+// types used by S-side items and the set used by T-side items overlap by
+// the requested fraction (of the per-side type count). This is the §7.2
+// workload knob: "the percentage overlap between the Types of items of T
+// and the Types of items of S".
+//
+// Side membership is given by predicates over the item index; an item
+// matching neither predicate draws from the union of both ranges, and an
+// item matching both draws from the shared range (or the union when there
+// is no shared range).
+func TypesWithOverlap(numItems int, inS, inT func(item int) bool, typesPerSide int, overlap float64, seed int64) (*TypeAssignment, error) {
+	if typesPerSide <= 0 {
+		return nil, fmt.Errorf("gen: typesPerSide = %d <= 0", typesPerSide)
+	}
+	if overlap < 0 || overlap > 1 {
+		return nil, fmt.Errorf("gen: overlap = %v outside [0,1]", overlap)
+	}
+	shared := int(overlap*float64(typesPerSide) + 0.5)
+	total := 2*typesPerSide - shared
+	labels := make([]string, total)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("type%d", i)
+	}
+	// S draws from [0, typesPerSide); T draws from
+	// [typesPerSide-shared, total). Their intersection has size `shared`.
+	sTypes := make([]int32, typesPerSide)
+	for i := range sTypes {
+		sTypes[i] = int32(i)
+	}
+	tTypes := make([]int32, typesPerSide)
+	for i := range tTypes {
+		tTypes[i] = int32(typesPerSide - shared + i)
+	}
+	sharedTypes := make([]int32, 0, shared)
+	for i := 0; i < shared; i++ {
+		sharedTypes = append(sharedTypes, int32(typesPerSide-shared+i))
+	}
+
+	r := rand.New(rand.NewSource(seed))
+	values := make([]int32, numItems)
+	for i := range values {
+		s, t := inS(i), inT(i)
+		switch {
+		case s && t:
+			if len(sharedTypes) > 0 {
+				values[i] = sharedTypes[r.Intn(len(sharedTypes))]
+			} else {
+				values[i] = int32(r.Intn(total))
+			}
+		case s:
+			values[i] = sTypes[r.Intn(len(sTypes))]
+		case t:
+			values[i] = tTypes[r.Intn(len(tTypes))]
+		default:
+			values[i] = int32(r.Intn(total))
+		}
+	}
+	return &TypeAssignment{Values: values, Labels: labels, STypes: sTypes, TTypes: tTypes}, nil
+}
+
+// UniformTypes assigns each item a uniformly random category out of
+// numTypes, labeled "type0"…"type<n-1>".
+func UniformTypes(numItems, numTypes int, seed int64) ([]int32, []string) {
+	r := rand.New(rand.NewSource(seed))
+	values := make([]int32, numItems)
+	for i := range values {
+		values[i] = int32(r.Intn(numTypes))
+	}
+	labels := make([]string, numTypes)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("type%d", i)
+	}
+	return values, labels
+}

@@ -1,0 +1,274 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/itemset"
+)
+
+func TestQuestValidation(t *testing.T) {
+	bad := []QuestParams{
+		{NumTransactions: -1, NumItems: 10, AvgTxSize: 5, NumPatterns: 5, AvgPatternSize: 2},
+		{NumTransactions: 10, NumItems: 0, AvgTxSize: 5, NumPatterns: 5, AvgPatternSize: 2},
+		{NumTransactions: 10, NumItems: 10, AvgTxSize: 0, NumPatterns: 5, AvgPatternSize: 2},
+		{NumTransactions: 10, NumItems: 10, AvgTxSize: 5, NumPatterns: 0, AvgPatternSize: 2},
+		{NumTransactions: 10, NumItems: 10, AvgTxSize: 5, NumPatterns: 5, AvgPatternSize: 0},
+		{NumTransactions: 10, NumItems: 10, AvgTxSize: 5, NumPatterns: 5, AvgPatternSize: 2, Correlation: 1.5},
+		{NumTransactions: 10, NumItems: 10, AvgTxSize: 5, NumPatterns: 5, AvgPatternSize: 2, CorruptionMean: 1},
+	}
+	for i, p := range bad {
+		if _, err := Quest(p); err == nil {
+			t.Errorf("case %d: bad params accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestQuestShape(t *testing.T) {
+	p := Default(50) // 2000 transactions
+	db, err := Quest(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != p.NumTransactions {
+		t.Fatalf("Len = %d, want %d", db.Len(), p.NumTransactions)
+	}
+	if db.NumItems() > p.NumItems {
+		t.Fatalf("NumItems = %d > domain %d", db.NumItems(), p.NumItems)
+	}
+	// Mean transaction size should be near AvgTxSize.
+	total := 0
+	for i := 0; i < db.Len(); i++ {
+		tx := db.Transaction(i)
+		if !tx.Valid() {
+			t.Fatalf("transaction %d invalid: %v", i, tx)
+		}
+		total += tx.Len()
+	}
+	mean := float64(total) / float64(db.Len())
+	if math.Abs(mean-p.AvgTxSize) > 2 {
+		t.Errorf("mean tx size = %.2f, want ≈ %.1f", mean, p.AvgTxSize)
+	}
+}
+
+func TestQuestDeterministicPerSeed(t *testing.T) {
+	p := Default(200)
+	a, _ := Quest(p)
+	b, _ := Quest(p)
+	for i := 0; i < a.Len(); i++ {
+		if !a.Transaction(i).Equal(b.Transaction(i)) {
+			t.Fatalf("same seed diverged at tx %d", i)
+		}
+	}
+	p2 := p
+	p2.Seed = 99
+	c, _ := Quest(p2)
+	same := true
+	for i := 0; i < a.Len() && same; i++ {
+		same = a.Transaction(i).Equal(c.Transaction(i))
+	}
+	if same {
+		t.Error("different seeds produced identical databases")
+	}
+}
+
+// TestQuestHasCooccurrence checks the generator actually produces the
+// correlated structure the experiments rely on: some pair of items must
+// co-occur far more often than independence would predict.
+func TestQuestHasCooccurrence(t *testing.T) {
+	p := Default(20) // 5000 transactions
+	db, err := Quest(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count single and pair supports for the 40 most frequent items.
+	counts := make([]int, p.NumItems)
+	for i := 0; i < db.Len(); i++ {
+		for _, it := range db.Transaction(i) {
+			counts[it]++
+		}
+	}
+	type ic struct {
+		item  itemset.Item
+		count int
+	}
+	var top []ic
+	for it, c := range counts {
+		top = append(top, ic{itemset.Item(it), c})
+	}
+	// Partial selection of the top 40 by count.
+	for i := 0; i < 40 && i < len(top); i++ {
+		best := i
+		for j := i + 1; j < len(top); j++ {
+			if top[j].count > top[best].count {
+				best = j
+			}
+		}
+		top[i], top[best] = top[best], top[i]
+	}
+	if len(top) > 40 {
+		top = top[:40]
+	}
+	n := float64(db.Len())
+	maxLift := 0.0
+	for i := 0; i < len(top); i++ {
+		for j := i + 1; j < len(top); j++ {
+			pair := itemset.New(top[i].item, top[j].item)
+			sup := 0
+			for k := 0; k < db.Len(); k++ {
+				if db.Transaction(k).ContainsAll(pair) {
+					sup++
+				}
+			}
+			pi := float64(top[i].count) / n
+			pj := float64(top[j].count) / n
+			if pi*pj == 0 {
+				continue
+			}
+			lift := (float64(sup) / n) / (pi * pj)
+			if lift > maxLift {
+				maxLift = lift
+			}
+		}
+	}
+	if maxLift < 2 {
+		t.Errorf("max pair lift = %.2f, want ≥ 2 (patterns not correlated)", maxLift)
+	}
+}
+
+func TestUniformPrices(t *testing.T) {
+	prices := UniformPrices(2000, 400, 1000, 7)
+	if len(prices) != 2000 {
+		t.Fatalf("len = %d", len(prices))
+	}
+	sum := 0.0
+	for _, v := range prices {
+		if v < 400 || v >= 1000 {
+			t.Fatalf("price %v outside [400,1000)", v)
+		}
+		sum += v
+	}
+	if mean := sum / 2000; math.Abs(mean-700) > 20 {
+		t.Errorf("mean = %.1f, want ≈ 700", mean)
+	}
+}
+
+func TestNormalPrices(t *testing.T) {
+	prices := NormalPrices(5000, 1000, 10, 7)
+	sum, sq := 0.0, 0.0
+	for _, v := range prices {
+		if v < 0 {
+			t.Fatal("negative price")
+		}
+		sum += v
+	}
+	mean := sum / 5000
+	for _, v := range prices {
+		sq += (v - mean) * (v - mean)
+	}
+	sd := math.Sqrt(sq / 5000)
+	if math.Abs(mean-1000) > 2 || math.Abs(sd-10) > 2 {
+		t.Errorf("mean=%.2f sd=%.2f, want ≈ 1000, 10", mean, sd)
+	}
+	// Clamping at zero.
+	clamped := NormalPrices(1000, 0, 100, 7)
+	for _, v := range clamped {
+		if v < 0 {
+			t.Fatal("clamp failed")
+		}
+	}
+}
+
+func TestSplitNormalPrices(t *testing.T) {
+	inS := func(i int) bool { return i < 500 }
+	prices := SplitNormalPrices(1000, inS, 1000, 400, 10, 3)
+	sSum, tSum := 0.0, 0.0
+	for i, v := range prices {
+		if inS(i) {
+			sSum += v
+		} else {
+			tSum += v
+		}
+	}
+	if m := sSum / 500; math.Abs(m-1000) > 5 {
+		t.Errorf("S mean = %.1f", m)
+	}
+	if m := tSum / 500; math.Abs(m-400) > 5 {
+		t.Errorf("T mean = %.1f", m)
+	}
+}
+
+func TestTypesWithOverlap(t *testing.T) {
+	inS := func(i int) bool { return i%3 == 0 }
+	inT := func(i int) bool { return i%3 == 1 }
+	for _, overlap := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1} {
+		ta, err := TypesWithOverlap(3000, inS, inT, 10, overlap, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Measure the realized overlap between the type ranges.
+		sSet := map[int32]bool{}
+		for _, v := range ta.STypes {
+			sSet[v] = true
+		}
+		shared := 0
+		for _, v := range ta.TTypes {
+			if sSet[v] {
+				shared++
+			}
+		}
+		want := int(overlap*10 + 0.5)
+		if shared != want {
+			t.Errorf("overlap %.1f: shared types = %d, want %d", overlap, shared, want)
+		}
+		// Every S item's type must be in STypes, T item's in TTypes.
+		for i, v := range ta.Values {
+			if inS(i) && !inT(i) {
+				found := false
+				for _, s := range ta.STypes {
+					if s == v {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("S item %d has non-S type %d", i, v)
+				}
+			}
+			if inT(i) && !inS(i) {
+				found := false
+				for _, s := range ta.TTypes {
+					if s == v {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("T item %d has non-T type %d", i, v)
+				}
+			}
+			if int(v) >= len(ta.Labels) || v < 0 {
+				t.Fatalf("item %d type %d out of label range", i, v)
+			}
+		}
+	}
+	if _, err := TypesWithOverlap(10, inS, inT, 0, 0.5, 1); err == nil {
+		t.Error("typesPerSide=0 accepted")
+	}
+	if _, err := TypesWithOverlap(10, inS, inT, 5, 1.5, 1); err == nil {
+		t.Error("overlap>1 accepted")
+	}
+}
+
+func TestUniformTypes(t *testing.T) {
+	values, labels := UniformTypes(100, 5, 9)
+	if len(values) != 100 || len(labels) != 5 {
+		t.Fatalf("len(values)=%d len(labels)=%d", len(values), len(labels))
+	}
+	for _, v := range values {
+		if v < 0 || v >= 5 {
+			t.Fatalf("type %d out of range", v)
+		}
+	}
+	if labels[3] != "type3" {
+		t.Errorf("labels[3] = %q", labels[3])
+	}
+}

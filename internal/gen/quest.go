@@ -1,0 +1,221 @@
+// Package gen implements the synthetic workload substrate: an IBM
+// Quest-style transaction generator (re-implementation of the Agrawal &
+// Srikant VLDB'94 program the paper used) and the per-item attribute
+// generators (uniform and normal prices, controlled-overlap type
+// assignments) behind every experiment in Section 7.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/itemset"
+	"repro/internal/txdb"
+)
+
+// QuestParams configures the Quest transaction generator. The defaults
+// (Default) correspond to a scaled version of the paper's database of
+// 100,000 records over 1000 items (T10.I4 in Quest naming).
+type QuestParams struct {
+	NumTransactions int     // |D|: number of transactions
+	NumItems        int     // N: size of the item domain
+	AvgTxSize       float64 // |T|: mean transaction size (Poisson)
+	NumPatterns     int     // |L|: number of potentially frequent patterns
+	AvgPatternSize  float64 // |I|: mean pattern size (Poisson, min 1)
+	Correlation     float64 // fraction of a pattern drawn from its predecessor
+	CorruptionMean  float64 // mean per-pattern corruption level
+	Seed            int64   // PRNG seed; runs are reproducible per seed
+}
+
+// Default returns the paper-scale parameters divided by scale (scale=1 is
+// the full 100k×1000 database; the test suite uses scale=10).
+func Default(scale int) QuestParams {
+	if scale < 1 {
+		scale = 1
+	}
+	return QuestParams{
+		NumTransactions: 100000 / scale,
+		NumItems:        1000,
+		AvgTxSize:       10,
+		NumPatterns:     2000 / scale,
+		AvgPatternSize:  4,
+		Correlation:     0.5,
+		CorruptionMean:  0.5,
+		Seed:            1,
+	}
+}
+
+// Validate reports the first problem with the parameters, or nil.
+func (p QuestParams) Validate() error {
+	switch {
+	case p.NumTransactions < 0:
+		return fmt.Errorf("gen: NumTransactions = %d < 0", p.NumTransactions)
+	case p.NumItems <= 0:
+		return fmt.Errorf("gen: NumItems = %d <= 0", p.NumItems)
+	case p.AvgTxSize <= 0:
+		return fmt.Errorf("gen: AvgTxSize = %v <= 0", p.AvgTxSize)
+	case p.NumPatterns <= 0:
+		return fmt.Errorf("gen: NumPatterns = %d <= 0", p.NumPatterns)
+	case p.AvgPatternSize <= 0:
+		return fmt.Errorf("gen: AvgPatternSize = %v <= 0", p.AvgPatternSize)
+	case p.Correlation < 0 || p.Correlation > 1:
+		return fmt.Errorf("gen: Correlation = %v outside [0,1]", p.Correlation)
+	case p.CorruptionMean < 0 || p.CorruptionMean >= 1:
+		return fmt.Errorf("gen: CorruptionMean = %v outside [0,1)", p.CorruptionMean)
+	}
+	return nil
+}
+
+// Quest generates a transaction database following the VLDB'94 synthetic
+// data algorithm: a pool of potentially frequent patterns with exponentially
+// distributed picking weights and per-pattern corruption levels; each
+// transaction is assembled from weighted pattern draws with items dropped at
+// the pattern's corruption rate.
+func Quest(p QuestParams) (*txdb.DB, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(p.Seed))
+
+	type pattern struct {
+		items      itemset.Set
+		weight     float64
+		corruption float64
+	}
+
+	patterns := make([]pattern, p.NumPatterns)
+	var prev itemset.Set
+	totalWeight := 0.0
+	for i := range patterns {
+		size := poisson(r, p.AvgPatternSize)
+		if size < 1 {
+			size = 1
+		}
+		if size > p.NumItems {
+			size = p.NumItems
+		}
+		seen := map[itemset.Item]bool{}
+		var items []itemset.Item
+		// Take a correlated fraction from the previous pattern.
+		if len(prev) > 0 {
+			take := int(math.Round(expClamped(r, p.Correlation) * float64(size)))
+			if take > len(prev) {
+				take = len(prev)
+			}
+			for _, j := range r.Perm(len(prev))[:take] {
+				if !seen[prev[j]] {
+					seen[prev[j]] = true
+					items = append(items, prev[j])
+				}
+			}
+		}
+		for len(items) < size {
+			it := itemset.Item(r.Intn(p.NumItems))
+			if !seen[it] {
+				seen[it] = true
+				items = append(items, it)
+			}
+		}
+		w := r.ExpFloat64()
+		totalWeight += w
+		corr := r.NormFloat64()*0.1 + p.CorruptionMean
+		if corr < 0 {
+			corr = 0
+		}
+		if corr > 0.95 {
+			corr = 0.95
+		}
+		patterns[i] = pattern{items: itemset.New(items...), weight: w, corruption: corr}
+		prev = patterns[i].items
+	}
+	// Cumulative weights for O(log n) weighted picking.
+	cum := make([]float64, len(patterns))
+	acc := 0.0
+	for i, pt := range patterns {
+		acc += pt.weight / totalWeight
+		cum[i] = acc
+	}
+	pick := func() *pattern {
+		x := r.Float64()
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return &patterns[lo]
+	}
+
+	txs := make([]itemset.Set, p.NumTransactions)
+	for i := range txs {
+		size := poisson(r, p.AvgTxSize)
+		if size < 1 {
+			size = 1
+		}
+		if size > p.NumItems {
+			size = p.NumItems
+		}
+		seen := map[itemset.Item]bool{}
+		var items []itemset.Item
+		for tries := 0; len(items) < size && tries < 8*size; tries++ {
+			pt := pick()
+			for _, it := range pt.items {
+				// Corrupt: drop items at the pattern's corruption level.
+				if r.Float64() < pt.corruption {
+					continue
+				}
+				if len(items) >= size {
+					break
+				}
+				if !seen[it] {
+					seen[it] = true
+					items = append(items, it)
+				}
+			}
+		}
+		// Backfill with random items if corruption starved the transaction.
+		for len(items) < size {
+			it := itemset.Item(r.Intn(p.NumItems))
+			if !seen[it] {
+				seen[it] = true
+				items = append(items, it)
+			}
+		}
+		txs[i] = itemset.New(items...)
+	}
+	return txdb.New(txs), nil
+}
+
+// poisson samples a Poisson variate with the given mean (Knuth's method,
+// adequate for the small means used here).
+func poisson(r *rand.Rand, mean float64) int {
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 10000 { // safety for very large means
+			return int(mean)
+		}
+	}
+}
+
+// expClamped samples an exponential with the given mean, clamped to [0,1].
+func expClamped(r *rand.Rand, mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	v := r.ExpFloat64() * mean
+	if v > 1 {
+		return 1
+	}
+	return v
+}

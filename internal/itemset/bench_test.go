@@ -1,0 +1,70 @@
+package itemset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSets(n, size, universe int) []Set {
+	r := rand.New(rand.NewSource(1))
+	sets := make([]Set, n)
+	for i := range sets {
+		items := make([]Item, size)
+		for j := range items {
+			items[j] = Item(r.Intn(universe))
+		}
+		sets[i] = New(items...)
+	}
+	return sets
+}
+
+func BenchmarkContainsAll(b *testing.B) {
+	big := benchSets(1, 100, 10000)[0]
+	subs := benchSets(256, 5, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		big.ContainsAll(subs[i%len(subs)])
+	}
+}
+
+func BenchmarkIntersect(b *testing.B) {
+	sets := benchSets(256, 20, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sets[i%256].Intersect(sets[(i+1)%256])
+	}
+}
+
+func BenchmarkUnion(b *testing.B) {
+	sets := benchSets(256, 20, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sets[i%256].Union(sets[(i+1)%256])
+	}
+}
+
+func BenchmarkKey(b *testing.B) {
+	sets := benchSets(256, 10, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sets[i%256].Key()
+	}
+}
+
+func BenchmarkJoinPrefix(b *testing.B) {
+	a := New(1, 2, 3, 4, 5, 6, 7, 8, 9)
+	c := New(1, 2, 3, 4, 5, 6, 7, 8, 11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		JoinPrefix(a, c)
+	}
+}
+
+func BenchmarkForEachSubsetSize(b *testing.B) {
+	s := New(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		s.ForEachSubsetSize(4, func(Set) bool { n++; return true })
+	}
+}

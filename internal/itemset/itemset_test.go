@@ -1,0 +1,318 @@
+package itemset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSortsAndDedups(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []Item
+		want Set
+	}{
+		{"empty", nil, Set{}},
+		{"single", []Item{5}, Set{5}},
+		{"sorted", []Item{1, 2, 3}, Set{1, 2, 3}},
+		{"reverse", []Item{3, 2, 1}, Set{1, 2, 3}},
+		{"dups", []Item{2, 1, 2, 3, 1}, Set{1, 2, 3}},
+		{"all same", []Item{7, 7, 7}, Set{7}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := New(tt.in...)
+			if !got.Equal(tt.want) {
+				t.Errorf("New(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+			if !got.Valid() {
+				t.Errorf("New(%v) not valid", tt.in)
+			}
+		})
+	}
+}
+
+func TestFromSortedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSorted on unsorted input did not panic")
+		}
+	}()
+	FromSorted([]Item{2, 1})
+}
+
+func TestContains(t *testing.T) {
+	s := New(2, 4, 6, 8)
+	for _, x := range []Item{2, 4, 6, 8} {
+		if !s.Contains(x) {
+			t.Errorf("Contains(%d) = false, want true", x)
+		}
+	}
+	for _, x := range []Item{1, 3, 5, 7, 9, 0} {
+		if s.Contains(x) {
+			t.Errorf("Contains(%d) = true, want false", x)
+		}
+	}
+	if (Set{}).Contains(1) {
+		t.Error("empty set Contains(1) = true")
+	}
+}
+
+func TestContainsAll(t *testing.T) {
+	s := New(1, 2, 3, 5, 8)
+	tests := []struct {
+		sub  Set
+		want bool
+	}{
+		{New(), true},
+		{New(1), true},
+		{New(8), true},
+		{New(1, 8), true},
+		{New(2, 3, 5), true},
+		{New(4), false},
+		{New(1, 4), false},
+		{New(1, 2, 3, 5, 8, 9), false},
+	}
+	for _, tt := range tests {
+		if got := s.ContainsAll(tt.sub); got != tt.want {
+			t.Errorf("ContainsAll(%v) = %v, want %v", tt.sub, got, tt.want)
+		}
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := New(1, 3, 5, 7)
+	b := New(3, 4, 5, 6)
+	if got, want := a.Union(b), New(1, 3, 4, 5, 6, 7); !got.Equal(want) {
+		t.Errorf("Union = %v, want %v", got, want)
+	}
+	if got, want := a.Intersect(b), New(3, 5); !got.Equal(want) {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if got, want := a.Minus(b), New(1, 7); !got.Equal(want) {
+		t.Errorf("Minus = %v, want %v", got, want)
+	}
+	if !a.Intersects(b) {
+		t.Error("Intersects = false, want true")
+	}
+	if a.Intersects(New(2, 4)) {
+		t.Error("Intersects disjoint = true, want false")
+	}
+}
+
+func TestAddRemove(t *testing.T) {
+	s := New(2, 4)
+	if got, want := s.Add(3), New(2, 3, 4); !got.Equal(want) {
+		t.Errorf("Add middle = %v, want %v", got, want)
+	}
+	if got, want := s.Add(1), New(1, 2, 4); !got.Equal(want) {
+		t.Errorf("Add front = %v, want %v", got, want)
+	}
+	if got, want := s.Add(9), New(2, 4, 9); !got.Equal(want) {
+		t.Errorf("Add back = %v, want %v", got, want)
+	}
+	if got, want := s.Add(2), New(2, 4); !got.Equal(want) {
+		t.Errorf("Add existing = %v, want %v", got, want)
+	}
+	if got, want := s.Remove(2), New(4); !got.Equal(want) {
+		t.Errorf("Remove = %v, want %v", got, want)
+	}
+	if got, want := s.Remove(3), New(2, 4); !got.Equal(want) {
+		t.Errorf("Remove absent = %v, want %v", got, want)
+	}
+	if got, want := New(1, 2, 3).WithoutIndex(1), New(1, 3); !got.Equal(want) {
+		t.Errorf("WithoutIndex = %v, want %v", got, want)
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	sets := []Set{{}, New(0), New(1, 2, 3), New(999, 1000000)}
+	seen := map[string]bool{}
+	for _, s := range sets {
+		k := s.Key()
+		if seen[k] {
+			t.Errorf("duplicate key for %v", s)
+		}
+		seen[k] = true
+		back, ok := ParseKey(k)
+		if !ok || !back.Equal(s) {
+			t.Errorf("ParseKey(Key(%v)) = %v, %v", s, back, ok)
+		}
+	}
+	if _, ok := ParseKey("abc"); ok {
+		t.Error("ParseKey on bad length succeeded")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(1, 5, 9).String(); got != "{1, 5, 9}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Set{}).String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func TestSharePrefixAndJoin(t *testing.T) {
+	a := New(1, 2, 5)
+	b := New(1, 2, 9)
+	if !SharePrefix(a, b, 2) {
+		t.Fatal("SharePrefix = false")
+	}
+	if SharePrefix(a, New(1, 3, 9), 2) {
+		t.Fatal("SharePrefix on differing prefix = true")
+	}
+	got := JoinPrefix(a, b)
+	if want := New(1, 2, 5, 9); !got.Equal(want) {
+		t.Errorf("JoinPrefix = %v, want %v", got, want)
+	}
+	// Order-independence of the last element.
+	got = JoinPrefix(b, a)
+	if want := New(1, 2, 5, 9); !got.Equal(want) {
+		t.Errorf("JoinPrefix swapped = %v, want %v", got, want)
+	}
+}
+
+func TestJoinPrefixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("JoinPrefix on non-joinable sets did not panic")
+		}
+	}()
+	JoinPrefix(New(1, 2, 5), New(1, 3, 9))
+}
+
+func TestForEachSubsetSize(t *testing.T) {
+	s := New(1, 2, 3, 4)
+	var got []string
+	s.ForEachSubsetSize(2, func(sub Set) bool {
+		got = append(got, sub.String())
+		return true
+	})
+	want := []string{"{1, 2}", "{1, 3}", "{1, 4}", "{2, 3}", "{2, 4}", "{3, 4}"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("subsets of size 2 = %v, want %v", got, want)
+	}
+	// k = 0 yields the empty set once.
+	n := 0
+	s.ForEachSubsetSize(0, func(sub Set) bool { n++; return sub.Len() == 0 })
+	if n != 1 {
+		t.Errorf("k=0 enumerated %d times", n)
+	}
+	// Out of range is a no-op.
+	s.ForEachSubsetSize(5, func(Set) bool { t.Error("k>len called fn"); return true })
+	s.ForEachSubsetSize(-1, func(Set) bool { t.Error("k<0 called fn"); return true })
+	// Early stop.
+	n = 0
+	s.ForEachSubsetSize(2, func(Set) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("early stop enumerated %d, want 3", n)
+	}
+}
+
+func TestForEachSubsetCounts(t *testing.T) {
+	s := New(1, 2, 3, 4, 5)
+	n := 0
+	s.ForEachSubset(func(sub Set) bool { n++; return true })
+	if n != 31 { // 2^5 - 1 non-empty subsets
+		t.Errorf("enumerated %d subsets, want 31", n)
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	tests := []struct {
+		n, k int
+		want int64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 1, 5}, {5, 2, 10},
+		{6, 3, 20}, {10, 4, 210}, {52, 5, 2598960},
+		{-1, 0, 0}, {3, 4, 0}, {3, -1, 0},
+	}
+	for _, tt := range tests {
+		if got := Binomial(tt.n, tt.k); got != tt.want {
+			t.Errorf("Binomial(%d,%d) = %d, want %d", tt.n, tt.k, got, tt.want)
+		}
+	}
+	// Saturation, not overflow, for huge arguments.
+	if got := Binomial(1000, 500); got <= 0 {
+		t.Errorf("Binomial(1000,500) = %d, want saturated positive", got)
+	}
+}
+
+// randomSet builds a small random set for property tests.
+func randomSet(r *rand.Rand, maxItem int) Set {
+	n := r.Intn(8)
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item(r.Intn(maxItem))
+	}
+	return New(items...)
+}
+
+func TestQuickSetAlgebraLaws(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	// Union is commutative and contains both operands.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomSet(r, 20), randomSet(r, 20)
+		u := a.Union(b)
+		return u.Equal(b.Union(a)) && u.ContainsAll(a) && u.ContainsAll(b) && u.Valid()
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+	// Intersect ⊆ both; Minus disjoint from subtrahend; partition law.
+	g := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomSet(r, 20), randomSet(r, 20)
+		in := a.Intersect(b)
+		mi := a.Minus(b)
+		if !a.ContainsAll(in) || !b.ContainsAll(in) {
+			return false
+		}
+		if mi.Intersects(b) {
+			return false
+		}
+		return in.Union(mi).Equal(a) && (a.Intersects(b) == (in.Len() > 0))
+	}
+	if err := quick.Check(g, cfg); err != nil {
+		t.Error(err)
+	}
+	// Key is injective on distinct sets (round-trip law).
+	h := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomSet(r, 50)
+		back, ok := ParseKey(a.Key())
+		return ok && back.Equal(a)
+	}
+	if err := quick.Check(h, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubsetEnumerationMatchesBinomial(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSet(r, 30)
+		k := r.Intn(s.Len() + 1)
+		n := int64(0)
+		seen := map[string]bool{}
+		s.ForEachSubsetSize(k, func(sub Set) bool {
+			n++
+			if sub.Len() != k || !s.ContainsAll(sub) || !sub.Valid() {
+				return false
+			}
+			key := sub.Key()
+			if seen[key] {
+				return false
+			}
+			seen[key] = true
+			return true
+		})
+		return n == Binomial(s.Len(), k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,188 @@
+package mine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/itemset"
+	"repro/internal/txdb"
+)
+
+// TestVerticalMatchesLevelwise cross-checks the Eclat vertical miner
+// against the levelwise engine (two fully independent implementations) on
+// random databases.
+func TestVerticalMatchesLevelwise(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomDB(r, 15+r.Intn(25), 9, 5)
+		minSup := 1 + r.Intn(4)
+		a, err1 := AllFrequent(db, minSup, nil, nil)
+		b, err2 := VerticalFrequent(db, minSup, nil, nil)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return mapsEqual(flatten(a), flatten(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPartitionMatchesLevelwise cross-checks the two-phase partition
+// algorithm, across partition counts.
+func TestPartitionMatchesLevelwise(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomDB(r, 15+r.Intn(25), 9, 5)
+		minSup := 1 + r.Intn(4)
+		want, err := AllFrequent(db, minSup, nil, nil)
+		if err != nil {
+			return false
+		}
+		for _, parts := range []int{1, 2, 3, 7, 1000} {
+			got, err := PartitionFrequent(db, minSup, nil, parts, nil)
+			if err != nil {
+				return false
+			}
+			if !mapsEqual(flatten(want), flatten(got)) {
+				t.Logf("seed %d parts %d: mismatch", seed, parts)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerticalDomainAndOrder(t *testing.T) {
+	db := txdb.New([]itemset.Set{
+		itemset.New(1, 2, 3), itemset.New(1, 2, 3), itemset.New(2, 3, 4),
+	})
+	levels, err := VerticalFrequent(db, 2, itemset.New(1, 2, 3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{
+		itemset.New(1).Key():       2,
+		itemset.New(2).Key():       3,
+		itemset.New(3).Key():       3,
+		itemset.New(1, 2).Key():    2,
+		itemset.New(1, 3).Key():    2,
+		itemset.New(2, 3).Key():    3,
+		itemset.New(1, 2, 3).Key(): 2,
+	}
+	if !mapsEqual(flatten(levels), want) {
+		t.Errorf("vertical = %v", flatten(levels))
+	}
+	// Levels sorted lexicographically.
+	for _, lv := range levels {
+		for i := 1; i < len(lv); i++ {
+			if lv[i-1].Set.Key() >= lv[i].Set.Key() {
+				t.Errorf("level not sorted: %v before %v", lv[i-1].Set, lv[i].Set)
+			}
+		}
+	}
+}
+
+func TestPartitionTwoScans(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	db := randomDB(r, 60, 8, 5)
+	db.ResetScans()
+	if _, err := PartitionFrequent(db, 3, nil, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The partition algorithm reads the source database twice: once to
+	// split it, once to verify (the per-partition mining scans copies).
+	if got := db.Scans(); got > 2 {
+		t.Errorf("source db scanned %d times, want <= 2", got)
+	}
+}
+
+func TestPartitionEdges(t *testing.T) {
+	empty := txdb.New(nil)
+	levels, err := PartitionFrequent(empty, 1, nil, 5, nil)
+	if err != nil || levels != nil {
+		t.Errorf("empty db: %v, %v", levels, err)
+	}
+	db := txdb.New([]itemset.Set{itemset.New(1)})
+	levels, err = PartitionFrequent(db, 1, nil, 0, nil) // clamped partitions
+	if err != nil || len(levels) != 1 {
+		t.Errorf("clamped partitions: %v, %v", levels, err)
+	}
+}
+
+func TestBitset(t *testing.T) {
+	b := newBitset(130)
+	for _, i := range []int{0, 63, 64, 129} {
+		b.set(i)
+	}
+	if b.count() != 4 {
+		t.Errorf("count = %d", b.count())
+	}
+	c := newBitset(130)
+	c.set(63)
+	c.set(100)
+	dst := newBitset(130)
+	if n := andInto(dst, b, c); n != 1 {
+		t.Errorf("and count = %d", n)
+	}
+	if dst.count() != 1 {
+		t.Errorf("dst count = %d", dst.count())
+	}
+}
+
+// TestFPGrowthMatchesLevelwise cross-checks the pattern-growth miner (a
+// third independent paradigm) against the levelwise engine.
+func TestFPGrowthMatchesLevelwise(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomDB(r, 15+r.Intn(35), 9, 6)
+		minSup := 1 + r.Intn(4)
+		a, err1 := AllFrequent(db, minSup, nil, nil)
+		b, err2 := FPGrowth(db, minSup, nil, nil)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return mapsEqual(flatten(a), flatten(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFPGrowthWithDomain(t *testing.T) {
+	db := txdb.New([]itemset.Set{
+		itemset.New(1, 2, 3), itemset.New(1, 2, 3), itemset.New(2, 3, 4), itemset.New(4),
+	})
+	levels, err := FPGrowth(db, 2, itemset.New(2, 3, 4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{
+		itemset.New(2).Key():    3,
+		itemset.New(3).Key():    3,
+		itemset.New(4).Key():    2,
+		itemset.New(2, 3).Key(): 3,
+	}
+	if !mapsEqual(flatten(levels), want) {
+		t.Errorf("FPGrowth = %v, want %v", flatten(levels), want)
+	}
+	// Two scans total, independent of lattice depth.
+	db.ResetScans()
+	if _, err := FPGrowth(db, 1, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Scans(); got != 2 {
+		t.Errorf("FPGrowth scanned %d times, want 2", got)
+	}
+}
+
+func TestFPGrowthEmpty(t *testing.T) {
+	levels, err := FPGrowth(txdb.New(nil), 1, nil, nil)
+	if err != nil || len(levels) != 0 {
+		t.Errorf("empty db: %v %v", levels, err)
+	}
+}

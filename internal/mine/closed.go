@@ -1,0 +1,124 @@
+package mine
+
+import (
+	"sort"
+
+	"repro/internal/itemset"
+	"repro/internal/txdb"
+)
+
+// ClosedFrequent returns the closed frequent itemsets — frequent sets no
+// proper superset of which has the same support. The closed sets are a
+// lossless compression of the frequent-set collection (every frequent
+// set's support equals the support of its smallest closed superset),
+// sitting between all frequent sets and the maximal ones.
+//
+// Implementation: a vertical (Eclat) enumeration with a per-tidset closure
+// check — a set is closed iff no single extension preserves its tidset
+// count. Results are sorted by descending cardinality, then
+// lexicographically.
+func ClosedFrequent(db *txdb.DB, minSupport int, domain itemset.Set, stats *Stats) ([]Counted, error) {
+	if stats == nil {
+		stats = &Stats{}
+	}
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	if domain == nil {
+		domain = db.ActiveItems()
+	}
+
+	inDomain := map[itemset.Item]bool{}
+	for _, it := range domain {
+		inDomain[it] = true
+	}
+	tids := map[itemset.Item]bitset{}
+	db.Scan(func(tid int, t itemset.Set) {
+		for _, it := range t {
+			if !inDomain[it] {
+				continue
+			}
+			b := tids[it]
+			if b == nil {
+				b = newBitset(db.Len())
+				tids[it] = b
+			}
+			b.set(tid)
+		}
+	})
+	stats.DBScans++
+
+	type entry struct {
+		item itemset.Item
+		bits bitset
+	}
+	var l1 []entry
+	for _, it := range domain {
+		b := tids[it]
+		if b == nil {
+			continue
+		}
+		stats.CandidatesCounted++
+		if b.count() >= minSupport {
+			l1 = append(l1, entry{it, b})
+		}
+	}
+	sort.Slice(l1, func(i, j int) bool { return l1[i].item < l1[j].item })
+
+	// subset reports a ⊆ b for equal-length bitsets.
+	subset := func(a, b bitset) bool {
+		for i := range a {
+			if a[i]&^b[i] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+
+	var closed []Counted
+	// isClosed: no frequent single-item extension (any item of L1 outside
+	// the set) preserves the whole tidset.
+	isClosed := func(set itemset.Set, bits bitset) bool {
+		for _, e := range l1 {
+			if set.Contains(e.item) {
+				continue
+			}
+			if subset(bits, e.bits) {
+				return false // extending by e.item keeps every transaction
+			}
+		}
+		return true
+	}
+
+	var eclat func(prefix itemset.Set, class []entry)
+	eclat = func(prefix itemset.Set, class []entry) {
+		for i, e := range class {
+			set := prefix.Add(e.item)
+			if isClosed(set, e.bits) {
+				closed = append(closed, Counted{Set: set, Support: e.bits.count()})
+			}
+			var next []entry
+			for _, f := range class[i+1:] {
+				stats.CandidatesCounted++
+				dst := newBitset(db.Len())
+				if sup := andInto(dst, e.bits, f.bits); sup >= minSupport {
+					next = append(next, entry{f.item, dst})
+				}
+			}
+			if len(next) > 0 {
+				eclat(set, next)
+			}
+		}
+	}
+	eclat(itemset.Set{}, l1)
+
+	sort.Slice(closed, func(i, j int) bool {
+		if closed[i].Set.Len() != closed[j].Set.Len() {
+			return closed[i].Set.Len() > closed[j].Set.Len()
+		}
+		return closed[i].Set.Key() < closed[j].Set.Key()
+	})
+	stats.FrequentSets += int64(len(closed))
+	stats.ValidSets += int64(len(closed))
+	return closed, nil
+}

@@ -1,0 +1,150 @@
+package mine
+
+import (
+	"sort"
+
+	"repro/internal/itemset"
+	"repro/internal/txdb"
+)
+
+// This file implements maximal-frequent-set mining in the spirit of
+// Max-Miner (Bayardo, SIGMOD'98 — the paper's reference [3] on "mining
+// long patterns"): a depth-first vertical walk with the look-ahead trick —
+// before expanding a prefix's extensions one by one, test the prefix
+// together with its *entire* tail; if that long set is frequent, everything
+// below is subsumed and the whole subtree is skipped.
+
+// MaxFrequent returns the maximal frequent itemsets (frequent sets with no
+// frequent proper superset) with their supports, sorted by descending
+// cardinality then lexicographically.
+func MaxFrequent(db *txdb.DB, minSupport int, domain itemset.Set, stats *Stats) ([]Counted, error) {
+	if stats == nil {
+		stats = &Stats{}
+	}
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	if domain == nil {
+		domain = db.ActiveItems()
+	}
+
+	// Vertical representation, as in VerticalFrequent.
+	inDomain := map[itemset.Item]bool{}
+	for _, it := range domain {
+		inDomain[it] = true
+	}
+	tids := map[itemset.Item]bitset{}
+	db.Scan(func(tid int, t itemset.Set) {
+		for _, it := range t {
+			if !inDomain[it] {
+				continue
+			}
+			b := tids[it]
+			if b == nil {
+				b = newBitset(db.Len())
+				tids[it] = b
+			}
+			b.set(tid)
+		}
+	})
+	stats.DBScans++
+
+	type entry struct {
+		item itemset.Item
+		bits bitset
+	}
+	var l1 []entry
+	for _, it := range domain {
+		b := tids[it]
+		if b == nil {
+			continue
+		}
+		stats.CandidatesCounted++
+		if b.count() >= minSupport {
+			l1 = append(l1, entry{it, b})
+		}
+	}
+	sort.Slice(l1, func(i, j int) bool { return l1[i].item < l1[j].item })
+	if len(l1) == 0 {
+		return nil, nil
+	}
+
+	// Collect candidate-maximal sets; a final subsumption pass filters
+	// those covered by a longer one found elsewhere in the walk.
+	var found []Counted
+	record := func(set itemset.Set, sup int) {
+		found = append(found, Counted{Set: set, Support: sup})
+	}
+
+	var walk func(prefix itemset.Set, prefixBits bitset, class []entry)
+	walk = func(prefix itemset.Set, prefixBits bitset, class []entry) {
+		if len(class) == 0 {
+			if prefix.Len() > 0 {
+				record(prefix, prefixBits.count())
+			}
+			return
+		}
+		// Look-ahead: if prefix ∪ the whole tail is frequent, it subsumes
+		// every subset of this subtree.
+		all := newBitset(db.Len())
+		copy(all, class[0].bits)
+		n := all.count()
+		if prefixBits != nil {
+			n = andInto(all, prefixBits, class[0].bits)
+		}
+		for _, e := range class[1:] {
+			n = andInto(all, all, e.bits)
+		}
+		stats.CandidatesCounted++
+		if n >= minSupport {
+			long := prefix
+			for _, e := range class {
+				long = long.Add(e.item)
+			}
+			record(long, n)
+			return
+		}
+		for i, e := range class {
+			set := prefix.Add(e.item)
+			var next []entry
+			for _, f := range class[i+1:] {
+				stats.CandidatesCounted++
+				dst := newBitset(db.Len())
+				if sup := andInto(dst, e.bits, f.bits); sup >= minSupport {
+					next = append(next, entry{f.item, dst})
+				}
+			}
+			if len(next) == 0 {
+				record(set, e.bits.count())
+				continue
+			}
+			walk(set, e.bits, next)
+		}
+	}
+	walk(itemset.Set{}, nil, l1)
+
+	// Subsumption filter: keep sets with no recorded proper superset.
+	sort.Slice(found, func(i, j int) bool { return found[i].Set.Len() > found[j].Set.Len() })
+	var maximal []Counted
+	for _, c := range found {
+		covered := false
+		for _, m := range maximal {
+			if m.Set.Len() > c.Set.Len() && m.Set.ContainsAll(c.Set) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			maximal = append(maximal, c)
+		}
+	}
+	sort.Slice(maximal, func(i, j int) bool {
+		if maximal[i].Set.Len() != maximal[j].Set.Len() {
+			return maximal[i].Set.Len() > maximal[j].Set.Len()
+		}
+		return maximal[i].Set.Key() < maximal[j].Set.Key()
+	})
+	stats.FrequentSets += int64(len(maximal))
+	stats.ValidSets += int64(len(maximal))
+	return maximal, nil
+}

@@ -1,0 +1,127 @@
+package mine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/itemset"
+	"repro/internal/txdb"
+)
+
+// This file implements the two-phase partition algorithm of Savasere,
+// Omiecinski & Navathe (VLDB'95) — reference [16] of the paper: split the
+// database into partitions small enough to mine independently, take the
+// union of each partition's locally frequent sets as the global candidate
+// pool (any globally frequent set is locally frequent somewhere, by
+// pigeonhole), then verify the pool's exact supports in one final pass.
+// It needs exactly two logical passes over the data regardless of lattice
+// depth, trading extra candidates for fewer scans.
+
+// PartitionFrequent mines all frequent itemsets using the two-phase
+// partition algorithm. numPartitions is clamped to [1, db.Len()].
+func PartitionFrequent(db *txdb.DB, minSupport int, domain itemset.Set, numPartitions int, stats *Stats) ([][]Counted, error) {
+	if stats == nil {
+		stats = &Stats{}
+	}
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	if db.Len() == 0 {
+		return nil, nil
+	}
+	if numPartitions < 1 {
+		numPartitions = 1
+	}
+	if numPartitions > db.Len() {
+		numPartitions = db.Len()
+	}
+
+	// Phase 1: mine each partition at the proportional local threshold.
+	candidates := map[string]itemset.Set{}
+	per := db.Len() / numPartitions
+	rem := db.Len() % numPartitions
+	start := 0
+	for p := 0; p < numPartitions; p++ {
+		size := per
+		if p < rem {
+			size++
+		}
+		if size == 0 {
+			continue
+		}
+		part := make([]itemset.Set, 0, size)
+		for i := start; i < start+size; i++ {
+			part = append(part, db.Transaction(i))
+		}
+		start += size
+		// Local threshold: ceil(minSupport * size / N). A set with global
+		// support >= minSupport must reach this in at least one partition.
+		local := (minSupport*size + db.Len() - 1) / db.Len()
+		if local < 1 {
+			local = 1
+		}
+		lw, err := New(Config{
+			DB:         txdb.New(part),
+			MinSupport: local,
+			Domain:     domain,
+			Stats:      stats,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("mine: partition %d: %v", p, err)
+		}
+		for _, lv := range lw.RunAll() {
+			for _, c := range lv {
+				candidates[c.Set.Key()] = c.Set
+			}
+		}
+	}
+
+	// Phase 2: one global pass verifies the pool's exact supports.
+	keys := make([]string, 0, len(candidates))
+	for k := range candidates {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sets := make([]itemset.Set, len(keys))
+	counts := make([]int, len(keys))
+	for i, k := range keys {
+		sets[i] = candidates[k]
+	}
+	stats.CandidatesCounted += int64(len(sets))
+	db.Scan(func(_ int, t itemset.Set) {
+		for i, s := range sets {
+			if t.ContainsAll(s) {
+				counts[i]++
+			}
+		}
+	})
+	stats.DBScans++
+
+	var levels [][]Counted
+	for i, s := range sets {
+		if counts[i] < minSupport {
+			continue
+		}
+		stats.FrequentSets++
+		stats.ValidSets++
+		for len(levels) < s.Len() {
+			levels = append(levels, nil)
+		}
+		levels[s.Len()-1] = append(levels[s.Len()-1], Counted{Set: s, Support: counts[i]})
+	}
+	for _, lv := range levels {
+		sort.Slice(lv, func(i, j int) bool {
+			a, b := lv[i].Set, lv[j].Set
+			for k := 0; k < a.Len(); k++ {
+				if a[k] != b[k] {
+					return a[k] < b[k]
+				}
+			}
+			return false
+		})
+	}
+	for len(levels) > 0 && len(levels[len(levels)-1]) == 0 {
+		levels = levels[:len(levels)-1]
+	}
+	return levels, nil
+}

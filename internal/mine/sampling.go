@@ -1,0 +1,211 @@
+package mine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/itemset"
+	"repro/internal/txdb"
+)
+
+// This file implements Toivonen's sampling algorithm (VLDB'96 — the
+// paper's reference [24]): mine a random sample at a lowered threshold,
+// then verify the sample-frequent sets *plus their negative border* against
+// the full database in a single scan. If no negative-border set turns out
+// globally frequent, the result is provably exact; otherwise the miss is
+// detected and the algorithm falls back to exact mining.
+
+// SampleParams configures SampleFrequent.
+type SampleParams struct {
+	// Fraction of transactions to sample (0 < Fraction <= 1).
+	Fraction float64
+	// Slack lowers the sample threshold to reduce the miss probability:
+	// the sample is mined at minSupport·Fraction·(1-Slack). Typical: 0.2.
+	Slack float64
+	// Seed drives the sample selection.
+	Seed int64
+}
+
+// SampleResult reports how the sampling run went.
+type SampleResult struct {
+	// Exact is true when the negative-border check proved the answer
+	// complete without the fallback.
+	Exact bool
+	// BorderFailures counts negative-border sets that turned out frequent
+	// (forcing the fallback).
+	BorderFailures int
+	// SampleSize is the number of sampled transactions.
+	SampleSize int
+}
+
+// SampleFrequent mines all frequent itemsets with Toivonen's sampling
+// algorithm. The returned levels are always exact: when the border check
+// fails, the algorithm transparently falls back to full mining (and says
+// so in SampleResult).
+func SampleFrequent(db *txdb.DB, minSupport int, domain itemset.Set, p SampleParams, stats *Stats) ([][]Counted, *SampleResult, error) {
+	if stats == nil {
+		stats = &Stats{}
+	}
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	if p.Fraction <= 0 || p.Fraction > 1 {
+		return nil, nil, fmt.Errorf("mine: sample fraction %v outside (0, 1]", p.Fraction)
+	}
+	if p.Slack < 0 || p.Slack >= 1 {
+		return nil, nil, fmt.Errorf("mine: sample slack %v outside [0, 1)", p.Slack)
+	}
+	if domain == nil {
+		domain = db.ActiveItems()
+	}
+	if db.Len() == 0 {
+		return nil, &SampleResult{Exact: true}, nil
+	}
+
+	// Draw the sample (one accounted scan).
+	r := rand.New(rand.NewSource(p.Seed))
+	var sample []itemset.Set
+	db.Scan(func(_ int, t itemset.Set) {
+		if r.Float64() < p.Fraction {
+			sample = append(sample, t)
+		}
+	})
+	stats.DBScans++
+	res := &SampleResult{SampleSize: len(sample)}
+
+	// Mine the sample at the lowered proportional threshold.
+	sampleSup := int(float64(minSupport) * float64(len(sample)) / float64(db.Len()) * (1 - p.Slack))
+	if sampleSup < 1 {
+		sampleSup = 1
+	}
+	sdb := txdb.New(sample)
+	lw, err := New(Config{DB: sdb, MinSupport: sampleSup, Domain: domain, Stats: stats})
+	if err != nil {
+		return nil, nil, err
+	}
+	sampleLevels := lw.RunAll()
+
+	// Candidate pool: the sample-frequent sets plus their negative border
+	// (minimal sets all of whose proper subsets are sample-frequent).
+	inF := map[string]bool{}
+	var fLevels [][]itemset.Set
+	for k, lv := range sampleLevels {
+		for _, c := range lv {
+			inF[c.Set.Key()] = true
+			for len(fLevels) <= k {
+				fLevels = append(fLevels, nil)
+			}
+			fLevels[k] = append(fLevels[k], c.Set)
+		}
+	}
+	var candidates []itemset.Set
+	border := map[string]bool{}
+	// Border level 1: domain items that were not sample-frequent.
+	for _, it := range domain {
+		s := itemset.New(it)
+		candidates = append(candidates, s)
+		if !inF[s.Key()] {
+			border[s.Key()] = true
+		}
+	}
+	// Border level k+1: joins of sample-frequent k-sets whose subsets are
+	// all sample-frequent but which are not sample-frequent themselves.
+	for k := 0; k < len(fLevels); k++ {
+		sets := fLevels[k]
+		for i := 0; i < len(sets); i++ {
+			for j := i + 1; j < len(sets); j++ {
+				if !itemset.SharePrefix(sets[i], sets[j], k) {
+					break
+				}
+				cand := itemset.JoinPrefix(sets[i], sets[j])
+				ok := true
+				cand.ForEachSubsetSize(k+1, func(sub itemset.Set) bool {
+					if !inF[sub.Key()] {
+						ok = false
+						return false
+					}
+					return true
+				})
+				if !ok {
+					continue
+				}
+				key := cand.Key()
+				candidates = append(candidates, cand)
+				if !inF[key] {
+					border[key] = true
+				}
+			}
+		}
+	}
+	// Deduplicate candidates.
+	seen := map[string]bool{}
+	uniq := candidates[:0]
+	for _, c := range candidates {
+		if !seen[c.Key()] {
+			seen[c.Key()] = true
+			uniq = append(uniq, c)
+		}
+	}
+	candidates = uniq
+
+	// One full-database pass verifies every candidate.
+	counts := make([]int, len(candidates))
+	stats.CandidatesCounted += int64(len(candidates))
+	db.Scan(func(_ int, t itemset.Set) {
+		for i, c := range candidates {
+			if t.ContainsAll(c) {
+				counts[i]++
+			}
+		}
+	})
+	stats.DBScans++
+
+	var levels [][]Counted
+	for i, c := range candidates {
+		if counts[i] < minSupport {
+			continue
+		}
+		if border[c.Key()] {
+			res.BorderFailures++
+		}
+		for len(levels) < c.Len() {
+			levels = append(levels, nil)
+		}
+		levels[c.Len()-1] = append(levels[c.Len()-1], Counted{Set: c, Support: counts[i]})
+	}
+
+	if res.BorderFailures > 0 {
+		// A border set is globally frequent: supersets may have been
+		// missed. Fall back to exact mining (sound and simple; Toivonen's
+		// paper iterates instead).
+		exact, err := AllFrequent(db, minSupport, domain, stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		return exact, res, nil
+	}
+	res.Exact = true
+	stats.FrequentSets += countSets(levels)
+	stats.ValidSets += countSets(levels)
+	for len(levels) > 0 && len(levels[len(levels)-1]) == 0 {
+		levels = levels[:len(levels)-1]
+	}
+	return levels, res, nil
+}
+
+func containsSet(sets []itemset.Set, s itemset.Set) bool {
+	for _, x := range sets {
+		if x.Equal(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func countSets(levels [][]Counted) int64 {
+	var n int64
+	for _, lv := range levels {
+		n += int64(len(lv))
+	}
+	return n
+}

@@ -1,0 +1,221 @@
+package mine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/itemset"
+	"repro/internal/txdb"
+)
+
+// TestSampleFrequentAlwaysExact: whatever the sampling does (clean run or
+// border-triggered fallback), the returned levels must equal the exact
+// answer.
+func TestSampleFrequentAlwaysExact(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomDB(r, 40+r.Intn(60), 9, 6)
+		minSup := 2 + r.Intn(4)
+		want, err := AllFrequent(db, minSup, nil, nil)
+		if err != nil {
+			return false
+		}
+		for _, p := range []SampleParams{
+			{Fraction: 0.5, Slack: 0.3, Seed: seed},
+			{Fraction: 0.25, Slack: 0.0, Seed: seed + 1}, // slackless: misses likely
+			{Fraction: 1.0, Slack: 0.0, Seed: seed + 2},  // full sample: always exact
+		} {
+			got, res, err := SampleFrequent(db, minSup, nil, p, nil)
+			if err != nil {
+				return false
+			}
+			if !mapsEqual(flatten(want), flatten(got)) {
+				t.Logf("seed %d fraction %v: mismatch (exact=%v)", seed, p.Fraction, res.Exact)
+				return false
+			}
+			if p.Fraction == 1 && p.Slack == 0 && !res.Exact {
+				// A full "sample" mined at the true threshold can never
+				// have a frequent border set.
+				t.Logf("seed %d: full sample reported inexact", seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleFrequentValidation(t *testing.T) {
+	db := txdb.New([]itemset.Set{itemset.New(1)})
+	if _, _, err := SampleFrequent(db, 1, nil, SampleParams{Fraction: 0}, nil); err == nil {
+		t.Error("fraction 0 accepted")
+	}
+	if _, _, err := SampleFrequent(db, 1, nil, SampleParams{Fraction: 2}, nil); err == nil {
+		t.Error("fraction 2 accepted")
+	}
+	if _, _, err := SampleFrequent(db, 1, nil, SampleParams{Fraction: 0.5, Slack: 1}, nil); err == nil {
+		t.Error("slack 1 accepted")
+	}
+	empty := txdb.New(nil)
+	levels, res, err := SampleFrequent(empty, 1, nil, SampleParams{Fraction: 0.5}, nil)
+	if err != nil || levels != nil || !res.Exact {
+		t.Errorf("empty db: %v %v %v", levels, res, err)
+	}
+}
+
+// bruteMaximal computes maximal frequent sets by exhaustive enumeration.
+func bruteMaximal(db *txdb.DB, minSup int) map[string]int {
+	freq := bruteFrequent(db, minSup, db.ActiveItems())
+	out := map[string]int{}
+	for k, sup := range freq {
+		s, _ := itemset.ParseKey(k)
+		maximal := true
+		for k2 := range freq {
+			s2, _ := itemset.ParseKey(k2)
+			if s2.Len() > s.Len() && s2.ContainsAll(s) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out[k] = sup
+		}
+	}
+	return out
+}
+
+// TestMaxFrequentMatchesBruteForce: the look-ahead miner must return
+// exactly the maximal frequent sets.
+func TestMaxFrequentMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomDB(r, 20+r.Intn(30), 8, 6)
+		minSup := 1 + r.Intn(4)
+		got, err := MaxFrequent(db, minSup, nil, nil)
+		if err != nil {
+			return false
+		}
+		gotMap := map[string]int{}
+		for _, c := range got {
+			gotMap[c.Set.Key()] = c.Support
+		}
+		return mapsEqual(gotMap, bruteMaximal(db, minSup))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMaxFrequentLookAhead: on a single long pattern the look-ahead must
+// find the clique with very few candidate counts (no 2^n enumeration).
+func TestMaxFrequentLookAhead(t *testing.T) {
+	var txs []itemset.Set
+	clique := itemset.New(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11)
+	for i := 0; i < 20; i++ {
+		txs = append(txs, clique)
+	}
+	db := txdb.New(txs)
+	stats := &Stats{}
+	got, err := MaxFrequent(db, 5, nil, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !got[0].Set.Equal(clique) || got[0].Support != 20 {
+		t.Fatalf("maximal = %v", got)
+	}
+	// 12 singletons + 1 look-ahead: far below the 4095 subsets.
+	if stats.CandidatesCounted > 50 {
+		t.Errorf("look-ahead ineffective: %d candidates counted", stats.CandidatesCounted)
+	}
+}
+
+func TestMaxFrequentEmpty(t *testing.T) {
+	db := txdb.New([]itemset.Set{itemset.New(1)})
+	got, err := MaxFrequent(db, 5, nil, nil)
+	if err != nil || got != nil {
+		t.Errorf("unreachable threshold: %v %v", got, err)
+	}
+}
+
+// bruteClosed computes closed frequent sets by exhaustive enumeration.
+func bruteClosed(db *txdb.DB, minSup int) map[string]int {
+	freq := bruteFrequent(db, minSup, db.ActiveItems())
+	out := map[string]int{}
+	for k, sup := range freq {
+		s, _ := itemset.ParseKey(k)
+		closedSet := true
+		for k2, sup2 := range freq {
+			s2, _ := itemset.ParseKey(k2)
+			if s2.Len() > s.Len() && s2.ContainsAll(s) && sup2 == sup {
+				closedSet = false
+				break
+			}
+		}
+		if closedSet {
+			out[k] = sup
+		}
+	}
+	return out
+}
+
+// TestClosedFrequentMatchesBruteForce: ClosedFrequent must return exactly
+// the closed frequent sets, and they must subsume the maximal ones.
+func TestClosedFrequentMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomDB(r, 20+r.Intn(30), 8, 6)
+		minSup := 1 + r.Intn(4)
+		got, err := ClosedFrequent(db, minSup, nil, nil)
+		if err != nil {
+			return false
+		}
+		gotMap := map[string]int{}
+		for _, c := range got {
+			gotMap[c.Set.Key()] = c.Support
+		}
+		if !mapsEqual(gotMap, bruteClosed(db, minSup)) {
+			return false
+		}
+		// Every maximal set is closed.
+		maxSets, err := MaxFrequent(db, minSup, nil, nil)
+		if err != nil {
+			return false
+		}
+		for _, m := range maxSets {
+			if gotMap[m.Set.Key()] != m.Support {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClosedFrequentLosslessness(t *testing.T) {
+	// Closedness is a lossless compression: every frequent set's support
+	// equals the support of its smallest closed superset.
+	r := rand.New(rand.NewSource(77))
+	db := randomDB(r, 40, 8, 6)
+	minSup := 2
+	closed, err := ClosedFrequent(db, minSup, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, sup := range bruteFrequent(db, minSup, db.ActiveItems()) {
+		s, _ := itemset.ParseKey(k)
+		best := -1
+		for _, c := range closed {
+			if c.Set.ContainsAll(s) && (best < 0 || c.Support > best) {
+				best = c.Support
+			}
+		}
+		if best != sup {
+			t.Fatalf("set %v: closure support %d, true %d", s, best, sup)
+		}
+	}
+}

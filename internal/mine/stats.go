@@ -1,0 +1,49 @@
+package mine
+
+import "fmt"
+
+// Stats accumulates the work counters behind the paper's ccc-optimality
+// analysis (Section 6.2): how many candidate sets had their support counted,
+// and how many times the constraint-checking operation was invoked — split
+// into item-level checks (the |Item| checks a ccc-optimal strategy is
+// allowed) and set-level checks (what generate-and-test strategies burn).
+// DB scans are tracked on the txdb side; strategies snapshot them.
+type Stats struct {
+	// CandidatesCounted is the number of candidate sets whose support was
+	// counted (the "counting" cost component of ccc-optimality).
+	CandidatesCounted int64
+	// ItemConstraintChecks counts constraint-checking invocations on
+	// singleton sets (condition (2) of Definition 6 permits only these).
+	ItemConstraintChecks int64
+	// SetConstraintChecks counts constraint-checking invocations on sets of
+	// size ≥ 2. A ccc-optimal strategy performs none during set computation.
+	SetConstraintChecks int64
+	// PairChecks counts 2-var constraint evaluations during final pair
+	// formation (outside the scope of ccc-optimality, reported for
+	// completeness).
+	PairChecks int64
+	// FrequentSets and ValidSets count discovered frequent sets and the
+	// subset of them that are valid.
+	FrequentSets int64
+	ValidSets    int64
+	// DBScans is the number of full transaction-database scans.
+	DBScans int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.CandidatesCounted += other.CandidatesCounted
+	s.ItemConstraintChecks += other.ItemConstraintChecks
+	s.SetConstraintChecks += other.SetConstraintChecks
+	s.PairChecks += other.PairChecks
+	s.FrequentSets += other.FrequentSets
+	s.ValidSets += other.ValidSets
+	s.DBScans += other.DBScans
+}
+
+// String renders the counters on one line.
+func (s *Stats) String() string {
+	return fmt.Sprintf("counted=%d itemChecks=%d setChecks=%d pairChecks=%d frequent=%d valid=%d scans=%d",
+		s.CandidatesCounted, s.ItemConstraintChecks, s.SetConstraintChecks, s.PairChecks,
+		s.FrequentSets, s.ValidSets, s.DBScans)
+}

@@ -1,0 +1,279 @@
+package txdb
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/itemset"
+)
+
+func sampleDB() *DB {
+	return New([]itemset.Set{
+		itemset.New(1, 2, 3),
+		itemset.New(2, 3),
+		itemset.New(1, 3, 5),
+		itemset.New(),
+		itemset.New(5),
+	})
+}
+
+func TestBasics(t *testing.T) {
+	db := sampleDB()
+	if db.Len() != 5 {
+		t.Errorf("Len = %d, want 5", db.Len())
+	}
+	if db.NumItems() != 6 {
+		t.Errorf("NumItems = %d, want 6", db.NumItems())
+	}
+	if got := db.Transaction(2); !got.Equal(itemset.New(1, 3, 5)) {
+		t.Errorf("Transaction(2) = %v", got)
+	}
+	if got := db.ActiveItems(); !got.Equal(itemset.New(1, 2, 3, 5)) {
+		t.Errorf("ActiveItems = %v", got)
+	}
+}
+
+func TestEmptyDB(t *testing.T) {
+	var db DB
+	if db.Len() != 0 || db.NumItems() != 0 {
+		t.Errorf("zero DB: Len=%d NumItems=%d", db.Len(), db.NumItems())
+	}
+	if got := db.Support(itemset.New(1)); got != 0 {
+		t.Errorf("Support on empty DB = %d", got)
+	}
+}
+
+func TestNewPanicsOnInvalidTransaction(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with unsorted transaction did not panic")
+		}
+	}()
+	New([]itemset.Set{{3, 1}})
+}
+
+func TestSupport(t *testing.T) {
+	db := sampleDB()
+	tests := []struct {
+		s    itemset.Set
+		want int
+	}{
+		{itemset.New(), 5}, // every transaction contains the empty set
+		{itemset.New(3), 3},
+		{itemset.New(1, 3), 2},
+		{itemset.New(1, 2, 3), 1},
+		{itemset.New(4), 0},
+		{itemset.New(2, 5), 0},
+	}
+	for _, tt := range tests {
+		if got := db.Support(tt.s); got != tt.want {
+			t.Errorf("Support(%v) = %d, want %d", tt.s, got, tt.want)
+		}
+	}
+}
+
+func TestScanAccounting(t *testing.T) {
+	db := sampleDB()
+	if db.Scans() != 0 {
+		t.Fatalf("initial Scans = %d", db.Scans())
+	}
+	n := 0
+	db.Scan(func(tid int, tx itemset.Set) {
+		if tid != n {
+			t.Errorf("tid = %d, want %d", tid, n)
+		}
+		n++
+	})
+	if n != 5 {
+		t.Errorf("scanned %d transactions", n)
+	}
+	db.Support(itemset.New(1))
+	if db.Scans() != 2 {
+		t.Errorf("Scans = %d, want 2", db.Scans())
+	}
+	db.ResetScans()
+	if db.Scans() != 0 {
+		t.Errorf("Scans after reset = %d", db.Scans())
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	db := sampleDB()
+	r := db.Restrict(itemset.New(1, 5))
+	if r.Len() != db.Len() {
+		t.Fatalf("Restrict changed transaction count: %d", r.Len())
+	}
+	if got := r.Transaction(0); !got.Equal(itemset.New(1)) {
+		t.Errorf("restricted tx0 = %v", got)
+	}
+	if got := r.Transaction(1); !got.Empty() {
+		t.Errorf("restricted tx1 = %v", got)
+	}
+	if got := r.Support(itemset.New(1, 5)); got != 1 {
+		t.Errorf("restricted Support({1,5}) = %d", got)
+	}
+	// Original untouched.
+	if got := db.Transaction(0); !got.Equal(itemset.New(1, 2, 3)) {
+		t.Errorf("original mutated: %v", got)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	db := sampleDB()
+	var buf bytes.Buffer
+	if err := db.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() {
+		t.Fatalf("round-trip Len = %d", back.Len())
+	}
+	for i := 0; i < db.Len(); i++ {
+		if !back.Transaction(i).Equal(db.Transaction(i)) {
+			t.Errorf("tx %d = %v, want %v", i, back.Transaction(i), db.Transaction(i))
+		}
+	}
+}
+
+func TestReadTextNormalizesAndRejects(t *testing.T) {
+	db, err := ReadText(strings.NewReader("3 1 2 2\n\n7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Transaction(0).Equal(itemset.New(1, 2, 3)) {
+		t.Errorf("tx0 = %v", db.Transaction(0))
+	}
+	if !db.Transaction(1).Empty() {
+		t.Errorf("tx1 = %v", db.Transaction(1))
+	}
+	if _, err := ReadText(strings.NewReader("1 x 3\n")); err == nil {
+		t.Error("non-numeric item accepted")
+	}
+	if _, err := ReadText(strings.NewReader("-4\n")); err == nil {
+		t.Error("negative item accepted")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	db := sampleDB()
+	var buf bytes.Buffer
+	if err := db.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < db.Len(); i++ {
+		if !back.Transaction(i).Equal(db.Transaction(i)) {
+			t.Errorf("tx %d = %v, want %v", i, back.Transaction(i), db.Transaction(i))
+		}
+	}
+}
+
+// TestBinaryCorruption injects faults into every region of the binary file
+// and checks each is rejected with ErrBadFormat rather than accepted or
+// panicking.
+func TestBinaryCorruption(t *testing.T) {
+	db := sampleDB()
+	var buf bytes.Buffer
+	if err := db.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	corruptions := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"bad magic", func(b []byte) []byte { c := append([]byte{}, b...); c[0] ^= 0xFF; return c }},
+		{"truncated header", func(b []byte) []byte { return b[:6] }},
+		{"truncated count", func(b []byte) []byte { return b[:10] }},
+		{"truncated body", func(b []byte) []byte { return b[:len(b)-3] }},
+		{"trailing garbage", func(b []byte) []byte { return append(append([]byte{}, b...), 0xAA) }},
+		{"huge length claim", func(b []byte) []byte {
+			c := append([]byte{}, b...)
+			// First transaction length field lives at offset 12.
+			c[12], c[13], c[14], c[15] = 0xFF, 0xFF, 0xFF, 0x7F
+			return c
+		}},
+		{"unsorted transaction", func(b []byte) []byte {
+			c := append([]byte{}, b...)
+			// Swap the first two items of transaction 0 (offsets 16 and 20).
+			copy(c[16:20], []byte{2, 0, 0, 0})
+			copy(c[20:24], []byte{1, 0, 0, 0})
+			return c
+		}},
+		{"duplicate items", func(b []byte) []byte {
+			c := append([]byte{}, b...)
+			copy(c[20:24], c[16:20])
+			return c
+		}},
+		{"item overflows int32", func(b []byte) []byte {
+			c := append([]byte{}, b...)
+			// Last item of transaction 0 (offset 24) set to 0xFFFFFFFF,
+			// which would wrap to a negative Item.
+			copy(c[24:28], []byte{0xFF, 0xFF, 0xFF, 0xFF})
+			return c
+		}},
+	}
+	for _, tt := range corruptions {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ReadBinary(bytes.NewReader(tt.mutate(good)))
+			if !errors.Is(err, ErrBadFormat) {
+				t.Errorf("corruption %q: err = %v, want ErrBadFormat", tt.name, err)
+			}
+		})
+	}
+}
+
+// Property: both codecs round-trip random databases, and Restrict commutes
+// with Support for sets inside the domain.
+func TestQuickRoundTripAndRestrict(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(20)
+		txs := make([]itemset.Set, n)
+		for i := range txs {
+			m := r.Intn(6)
+			items := make([]itemset.Item, m)
+			for j := range items {
+				items[j] = itemset.Item(r.Intn(15))
+			}
+			txs[i] = itemset.New(items...)
+		}
+		db := New(txs)
+
+		var tb, bb bytes.Buffer
+		if db.WriteText(&tb) != nil || db.WriteBinary(&bb) != nil {
+			return false
+		}
+		d1, err1 := ReadText(&tb)
+		d2, err2 := ReadBinary(&bb)
+		if err1 != nil || err2 != nil || d1.Len() != n || d2.Len() != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if !d1.Transaction(i).Equal(txs[i]) || !d2.Transaction(i).Equal(txs[i]) {
+				return false
+			}
+		}
+
+		dom := itemset.New(itemset.Item(r.Intn(15)), itemset.Item(r.Intn(15)), itemset.Item(r.Intn(15)))
+		sub := dom
+		if sub.Len() > 1 {
+			sub = sub[:1+r.Intn(sub.Len())]
+		}
+		return db.Restrict(dom).Support(sub) == db.Support(sub)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,31 @@
+#!/bin/sh
+# Regenerate every experiment artifact of this reproduction.
+#
+# Usage: scripts/regenerate.sh [scale]
+#   scale — database scale divisor (default 10; 1 = the paper's 100k×1000).
+#
+# Outputs land in ./results/: one text table per experiment plus a combined
+# markdown file suitable for pasting into EXPERIMENTS.md.
+set -eu
+
+scale="${1:-10}"
+outdir="results"
+mkdir -p "$outdir"
+
+echo "== experiments at scale 1/$scale =="
+for exp in fig8a levels ranges fig8b ranges2 jmax ccc scaling; do
+    echo "-- $exp"
+    go run ./cmd/experiments -exp "$exp" -scale "$scale" \
+        | tee "$outdir/$exp.txt"
+    go run ./cmd/experiments -exp "$exp" -scale "$scale" -format markdown \
+        >> "$outdir/all.md"
+done
+
+echo "== benchmarks =="
+go test -bench=. -benchmem -benchscale "$scale" -run '^$' . \
+    | tee "$outdir/bench.txt"
+
+echo "== test log =="
+go test ./... 2>&1 | tee "$outdir/tests.txt"
+
+echo "done: see $outdir/"
