@@ -11,6 +11,7 @@
 package repro
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"testing"
@@ -35,6 +36,9 @@ func benchConfig() exp.Config {
 // reduction over Apriori⁺ for max(S.Price) <= min(T.Price) across range
 // overlaps. Reported metrics: speedup_<overlap>% (work-based).
 func BenchmarkFig8a(b *testing.B) {
+	if testing.Short() {
+		b.Skip("heavy end-to-end experiment")
+	}
 	for i := 0; i < b.N; i++ {
 		res, err := exp.Fig8a(benchConfig())
 		if err != nil {
@@ -51,6 +55,9 @@ func BenchmarkFig8a(b *testing.B) {
 // BenchmarkLevelTable regenerates the §7.1 per-level a/b table at 16.6%
 // overlap. Reported metrics: S/T valid-set totals vs frequent-set totals.
 func BenchmarkLevelTable(b *testing.B) {
+	if testing.Short() {
+		b.Skip("heavy end-to-end experiment")
+	}
 	for i := 0; i < b.N; i++ {
 		res, err := exp.LevelTable(benchConfig())
 		if err != nil {
@@ -74,6 +81,9 @@ func BenchmarkLevelTable(b *testing.B) {
 // BenchmarkRangeTable regenerates the §7.1 range table (speedup at 50%
 // overlap for narrowing S.Price ranges).
 func BenchmarkRangeTable(b *testing.B) {
+	if testing.Short() {
+		b.Skip("heavy end-to-end experiment")
+	}
 	for i := 0; i < b.N; i++ {
 		res, err := exp.RangeTable(benchConfig())
 		if err != nil {
@@ -90,6 +100,9 @@ func BenchmarkRangeTable(b *testing.B) {
 // BenchmarkFig8b regenerates Figure 8(b): CAP-only vs full optimization on
 // T.Price <= 600 & S.Price >= 400 & S.Type = T.Type across Type overlaps.
 func BenchmarkFig8b(b *testing.B) {
+	if testing.Short() {
+		b.Skip("heavy end-to-end experiment")
+	}
 	for i := 0; i < b.N; i++ {
 		res, err := exp.Fig8b(benchConfig())
 		if err != nil {
@@ -107,6 +120,9 @@ func BenchmarkFig8b(b *testing.B) {
 // BenchmarkRangeTable2 regenerates the §7.2 range table (CAP-only vs full
 // speedups, and their ratio, for narrowing ranges at 40% Type overlap).
 func BenchmarkRangeTable2(b *testing.B) {
+	if testing.Short() {
+		b.Skip("heavy end-to-end experiment")
+	}
 	for i := 0; i < b.N; i++ {
 		res, err := exp.RangeTable2(benchConfig())
 		if err != nil {
@@ -124,6 +140,9 @@ func BenchmarkRangeTable2(b *testing.B) {
 // BenchmarkJmaxTable regenerates the §7.3 table: iterative Jmax pruning on
 // sum(S.Price) <= sum(T.Price) across T-side mean prices.
 func BenchmarkJmaxTable(b *testing.B) {
+	if testing.Short() {
+		b.Skip("heavy end-to-end experiment")
+	}
 	for i := 0; i < b.N; i++ {
 		res, err := exp.JmaxTable(benchConfig())
 		if err != nil {
@@ -140,6 +159,9 @@ func BenchmarkJmaxTable(b *testing.B) {
 // BenchmarkJmaxAblation isolates the Vᵏ series against the static
 // sum(L1ᵀ.B) bound (the DESIGN.md ablation).
 func BenchmarkJmaxAblation(b *testing.B) {
+	if testing.Short() {
+		b.Skip("heavy end-to-end experiment")
+	}
 	for i := 0; i < b.N; i++ {
 		res, err := exp.JmaxTable(benchConfig())
 		if err != nil {
@@ -157,6 +179,9 @@ func BenchmarkJmaxAblation(b *testing.B) {
 // sequential alternative (T first, exact bound) on the §7.3 sum–sum
 // workload: sequential prunes at least as hard but cannot share scans.
 func BenchmarkDovetailAblation(b *testing.B) {
+	if testing.Short() {
+		b.Skip("heavy end-to-end experiment")
+	}
 	q, err := exp.JmaxQueryForBench(benchConfig(), 400)
 	if err != nil {
 		b.Fatal(err)
@@ -165,7 +190,7 @@ func BenchmarkDovetailAblation(b *testing.B) {
 		b.Run(st.String(), func(b *testing.B) {
 			var counted, scans int64
 			for i := 0; i < b.N; i++ {
-				res, err := core.Run(q, st)
+				res, err := core.Run(context.Background(), q, st)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -201,7 +226,7 @@ func BenchmarkAprioriMining(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		stats := &mine.Stats{}
-		levels, err := mine.AllFrequent(db, minSup, nil, stats)
+		levels, err := mine.AllFrequent(context.Background(), db, minSup, nil, nil, stats)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -225,24 +250,23 @@ func BenchmarkMiningSubstrates(b *testing.B) {
 	}
 	miners := []miner{
 		{"levelwise", func(s *mine.Stats) error {
-			_, err := mine.AllFrequent(db, minSup, nil, s)
+			_, err := mine.AllFrequent(context.Background(), db, minSup, nil, nil, s)
 			return err
 		}},
 		{"vertical", func(s *mine.Stats) error {
-			_, err := mine.VerticalFrequent(db, minSup, nil, s)
+			_, err := mine.VerticalFrequent(context.Background(), db, minSup, nil, nil, s)
 			return err
 		}},
 		{"fpgrowth", func(s *mine.Stats) error {
-			_, err := mine.FPGrowth(db, minSup, nil, s)
+			_, err := mine.FPGrowth(context.Background(), db, minSup, nil, nil, s)
 			return err
 		}},
 		{"partition8", func(s *mine.Stats) error {
-			_, err := mine.PartitionFrequent(db, minSup, nil, 8, s)
+			_, err := mine.PartitionFrequent(context.Background(), db, minSup, nil, 8, nil, s)
 			return err
 		}},
 		{"sampling25", func(s *mine.Stats) error {
-			_, _, err := mine.SampleFrequent(db, minSup, nil,
-				mine.SampleParams{Fraction: 0.25, Slack: 0.2, Seed: 1}, s)
+			_, _, err := mine.SampleFrequent(context.Background(), db, minSup, nil, mine.SampleParams{Fraction: 0.25, Slack: 0.2, Seed: 1}, nil, s)
 			return err
 		}},
 	}
@@ -272,7 +296,7 @@ func BenchmarkCandidateGenAblation(b *testing.B) {
 	}{{"prefixjoin", mine.GenPrefixJoin}, {"extension", mine.GenExtension}} {
 		b.Run(mode.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				lw, err := mine.New(mine.Config{DB: db, MinSupport: minSup, GenMode: mode.gm})
+				lw, err := mine.New(context.Background(), mine.Config{DB: db, MinSupport: minSup, GenMode: mode.gm})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -285,6 +309,9 @@ func BenchmarkCandidateGenAblation(b *testing.B) {
 // BenchmarkStrategies times each CFQ strategy on the Figure 8(a) 16.6%-
 // overlap point, the head-to-head the paper's speedups are built from.
 func BenchmarkStrategies(b *testing.B) {
+	if testing.Short() {
+		b.Skip("heavy end-to-end experiment")
+	}
 	q, err := exp.Fig8aQuery(benchConfig(), 400, 500)
 	if err != nil {
 		b.Fatal(err)
@@ -295,7 +322,7 @@ func BenchmarkStrategies(b *testing.B) {
 	} {
 		b.Run(st.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.Run(q, st); err != nil {
+				if _, err := core.Run(context.Background(), q, st); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -105,8 +105,11 @@ func WrapDB(db *txdb.DB, numItems int) *Dataset {
 }
 
 // ReadTransactions loads transactions in the one-per-line text format
-// (space-separated item ids).
-func (d *Dataset) ReadTransactions(r io.Reader) error {
+// (space-separated item ids). Malformed input — bad item tokens,
+// out-of-domain ids, or lines violating the itemset invariants — is
+// reported as an error, never a panic.
+func (d *Dataset) ReadTransactions(r io.Reader) (err error) {
+	defer recoverToError(&err)
 	db, err := txdb.ReadText(r)
 	if err != nil {
 		return err
@@ -127,8 +130,13 @@ func (d *Dataset) WriteTransactions(w io.Writer) error {
 	return txdb.New(d.txs).WriteText(w)
 }
 
-// compile freezes the dataset into the internal representations.
-func (d *Dataset) compile() error {
+// compile freezes the dataset into the internal representations. Internal
+// invariant violations (e.g. a malformed transaction injected past the
+// validating mutators) surface as errors: compile is the panic boundary
+// between caller-supplied data and the engine's panic-on-programmer-error
+// constructors.
+func (d *Dataset) compile() (err error) {
+	defer recoverToError(&err)
 	if !d.dirty && d.db != nil {
 		return nil
 	}

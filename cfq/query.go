@@ -1,8 +1,10 @@
 package cfq
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/itemset"
@@ -23,6 +25,7 @@ type Query struct {
 	maxPairs     int
 	maxLevel     int
 	workers      int
+	budget       *Budget
 	traceW       io.Writer
 	// explicitSupS/T record whether a parsed query set its own freq()
 	// thresholds (see ApplyDefaultSupports).
@@ -105,6 +108,11 @@ func (q *Query) MaxLevel(n int) *Query { q.maxLevel = n; return q }
 // counting serial; results are identical either way).
 func (q *Query) Workers(n int) *Query { q.workers = n; return q }
 
+// Budget caps the resources each evaluation of this query may consume; an
+// exceeded limit aborts the run with a *BudgetError carrying the partial
+// stats. Each Run/RunContext call starts a fresh consumption pool.
+func (q *Query) Budget(b Budget) *Query { q.budget = &b; return q }
+
 // Verbose streams one progress line per completed mining level (and per
 // optimizer phase) to w while the query runs.
 func (q *Query) Verbose(w io.Writer) *Query { q.traceW = w; return q }
@@ -137,6 +145,12 @@ type Stats struct {
 	ValidSets    int64
 	// DBScans counts full passes over the transaction data.
 	DBScans int64
+	// LatticeBytes estimates the memory allocated for lattice state,
+	// cumulatively over the run (what Budget.MaxLatticeBytes bounds).
+	LatticeBytes int64
+	// Checkpoints counts the cancellation/budget checkpoints passed — the
+	// granularity at which the evaluation could have been interrupted.
+	Checkpoints int64
 }
 
 // Result is a CFQ answer.
@@ -220,15 +234,27 @@ func (q *Query) compile() (core.CFQ, error) {
 	return icfq, nil
 }
 
-// Run evaluates the query with the given strategy.
+// Run evaluates the query with the given strategy. It is
+// RunContext(context.Background(), strat).
 func (q *Query) Run(strat Strategy) (*Result, error) {
+	return q.RunContext(context.Background(), strat)
+}
+
+// RunContext evaluates the query with the given strategy under ctx. A
+// cancelled or expired context aborts mining at the next checkpoint and
+// returns an error wrapping ctx.Err(); an exhausted Budget returns a
+// *BudgetError with the partial stats. Internal panics (malformed data
+// reaching engine invariants) are converted to errors at this boundary.
+func (q *Query) RunContext(ctx context.Context, strat Strategy) (res *Result, err error) {
+	defer recoverToError(&err)
 	icfq, err := q.compile()
 	if err != nil {
 		return nil, err
 	}
-	ires, err := core.Run(icfq, strat.internal())
+	icfq.Budget = q.budget.internal(time.Now())
+	ires, err := core.Run(ctx, icfq, strat.internal())
 	if err != nil {
-		return nil, err
+		return nil, convertErr(err)
 	}
 	return convertResult(ires), nil
 }
@@ -270,15 +296,23 @@ type RuleParams struct {
 // RunRules evaluates the query and derives rules S ⇒ T from the valid
 // pairs, sorted by descending confidence. Rules are formed from the
 // materialized pairs, so raise MaxPairs (or leave it 0 = unlimited) to
-// cover the whole answer.
+// cover the whole answer. It is RunRulesContext(context.Background(), ...).
 func (q *Query) RunRules(strat Strategy, p RuleParams) ([]Rule, error) {
+	return q.RunRulesContext(context.Background(), strat, p)
+}
+
+// RunRulesContext is RunRules under a context and the query's Budget, with
+// the same cancellation and budget semantics as RunContext.
+func (q *Query) RunRulesContext(ctx context.Context, strat Strategy, p RuleParams) (out []Rule, err error) {
+	defer recoverToError(&err)
 	icfq, err := q.compile()
 	if err != nil {
 		return nil, err
 	}
-	ires, err := core.Run(icfq, strat.internal())
+	icfq.Budget = q.budget.internal(time.Now())
+	ires, err := core.Run(ctx, icfq, strat.internal())
 	if err != nil {
-		return nil, err
+		return nil, convertErr(err)
 	}
 	irules, err := rules.FromPairs(icfq.DB, ires.Pairs, rules.Params{
 		MinConfidence:   p.MinConfidence,
@@ -289,7 +323,7 @@ func (q *Query) RunRules(strat Strategy, p RuleParams) ([]Rule, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Rule, len(irules))
+	out = make([]Rule, len(irules))
 	for i, r := range irules {
 		out[i] = Rule{
 			S:            itemsOf(r.S),
@@ -333,6 +367,20 @@ func convertLevels(levels [][]mine.Counted) (flat []FrequentSet, byLevel [][]Fre
 	return flat, byLevel
 }
 
+func convertStats(s mine.Stats) Stats {
+	return Stats{
+		CandidatesCounted:    s.CandidatesCounted,
+		ItemConstraintChecks: s.ItemConstraintChecks,
+		SetConstraintChecks:  s.SetConstraintChecks,
+		PairChecks:           s.PairChecks,
+		FrequentSets:         s.FrequentSets,
+		ValidSets:            s.ValidSets,
+		DBScans:              s.DBScans,
+		LatticeBytes:         s.LatticeBytes,
+		Checkpoints:          s.Checkpoints,
+	}
+}
+
 func convertResult(ires *core.Result) *Result {
 	res := &Result{PairCount: ires.PairCount}
 	res.ValidS, res.LevelsS = convertLevels(ires.LevelsS)
@@ -340,15 +388,7 @@ func convertResult(ires *core.Result) *Result {
 	for _, p := range ires.Pairs {
 		res.Pairs = append(res.Pairs, Pair{S: convertSet(p.S), T: convertSet(p.T)})
 	}
-	res.Stats = Stats{
-		CandidatesCounted:    ires.Stats.CandidatesCounted,
-		ItemConstraintChecks: ires.Stats.ItemConstraintChecks,
-		SetConstraintChecks:  ires.Stats.SetConstraintChecks,
-		PairChecks:           ires.Stats.PairChecks,
-		FrequentSets:         ires.Stats.FrequentSets,
-		ValidSets:            ires.Stats.ValidSets,
-		DBScans:              ires.Stats.DBScans,
-	}
+	res.Stats = convertStats(ires.Stats)
 	if ires.Plan != nil {
 		res.Plan = ires.Plan.Describe()
 	}

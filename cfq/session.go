@@ -1,13 +1,16 @@
 package cfq
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/constraint"
 	"repro/internal/core"
 	"repro/internal/itemset"
 	"repro/internal/mine"
+	"repro/internal/txdb"
 )
 
 // Session supports the exploratory loop the two-phase architecture is
@@ -24,16 +27,19 @@ import (
 // interactive loop free.
 //
 // A Session is safe for concurrent use. Mutating the underlying Dataset
-// invalidates the cache on the next Run.
+// invalidates the cache on the next Run. A run that is cancelled or runs
+// out of budget writes nothing to the cache: retrying the same query on
+// the same session mines afresh and returns the same result a new session
+// would.
 type Session struct {
 	ds *Dataset
 
 	mu    sync.Mutex
-	db    interface{} // the compiled *txdb.DB the cache was built from
+	db    *txdb.DB // the compiled database the cache was built from
 	cache map[string]*latticeEntry
 
-	// Hits and Misses count cache lookups (for tests and diagnostics).
-	Hits, Misses int
+	// hits and misses count cache lookups, guarded by mu.
+	hits, misses int
 }
 
 type latticeEntry struct {
@@ -46,9 +52,25 @@ func NewSession(ds *Dataset) *Session {
 	return &Session{ds: ds, cache: map[string]*latticeEntry{}}
 }
 
-// Run evaluates the query against the session cache. Results are identical
-// to q.Run with any strategy; only the work differs.
+// Stats reports the cache hit/miss counters (one lookup per query side).
+func (s *Session) CacheStats() (hits, misses int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses
+}
+
+// Run evaluates the query against the session cache. It is
+// RunContext(context.Background(), q).
 func (s *Session) Run(q *Query) (*Result, error) {
+	return s.RunContext(context.Background(), q)
+}
+
+// RunContext evaluates the query against the session cache under ctx, with
+// the query's Budget (if any) spanning both sides' mining. Results are
+// identical to q.Run with any strategy; only the work differs. An aborted
+// run (cancellation or budget) leaves the cache exactly as it was.
+func (s *Session) RunContext(ctx context.Context, q *Query) (res *Result, err error) {
+	defer recoverToError(&err)
 	if q == nil || q.ds != s.ds {
 		return nil, fmt.Errorf("cfq: session and query use different datasets")
 	}
@@ -58,7 +80,7 @@ func (s *Session) Run(q *Query) (*Result, error) {
 	}
 
 	s.mu.Lock()
-	if s.db != interface{}(s.ds.db) {
+	if s.db != s.ds.db {
 		// The dataset was recompiled (new transactions or attributes):
 		// every cached lattice is stale.
 		s.cache = map[string]*latticeEntry{}
@@ -66,28 +88,31 @@ func (s *Session) Run(q *Query) (*Result, error) {
 	}
 	s.mu.Unlock()
 
-	res := &core.Result{}
-	sSets, err := s.side(icfq.DomainS, icfq.MinSupportS)
+	// One budget pool for both sides of this evaluation.
+	budget := q.budget.internal(time.Now())
+
+	ires := &core.Result{}
+	sSets, err := s.side(ctx, icfq.DomainS, icfq.MinSupportS, budget)
 	if err != nil {
-		return nil, err
+		return nil, convertErr(err)
 	}
-	tSets, err := s.side(icfq.DomainT, icfq.MinSupportT)
+	tSets, err := s.side(ctx, icfq.DomainT, icfq.MinSupportT, budget)
 	if err != nil {
-		return nil, err
+		return nil, convertErr(err)
 	}
-	res.LevelsS = filterLattice(sSets, icfq.MinSupportS, icfq.ConstraintsS, &res.Stats)
-	res.LevelsT = filterLattice(tSets, icfq.MinSupportT, icfq.ConstraintsT, &res.Stats)
+	ires.LevelsS = filterLattice(sSets, icfq.MinSupportS, icfq.ConstraintsS, &ires.Stats)
+	ires.LevelsT = filterLattice(tSets, icfq.MinSupportT, icfq.ConstraintsT, &ires.Stats)
 
 	// Pair formation with the 2-var constraints, as in the engine.
-	validS, validT := res.ValidS(), res.ValidT()
+	validS, validT := ires.ValidS(), ires.ValidT()
 	if len(icfq.Constraints2) == 0 {
-		res.PairCount = int64(len(validS)) * int64(len(validT))
-		limit := res.PairCount
+		ires.PairCount = int64(len(validS)) * int64(len(validT))
+		limit := ires.PairCount
 		if icfq.MaxPairs > 0 && int64(icfq.MaxPairs) < limit {
 			limit = int64(icfq.MaxPairs)
 		}
 		for i := int64(0); i < limit; i++ {
-			res.Pairs = append(res.Pairs, core.Pair{
+			ires.Pairs = append(ires.Pairs, core.Pair{
 				S: validS[i/int64(len(validT))], T: validT[i%int64(len(validT))]})
 		}
 	} else {
@@ -95,7 +120,7 @@ func (s *Session) Run(q *Query) (*Result, error) {
 			for _, tv := range validT {
 				ok := true
 				for _, c2 := range icfq.Constraints2 {
-					res.Stats.PairChecks++
+					ires.Stats.PairChecks++
 					if !c2.Satisfies(sv.Set, tv.Set) {
 						ok = false
 						break
@@ -104,33 +129,36 @@ func (s *Session) Run(q *Query) (*Result, error) {
 				if !ok {
 					continue
 				}
-				res.PairCount++
-				if icfq.MaxPairs == 0 || len(res.Pairs) < icfq.MaxPairs {
-					res.Pairs = append(res.Pairs, core.Pair{S: sv, T: tv})
+				ires.PairCount++
+				if icfq.MaxPairs == 0 || len(ires.Pairs) < icfq.MaxPairs {
+					ires.Pairs = append(ires.Pairs, core.Pair{S: sv, T: tv})
 				}
 			}
 		}
 	}
-	return convertResult(res), nil
+	return convertResult(ires), nil
 }
 
 // side returns the cached unconstrained lattice for a domain, mining it if
-// absent or cached at a higher threshold than requested.
-func (s *Session) side(domain itemset.Set, minSup int) ([]mine.Counted, error) {
+// absent or cached at a higher threshold than requested. The lookup (and
+// its hit counter) is one critical section; mining happens outside the
+// lock, and a failed mining run stores nothing — the cache is never
+// poisoned by partial lattices.
+func (s *Session) side(ctx context.Context, domain itemset.Set, minSup int, budget *mine.Budget) ([]mine.Counted, error) {
 	key := "*"
 	if domain != nil {
 		key = domain.Key()
 	}
 	s.mu.Lock()
-	entry := s.cache[key]
-	s.mu.Unlock()
-	if entry != nil && entry.minSup <= minSup {
-		s.mu.Lock()
-		s.Hits++
+	if entry := s.cache[key]; entry != nil && entry.minSup <= minSup {
+		s.hits++
+		sets := entry.sets
 		s.mu.Unlock()
-		return entry.sets, nil
+		return sets, nil
 	}
-	levels, err := mine.AllFrequent(s.ds.db, minSup, domain, nil)
+	s.mu.Unlock()
+
+	levels, err := mine.AllFrequent(ctx, s.ds.db, minSup, domain, budget, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -139,7 +167,7 @@ func (s *Session) side(domain itemset.Set, minSup int) ([]mine.Counted, error) {
 		sets = append(sets, lv...)
 	}
 	s.mu.Lock()
-	s.Misses++
+	s.misses++
 	// Keep the lowest-threshold lattice: it can serve every refinement.
 	if old := s.cache[key]; old == nil || minSup < old.minSup {
 		s.cache[key] = &latticeEntry{minSup: minSup, sets: sets}

@@ -40,11 +40,12 @@ func TestSessionMatchesDirectRun(t *testing.T) {
 	}
 	// First query misses for the shared (nil-domain) lattice; all later
 	// queries (same domain, equal-or-higher threshold) hit.
-	if sess.Misses != 1 {
-		t.Errorf("cache misses = %d, want 1", sess.Misses)
+	hits, misses := sess.CacheStats()
+	if misses != 1 {
+		t.Errorf("cache misses = %d, want 1", misses)
 	}
-	if sess.Hits < 2*len(queries)-1 {
-		t.Errorf("cache hits = %d, want >= %d", sess.Hits, 2*len(queries)-1)
+	if hits < 2*len(queries)-1 {
+		t.Errorf("cache hits = %d, want >= %d", hits, 2*len(queries)-1)
 	}
 }
 
@@ -54,20 +55,20 @@ func TestSessionLowerThresholdRemines(t *testing.T) {
 	if _, err := sess.Run(NewQuery(ds).MinSupport(4)); err != nil {
 		t.Fatal(err)
 	}
-	missesAfterFirst := sess.Misses
+	_, missesAfterFirst := sess.CacheStats()
 	// A *lower* threshold cannot be served from the cache.
 	if _, err := sess.Run(NewQuery(ds).MinSupport(2)); err != nil {
 		t.Fatal(err)
 	}
-	if sess.Misses <= missesAfterFirst {
+	if _, misses := sess.CacheStats(); misses <= missesAfterFirst {
 		t.Error("lower threshold served from a higher-threshold cache")
 	}
 	// …but now the low-threshold lattice serves both.
-	hits := sess.Hits
+	hits, _ := sess.CacheStats()
 	if _, err := sess.Run(NewQuery(ds).MinSupport(4)); err != nil {
 		t.Fatal(err)
 	}
-	if sess.Hits <= hits {
+	if h, _ := sess.CacheStats(); h <= hits {
 		t.Error("refinement after re-mining did not hit the cache")
 	}
 }
@@ -104,14 +105,14 @@ func TestSessionDomainsCachedSeparately(t *testing.T) {
 	if _, err := sess.Run(NewQuery(ds).MinSupport(2).DomainS(0, 1, 2).DomainT(3, 4, 5)); err != nil {
 		t.Fatal(err)
 	}
-	if sess.Misses != 2 {
-		t.Errorf("misses = %d, want 2 (one per domain)", sess.Misses)
+	if _, misses := sess.CacheStats(); misses != 2 {
+		t.Errorf("misses = %d, want 2 (one per domain)", misses)
 	}
 	if _, err := sess.Run(NewQuery(ds).MinSupport(3).DomainS(0, 1, 2).DomainT(3, 4, 5)); err != nil {
 		t.Fatal(err)
 	}
-	if sess.Misses != 2 {
-		t.Errorf("refinement re-mined: misses = %d", sess.Misses)
+	if _, misses := sess.CacheStats(); misses != 2 {
+		t.Errorf("refinement re-mined: misses = %d", misses)
 	}
 }
 

@@ -13,12 +13,15 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/cfq"
 	"repro/internal/gen"
@@ -31,10 +34,20 @@ func (s *stringsFlag) String() string     { return strings.Join(*s, "; ") }
 func (s *stringsFlag) Set(v string) error { *s = append(*s, v); return nil }
 
 func main() {
-	if err := realMain(); err != nil {
-		fmt.Fprintln(os.Stderr, "cfq:", err)
-		os.Exit(1)
+	err := realMain()
+	if err == nil {
+		return
 	}
+	// Public API errors already carry the "cfq: " prefix; avoid doubling it.
+	fmt.Fprintln(os.Stderr, "cfq:", strings.TrimPrefix(err.Error(), "cfq: "))
+	// Resource exhaustion (budget, timeout, cancellation) exits 2 so
+	// scripts can distinguish "over budget, partial stats printed" from
+	// hard failures.
+	var be *cfq.BudgetError
+	if errors.As(err, &be) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		os.Exit(2)
+	}
+	os.Exit(1)
 }
 
 func realMain() error {
@@ -55,6 +68,8 @@ func realMain() error {
 		verbose                = flag.Bool("v", false, "print per-level mining progress to stderr")
 		workers                = flag.Int("workers", 0, "support-counting goroutines (0 = serial)")
 		jsonOut                = flag.Bool("json", false, "emit the result as JSON")
+		timeout                = flag.Duration("timeout", 0, "soft evaluation deadline (e.g. 30s); exceeded runs exit 2 with partial stats")
+		budgetN                = flag.Int64("budget", 0, "max candidate sets counted before aborting with partial stats (0 = unlimited)")
 		queryStr               = flag.String("query", "", "full CFQ, e.g. '{(S,T) | freq(S) >= 100 & max(S.Price) <= min(T.Price)}' (overrides -wheres/-wheret/-where2)")
 		whereS, whereT, where2 stringsFlag
 	)
@@ -148,12 +163,14 @@ func realMain() error {
 			return err
 		}
 		q.MaxPairs(*maxPairs).Workers(*workers)
+		applyBudget(q, *timeout, *budgetN)
 		if *verbose {
 			q.Verbose(os.Stderr)
 		}
 		return execute(q, *explain, *strategy, *stats, *jsonOut)
 	}
 	q = cfq.NewQuery(ds).MaxPairs(*maxPairs).Workers(*workers)
+	applyBudget(q, *timeout, *budgetN)
 	if *minSup > 0 {
 		q.MinSupport(*minSup)
 	} else {
@@ -185,6 +202,16 @@ func realMain() error {
 		q.Verbose(os.Stderr)
 	}
 	return execute(q, *explain, *strategy, *stats, *jsonOut)
+}
+
+// applyBudget attaches the -timeout / -budget limits to the query. The
+// timeout is a *soft* deadline (a cfq.Budget, not a context deadline) so an
+// overrun still reports the partial work counters.
+func applyBudget(q *cfq.Query, timeout time.Duration, maxCandidates int64) {
+	if timeout <= 0 && maxCandidates <= 0 {
+		return
+	}
+	q.Budget(cfq.Budget{Timeout: timeout, MaxCandidates: maxCandidates})
 }
 
 // parseFullQuery applies the CLI support defaults, then lets the query
@@ -222,6 +249,10 @@ func execute(q *cfq.Query, explain bool, strategy string, stats, jsonOut bool) e
 	}
 	res, err := q.Run(st)
 	if err != nil {
+		var be *cfq.BudgetError
+		if errors.As(err, &be) {
+			printStats(os.Stderr, "partial ", be.Stats)
+		}
 		return err
 	}
 	if jsonOut {
@@ -240,11 +271,17 @@ func execute(q *cfq.Query, explain bool, strategy string, stats, jsonOut bool) e
 		fmt.Println(res.Plan)
 	}
 	if stats {
-		s := res.Stats
-		fmt.Printf("candidates counted: %d\nitem constraint checks: %d\nset constraint checks: %d\npair checks: %d\nDB scans: %d\n",
-			s.CandidatesCounted, s.ItemConstraintChecks, s.SetConstraintChecks, s.PairChecks, s.DBScans)
+		printStats(os.Stdout, "", res.Stats)
 	}
 	return nil
+}
+
+// printStats renders the work counters; prefix distinguishes partial
+// (aborted-run) stats from final ones.
+func printStats(w *os.File, prefix string, s cfq.Stats) {
+	fmt.Fprintf(w, "%scandidates counted: %d\n%sitem constraint checks: %d\n%sset constraint checks: %d\n%spair checks: %d\n%sDB scans: %d\n%scheckpoints: %d\n",
+		prefix, s.CandidatesCounted, prefix, s.ItemConstraintChecks, prefix, s.SetConstraintChecks,
+		prefix, s.PairChecks, prefix, s.DBScans, prefix, s.Checkpoints)
 }
 
 func parseStrategy(s string) (cfq.Strategy, error) {

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/cfq"
 )
@@ -105,5 +107,59 @@ func TestParseFullQueryDefaults(t *testing.T) {
 	// Parse errors propagate.
 	if _, err := parseFullQuery(ds, "freq(", 1, 0); err == nil {
 		t.Error("bad query accepted")
+	}
+}
+
+func cliDataset(t *testing.T) *cfq.Dataset {
+	t.Helper()
+	ds := cfq.NewDataset(4)
+	if err := ds.SetNumeric("Price", []float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := ds.AddTransaction(0, 1, 2, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ds
+}
+
+// TestBudgetFlagAborts: the -budget flag turns into a candidate cap that
+// aborts the run with the typed error (the exit-2 path) and partial stats.
+func TestBudgetFlagAborts(t *testing.T) {
+	ds := cliDataset(t)
+	q := cfq.NewQuery(ds).MinSupport(1)
+	applyBudget(q, 0, 1)
+	err := execute(q, false, "apriori", false, false)
+	var be *cfq.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *cfq.BudgetError", err)
+	}
+	if be.Resource != cfq.ResourceCandidates || be.Stats.Checkpoints == 0 {
+		t.Errorf("BudgetError = %+v", be)
+	}
+}
+
+// TestTimeoutFlagAborts: -timeout becomes the soft deadline, reported as a
+// deadline BudgetError rather than a bare context error.
+func TestTimeoutFlagAborts(t *testing.T) {
+	ds := cliDataset(t)
+	q := cfq.NewQuery(ds).MinSupport(1)
+	applyBudget(q, time.Nanosecond, 0)
+	err := execute(q, false, "optimized", false, false)
+	var be *cfq.BudgetError
+	if !errors.As(err, &be) || be.Resource != cfq.ResourceDeadline {
+		t.Fatalf("err = %v, want deadline BudgetError", err)
+	}
+}
+
+// TestApplyBudgetNoop: zero flags leave the query budget-free, so the run
+// completes.
+func TestApplyBudgetNoop(t *testing.T) {
+	ds := cliDataset(t)
+	q := cfq.NewQuery(ds).MinSupport(1).MaxPairs(1)
+	applyBudget(q, 0, 0)
+	if _, err := q.Run(cfq.AprioriPlus); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -17,6 +17,7 @@
 package cap
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -58,6 +59,10 @@ type Query struct {
 	// uses it to re-plan with reduced constraints after the first counting
 	// iteration.
 	PresetL1 []mine.Counted
+	// Budget, when non-nil, caps the resources the run may consume (see
+	// mine.Budget). Shared by pointer so one budget can span several
+	// runners.
+	Budget *mine.Budget
 }
 
 // Result is the outcome of a constrained mining run.
@@ -105,12 +110,17 @@ type Runner struct {
 
 // Step advances one level and returns the valid frequent sets found there
 // (after final verification of non-fully-enforced constraints), plus
-// whether mining has finished.
-func (r *Runner) Step() ([]mine.Counted, bool) {
+// whether mining has finished. A non-nil error means the run was cancelled
+// or exceeded its budget; the runner is then permanently done and Result()
+// packages the levels completed before the abort.
+func (r *Runner) Step() ([]mine.Counted, bool, error) {
 	if r.lw.Done() {
-		return nil, true
+		return nil, true, r.lw.Err()
 	}
-	sets, _ := r.lw.Step()
+	sets, _, err := r.lw.Step()
+	if err != nil {
+		return nil, true, err
+	}
 	if r.lw.Level() == 1 {
 		r.l1 = r.lw.FrequentItems()
 	}
@@ -140,8 +150,11 @@ func (r *Runner) Step() ([]mine.Counted, bool) {
 	if r.q.OnLevel != nil {
 		r.q.OnLevel(r.lw.Level(), sets)
 	}
-	return sets, r.lw.Done()
+	return sets, r.lw.Done(), nil
 }
+
+// Err returns the error that stopped the run, if any.
+func (r *Runner) Err() error { return r.lw.Err() }
 
 // Done reports whether mining has finished.
 func (r *Runner) Done() bool { return r.lw.Done() }
@@ -180,21 +193,24 @@ func (r *Runner) Result() *Result {
 	return &Result{Levels: levels, FrequentItems: r.l1, Stats: *r.stats}
 }
 
-// Run executes CAP on the query to completion.
-func Run(q Query) (*Result, error) {
-	r, err := Prepare(q)
+// Run executes CAP on the query to completion. On cancellation or budget
+// exhaustion it returns the wrapped ctx.Err() or *mine.BudgetError.
+func Run(ctx context.Context, q Query) (*Result, error) {
+	r, err := Prepare(ctx, q)
 	if err != nil {
 		return nil, err
 	}
 	for !r.Done() {
-		r.Step()
+		if _, _, err := r.Step(); err != nil {
+			return nil, err
+		}
 	}
 	return r.Result(), nil
 }
 
 // Prepare classifies the query's constraints, assembles the pushdown plan
-// and returns a step-wise Runner.
-func Prepare(q Query) (*Runner, error) {
+// and returns a step-wise Runner. ctx governs the whole run.
+func Prepare(ctx context.Context, q Query) (*Runner, error) {
 	if q.DB == nil {
 		return nil, fmt.Errorf("cap: Query.DB is nil")
 	}
@@ -303,6 +319,7 @@ func Prepare(q Query) (*Runner, error) {
 		MaxLevel:   q.MaxLevel,
 		Workers:    q.Workers,
 		PresetL1:   q.PresetL1,
+		Budget:     q.Budget,
 		Stats:      stats,
 	}
 	if required != nil && !required.Empty() {
@@ -342,7 +359,7 @@ func Prepare(q Query) (*Runner, error) {
 		cfg.MaxLevel = 1
 	}
 
-	lw, err := mine.New(cfg)
+	lw, err := mine.New(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -358,18 +375,21 @@ func Prepare(q Query) (*Runner, error) {
 
 // AprioriPlus is the naive baseline: mine every frequent set over the
 // domain, then test each against every constraint (generate-and-test).
-func AprioriPlus(q Query) (*Result, error) {
+// ctx cancellation and budget overruns abort the run with the mining
+// layer's wrapped error.
+func AprioriPlus(ctx context.Context, q Query) (*Result, error) {
 	if q.DB == nil {
 		return nil, fmt.Errorf("cap: Query.DB is nil")
 	}
 	stats := &mine.Stats{}
-	lw, err := mine.New(mine.Config{
+	lw, err := mine.New(ctx, mine.Config{
 		DB:         q.DB,
 		MinSupport: q.MinSupport,
 		Domain:     q.Domain,
 		GenMode:    q.GenMode,
 		MaxLevel:   q.MaxLevel,
 		Workers:    q.Workers,
+		Budget:     q.Budget,
 		Stats:      stats,
 	})
 	if err != nil {
@@ -378,7 +398,10 @@ func AprioriPlus(q Query) (*Result, error) {
 	var levels [][]mine.Counted
 	var l1 itemset.Set
 	for !lw.Done() {
-		sets, _ := lw.Step()
+		sets, _, err := lw.Step()
+		if err != nil {
+			return nil, err
+		}
 		if lw.Level() == 1 {
 			l1 = lw.FrequentItems()
 		}

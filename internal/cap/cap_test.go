@@ -1,6 +1,7 @@
 package cap
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -130,8 +131,8 @@ func TestCAPMatchesOracleAndBaseline(t *testing.T) {
 		minSup := 1 + r.Intn(3)
 		cs := randomConstraints(r, w)
 		q := Query{DB: w.db, MinSupport: minSup, Constraints: cs}
-		capRes, err1 := Run(q)
-		apRes, err2 := AprioriPlus(q)
+		capRes, err1 := Run(context.Background(), q)
+		apRes, err2 := AprioriPlus(context.Background(), q)
 		if err1 != nil || err2 != nil {
 			t.Logf("errors: %v %v", err1, err2)
 			return false
@@ -195,7 +196,7 @@ func TestCCCConditionsForSuccinct(t *testing.T) {
 				constraint.Agg(attr.Max, w.num, "A", constraint.LE, float64(5+r.Intn(4))),
 				constraint.Agg(attr.Min, w.num, "A", constraint.LE, float64(r.Intn(5))))
 		}
-		res, err := Run(Query{DB: w.db, MinSupport: 2, Constraints: cs})
+		res, err := Run(context.Background(), Query{DB: w.db, MinSupport: 2, Constraints: cs})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -227,8 +228,8 @@ func TestAprioriPlusNotCCCOptimal(t *testing.T) {
 		constraint.Agg(attr.Max, w.num, "A", constraint.LE, 4),
 	}
 	q := Query{DB: w.db, MinSupport: 2, Constraints: cs}
-	capRes, _ := Run(q)
-	apRes, _ := AprioriPlus(q)
+	capRes, _ := Run(context.Background(), q)
+	apRes, _ := AprioriPlus(context.Background(), q)
 	if apRes.Stats.SetConstraintChecks == 0 {
 		t.Error("baseline performed no set-level checks (query too trivial)")
 	}
@@ -249,7 +250,7 @@ func TestUnsatisfiableExistential(t *testing.T) {
 	cs := []constraint.Constraint{
 		constraint.Agg(attr.Max, w.num, "A", constraint.GE, 100),
 	}
-	res, err := Run(Query{DB: w.db, MinSupport: 2, Constraints: cs})
+	res, err := Run(context.Background(), Query{DB: w.db, MinSupport: 2, Constraints: cs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +268,7 @@ func TestDomainRestrictionAndMaxLevel(t *testing.T) {
 	w := newWorld(r, 8, 50)
 	domain := itemset.New(0, 1, 2, 3)
 	cs := []constraint.Constraint{constraint.Agg(attr.Min, w.num, "A", constraint.GE, 2)}
-	res, err := Run(Query{DB: w.db, MinSupport: 2, Domain: domain, Constraints: cs, MaxLevel: 2})
+	res, err := Run(context.Background(), Query{DB: w.db, MinSupport: 2, Domain: domain, Constraints: cs, MaxLevel: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,10 +289,10 @@ func TestDomainRestrictionAndMaxLevel(t *testing.T) {
 }
 
 func TestNilDB(t *testing.T) {
-	if _, err := Run(Query{}); err == nil {
+	if _, err := Run(context.Background(), Query{}); err == nil {
 		t.Error("Run with nil DB accepted")
 	}
-	if _, err := AprioriPlus(Query{}); err == nil {
+	if _, err := AprioriPlus(context.Background(), Query{}); err == nil {
 		t.Error("AprioriPlus with nil DB accepted")
 	}
 }
@@ -304,7 +305,7 @@ func TestExtraFilterAndOnLevel(t *testing.T) {
 		v, _ := w.num.Eval(attr.Sum, s)
 		return v <= 12
 	}
-	res, err := Run(Query{
+	res, err := Run(context.Background(), Query{
 		DB: w.db, MinSupport: 2,
 		ExtraFilter: func(_ int, s itemset.Set) bool { return sumOK(s) },
 		OnLevel:     func(level int, _ []mine.Counted) { levelsSeen = append(levelsSeen, level) },
@@ -321,7 +322,7 @@ func TestExtraFilterAndOnLevel(t *testing.T) {
 		t.Errorf("OnLevel calls = %v", levelsSeen)
 	}
 	// Equivalence with pushing the same bound as a constraint.
-	res2, _ := Run(Query{
+	res2, _ := Run(context.Background(), Query{
 		DB: w.db, MinSupport: 2,
 		Constraints: []constraint.Constraint{
 			constraint.Agg(attr.Sum, w.num, "A", constraint.LE, 12),
@@ -339,7 +340,7 @@ func TestAvgConstraintInduction(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		w := newWorld(r, 7, 30)
 		c := constraint.Agg(attr.Avg, w.num, "A", constraint.LE, float64(2+r.Intn(6)))
-		res, err := Run(Query{DB: w.db, MinSupport: 2, Constraints: []constraint.Constraint{c}})
+		res, err := Run(context.Background(), Query{DB: w.db, MinSupport: 2, Constraints: []constraint.Constraint{c}})
 		if err != nil {
 			return false
 		}
@@ -354,7 +355,7 @@ func TestNumRangeOneSided(t *testing.T) {
 	r := rand.New(rand.NewSource(12))
 	w := newWorld(r, 8, 40)
 	c := constraint.NumRange(w.num, "A", math.Inf(-1), 4)
-	res, err := Run(Query{DB: w.db, MinSupport: 2, Constraints: []constraint.Constraint{c}})
+	res, err := Run(context.Background(), Query{DB: w.db, MinSupport: 2, Constraints: []constraint.Constraint{c}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,7 +372,7 @@ func TestNumRangeOneSided(t *testing.T) {
 func TestContradictoryConjunction(t *testing.T) {
 	r := rand.New(rand.NewSource(64))
 	w := newWorld(r, 7, 40)
-	res, err := Run(Query{
+	res, err := Run(context.Background(), Query{
 		DB: w.db, MinSupport: 2,
 		Constraints: []constraint.Constraint{
 			constraint.Agg(attr.Min, w.num, "A", constraint.GE, 8),
@@ -398,7 +399,7 @@ func TestContradictoryConjunction(t *testing.T) {
 func TestSimplifierMergesBeforeClassification(t *testing.T) {
 	r := rand.New(rand.NewSource(65))
 	w := newWorld(r, 7, 40)
-	merged, err := Run(Query{
+	merged, err := Run(context.Background(), Query{
 		DB: w.db, MinSupport: 2,
 		Constraints: []constraint.Constraint{
 			constraint.Agg(attr.Max, w.num, "A", constraint.LE, 8),
@@ -408,7 +409,7 @@ func TestSimplifierMergesBeforeClassification(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	single, err := Run(Query{
+	single, err := Run(context.Background(), Query{
 		DB: w.db, MinSupport: 2,
 		Constraints: []constraint.Constraint{
 			constraint.Agg(attr.Max, w.num, "A", constraint.LE, 4),

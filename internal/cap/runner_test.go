@@ -1,6 +1,7 @@
 package cap
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -20,7 +21,7 @@ func TestRunnerStepwise(t *testing.T) {
 			constraint.Agg(attr.Max, w.num, "A", constraint.LE, 7),
 		},
 	}
-	runner, err := Prepare(q)
+	runner, err := Prepare(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +31,7 @@ func TestRunnerStepwise(t *testing.T) {
 	var stepped []mine.Counted
 	levels := 0
 	for !runner.Done() {
-		sets, _ := runner.Step()
+		sets, _, _ := runner.Step()
 		levels++
 		stepped = append(stepped, sets...)
 		if runner.Level() != levels {
@@ -48,11 +49,11 @@ func TestRunnerStepwise(t *testing.T) {
 		}
 	}
 	// Stepping after Done is a no-op.
-	if sets, done := runner.Step(); sets != nil || !done {
+	if sets, done, _ := runner.Step(); sets != nil || !done {
 		t.Error("Step after Done returned work")
 	}
 	// Same results as the one-shot Run.
-	res, err := Run(q)
+	res, err := Run(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestRunnerStepwise(t *testing.T) {
 func TestRunnerExistentialFlag(t *testing.T) {
 	r := rand.New(rand.NewSource(45))
 	w := newWorld(r, 8, 50)
-	runner, err := Prepare(Query{
+	runner, err := Prepare(context.Background(), Query{
 		DB: w.db, MinSupport: 2,
 		Constraints: []constraint.Constraint{
 			constraint.Agg(attr.Min, w.num, "A", constraint.LE, 3), // existential SNF
@@ -95,7 +96,7 @@ func TestRunnerExistentialFlag(t *testing.T) {
 func TestRunnerStatsSnapshot(t *testing.T) {
 	r := rand.New(rand.NewSource(46))
 	w := newWorld(r, 7, 30)
-	runner, err := Prepare(Query{DB: w.db, MinSupport: 2})
+	runner, err := Prepare(context.Background(), Query{DB: w.db, MinSupport: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

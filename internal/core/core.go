@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -100,6 +101,11 @@ type CFQ struct {
 	GenMode mine.GenMode
 	// Workers sets the support-counting parallelism (see mine.Config).
 	Workers int
+	// Budget, when non-nil, caps the resources the whole evaluation may
+	// consume — both lattices and every phase draw from the same pool. An
+	// overrun aborts the run with a *mine.BudgetError carrying partial
+	// stats.
+	Budget *mine.Budget
 	// Trace, when non-nil, receives one progress line per completed level
 	// per variable and per optimizer phase (for -v style logging).
 	Trace func(msg string)
@@ -267,24 +273,29 @@ func Explain(q CFQ) (*Plan, error) {
 }
 
 // Run evaluates the CFQ with the selected strategy. All strategies return
-// the same answer set; they differ in the work counted by Stats.
-func Run(q CFQ, strat Strategy) (*Result, error) {
+// the same answer set; they differ in the work counted by Stats. ctx
+// cancellation and q.Budget overruns abort the evaluation at the next
+// mining checkpoint with a wrapped ctx.Err() or *mine.BudgetError.
+func Run(ctx context.Context, q CFQ, strat Strategy) (*Result, error) {
 	if err := q.normalize(); err != nil {
 		return nil, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	switch strat {
 	case StrategyAprioriPlus:
-		return runBaseline(q, false)
+		return runBaseline(ctx, q, false)
 	case StrategyCAPOnly:
-		return runBaseline(q, true)
+		return runBaseline(ctx, q, true)
 	case StrategyOptimized:
-		return runOptimized(q, true)
+		return runOptimized(ctx, q, true)
 	case StrategyOptimizedNoJmax:
-		return runOptimized(q, false)
+		return runOptimized(ctx, q, false)
 	case StrategyFM:
-		return runFM(q)
+		return runFM(ctx, q)
 	case StrategySequential:
-		return runSequential(q)
+		return runSequential(ctx, q)
 	}
 	return nil, fmt.Errorf("core: unknown strategy %d", int(strat))
 }
@@ -295,6 +306,7 @@ func (q *CFQ) sideQuery(side twovar.Side) cap.Query {
 		GenMode:  q.GenMode,
 		MaxLevel: q.MaxLevel,
 		Workers:  q.Workers,
+		Budget:   q.Budget,
 	}
 	if side == twovar.SideS {
 		cq.MinSupport = q.MinSupportS
@@ -311,7 +323,7 @@ func (q *CFQ) sideQuery(side twovar.Side) cap.Query {
 // runBaseline implements Apriori⁺ (pushOneVar = false) and CAP-only
 // (pushOneVar = true): mine each side, then form pairs checking the 2-var
 // constraints there.
-func runBaseline(q CFQ, pushOneVar bool) (*Result, error) {
+func runBaseline(ctx context.Context, q CFQ, pushOneVar bool) (*Result, error) {
 	runSide := cap.AprioriPlus
 	if pushOneVar {
 		runSide = cap.Run
@@ -320,11 +332,11 @@ func runBaseline(q CFQ, pushOneVar bool) (*Result, error) {
 	q.traceLevels(&sq, twovar.SideS)
 	tq := q.sideQuery(twovar.SideT)
 	q.traceLevels(&tq, twovar.SideT)
-	sRes, err := runSide(sq)
+	sRes, err := runSide(ctx, sq)
 	if err != nil {
 		return nil, err
 	}
-	tRes, err := runSide(tq)
+	tRes, err := runSide(ctx, tq)
 	if err != nil {
 		return nil, err
 	}
@@ -360,7 +372,7 @@ func (ds *dynState) bound() float64 {
 // runOptimized is the optimizer's strategy: reduce after level 1, re-plan
 // both sides with the reduced constraints, dovetail the lattices tightening
 // Jmax bounds, then form pairs.
-func runOptimized(q CFQ, useJmax bool) (*Result, error) {
+func runOptimized(ctx context.Context, q CFQ, useJmax bool) (*Result, error) {
 	plan, err := Explain(q)
 	if err != nil {
 		return nil, err
@@ -375,16 +387,20 @@ func runOptimized(q CFQ, useJmax bool) (*Result, error) {
 	sq1.MaxLevel = 1
 	tq1 := q.sideQuery(twovar.SideT)
 	tq1.MaxLevel = 1
-	s1, err := cap.Prepare(sq1)
+	s1, err := cap.Prepare(ctx, sq1)
 	if err != nil {
 		return nil, err
 	}
-	t1, err := cap.Prepare(tq1)
+	t1, err := cap.Prepare(ctx, tq1)
 	if err != nil {
 		return nil, err
 	}
-	s1.Step()
-	t1.Step()
+	if _, _, err := s1.Step(); err != nil {
+		return nil, err
+	}
+	if _, _, err := t1.Step(); err != nil {
+		return nil, err
+	}
 	l1S, l1T := s1.FrequentItems(), t1.FrequentItems()
 	res.Stats.Add(s1.Stats())
 	res.Stats.Add(t1.Stats())
@@ -428,11 +444,11 @@ func runOptimized(q CFQ, useJmax bool) (*Result, error) {
 	var dynChecks int64
 	sq.ExtraFilter = dynFilter(dyns, twovar.SideS, &dynChecks)
 	tq.ExtraFilter = dynFilter(dyns, twovar.SideT, &dynChecks)
-	sRun, err := cap.Prepare(sq)
+	sRun, err := cap.Prepare(ctx, sq)
 	if err != nil {
 		return nil, err
 	}
-	tRun, err := cap.Prepare(tq)
+	tRun, err := cap.Prepare(ctx, tq)
 	if err != nil {
 		return nil, err
 	}
@@ -447,14 +463,20 @@ func runOptimized(q CFQ, useJmax bool) (*Result, error) {
 	}
 
 	// Dovetail: one S level, then one T level, tightening bounds as each
-	// side's levels complete (Section 5.2).
+	// side's levels complete (Section 5.2). An abort on either side stops
+	// the whole evaluation — the budget is shared, so continuing the other
+	// lattice would only dig the overrun deeper.
 	for !sRun.Done() || !tRun.Done() {
 		if !sRun.Done() {
-			sRun.Step()
+			if _, _, err := sRun.Step(); err != nil {
+				return nil, err
+			}
 			observeLevel(dyns, twovar.SideT, sRun)
 		}
 		if !tRun.Done() {
-			tRun.Step()
+			if _, _, err := tRun.Step(); err != nil {
+				return nil, err
+			}
 			observeLevel(dyns, twovar.SideS, tRun)
 		}
 		for _, ds := range dyns {
@@ -626,7 +648,7 @@ func formPairs(q CFQ, res *Result) {
 // the S lattice run (and symmetrically for bounds pruning T, which are
 // resolved against the finished S side afterwards). Pruning is maximal;
 // the cost is that the two lattices cannot share database scans.
-func runSequential(q CFQ) (*Result, error) {
+func runSequential(ctx context.Context, q CFQ) (*Result, error) {
 	plan, err := Explain(q)
 	if err != nil {
 		return nil, err
@@ -639,16 +661,20 @@ func runSequential(q CFQ) (*Result, error) {
 	sq1.MaxLevel = 1
 	tq1 := q.sideQuery(twovar.SideT)
 	tq1.MaxLevel = 1
-	s1, err := cap.Prepare(sq1)
+	s1, err := cap.Prepare(ctx, sq1)
 	if err != nil {
 		return nil, err
 	}
-	t1, err := cap.Prepare(tq1)
+	t1, err := cap.Prepare(ctx, tq1)
 	if err != nil {
 		return nil, err
 	}
-	s1.Step()
-	t1.Step()
+	if _, _, err := s1.Step(); err != nil {
+		return nil, err
+	}
+	if _, _, err := t1.Step(); err != nil {
+		return nil, err
+	}
 	res.Stats.Add(s1.Stats())
 	res.Stats.Add(t1.Stats())
 
@@ -670,7 +696,7 @@ func runSequential(q CFQ) (*Result, error) {
 
 	// Mine T to completion; the exact maxima over its counted frequent
 	// sets become the bounds for S-pruning dynamics.
-	tRun, err := cap.Prepare(tq)
+	tRun, err := cap.Prepare(ctx, tq)
 	if err != nil {
 		return nil, err
 	}
@@ -681,7 +707,9 @@ func runSequential(q CFQ) (*Result, error) {
 		}
 	}
 	for !tRun.Done() {
-		tRun.Step()
+		if _, _, err := tRun.Step(); err != nil {
+			return nil, err
+		}
 		for _, c := range tRun.LastFrequent() {
 			for ds := range sBounds {
 				v := float64(c.Set.Len())
@@ -718,12 +746,14 @@ func runSequential(q CFQ) (*Result, error) {
 			return true
 		}
 	}
-	sRun, err := cap.Prepare(sq)
+	sRun, err := cap.Prepare(ctx, sq)
 	if err != nil {
 		return nil, err
 	}
 	for !sRun.Done() {
-		sRun.Step()
+		if _, _, err := sRun.Step(); err != nil {
+			return nil, err
+		}
 		observeLevel(dyns, twovar.SideT, sRun)
 	}
 	for _, ds := range dyns {
@@ -756,9 +786,10 @@ func runSequential(q CFQ) (*Result, error) {
 // subset of each domain up front (2^N checks), then count the valid ones in
 // ascending cardinality. It exists to make the ccc argument measurable and
 // is guarded to tiny domains.
-func runFM(q CFQ) (*Result, error) {
+func runFM(ctx context.Context, q CFQ) (*Result, error) {
 	const maxFMItems = 16
 	res := &Result{}
+	guard := mine.NewGuard(ctx, q.Budget, &res.Stats)
 	run := func(domain itemset.Set, minSup int, cons []constraint.Constraint) ([][]mine.Counted, error) {
 		if domain == nil {
 			domain = q.DB.ActiveItems()
@@ -808,6 +839,9 @@ func runFM(q CFQ) (*Result, error) {
 			})
 			if !countable {
 				continue
+			}
+			if err := guard.Check("fm: counting"); err != nil {
+				return nil, err
 			}
 			res.Stats.CandidatesCounted++
 			sup := q.DB.Support(s)

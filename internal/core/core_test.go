@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -176,7 +177,7 @@ func TestStrategyEquivalence(t *testing.T) {
 		q := randomCFQ(r, w)
 		want := oraclePairs(w, q)
 		for _, st := range strategies {
-			res, err := Run(q, st)
+			res, err := Run(context.Background(), q, st)
 			if err != nil {
 				t.Logf("seed %d strategy %v: %v", seed, st, err)
 				return false
@@ -218,11 +219,11 @@ func TestOptimizedPrunesAgainstBaseline(t *testing.T) {
 			twovar.Agg2(attr.Max, num, "A", constraint.LE, attr.Min, num, "B"),
 		},
 	}
-	opt, err := Run(q, StrategyOptimized)
+	opt, err := Run(context.Background(), q, StrategyOptimized)
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := Run(q, StrategyAprioriPlus)
+	base, err := Run(context.Background(), q, StrategyAprioriPlus)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,14 +257,14 @@ func TestCCCOptimalityForQuasiSuccinct(t *testing.T) {
 			twovar.Agg2(attr.Max, w.num, "A", constraint.LE, attr.Max, w.num, "B"),
 		},
 	}
-	res, err := Run(q, StrategyOptimized)
+	res, err := Run(context.Background(), q, StrategyOptimized)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Stats.SetConstraintChecks != 0 {
 		t.Errorf("optimized strategy burned %d set-level checks", res.Stats.SetConstraintChecks)
 	}
-	base, _ := Run(q, StrategyAprioriPlus)
+	base, _ := Run(context.Background(), q, StrategyAprioriPlus)
 	if base.Stats.SetConstraintChecks == 0 {
 		t.Error("baseline performed no set-level checks (query trivial?)")
 	}
@@ -285,11 +286,11 @@ func TestFMBurnsConstraintChecks(t *testing.T) {
 			constraint.Agg(attr.Max, w.num, "A", constraint.LE, 6),
 		},
 	}
-	fm, err := Run(q, StrategyFM)
+	fm, err := Run(context.Background(), q, StrategyFM)
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt, err := Run(q, StrategyOptimized)
+	opt, err := Run(context.Background(), q, StrategyOptimized)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +317,7 @@ func TestFMDomainGuard(t *testing.T) {
 	txs[1] = itemset.New(items[:10]...)
 	txs[2] = itemset.New(items[10:]...)
 	q := CFQ{DB: txdb.New(txs), MinSupportS: 1, MinSupportT: 1}
-	if _, err := Run(q, StrategyFM); err == nil {
+	if _, err := Run(context.Background(), q, StrategyFM); err == nil {
 		t.Error("FM accepted a 20-item domain")
 	}
 }
@@ -356,11 +357,11 @@ func TestJmaxTightensCounting(t *testing.T) {
 			twovar.Agg2(attr.Sum, num, "Price", constraint.LE, attr.Sum, num, "Price"),
 		},
 	}
-	withJ, err := Run(q, StrategyOptimized)
+	withJ, err := Run(context.Background(), q, StrategyOptimized)
 	if err != nil {
 		t.Fatal(err)
 	}
-	withoutJ, err := Run(q, StrategyOptimizedNoJmax)
+	withoutJ, err := Run(context.Background(), q, StrategyOptimizedNoJmax)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,7 +378,7 @@ func TestJmaxTightensCounting(t *testing.T) {
 	// The sequential alternative (Section 5.2's discussion) has the exact
 	// bound available before S mining starts, so it prunes at least as
 	// hard as the dovetailed Vᵏ series — at the price of unshared scans.
-	seq, err := Run(q, StrategySequential)
+	seq, err := Run(context.Background(), q, StrategySequential)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -414,11 +415,11 @@ func TestCountJmaxPruning(t *testing.T) {
 			twovar.Agg2(attr.Count, num, "A", constraint.LE, attr.Count, num, "A"),
 		},
 	}
-	opt, err := Run(q, StrategyOptimized)
+	opt, err := Run(context.Background(), q, StrategyOptimized)
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := Run(q, StrategyAprioriPlus)
+	base, err := Run(context.Background(), q, StrategyAprioriPlus)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -434,7 +435,7 @@ func TestCountJmaxPruning(t *testing.T) {
 		t.Errorf("count pruning ineffective: %d >= %d",
 			opt.Stats.CandidatesCounted, base.Stats.CandidatesCounted)
 	}
-	seq, err := Run(q, StrategySequential)
+	seq, err := Run(context.Background(), q, StrategySequential)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -447,7 +448,7 @@ func TestNoTwoVarCrossProduct(t *testing.T) {
 	r := rand.New(rand.NewSource(3))
 	w := newWorld(r, 7, 40)
 	q := CFQ{DB: w.db, MinSupportS: 2, MinSupportT: 2, DomainS: w.domS, DomainT: w.domT}
-	res, err := Run(q, StrategyOptimized)
+	res, err := Run(context.Background(), q, StrategyOptimized)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -460,7 +461,7 @@ func TestNoTwoVarCrossProduct(t *testing.T) {
 	}
 	// MaxPairs truncation.
 	q.MaxPairs = 3
-	res, _ = Run(q, StrategyOptimized)
+	res, _ = Run(context.Background(), q, StrategyOptimized)
 	if nS*nT > 3 && len(res.Pairs) != 3 {
 		t.Errorf("MaxPairs: len = %d", len(res.Pairs))
 	}
@@ -495,7 +496,7 @@ func TestExplainAndDescribe(t *testing.T) {
 		!strings.Contains(plan.OneVarS[1], "induced") {
 		t.Errorf("1-var plan lines: %v", plan.OneVarS)
 	}
-	res, err := Run(q, StrategyOptimized)
+	res, err := Run(context.Background(), q, StrategyOptimized)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -508,14 +509,14 @@ func TestExplainAndDescribe(t *testing.T) {
 }
 
 func TestValidation(t *testing.T) {
-	if _, err := Run(CFQ{}, StrategyOptimized); err == nil {
+	if _, err := Run(context.Background(), CFQ{}, StrategyOptimized); err == nil {
 		t.Error("nil DB accepted")
 	}
 	if _, err := Explain(CFQ{}); err == nil {
 		t.Error("Explain nil DB accepted")
 	}
 	db := txdb.New([]itemset.Set{itemset.New(1)})
-	if _, err := Run(CFQ{DB: db}, Strategy(99)); err == nil {
+	if _, err := Run(context.Background(), CFQ{DB: db}, Strategy(99)); err == nil {
 		t.Error("unknown strategy accepted")
 	}
 	for _, st := range []Strategy{StrategyOptimized, StrategyOptimizedNoJmax,
@@ -539,7 +540,7 @@ func TestDifferentThresholds(t *testing.T) {
 	}
 	want := oraclePairs(w, q)
 	for _, st := range []Strategy{StrategyOptimized, StrategyAprioriPlus} {
-		res, err := Run(q, st)
+		res, err := Run(context.Background(), q, st)
 		if err != nil {
 			t.Fatal(err)
 		}

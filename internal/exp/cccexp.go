@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -40,7 +41,7 @@ func CCCTable(cfg Config) (*CCCResult, error) {
 	for _, st := range []core.Strategy{
 		core.StrategyAprioriPlus, core.StrategyCAPOnly, core.StrategyOptimized,
 	} {
-		r, err := core.Run(q, st)
+		r, err := core.Run(context.Background(), q, st)
 		if err != nil {
 			return nil, err
 		}

@@ -11,6 +11,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -83,7 +84,7 @@ type Measurement struct {
 // run executes a query under one strategy and snapshots its costs.
 func run(q core.CFQ, st core.Strategy) (Measurement, *core.Result, error) {
 	start := time.Now()
-	res, err := core.Run(q, st)
+	res, err := core.Run(context.Background(), q, st)
 	if err != nil {
 		return Measurement{}, nil, err
 	}

@@ -99,6 +99,9 @@ func TestRangeTableShape(t *testing.T) {
 // strategy beats CAP-only everywhere, and its advantage grows as the Type
 // overlap shrinks.
 func TestFig8bShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates Figure 8(b) end to end")
+	}
 	res, err := Fig8b(testConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -123,6 +126,9 @@ func TestFig8bShape(t *testing.T) {
 
 // TestRangeTable2Shape: speedups grow as the ranges narrow.
 func TestRangeTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates the full §7.2 range table")
+	}
 	res, err := RangeTable2(testConfig())
 	if err != nil {
 		t.Fatal(err)

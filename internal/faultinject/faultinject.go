@@ -1,0 +1,89 @@
+// Package faultinject deterministically triggers failures at mining
+// checkpoints, so tests can prove that every miner unwinds cleanly from
+// cancellation and budget exhaustion at any point in its execution — first
+// checkpoint, mid-run, or the very last one — without goroutine leaks or
+// partially-mutated caches.
+//
+// An Injector plugs into mine.Budget.Checkpoint. Counting mode (a nil
+// action) records how many checkpoints a run passes; firing mode invokes
+// the action at exactly the N-th checkpoint:
+//
+//	probe := faultinject.Count()
+//	run(mine.Budget{Checkpoint: probe.Checkpoint})  // full run
+//	inj := faultinject.Fail(probe.Seen()/2, nil)    // now fail mid-run
+//	err := run(mine.Budget{Checkpoint: inj.Checkpoint})
+package faultinject
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the default error delivered by Fail.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Injector counts checkpoints and fires an action at the N-th one.
+// Checkpoint is safe for concurrent use (miners only call it from their
+// coordinating goroutine, but nothing here depends on that).
+type Injector struct {
+	mu     sync.Mutex
+	at     int64
+	n      int64
+	action func(where string) error
+	fired  bool
+	where  string
+}
+
+// Count returns an Injector that never fires — it only counts checkpoints,
+// to calibrate where a later injection should trigger.
+func Count() *Injector { return &Injector{} }
+
+// At returns an Injector invoking action at the at-th checkpoint (1-based).
+// The action fires exactly once; its return value aborts the run.
+func At(at int64, action func(where string) error) *Injector {
+	return &Injector{at: at, action: action}
+}
+
+// Fail returns an Injector that delivers err at the at-th checkpoint
+// (ErrInjected when err is nil). Pass a *mine.BudgetError to simulate
+// budget exhaustion, or any other error to simulate an internal fault.
+func Fail(at int64, err error) *Injector {
+	if err == nil {
+		err = ErrInjected
+	}
+	return At(at, func(string) error { return err })
+}
+
+// Cancel returns an Injector that invokes cancel at the at-th checkpoint
+// and returns nil, so the run is aborted by its own context check at that
+// same checkpoint — exactly how an external cancellation lands.
+func Cancel(at int64, cancel func()) *Injector {
+	return At(at, func(string) error { cancel(); return nil })
+}
+
+// Checkpoint is the mine.Budget.Checkpoint hook.
+func (i *Injector) Checkpoint(where string) error {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.n++
+	if i.action == nil || i.fired || i.n != i.at {
+		return nil
+	}
+	i.fired = true
+	i.where = where
+	return i.action(where)
+}
+
+// Seen returns how many checkpoints have been observed.
+func (i *Injector) Seen() int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.n
+}
+
+// Fired reports whether the action has triggered, and at which label.
+func (i *Injector) Fired() (bool, string) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.fired, i.where
+}

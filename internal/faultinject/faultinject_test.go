@@ -1,0 +1,94 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestCountNeverFires(t *testing.T) {
+	i := Count()
+	for k := 0; k < 10; k++ {
+		if err := i.Checkpoint("x"); err != nil {
+			t.Fatalf("counting injector returned %v", err)
+		}
+	}
+	if i.Seen() != 10 {
+		t.Errorf("Seen = %d, want 10", i.Seen())
+	}
+	if fired, _ := i.Fired(); fired {
+		t.Error("counting injector fired")
+	}
+}
+
+func TestFailFiresExactlyOnce(t *testing.T) {
+	i := Fail(3, nil)
+	var errs []error
+	for k := 0; k < 6; k++ {
+		errs = append(errs, i.Checkpoint("cp"))
+	}
+	for k, err := range errs {
+		if k == 2 {
+			if !errors.Is(err, ErrInjected) {
+				t.Errorf("checkpoint 3: err = %v, want ErrInjected", err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("checkpoint %d: err = %v, want nil", k+1, err)
+		}
+	}
+	fired, where := i.Fired()
+	if !fired || where != "cp" {
+		t.Errorf("Fired = (%v, %q)", fired, where)
+	}
+}
+
+func TestFailCustomError(t *testing.T) {
+	custom := errors.New("boom")
+	i := Fail(1, custom)
+	if err := i.Checkpoint("a"); !errors.Is(err, custom) {
+		t.Errorf("err = %v, want custom error", err)
+	}
+}
+
+func TestCancelInvokesAndReturnsNil(t *testing.T) {
+	called := false
+	i := Cancel(2, func() { called = true })
+	if err := i.Checkpoint("a"); err != nil || called {
+		t.Fatalf("first checkpoint: err=%v called=%v", err, called)
+	}
+	if err := i.Checkpoint("b"); err != nil {
+		t.Fatalf("cancel checkpoint returned %v, want nil", err)
+	}
+	if !called {
+		t.Error("cancel action not invoked")
+	}
+}
+
+func TestCheckpointConcurrent(t *testing.T) {
+	i := Fail(50, nil)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	injected := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 25; k++ {
+				if err := i.Checkpoint("w"); err != nil {
+					mu.Lock()
+					injected++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if i.Seen() != 200 {
+		t.Errorf("Seen = %d, want 200", i.Seen())
+	}
+	if injected != 1 {
+		t.Errorf("injected %d times, want exactly 1", injected)
+	}
+}

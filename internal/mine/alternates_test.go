@@ -1,6 +1,7 @@
 package mine
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -17,8 +18,8 @@ func TestVerticalMatchesLevelwise(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		db := randomDB(r, 15+r.Intn(25), 9, 5)
 		minSup := 1 + r.Intn(4)
-		a, err1 := AllFrequent(db, minSup, nil, nil)
-		b, err2 := VerticalFrequent(db, minSup, nil, nil)
+		a, err1 := AllFrequent(context.Background(), db, minSup, nil, nil, nil)
+		b, err2 := VerticalFrequent(context.Background(), db, minSup, nil, nil, nil)
 		if err1 != nil || err2 != nil {
 			return false
 		}
@@ -36,12 +37,12 @@ func TestPartitionMatchesLevelwise(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		db := randomDB(r, 15+r.Intn(25), 9, 5)
 		minSup := 1 + r.Intn(4)
-		want, err := AllFrequent(db, minSup, nil, nil)
+		want, err := AllFrequent(context.Background(), db, minSup, nil, nil, nil)
 		if err != nil {
 			return false
 		}
 		for _, parts := range []int{1, 2, 3, 7, 1000} {
-			got, err := PartitionFrequent(db, minSup, nil, parts, nil)
+			got, err := PartitionFrequent(context.Background(), db, minSup, nil, parts, nil, nil)
 			if err != nil {
 				return false
 			}
@@ -61,7 +62,7 @@ func TestVerticalDomainAndOrder(t *testing.T) {
 	db := txdb.New([]itemset.Set{
 		itemset.New(1, 2, 3), itemset.New(1, 2, 3), itemset.New(2, 3, 4),
 	})
-	levels, err := VerticalFrequent(db, 2, itemset.New(1, 2, 3), nil)
+	levels, err := VerticalFrequent(context.Background(), db, 2, itemset.New(1, 2, 3), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestPartitionTwoScans(t *testing.T) {
 	r := rand.New(rand.NewSource(5))
 	db := randomDB(r, 60, 8, 5)
 	db.ResetScans()
-	if _, err := PartitionFrequent(db, 3, nil, 4, nil); err != nil {
+	if _, err := PartitionFrequent(context.Background(), db, 3, nil, 4, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	// The partition algorithm reads the source database twice: once to
@@ -103,12 +104,12 @@ func TestPartitionTwoScans(t *testing.T) {
 
 func TestPartitionEdges(t *testing.T) {
 	empty := txdb.New(nil)
-	levels, err := PartitionFrequent(empty, 1, nil, 5, nil)
+	levels, err := PartitionFrequent(context.Background(), empty, 1, nil, 5, nil, nil)
 	if err != nil || levels != nil {
 		t.Errorf("empty db: %v, %v", levels, err)
 	}
 	db := txdb.New([]itemset.Set{itemset.New(1)})
-	levels, err = PartitionFrequent(db, 1, nil, 0, nil) // clamped partitions
+	levels, err = PartitionFrequent(context.Background(), db, 1, nil, 0, nil, nil) // clamped partitions
 	if err != nil || len(levels) != 1 {
 		t.Errorf("clamped partitions: %v, %v", levels, err)
 	}
@@ -141,8 +142,8 @@ func TestFPGrowthMatchesLevelwise(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		db := randomDB(r, 15+r.Intn(35), 9, 6)
 		minSup := 1 + r.Intn(4)
-		a, err1 := AllFrequent(db, minSup, nil, nil)
-		b, err2 := FPGrowth(db, minSup, nil, nil)
+		a, err1 := AllFrequent(context.Background(), db, minSup, nil, nil, nil)
+		b, err2 := FPGrowth(context.Background(), db, minSup, nil, nil, nil)
 		if err1 != nil || err2 != nil {
 			return false
 		}
@@ -157,7 +158,7 @@ func TestFPGrowthWithDomain(t *testing.T) {
 	db := txdb.New([]itemset.Set{
 		itemset.New(1, 2, 3), itemset.New(1, 2, 3), itemset.New(2, 3, 4), itemset.New(4),
 	})
-	levels, err := FPGrowth(db, 2, itemset.New(2, 3, 4), nil)
+	levels, err := FPGrowth(context.Background(), db, 2, itemset.New(2, 3, 4), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestFPGrowthWithDomain(t *testing.T) {
 	}
 	// Two scans total, independent of lattice depth.
 	db.ResetScans()
-	if _, err := FPGrowth(db, 1, nil, nil); err != nil {
+	if _, err := FPGrowth(context.Background(), db, 1, nil, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if got := db.Scans(); got != 2 {
@@ -181,7 +182,7 @@ func TestFPGrowthWithDomain(t *testing.T) {
 }
 
 func TestFPGrowthEmpty(t *testing.T) {
-	levels, err := FPGrowth(txdb.New(nil), 1, nil, nil)
+	levels, err := FPGrowth(context.Background(), txdb.New(nil), 1, nil, nil, nil)
 	if err != nil || len(levels) != 0 {
 		t.Errorf("empty db: %v %v", levels, err)
 	}

@@ -1,6 +1,7 @@
 package mine
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -36,7 +37,7 @@ func BenchmarkLevelwiseEndToEnd(b *testing.B) {
 	minSup := db.Len() / 50
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := AllFrequent(db, minSup, nil, nil); err != nil {
+		if _, err := AllFrequent(context.Background(), db, minSup, nil, nil, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -48,7 +49,7 @@ func BenchmarkTrieCounting(b *testing.B) {
 	// Mine once to reach level 2 state, then measure repeated level steps
 	// indirectly by full re-runs with preset level 1 (isolates generation
 	// plus counting beyond level 1).
-	lw, err := New(Config{DB: db, MinSupport: minSup})
+	lw, err := New(context.Background(), Config{DB: db, MinSupport: minSup})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func BenchmarkTrieCounting(b *testing.B) {
 	preset := lw.FrequentItemCounts()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		lw2, err := New(Config{DB: db, MinSupport: minSup, PresetL1: preset})
+		lw2, err := New(context.Background(), Config{DB: db, MinSupport: minSup, PresetL1: preset})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -69,7 +70,7 @@ func BenchmarkVerticalEndToEnd(b *testing.B) {
 	minSup := db.Len() / 50
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := VerticalFrequent(db, minSup, nil, nil); err != nil {
+		if _, err := VerticalFrequent(context.Background(), db, minSup, nil, nil, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -80,7 +81,7 @@ func BenchmarkMaxFrequent(b *testing.B) {
 	minSup := db.Len() / 50
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := MaxFrequent(db, minSup, nil, nil); err != nil {
+		if _, err := MaxFrequent(context.Background(), db, minSup, nil, nil, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -92,7 +93,7 @@ func BenchmarkParallelCounting(b *testing.B) {
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(map[int]string{1: "serial", 2: "w2", 4: "w4"}[workers], func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				lw, err := New(Config{DB: db, MinSupport: minSup, Workers: workers})
+				lw, err := New(context.Background(), Config{DB: db, MinSupport: minSup, Workers: workers})
 				if err != nil {
 					b.Fatal(err)
 				}

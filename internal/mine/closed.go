@@ -1,6 +1,7 @@
 package mine
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/itemset"
@@ -16,8 +17,9 @@ import (
 // Implementation: a vertical (Eclat) enumeration with a per-tidset closure
 // check — a set is closed iff no single extension preserves its tidset
 // count. Results are sorted by descending cardinality, then
-// lexicographically.
-func ClosedFrequent(db *txdb.DB, minSupport int, domain itemset.Set, stats *Stats) ([]Counted, error) {
+// lexicographically. Cancellation and budget are checked during the
+// vertical projection and at every prefix expansion of the walk.
+func ClosedFrequent(ctx context.Context, db *txdb.DB, minSupport int, domain itemset.Set, budget *Budget, stats *Stats) ([]Counted, error) {
 	if stats == nil {
 		stats = &Stats{}
 	}
@@ -27,13 +29,19 @@ func ClosedFrequent(db *txdb.DB, minSupport int, domain itemset.Set, stats *Stat
 	if domain == nil {
 		domain = db.ActiveItems()
 	}
+	guard := NewGuard(ctx, budget, stats)
 
 	inDomain := map[itemset.Item]bool{}
 	for _, it := range domain {
 		inDomain[it] = true
 	}
 	tids := map[itemset.Item]bitset{}
-	db.Scan(func(tid int, t itemset.Set) {
+	err := db.ScanErr(func(tid int, t itemset.Set) error {
+		if tid%checkBatch == 0 {
+			if err := guard.Check("closed: vertical projection"); err != nil {
+				return err
+			}
+		}
 		for _, it := range t {
 			if !inDomain[it] {
 				continue
@@ -42,11 +50,16 @@ func ClosedFrequent(db *txdb.DB, minSupport int, domain itemset.Set, stats *Stat
 			if b == nil {
 				b = newBitset(db.Len())
 				tids[it] = b
+				stats.LatticeBytes += bitsetBytes(b)
 			}
 			b.set(tid)
 		}
+		return nil
 	})
 	stats.DBScans++
+	if err != nil {
+		return nil, err
+	}
 
 	type entry struct {
 		item itemset.Item
@@ -90,9 +103,12 @@ func ClosedFrequent(db *txdb.DB, minSupport int, domain itemset.Set, stats *Stat
 		return true
 	}
 
-	var eclat func(prefix itemset.Set, class []entry)
-	eclat = func(prefix itemset.Set, class []entry) {
+	var eclat func(prefix itemset.Set, class []entry) error
+	eclat = func(prefix itemset.Set, class []entry) error {
 		for i, e := range class {
+			if err := guard.Check("closed: prefix expansion"); err != nil {
+				return err
+			}
 			set := prefix.Add(e.item)
 			if isClosed(set, e.bits) {
 				closed = append(closed, Counted{Set: set, Support: e.bits.count()})
@@ -103,14 +119,20 @@ func ClosedFrequent(db *txdb.DB, minSupport int, domain itemset.Set, stats *Stat
 				dst := newBitset(db.Len())
 				if sup := andInto(dst, e.bits, f.bits); sup >= minSupport {
 					next = append(next, entry{f.item, dst})
+					stats.LatticeBytes += bitsetBytes(dst)
 				}
 			}
 			if len(next) > 0 {
-				eclat(set, next)
+				if err := eclat(set, next); err != nil {
+					return err
+				}
 			}
 		}
+		return nil
 	}
-	eclat(itemset.Set{}, l1)
+	if err := eclat(itemset.Set{}, l1); err != nil {
+		return nil, err
+	}
 
 	sort.Slice(closed, func(i, j int) bool {
 		if closed[i].Set.Len() != closed[j].Set.Len() {

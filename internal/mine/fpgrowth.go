@@ -1,6 +1,7 @@
 package mine
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/itemset"
@@ -24,11 +25,16 @@ type fpNode struct {
 	next     *fpNode // header chain of nodes carrying the same item
 }
 
+// fpNodeBytes is the lattice-memory estimate for one FP-tree node: the
+// struct itself plus its (initially empty) children map header.
+const fpNodeBytes = 96
+
 // fpTree is an FP-tree with its header table.
 type fpTree struct {
 	root    *fpNode
 	headers []*fpNode // per ordered-item chain heads
 	counts  []int     // per ordered-item total support in this tree
+	nodes   int64     // nodes allocated, for lattice-memory accounting
 }
 
 func newFPTree(numItems int) *fpTree {
@@ -49,6 +55,7 @@ func (t *fpTree) insert(path []int32, count int) {
 			child.next = t.headers[it]
 			t.headers[it] = child
 			n.children[it] = child
+			t.nodes++
 		}
 		child.count += count
 		t.counts[it] += count
@@ -58,8 +65,11 @@ func (t *fpTree) insert(path []int32, count int) {
 
 // FPGrowth mines all frequent itemsets with the FP-growth algorithm. The
 // result is grouped by level like AllFrequent, each level in lexicographic
-// order.
-func FPGrowth(db *txdb.DB, minSupport int, domain itemset.Set, stats *Stats) ([][]Counted, error) {
+// order. Mining checks ctx and budget during both database passes (every
+// checkBatch transactions) and at each conditional-tree projection; on
+// abort it returns nil levels and the wrapped cancellation or
+// *BudgetError.
+func FPGrowth(ctx context.Context, db *txdb.DB, minSupport int, domain itemset.Set, budget *Budget, stats *Stats) ([][]Counted, error) {
 	if stats == nil {
 		stats = &Stats{}
 	}
@@ -69,6 +79,7 @@ func FPGrowth(db *txdb.DB, minSupport int, domain itemset.Set, stats *Stats) ([]
 	if domain == nil {
 		domain = db.ActiveItems()
 	}
+	guard := NewGuard(ctx, budget, stats)
 
 	// Pass 1: item frequencies over the domain.
 	inDomain := map[itemset.Item]bool{}
@@ -76,14 +87,23 @@ func FPGrowth(db *txdb.DB, minSupport int, domain itemset.Set, stats *Stats) ([]
 		inDomain[it] = true
 	}
 	freq := map[itemset.Item]int{}
-	db.Scan(func(_ int, t itemset.Set) {
+	err := db.ScanErr(func(tid int, t itemset.Set) error {
+		if tid%checkBatch == 0 {
+			if err := guard.Check("fp-growth: frequency pass"); err != nil {
+				return err
+			}
+		}
 		for _, it := range t {
 			if inDomain[it] {
 				freq[it]++
 			}
 		}
+		return nil
 	})
 	stats.DBScans++
+	if err != nil {
+		return nil, err
+	}
 
 	// Frequency-descending order over frequent items (ties by item id for
 	// determinism).
@@ -113,7 +133,12 @@ func FPGrowth(db *txdb.DB, minSupport int, domain itemset.Set, stats *Stats) ([]
 
 	// Pass 2: build the FP-tree from ordered, filtered transactions.
 	tree := newFPTree(len(fl))
-	db.Scan(func(_ int, t itemset.Set) {
+	err = db.ScanErr(func(tid int, t itemset.Set) error {
+		if tid%checkBatch == 0 {
+			if err := guard.Check("fp-growth: tree construction"); err != nil {
+				return err
+			}
+		}
 		var path []int32
 		for _, it := range t {
 			if o, ok := orderOf[it]; ok {
@@ -121,12 +146,20 @@ func FPGrowth(db *txdb.DB, minSupport int, domain itemset.Set, stats *Stats) ([]
 			}
 		}
 		if len(path) == 0 {
-			return
+			return nil
 		}
 		sort.Slice(path, func(i, j int) bool { return path[i] < path[j] })
 		tree.insert(path, 1)
+		return nil
 	})
 	stats.DBScans++
+	if err != nil {
+		return nil, err
+	}
+	stats.LatticeBytes += tree.nodes * fpNodeBytes
+	if err := guard.Check("fp-growth: tree construction"); err != nil {
+		return nil, err
+	}
 
 	var levels [][]Counted
 	emit := func(suffix []int32, support int) {
@@ -145,12 +178,16 @@ func FPGrowth(db *txdb.DB, minSupport int, domain itemset.Set, stats *Stats) ([]
 
 	// Recursive pattern growth: process header items bottom-up (least
 	// frequent first), emit suffix ∪ {item}, project the conditional tree.
-	var grow func(t *fpTree, suffix []int32)
-	grow = func(t *fpTree, suffix []int32) {
+	// Each projection is one cancellation checkpoint.
+	var grow func(t *fpTree, suffix []int32) error
+	grow = func(t *fpTree, suffix []int32) error {
 		for o := int32(len(t.headers)) - 1; o >= 0; o-- {
 			sup := t.counts[o]
 			if sup < minSupport {
 				continue
+			}
+			if err := guard.Check("fp-growth: conditional projection"); err != nil {
+				return err
 			}
 			newSuffix := append(append([]int32{}, suffix...), o)
 			emit(newSuffix, sup)
@@ -175,11 +212,17 @@ func FPGrowth(db *txdb.DB, minSupport int, domain itemset.Set, stats *Stats) ([]
 				any = true
 			}
 			if any {
-				grow(cond, newSuffix)
+				stats.LatticeBytes += cond.nodes * fpNodeBytes
+				if err := grow(cond, newSuffix); err != nil {
+					return err
+				}
 			}
 		}
+		return nil
 	}
-	grow(tree, nil)
+	if err := grow(tree, nil); err != nil {
+		return nil, err
+	}
 
 	// Pattern-growth emission order is suffix-driven; normalize per level.
 	for _, lv := range levels {

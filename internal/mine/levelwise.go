@@ -21,6 +21,7 @@
 package mine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -82,6 +83,10 @@ type Config struct {
 	// counting" without paying for level 1 twice. Entries outside Domain
 	// are ignored; entries failing CandidateFilter are dropped.
 	PresetL1 []Counted
+	// Budget, when non-nil, caps the resources the run may consume; an
+	// overrun aborts mining with a *BudgetError. Budgets shared across
+	// miners accumulate consumption globally.
+	Budget *Budget
 	// Stats, when non-nil, accumulates work counters.
 	Stats *Stats
 }
@@ -93,15 +98,20 @@ type Counted struct {
 }
 
 // Levelwise is a resumable levelwise miner. Create with New, then call Step
-// until done (or RunAll).
+// until done (or RunAll). The context passed to New governs the whole run:
+// Step checks it (and the configured Budget) at level and batch boundaries
+// and unwinds with a wrapped ctx.Err() or *BudgetError. A miner that has
+// failed stays failed; re-running requires a fresh miner.
 type Levelwise struct {
 	cfg        Config
 	stats      *Stats
+	guard      *Guard
 	tx         [][]int32 // transactions projected to rank space
 	rankToItem []itemset.Item
 	nRequired  int // ranks < nRequired are Required items
 	level      int
 	done       bool
+	err        error
 
 	// State of the previous level (rank space, lex order).
 	prevSets [][]int32
@@ -115,8 +125,9 @@ type Levelwise struct {
 }
 
 // New validates cfg and prepares a miner. The database is projected onto the
-// domain once (one scan).
-func New(cfg Config) (*Levelwise, error) {
+// domain once (one scan). ctx governs the whole run: New and every
+// subsequent Step observe its cancellation at checkpoint boundaries.
+func New(ctx context.Context, cfg Config) (*Levelwise, error) {
 	if cfg.DB == nil {
 		return nil, fmt.Errorf("mine: Config.DB is nil")
 	}
@@ -162,9 +173,16 @@ func New(cfg Config) (*Levelwise, error) {
 		itemToRank[it] = int32(r)
 	}
 
-	// Project the database (one accounted scan).
+	guard := NewGuard(ctx, cfg.Budget, stats)
+
+	// Project the database (one accounted scan, checked per batch).
 	tx := make([][]int32, 0, cfg.DB.Len())
-	cfg.DB.Scan(func(_ int, t itemset.Set) {
+	err := cfg.DB.ScanErr(func(tid int, t itemset.Set) error {
+		if tid%checkBatch == 0 {
+			if err := guard.Check("levelwise: database projection"); err != nil {
+				return err
+			}
+		}
 		var row []int32
 		for _, it := range t {
 			if int(it) < len(itemToRank) && itemToRank[it] >= 0 {
@@ -173,12 +191,17 @@ func New(cfg Config) (*Levelwise, error) {
 		}
 		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
 		tx = append(tx, row)
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	stats.DBScans++
 
 	return &Levelwise{
 		cfg:        cfg,
 		stats:      stats,
+		guard:      guard,
 		tx:         tx,
 		rankToItem: rankToItem,
 		nRequired:  nRequired,
@@ -244,20 +267,36 @@ func rankKey(rs []int32) string {
 
 // Step advances one level and returns the valid frequent sets discovered at
 // that level (original item space, after ReportValid), plus whether mining
-// has finished. Calling Step after completion returns (nil, true).
-func (l *Levelwise) Step() ([]Counted, bool) {
+// has finished. Calling Step after completion returns (nil, true, nil).
+//
+// A non-nil error means the run was cancelled (a wrapped ctx.Err()) or
+// exceeded its budget (*BudgetError with partial Stats); the miner is then
+// permanently done and every later Step returns the same error.
+func (l *Levelwise) Step() ([]Counted, bool, error) {
+	if l.err != nil {
+		return nil, true, l.err
+	}
 	if l.done {
-		return nil, true
+		return nil, true, nil
 	}
+	var out []Counted
+	var err error
 	if l.level == 0 {
-		out := l.stepOne()
-		l.finishLevelCheck()
-		return out, l.done
+		out, err = l.stepOne()
+	} else {
+		out, err = l.stepK()
 	}
-	out := l.stepK()
+	if err != nil {
+		l.err = err
+		l.done = true
+		return nil, true, err
+	}
 	l.finishLevelCheck()
-	return out, l.done
+	return out, l.done, nil
 }
+
+// Err returns the error that stopped the run, if any.
+func (l *Levelwise) Err() error { return l.err }
 
 func (l *Levelwise) finishLevelCheck() {
 	if l.cfg.MaxLevel > 0 && l.level >= l.cfg.MaxLevel {
@@ -271,7 +310,10 @@ func (l *Levelwise) finishLevelCheck() {
 // stepOne establishes level 1: every domain item is counted (optionally
 // pre-filtered by the anti-monotone CandidateFilter), unless PresetL1
 // supplies the counts.
-func (l *Levelwise) stepOne() []Counted {
+func (l *Levelwise) stepOne() ([]Counted, error) {
+	if err := l.guard.Check("level 1: candidate generation"); err != nil {
+		return nil, err
+	}
 	n := len(l.rankToItem)
 	counts := make([]int, n)
 	if l.cfg.PresetL1 != nil {
@@ -302,10 +344,19 @@ func (l *Levelwise) stepOne() []Counted {
 			eligible[r] = true
 			l.stats.CandidatesCounted++
 		}
-		for _, t := range l.tx {
-			for _, r := range t {
-				if eligible[r] {
-					counts[r]++
+		for start := 0; start < len(l.tx); start += checkBatch {
+			if err := l.guard.Check("level 1: counting"); err != nil {
+				return nil, err
+			}
+			end := start + checkBatch
+			if end > len(l.tx) {
+				end = len(l.tx)
+			}
+			for _, t := range l.tx[start:end] {
+				for _, r := range t {
+					if eligible[r] {
+						counts[r]++
+					}
 				}
 			}
 		}
@@ -325,6 +376,7 @@ func (l *Levelwise) stepOne() []Counted {
 			continue
 		}
 		l.stats.FrequentSets++
+		l.stats.LatticeBytes += setBytes(1)
 		l.l1Ranks = append(l.l1Ranks, int32(r))
 		l.l1Sup = append(l.l1Sup, counts[r])
 		l.lastFrequent = append(l.lastFrequent,
@@ -345,28 +397,40 @@ func (l *Levelwise) stepOne() []Counted {
 		}
 	}
 	l.level = 1
-	return out
+	return out, nil
 }
 
 // stepK generates, prunes and counts level k+1 candidates.
-func (l *Levelwise) stepK() []Counted {
+func (l *Levelwise) stepK() ([]Counted, error) {
 	k := l.level
+	if err := l.guard.Check(fmt.Sprintf("level %d: candidate generation", k+1)); err != nil {
+		return nil, err
+	}
 	var cands [][]int32
+	var err error
 	if k == 1 {
-		cands = l.genLevel2()
+		cands, err = l.genLevel2()
 	} else {
 		switch l.cfg.GenMode {
 		case GenExtension:
-			cands = l.genExtension(k)
+			cands, err = l.genExtension(k)
 		default:
-			cands = l.genPrefixJoin(k)
+			cands, err = l.genPrefixJoin(k)
 		}
+	}
+	if err != nil {
+		return nil, err
 	}
 
 	// Anti-monotone candidate filter.
 	if l.cfg.CandidateFilter != nil {
 		kept := cands[:0]
-		for _, c := range cands {
+		for i, c := range cands {
+			if i%genCheckBatch == 0 {
+				if err := l.guard.Check(fmt.Sprintf("level %d: candidate filtering", k+1)); err != nil {
+					return nil, err
+				}
+			}
 			if l.cfg.CandidateFilter(k+1, l.toOrig(c)) {
 				kept = append(kept, c)
 			}
@@ -378,11 +442,17 @@ func (l *Levelwise) stepK() []Counted {
 	if len(cands) == 0 {
 		l.prevSets, l.prevSup, l.prevKeys = nil, nil, map[string]int{}
 		l.lastFrequent = nil
-		return nil
+		return nil, nil
 	}
 
-	counts := l.countCandidates(cands, k+1)
+	// Charge the candidates before counting them: the in-counting
+	// checkpoints then enforce MaxCandidates at batch granularity instead
+	// of discovering a whole level's overrun only after its DB scan.
 	l.stats.CandidatesCounted += int64(len(cands))
+	counts, err := l.countCandidates(cands, k+1)
+	if err != nil {
+		return nil, err
+	}
 	l.stats.DBScans++
 
 	var out []Counted
@@ -395,6 +465,7 @@ func (l *Levelwise) stepK() []Counted {
 			continue
 		}
 		l.stats.FrequentSets++
+		l.stats.LatticeBytes += setBytes(len(c))
 		newKeys[rankKey(c)] = len(newSets)
 		newSets = append(newSets, c)
 		newSup = append(newSup, counts[i])
@@ -406,31 +477,47 @@ func (l *Levelwise) stepK() []Counted {
 		}
 	}
 	l.prevSets, l.prevSup, l.prevKeys = newSets, newSup, newKeys
-	return out
+	return out, nil
 }
+
+// genCheckBatch is how many candidates a generation or filtering loop
+// produces between checkpoints: prefix boundaries are too fine to check
+// individually, whole levels too coarse on wide lattices.
+const genCheckBatch = 8192
 
 // genLevel2 pairs frequent items; when a Required class exists the first
 // element must be required (required items hold the lowest ranks, so this
 // enumerates exactly the valid pairs).
-func (l *Levelwise) genLevel2() [][]int32 {
+func (l *Levelwise) genLevel2() ([][]int32, error) {
 	var cands [][]int32
 	for i, a := range l.l1Ranks {
 		if l.nRequired > 0 && int(a) >= l.nRequired {
 			break // no required item can follow: ranks are sorted
 		}
+		if err := l.guard.Check("level 2: candidate generation"); err != nil {
+			return nil, err
+		}
 		for _, b := range l.l1Ranks[i+1:] {
 			cands = append(cands, []int32{a, b})
 		}
 	}
-	return cands
+	return cands, nil
 }
 
 // genPrefixJoin joins frequent valid k-sets sharing their first k-1 ranks
-// and applies the validity-aware subset prune.
-func (l *Levelwise) genPrefixJoin(k int) [][]int32 {
+// and applies the validity-aware subset prune. Checkpoints fall on prefix
+// boundaries, batched by generated candidates.
+func (l *Levelwise) genPrefixJoin(k int) ([][]int32, error) {
 	var cands [][]int32
+	nextCheck := 0
 	sets := l.prevSets
 	for i := 0; i < len(sets); i++ {
+		if len(cands) >= nextCheck {
+			if err := l.guard.Check(fmt.Sprintf("level %d: prefix join", k+1)); err != nil {
+				return nil, err
+			}
+			nextCheck = len(cands) + genCheckBatch
+		}
 		for j := i + 1; j < len(sets); j++ {
 			if !samePrefix(sets[i], sets[j], k-1) {
 				break // lex order: once the prefix changes it stays changed
@@ -443,15 +530,22 @@ func (l *Levelwise) genPrefixJoin(k int) [][]int32 {
 			}
 		}
 	}
-	return cands
+	return cands, nil
 }
 
 // genExtension extends each frequent valid k-set with every later frequent
 // item (ablation baseline; same output after pruning and counting).
-func (l *Levelwise) genExtension(k int) [][]int32 {
+func (l *Levelwise) genExtension(k int) ([][]int32, error) {
 	var cands [][]int32
+	nextCheck := 0
 	seen := map[string]bool{}
 	for _, s := range l.prevSets {
+		if len(cands) >= nextCheck {
+			if err := l.guard.Check(fmt.Sprintf("level %d: extension generation", k+1)); err != nil {
+				return nil, err
+			}
+			nextCheck = len(cands) + genCheckBatch
+		}
 		last := s[len(s)-1]
 		for _, r := range l.l1Ranks {
 			if r <= last {
@@ -473,7 +567,7 @@ func (l *Levelwise) genExtension(k int) [][]int32 {
 	// The counting trie requires lexicographic candidate order; extension
 	// generation does not produce it naturally.
 	sort.Slice(cands, func(i, j int) bool { return lexLess(cands[i], cands[j]) })
-	return cands
+	return cands, nil
 }
 
 func lexLess(a, b []int32) bool {
@@ -526,8 +620,12 @@ type trieNode struct {
 }
 
 // countCandidates counts the supports of lexicographically sorted k-level
-// candidates in one pass over the projected transactions.
-func (l *Levelwise) countCandidates(cands [][]int32, k int) []int {
+// candidates in one pass over the projected transactions. Serial counting
+// checkpoints between transaction batches; parallel workers poll the
+// context between batches (so cancellation stops them promptly) and the
+// coordinator re-checks after they join, which keeps checkpoint numbering
+// deterministic regardless of Workers.
+func (l *Levelwise) countCandidates(cands [][]int32, k int) ([]int, error) {
 	root := &trieNode{}
 	for idx, c := range cands {
 		n := root
@@ -555,14 +653,30 @@ func (l *Levelwise) countCandidates(cands [][]int32, k int) []int {
 		}
 	}
 
+	where := fmt.Sprintf("level %d: counting", k)
 	workers := l.cfg.Workers
 	if workers < 2 || len(l.tx) < 4*workers {
 		counts := make([]int, len(cands))
-		countTrie(root, k, l.tx, counts)
-		return counts
+		for start := 0; start < len(l.tx); start += checkBatch {
+			if err := l.guard.Check(where); err != nil {
+				return nil, err
+			}
+			end := start + checkBatch
+			if end > len(l.tx) {
+				end = len(l.tx)
+			}
+			countTrie(nil, root, k, l.tx[start:end], counts)
+		}
+		return counts, nil
 	}
 	// Parallel counting: partition the transactions, count into per-worker
-	// slices against the shared read-only trie, then sum.
+	// slices against the shared read-only trie, then sum. Workers always
+	// rejoin through wg.Wait — cancellation makes them return early, never
+	// leak.
+	if err := l.guard.Check(where); err != nil {
+		return nil, err
+	}
+	ctx := l.guard.Ctx()
 	per := make([][]int, workers)
 	var wg sync.WaitGroup
 	chunk := (len(l.tx) + workers - 1) / workers
@@ -579,22 +693,29 @@ func (l *Levelwise) countCandidates(cands [][]int32, k int) []int {
 		wg.Add(1)
 		go func(dst []int, txs [][]int32) {
 			defer wg.Done()
-			countTrie(root, k, txs, dst)
+			countTrie(ctx, root, k, txs, dst)
 		}(per[w], l.tx[lo:hi])
 	}
 	wg.Wait()
+	// A cancellation that stopped the workers early surfaces here, before
+	// the partial per-worker counts can be used.
+	if err := l.guard.Check(where); err != nil {
+		return nil, err
+	}
 	counts := make([]int, len(cands))
 	for _, p := range per {
 		for i, v := range p {
 			counts[i] += v
 		}
 	}
-	return counts
+	return counts, nil
 }
 
 // countTrie counts the trie's candidates over the given transactions into
-// counts. The trie is read-only during counting.
-func countTrie(root *trieNode, k int, txs [][]int32, counts []int) {
+// counts. The trie is read-only during counting. A non-nil ctx is polled
+// between transaction batches; on cancellation the partial counts are
+// abandoned by the caller.
+func countTrie(ctx context.Context, root *trieNode, k int, txs [][]int32, counts []int) {
 	var walk func(n *trieNode, depth int, t []int32)
 	walk = func(n *trieNode, depth int, t []int32) {
 		i, j := 0, 0
@@ -619,7 +740,10 @@ func countTrie(root *trieNode, k int, txs [][]int32, counts []int) {
 			}
 		}
 	}
-	for _, t := range txs {
+	for i, t := range txs {
+		if ctx != nil && i%checkBatch == 0 && ctx.Err() != nil {
+			return
+		}
 		if len(t) >= k {
 			walk(root, 0, t)
 		}
@@ -627,11 +751,15 @@ func countTrie(root *trieNode, k int, txs [][]int32, counts []int) {
 }
 
 // RunAll steps the miner to completion and returns the valid frequent sets
-// per level (index 0 is level 1).
-func (l *Levelwise) RunAll() [][]Counted {
+// per level (index 0 is level 1). On cancellation or budget exhaustion it
+// returns the levels completed so far together with the error.
+func (l *Levelwise) RunAll() ([][]Counted, error) {
 	var levels [][]Counted
 	for !l.done {
-		sets, _ := l.Step()
+		sets, _, err := l.Step()
+		if err != nil {
+			return levels, err
+		}
 		if l.level > len(levels) {
 			levels = append(levels, sets)
 		}
@@ -640,15 +768,20 @@ func (l *Levelwise) RunAll() [][]Counted {
 	for len(levels) > 0 && len(levels[len(levels)-1]) == 0 {
 		levels = levels[:len(levels)-1]
 	}
-	return levels
+	return levels, nil
 }
 
 // AllFrequent mines all frequent itemsets over the given domain with no
-// constraints — the plain Apriori substrate.
-func AllFrequent(db *txdb.DB, minSupport int, domain itemset.Set, stats *Stats) ([][]Counted, error) {
-	lw, err := New(Config{DB: db, MinSupport: minSupport, Domain: domain, Stats: stats})
+// constraints — the plain Apriori substrate. ctx cancellation and budget
+// overruns abort the run at the next checkpoint.
+func AllFrequent(ctx context.Context, db *txdb.DB, minSupport int, domain itemset.Set, budget *Budget, stats *Stats) ([][]Counted, error) {
+	lw, err := New(ctx, Config{DB: db, MinSupport: minSupport, Domain: domain, Budget: budget, Stats: stats})
 	if err != nil {
 		return nil, err
 	}
-	return lw.RunAll(), nil
+	levels, err := lw.RunAll()
+	if err != nil {
+		return nil, err
+	}
+	return levels, nil
 }

@@ -1,6 +1,7 @@
 package mine
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -37,6 +38,13 @@ func bruteFrequent(db *txdb.DB, minSup int, domain itemset.Set) map[string]int {
 	return res
 }
 
+// runAll drains a Levelwise, discarding any error (helper for tests whose
+// configurations cannot fail).
+func runAll(lw *Levelwise) [][]Counted {
+	levels, _ := lw.RunAll()
+	return levels
+}
+
 func flatten(levels [][]Counted) map[string]int {
 	res := map[string]int{}
 	for _, lv := range levels {
@@ -67,7 +75,7 @@ func TestAllFrequentSmall(t *testing.T) {
 		itemset.New(2, 3),
 		itemset.New(1, 2, 3),
 	})
-	levels, err := AllFrequent(db, 3, nil, nil)
+	levels, err := AllFrequent(context.Background(), db, 3, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,11 +95,11 @@ func TestAllFrequentSmall(t *testing.T) {
 }
 
 func TestEmptyAndDegenerate(t *testing.T) {
-	if _, err := New(Config{}); err == nil {
+	if _, err := New(context.Background(), Config{}); err == nil {
 		t.Error("nil DB accepted")
 	}
 	empty := txdb.New(nil)
-	levels, err := AllFrequent(empty, 1, nil, nil)
+	levels, err := AllFrequent(context.Background(), empty, 1, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,18 +108,18 @@ func TestEmptyAndDegenerate(t *testing.T) {
 	}
 	// Threshold above every support.
 	db := txdb.New([]itemset.Set{itemset.New(1), itemset.New(2)})
-	levels, _ = AllFrequent(db, 5, nil, nil)
+	levels, _ = AllFrequent(context.Background(), db, 5, nil, nil, nil)
 	if len(levels) != 0 {
 		t.Errorf("unreachable threshold produced levels: %v", levels)
 	}
 	// MinSupport < 1 is clamped to 1.
-	lw, _ := New(Config{DB: db, MinSupport: -3})
-	if got := flatten(lw.RunAll()); len(got) != 2 {
+	lw, _ := New(context.Background(), Config{DB: db, MinSupport: -3})
+	if got := flatten(runAll(lw)); len(got) != 2 {
 		t.Errorf("clamped threshold: got %d sets, want 2", len(got))
 	}
 	// Empty domain.
-	lw, _ = New(Config{DB: db, MinSupport: 1, Domain: itemset.New()})
-	if got := flatten(lw.RunAll()); len(got) != 0 {
+	lw, _ = New(context.Background(), Config{DB: db, MinSupport: 1, Domain: itemset.New()})
+	if got := flatten(runAll(lw)); len(got) != 0 {
 		t.Errorf("empty domain produced sets: %v", got)
 	}
 }
@@ -121,7 +129,7 @@ func TestQuickMatchesBruteForce(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		db := randomDB(r, 12+r.Intn(20), 8, 5)
 		minSup := 1 + r.Intn(4)
-		levels, err := AllFrequent(db, minSup, nil, nil)
+		levels, err := AllFrequent(context.Background(), db, minSup, nil, nil, nil)
 		if err != nil {
 			return false
 		}
@@ -136,7 +144,7 @@ func TestDomainRestriction(t *testing.T) {
 	r := rand.New(rand.NewSource(42))
 	db := randomDB(r, 30, 10, 6)
 	domain := itemset.New(0, 2, 4, 6, 8)
-	levels, err := AllFrequent(db, 2, domain, nil)
+	levels, err := AllFrequent(context.Background(), db, 2, domain, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,13 +174,13 @@ func TestRequiredClass(t *testing.T) {
 			if required.Empty() {
 				required = itemset.New(0)
 			}
-			lw, err := New(Config{
+			lw, err := New(context.Background(), Config{
 				DB: db, MinSupport: minSup, Required: required, GenMode: mode,
 			})
 			if err != nil {
 				return false
 			}
-			got := flatten(lw.RunAll())
+			got := flatten(runAll(lw))
 			want := map[string]int{}
 			for k, v := range bruteFrequent(db, minSup, db.ActiveItems()) {
 				s, _ := itemset.ParseKey(k)
@@ -204,14 +212,14 @@ func TestCandidateFilter(t *testing.T) {
 			}
 			return sum <= bound
 		}
-		lw, err := New(Config{
+		lw, err := New(context.Background(), Config{
 			DB: db, MinSupport: minSup,
 			CandidateFilter: func(_ int, s itemset.Set) bool { return sumOK(s) },
 		})
 		if err != nil {
 			return false
 		}
-		got := flatten(lw.RunAll())
+		got := flatten(runAll(lw))
 		want := map[string]int{}
 		for k, v := range bruteFrequent(db, minSup, db.ActiveItems()) {
 			s, _ := itemset.ParseKey(k)
@@ -232,14 +240,14 @@ func TestReportValidDoesNotBreakGeneration(t *testing.T) {
 	db := txdb.New([]itemset.Set{
 		itemset.New(1, 2, 3), itemset.New(1, 2, 3), itemset.New(1, 2, 3),
 	})
-	lw, err := New(Config{
+	lw, err := New(context.Background(), Config{
 		DB: db, MinSupport: 3,
 		ReportValid: func(s itemset.Set) bool { return s.Len() >= 2 },
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := flatten(lw.RunAll())
+	got := flatten(runAll(lw))
 	want := map[string]int{
 		itemset.New(1, 2).Key():    3,
 		itemset.New(1, 3).Key():    3,
@@ -255,18 +263,18 @@ func TestMaxLevel(t *testing.T) {
 	db := txdb.New([]itemset.Set{
 		itemset.New(1, 2, 3, 4), itemset.New(1, 2, 3, 4),
 	})
-	lw, err := New(Config{DB: db, MinSupport: 2, MaxLevel: 2})
+	lw, err := New(context.Background(), Config{DB: db, MinSupport: 2, MaxLevel: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	levels := lw.RunAll()
+	levels := runAll(lw)
 	if len(levels) != 2 {
 		t.Fatalf("levels = %d, want 2", len(levels))
 	}
 	if !lw.Done() {
 		t.Error("not done after MaxLevel")
 	}
-	if sets, done := lw.Step(); sets != nil || !done {
+	if sets, done, _ := lw.Step(); sets != nil || !done {
 		t.Error("Step after done returned work")
 	}
 }
@@ -275,11 +283,11 @@ func TestStepwiseAndFrequentItems(t *testing.T) {
 	db := txdb.New([]itemset.Set{
 		itemset.New(1, 2), itemset.New(1, 2), itemset.New(3),
 	})
-	lw, err := New(Config{DB: db, MinSupport: 2})
+	lw, err := New(context.Background(), Config{DB: db, MinSupport: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	l1, done := lw.Step()
+	l1, done, _ := lw.Step()
 	if done || lw.Level() != 1 {
 		t.Fatalf("after first step: done=%v level=%d", done, lw.Level())
 	}
@@ -289,7 +297,7 @@ func TestStepwiseAndFrequentItems(t *testing.T) {
 	if got := lw.FrequentItems(); !got.Equal(itemset.New(1, 2)) {
 		t.Errorf("FrequentItems = %v", got)
 	}
-	l2, _ := lw.Step()
+	l2, _, _ := lw.Step()
 	if len(l2) != 1 || !l2[0].Set.Equal(itemset.New(1, 2)) || l2[0].Support != 2 {
 		t.Errorf("level 2 = %v", l2)
 	}
@@ -302,11 +310,11 @@ func TestFrequentItemsIncludesNonRequired(t *testing.T) {
 	db := txdb.New([]itemset.Set{
 		itemset.New(1, 2), itemset.New(1, 2), itemset.New(2),
 	})
-	lw, err := New(Config{DB: db, MinSupport: 2, Required: itemset.New(1)})
+	lw, err := New(context.Background(), Config{DB: db, MinSupport: 2, Required: itemset.New(1)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	l1, _ := lw.Step()
+	l1, _, _ := lw.Step()
 	if len(l1) != 1 || !l1[0].Set.Equal(itemset.New(1)) {
 		t.Fatalf("valid level 1 = %v, want only {1}", l1)
 	}
@@ -321,7 +329,7 @@ func TestStatsCounters(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	db := randomDB(r, 40, 8, 5)
 	stats := &Stats{}
-	lw, err := New(Config{DB: db, MinSupport: 2, Required: itemset.New(0, 1), Stats: stats})
+	lw, err := New(context.Background(), Config{DB: db, MinSupport: 2, Required: itemset.New(0, 1), Stats: stats})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -364,12 +372,12 @@ func TestGenModesAgree(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		db := randomDB(r, 25, 8, 6)
 		minSup := 1 + r.Intn(3)
-		a, err1 := New(Config{DB: db, MinSupport: minSup, GenMode: GenPrefixJoin})
-		b, err2 := New(Config{DB: db, MinSupport: minSup, GenMode: GenExtension})
+		a, err1 := New(context.Background(), Config{DB: db, MinSupport: minSup, GenMode: GenPrefixJoin})
+		b, err2 := New(context.Background(), Config{DB: db, MinSupport: minSup, GenMode: GenExtension})
 		if err1 != nil || err2 != nil {
 			return false
 		}
-		return mapsEqual(flatten(a.RunAll()), flatten(b.RunAll()))
+		return mapsEqual(flatten(runAll(a)), flatten(runAll(b)))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
@@ -383,12 +391,12 @@ func TestParallelCountingMatchesSerial(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		db := randomDB(r, 40+r.Intn(40), 9, 6)
 		minSup := 1 + r.Intn(3)
-		serial, err1 := AllFrequent(db, minSup, nil, nil)
-		lw, err2 := New(Config{DB: db, MinSupport: minSup, Workers: 4})
+		serial, err1 := AllFrequent(context.Background(), db, minSup, nil, nil, nil)
+		lw, err2 := New(context.Background(), Config{DB: db, MinSupport: minSup, Workers: 4})
 		if err1 != nil || err2 != nil {
 			return false
 		}
-		return mapsEqual(flatten(serial), flatten(lw.RunAll()))
+		return mapsEqual(flatten(serial), flatten(runAll(lw)))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)

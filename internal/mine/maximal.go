@@ -1,6 +1,7 @@
 package mine
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/itemset"
@@ -16,8 +17,9 @@ import (
 
 // MaxFrequent returns the maximal frequent itemsets (frequent sets with no
 // frequent proper superset) with their supports, sorted by descending
-// cardinality then lexicographically.
-func MaxFrequent(db *txdb.DB, minSupport int, domain itemset.Set, stats *Stats) ([]Counted, error) {
+// cardinality then lexicographically. Cancellation and budget are checked
+// during the vertical projection and at every subtree of the walk.
+func MaxFrequent(ctx context.Context, db *txdb.DB, minSupport int, domain itemset.Set, budget *Budget, stats *Stats) ([]Counted, error) {
 	if stats == nil {
 		stats = &Stats{}
 	}
@@ -27,6 +29,7 @@ func MaxFrequent(db *txdb.DB, minSupport int, domain itemset.Set, stats *Stats) 
 	if domain == nil {
 		domain = db.ActiveItems()
 	}
+	guard := NewGuard(ctx, budget, stats)
 
 	// Vertical representation, as in VerticalFrequent.
 	inDomain := map[itemset.Item]bool{}
@@ -34,7 +37,12 @@ func MaxFrequent(db *txdb.DB, minSupport int, domain itemset.Set, stats *Stats) 
 		inDomain[it] = true
 	}
 	tids := map[itemset.Item]bitset{}
-	db.Scan(func(tid int, t itemset.Set) {
+	err := db.ScanErr(func(tid int, t itemset.Set) error {
+		if tid%checkBatch == 0 {
+			if err := guard.Check("maximal: vertical projection"); err != nil {
+				return err
+			}
+		}
 		for _, it := range t {
 			if !inDomain[it] {
 				continue
@@ -43,11 +51,16 @@ func MaxFrequent(db *txdb.DB, minSupport int, domain itemset.Set, stats *Stats) 
 			if b == nil {
 				b = newBitset(db.Len())
 				tids[it] = b
+				stats.LatticeBytes += bitsetBytes(b)
 			}
 			b.set(tid)
 		}
+		return nil
 	})
 	stats.DBScans++
+	if err != nil {
+		return nil, err
+	}
 
 	type entry struct {
 		item itemset.Item
@@ -76,13 +89,16 @@ func MaxFrequent(db *txdb.DB, minSupport int, domain itemset.Set, stats *Stats) 
 		found = append(found, Counted{Set: set, Support: sup})
 	}
 
-	var walk func(prefix itemset.Set, prefixBits bitset, class []entry)
-	walk = func(prefix itemset.Set, prefixBits bitset, class []entry) {
+	var walk func(prefix itemset.Set, prefixBits bitset, class []entry) error
+	walk = func(prefix itemset.Set, prefixBits bitset, class []entry) error {
+		if err := guard.Check("maximal: subtree walk"); err != nil {
+			return err
+		}
 		if len(class) == 0 {
 			if prefix.Len() > 0 {
 				record(prefix, prefixBits.count())
 			}
-			return
+			return nil
 		}
 		// Look-ahead: if prefix ∪ the whole tail is frequent, it subsumes
 		// every subset of this subtree.
@@ -102,7 +118,7 @@ func MaxFrequent(db *txdb.DB, minSupport int, domain itemset.Set, stats *Stats) 
 				long = long.Add(e.item)
 			}
 			record(long, n)
-			return
+			return nil
 		}
 		for i, e := range class {
 			set := prefix.Add(e.item)
@@ -112,16 +128,22 @@ func MaxFrequent(db *txdb.DB, minSupport int, domain itemset.Set, stats *Stats) 
 				dst := newBitset(db.Len())
 				if sup := andInto(dst, e.bits, f.bits); sup >= minSupport {
 					next = append(next, entry{f.item, dst})
+					stats.LatticeBytes += bitsetBytes(dst)
 				}
 			}
 			if len(next) == 0 {
 				record(set, e.bits.count())
 				continue
 			}
-			walk(set, e.bits, next)
+			if err := walk(set, e.bits, next); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	walk(itemset.Set{}, nil, l1)
+	if err := walk(itemset.Set{}, nil, l1); err != nil {
+		return nil, err
+	}
 
 	// Subsumption filter: keep sets with no recorded proper superset.
 	sort.Slice(found, func(i, j int) bool { return found[i].Set.Len() > found[j].Set.Len() })

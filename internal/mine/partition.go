@@ -1,6 +1,7 @@
 package mine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -18,8 +19,11 @@ import (
 // depth, trading extra candidates for fewer scans.
 
 // PartitionFrequent mines all frequent itemsets using the two-phase
-// partition algorithm. numPartitions is clamped to [1, db.Len()].
-func PartitionFrequent(db *txdb.DB, minSupport int, domain itemset.Set, numPartitions int, stats *Stats) ([][]Counted, error) {
+// partition algorithm. numPartitions is clamped to [1, db.Len()]. The
+// budget spans all partitions: every inner levelwise run draws from the
+// same pool, and phase 2's verification scan checks cancellation every
+// checkBatch transactions.
+func PartitionFrequent(ctx context.Context, db *txdb.DB, minSupport int, domain itemset.Set, numPartitions int, budget *Budget, stats *Stats) ([][]Counted, error) {
 	if stats == nil {
 		stats = &Stats{}
 	}
@@ -60,23 +64,31 @@ func PartitionFrequent(db *txdb.DB, minSupport int, domain itemset.Set, numParti
 		if local < 1 {
 			local = 1
 		}
-		lw, err := New(Config{
+		lw, err := New(ctx, Config{
 			DB:         txdb.New(part),
 			MinSupport: local,
 			Domain:     domain,
+			Budget:     budget,
 			Stats:      stats,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("mine: partition %d: %v", p, err)
+			return nil, fmt.Errorf("mine: partition %d: %w", p, err)
 		}
-		for _, lv := range lw.RunAll() {
+		levels, err := lw.RunAll()
+		if err != nil {
+			return nil, err
+		}
+		for _, lv := range levels {
 			for _, c := range lv {
 				candidates[c.Set.Key()] = c.Set
 			}
 		}
 	}
 
-	// Phase 2: one global pass verifies the pool's exact supports.
+	// Phase 2: one global pass verifies the pool's exact supports. The
+	// guard is created here (not earlier) so it charges only the phase-2
+	// increments — phase 1's inner miners published their own.
+	guard := NewGuard(ctx, budget, stats)
 	keys := make([]string, 0, len(candidates))
 	for k := range candidates {
 		keys = append(keys, k)
@@ -88,14 +100,26 @@ func PartitionFrequent(db *txdb.DB, minSupport int, domain itemset.Set, numParti
 		sets[i] = candidates[k]
 	}
 	stats.CandidatesCounted += int64(len(sets))
-	db.Scan(func(_ int, t itemset.Set) {
+	if err := guard.Check("partition: verification pass"); err != nil {
+		return nil, err
+	}
+	err := db.ScanErr(func(tid int, t itemset.Set) error {
+		if tid > 0 && tid%checkBatch == 0 {
+			if err := guard.Check("partition: verification pass"); err != nil {
+				return err
+			}
+		}
 		for i, s := range sets {
 			if t.ContainsAll(s) {
 				counts[i]++
 			}
 		}
+		return nil
 	})
 	stats.DBScans++
+	if err != nil {
+		return nil, err
+	}
 
 	var levels [][]Counted
 	for i, s := range sets {
@@ -108,6 +132,9 @@ func PartitionFrequent(db *txdb.DB, minSupport int, domain itemset.Set, numParti
 			levels = append(levels, nil)
 		}
 		levels[s.Len()-1] = append(levels[s.Len()-1], Counted{Set: s, Support: counts[i]})
+	}
+	if err := guard.Check("partition: emission"); err != nil {
+		return nil, err
 	}
 	for _, lv := range levels {
 		sort.Slice(lv, func(i, j int) bool {

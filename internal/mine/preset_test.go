@@ -1,6 +1,7 @@
 package mine
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -15,21 +16,21 @@ func TestPresetL1SkipsCounting(t *testing.T) {
 	r := rand.New(rand.NewSource(3))
 	db := randomDB(r, 40, 8, 5)
 
-	fresh, err := New(Config{DB: db, MinSupport: 2})
+	fresh, err := New(context.Background(), Config{DB: db, MinSupport: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	fresh.Step()
 	preset := fresh.FrequentItemCounts()
-	want := flatten(fresh.RunAll())
+	want := flatten(runAll(fresh))
 	// RunAll above continued from level 1, so re-mine fresh for the full
 	// reference.
-	ref, _ := AllFrequent(db, 2, nil, nil)
+	ref, _ := AllFrequent(context.Background(), db, 2, nil, nil, nil)
 	_ = want
 	wantAll := flatten(ref)
 
 	stats := &Stats{}
-	lw, err := New(Config{DB: db, MinSupport: 2, PresetL1: preset, Stats: stats})
+	lw, err := New(context.Background(), Config{DB: db, MinSupport: 2, PresetL1: preset, Stats: stats})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestPresetL1SkipsCounting(t *testing.T) {
 		all[c.Set.Key()] = c.Support
 	}
 	for !lw.Done() {
-		sets, _ := lw.Step()
+		sets, _, _ := lw.Step()
 		for _, c := range sets {
 			all[c.Set.Key()] = c.Support
 		}
@@ -76,7 +77,7 @@ func TestPresetL1Filtering(t *testing.T) {
 		{Set: itemset.New(9), Support: 2},    // outside domain
 		{Set: itemset.New(1, 2), Support: 2}, // not a singleton: ignored
 	}
-	lw, err := New(Config{
+	lw, err := New(context.Background(), Config{
 		DB: db, MinSupport: 2,
 		Domain:   itemset.New(1, 2, 3),
 		PresetL1: preset,
@@ -87,7 +88,7 @@ func TestPresetL1Filtering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sets, _ := lw.Step()
+	sets, _, _ := lw.Step()
 	if len(sets) != 1 || !sets[0].Set.Equal(itemset.New(1)) {
 		t.Errorf("level 1 = %v", sets)
 	}

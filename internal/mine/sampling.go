@@ -1,6 +1,7 @@
 package mine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -41,8 +42,11 @@ type SampleResult struct {
 // SampleFrequent mines all frequent itemsets with Toivonen's sampling
 // algorithm. The returned levels are always exact: when the border check
 // fails, the algorithm transparently falls back to full mining (and says
-// so in SampleResult).
-func SampleFrequent(db *txdb.DB, minSupport int, domain itemset.Set, p SampleParams, stats *Stats) ([][]Counted, *SampleResult, error) {
+// so in SampleResult). The budget spans the sample run, the verification
+// pass, and any fallback; cancellation is checked at the same checkpoints
+// as the underlying levelwise engine plus every checkBatch transactions of
+// the verification scan.
+func SampleFrequent(ctx context.Context, db *txdb.DB, minSupport int, domain itemset.Set, p SampleParams, budget *Budget, stats *Stats) ([][]Counted, *SampleResult, error) {
 	if stats == nil {
 		stats = &Stats{}
 	}
@@ -61,16 +65,26 @@ func SampleFrequent(db *txdb.DB, minSupport int, domain itemset.Set, p SamplePar
 	if db.Len() == 0 {
 		return nil, &SampleResult{Exact: true}, nil
 	}
+	guard := NewGuard(ctx, budget, stats)
 
 	// Draw the sample (one accounted scan).
 	r := rand.New(rand.NewSource(p.Seed))
 	var sample []itemset.Set
-	db.Scan(func(_ int, t itemset.Set) {
+	err := db.ScanErr(func(tid int, t itemset.Set) error {
+		if tid%checkBatch == 0 {
+			if err := guard.Check("sampling: sample draw"); err != nil {
+				return err
+			}
+		}
 		if r.Float64() < p.Fraction {
 			sample = append(sample, t)
 		}
+		return nil
 	})
 	stats.DBScans++
+	if err != nil {
+		return nil, nil, err
+	}
 	res := &SampleResult{SampleSize: len(sample)}
 
 	// Mine the sample at the lowered proportional threshold.
@@ -79,11 +93,14 @@ func SampleFrequent(db *txdb.DB, minSupport int, domain itemset.Set, p SamplePar
 		sampleSup = 1
 	}
 	sdb := txdb.New(sample)
-	lw, err := New(Config{DB: sdb, MinSupport: sampleSup, Domain: domain, Stats: stats})
+	lw, err := New(ctx, Config{DB: sdb, MinSupport: sampleSup, Domain: domain, Budget: budget, Stats: stats})
 	if err != nil {
 		return nil, nil, err
 	}
-	sampleLevels := lw.RunAll()
+	sampleLevels, err := lw.RunAll()
+	if err != nil {
+		return nil, nil, err
+	}
 
 	// Candidate pool: the sample-frequent sets plus their negative border
 	// (minimal sets all of whose proper subsets are sample-frequent).
@@ -111,6 +128,9 @@ func SampleFrequent(db *txdb.DB, minSupport int, domain itemset.Set, p SamplePar
 	// Border level k+1: joins of sample-frequent k-sets whose subsets are
 	// all sample-frequent but which are not sample-frequent themselves.
 	for k := 0; k < len(fLevels); k++ {
+		if err := guard.Check("sampling: border construction"); err != nil {
+			return nil, nil, err
+		}
 		sets := fLevels[k]
 		for i := 0; i < len(sets); i++ {
 			for j := i + 1; j < len(sets); j++ {
@@ -151,14 +171,23 @@ func SampleFrequent(db *txdb.DB, minSupport int, domain itemset.Set, p SamplePar
 	// One full-database pass verifies every candidate.
 	counts := make([]int, len(candidates))
 	stats.CandidatesCounted += int64(len(candidates))
-	db.Scan(func(_ int, t itemset.Set) {
+	err = db.ScanErr(func(tid int, t itemset.Set) error {
+		if tid%checkBatch == 0 {
+			if err := guard.Check("sampling: verification pass"); err != nil {
+				return err
+			}
+		}
 		for i, c := range candidates {
 			if t.ContainsAll(c) {
 				counts[i]++
 			}
 		}
+		return nil
 	})
 	stats.DBScans++
+	if err != nil {
+		return nil, nil, err
+	}
 
 	var levels [][]Counted
 	for i, c := range candidates {
@@ -178,7 +207,7 @@ func SampleFrequent(db *txdb.DB, minSupport int, domain itemset.Set, p SamplePar
 		// A border set is globally frequent: supersets may have been
 		// missed. Fall back to exact mining (sound and simple; Toivonen's
 		// paper iterates instead).
-		exact, err := AllFrequent(db, minSupport, domain, stats)
+		exact, err := AllFrequent(ctx, db, minSupport, domain, budget, stats)
 		if err != nil {
 			return nil, nil, err
 		}

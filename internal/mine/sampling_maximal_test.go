@@ -1,6 +1,7 @@
 package mine
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -17,7 +18,7 @@ func TestSampleFrequentAlwaysExact(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		db := randomDB(r, 40+r.Intn(60), 9, 6)
 		minSup := 2 + r.Intn(4)
-		want, err := AllFrequent(db, minSup, nil, nil)
+		want, err := AllFrequent(context.Background(), db, minSup, nil, nil, nil)
 		if err != nil {
 			return false
 		}
@@ -26,7 +27,7 @@ func TestSampleFrequentAlwaysExact(t *testing.T) {
 			{Fraction: 0.25, Slack: 0.0, Seed: seed + 1}, // slackless: misses likely
 			{Fraction: 1.0, Slack: 0.0, Seed: seed + 2},  // full sample: always exact
 		} {
-			got, res, err := SampleFrequent(db, minSup, nil, p, nil)
+			got, res, err := SampleFrequent(context.Background(), db, minSup, nil, p, nil, nil)
 			if err != nil {
 				return false
 			}
@@ -50,17 +51,17 @@ func TestSampleFrequentAlwaysExact(t *testing.T) {
 
 func TestSampleFrequentValidation(t *testing.T) {
 	db := txdb.New([]itemset.Set{itemset.New(1)})
-	if _, _, err := SampleFrequent(db, 1, nil, SampleParams{Fraction: 0}, nil); err == nil {
+	if _, _, err := SampleFrequent(context.Background(), db, 1, nil, SampleParams{Fraction: 0}, nil, nil); err == nil {
 		t.Error("fraction 0 accepted")
 	}
-	if _, _, err := SampleFrequent(db, 1, nil, SampleParams{Fraction: 2}, nil); err == nil {
+	if _, _, err := SampleFrequent(context.Background(), db, 1, nil, SampleParams{Fraction: 2}, nil, nil); err == nil {
 		t.Error("fraction 2 accepted")
 	}
-	if _, _, err := SampleFrequent(db, 1, nil, SampleParams{Fraction: 0.5, Slack: 1}, nil); err == nil {
+	if _, _, err := SampleFrequent(context.Background(), db, 1, nil, SampleParams{Fraction: 0.5, Slack: 1}, nil, nil); err == nil {
 		t.Error("slack 1 accepted")
 	}
 	empty := txdb.New(nil)
-	levels, res, err := SampleFrequent(empty, 1, nil, SampleParams{Fraction: 0.5}, nil)
+	levels, res, err := SampleFrequent(context.Background(), empty, 1, nil, SampleParams{Fraction: 0.5}, nil, nil)
 	if err != nil || levels != nil || !res.Exact {
 		t.Errorf("empty db: %v %v %v", levels, res, err)
 	}
@@ -94,7 +95,7 @@ func TestMaxFrequentMatchesBruteForce(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		db := randomDB(r, 20+r.Intn(30), 8, 6)
 		minSup := 1 + r.Intn(4)
-		got, err := MaxFrequent(db, minSup, nil, nil)
+		got, err := MaxFrequent(context.Background(), db, minSup, nil, nil, nil)
 		if err != nil {
 			return false
 		}
@@ -119,7 +120,7 @@ func TestMaxFrequentLookAhead(t *testing.T) {
 	}
 	db := txdb.New(txs)
 	stats := &Stats{}
-	got, err := MaxFrequent(db, 5, nil, stats)
+	got, err := MaxFrequent(context.Background(), db, 5, nil, nil, stats)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestMaxFrequentLookAhead(t *testing.T) {
 
 func TestMaxFrequentEmpty(t *testing.T) {
 	db := txdb.New([]itemset.Set{itemset.New(1)})
-	got, err := MaxFrequent(db, 5, nil, nil)
+	got, err := MaxFrequent(context.Background(), db, 5, nil, nil, nil)
 	if err != nil || got != nil {
 		t.Errorf("unreachable threshold: %v %v", got, err)
 	}
@@ -168,7 +169,7 @@ func TestClosedFrequentMatchesBruteForce(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		db := randomDB(r, 20+r.Intn(30), 8, 6)
 		minSup := 1 + r.Intn(4)
-		got, err := ClosedFrequent(db, minSup, nil, nil)
+		got, err := ClosedFrequent(context.Background(), db, minSup, nil, nil, nil)
 		if err != nil {
 			return false
 		}
@@ -180,7 +181,7 @@ func TestClosedFrequentMatchesBruteForce(t *testing.T) {
 			return false
 		}
 		// Every maximal set is closed.
-		maxSets, err := MaxFrequent(db, minSup, nil, nil)
+		maxSets, err := MaxFrequent(context.Background(), db, minSup, nil, nil, nil)
 		if err != nil {
 			return false
 		}
@@ -202,7 +203,7 @@ func TestClosedFrequentLosslessness(t *testing.T) {
 	r := rand.New(rand.NewSource(77))
 	db := randomDB(r, 40, 8, 6)
 	minSup := 2
-	closed, err := ClosedFrequent(db, minSup, nil, nil)
+	closed, err := ClosedFrequent(context.Background(), db, minSup, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,6 +28,15 @@ type Stats struct {
 	ValidSets    int64
 	// DBScans is the number of full transaction-database scans.
 	DBScans int64
+	// LatticeBytes estimates the memory allocated for lattice state
+	// (candidates, per-level frequent sets, tid bitmaps, FP-tree nodes),
+	// cumulatively over the run. Budgets bound it via
+	// Budget.MaxLatticeBytes.
+	LatticeBytes int64
+	// Checkpoints counts cancellation/budget checkpoints passed — the
+	// granularity at which a run can be interrupted (and at which
+	// faultinject can target it).
+	Checkpoints int64
 }
 
 // Add accumulates other into s.
@@ -39,11 +48,13 @@ func (s *Stats) Add(other Stats) {
 	s.FrequentSets += other.FrequentSets
 	s.ValidSets += other.ValidSets
 	s.DBScans += other.DBScans
+	s.LatticeBytes += other.LatticeBytes
+	s.Checkpoints += other.Checkpoints
 }
 
 // String renders the counters on one line.
 func (s *Stats) String() string {
-	return fmt.Sprintf("counted=%d itemChecks=%d setChecks=%d pairChecks=%d frequent=%d valid=%d scans=%d",
+	return fmt.Sprintf("counted=%d itemChecks=%d setChecks=%d pairChecks=%d frequent=%d valid=%d scans=%d latticeBytes=%d checkpoints=%d",
 		s.CandidatesCounted, s.ItemConstraintChecks, s.SetConstraintChecks, s.PairChecks,
-		s.FrequentSets, s.ValidSets, s.DBScans)
+		s.FrequentSets, s.ValidSets, s.DBScans, s.LatticeBytes, s.Checkpoints)
 }

@@ -1,6 +1,7 @@
 package mine
 
 import (
+	"context"
 	"math/bits"
 	"sort"
 
@@ -30,6 +31,9 @@ func (b bitset) count() int {
 	return n
 }
 
+// bitsetBytes is the lattice-memory estimate for one tid bitmap.
+func bitsetBytes(b bitset) int64 { return int64(len(b) * 8) }
+
 // andInto writes a ∩ b into dst (all same length) and returns the count.
 func andInto(dst, a, b bitset) int {
 	n := 0
@@ -42,8 +46,11 @@ func andInto(dst, a, b bitset) int {
 
 // VerticalFrequent mines all frequent itemsets over the domain using
 // TID-bitmap intersection (Eclat). The result is grouped by level like
-// AllFrequent, with each level in lexicographic order.
-func VerticalFrequent(db *txdb.DB, minSupport int, domain itemset.Set, stats *Stats) ([][]Counted, error) {
+// AllFrequent, with each level in lexicographic order. Mining checks ctx
+// and budget at prefix boundaries (every class expansion of the DFS) and
+// during the vertical projection scan; on abort it returns nil levels and
+// the wrapped cancellation or *BudgetError.
+func VerticalFrequent(ctx context.Context, db *txdb.DB, minSupport int, domain itemset.Set, budget *Budget, stats *Stats) ([][]Counted, error) {
 	if stats == nil {
 		stats = &Stats{}
 	}
@@ -53,6 +60,7 @@ func VerticalFrequent(db *txdb.DB, minSupport int, domain itemset.Set, stats *St
 	if domain == nil {
 		domain = db.ActiveItems()
 	}
+	guard := NewGuard(ctx, budget, stats)
 
 	// Build the vertical representation (one accounted scan).
 	inDomain := map[itemset.Item]bool{}
@@ -60,7 +68,12 @@ func VerticalFrequent(db *txdb.DB, minSupport int, domain itemset.Set, stats *St
 		inDomain[it] = true
 	}
 	tids := map[itemset.Item]bitset{}
-	db.Scan(func(tid int, t itemset.Set) {
+	err := db.ScanErr(func(tid int, t itemset.Set) error {
+		if tid%checkBatch == 0 {
+			if err := guard.Check("eclat: vertical projection"); err != nil {
+				return err
+			}
+		}
 		for _, it := range t {
 			if !inDomain[it] {
 				continue
@@ -69,11 +82,16 @@ func VerticalFrequent(db *txdb.DB, minSupport int, domain itemset.Set, stats *St
 			if b == nil {
 				b = newBitset(db.Len())
 				tids[it] = b
+				stats.LatticeBytes += bitsetBytes(b)
 			}
 			b.set(tid)
 		}
+		return nil
 	})
 	stats.DBScans++
+	if err != nil {
+		return nil, err
+	}
 
 	// Frequent items, ascending.
 	type entry struct {
@@ -92,6 +110,9 @@ func VerticalFrequent(db *txdb.DB, minSupport int, domain itemset.Set, stats *St
 		}
 	}
 	sort.Slice(l1, func(i, j int) bool { return l1[i].item < l1[j].item })
+	if err := guard.Check("eclat: level 1"); err != nil {
+		return nil, err
+	}
 
 	var levels [][]Counted
 	emit := func(set itemset.Set, support int) {
@@ -105,10 +126,14 @@ func VerticalFrequent(db *txdb.DB, minSupport int, domain itemset.Set, stats *St
 
 	// Standard Eclat recursion: every entry of a class carries the tidset
 	// of prefix ∪ {entry.item} and is frequent by construction; the class
-	// for the extended prefix comes from pairwise intersections.
-	var eclat func(prefix itemset.Set, class []entry)
-	eclat = func(prefix itemset.Set, class []entry) {
+	// for the extended prefix comes from pairwise intersections. Each
+	// prefix expansion is one cancellation checkpoint.
+	var eclat func(prefix itemset.Set, class []entry) error
+	eclat = func(prefix itemset.Set, class []entry) error {
 		for i, e := range class {
+			if err := guard.Check("eclat: prefix expansion"); err != nil {
+				return err
+			}
 			set := prefix.Add(e.item)
 			emit(set, e.bits.count())
 			var next []entry
@@ -117,16 +142,22 @@ func VerticalFrequent(db *txdb.DB, minSupport int, domain itemset.Set, stats *St
 				dst := newBitset(db.Len())
 				if sup := andInto(dst, e.bits, f.bits); sup >= minSupport {
 					next = append(next, entry{f.item, dst})
+					stats.LatticeBytes += bitsetBytes(dst)
 				}
 			}
 			if len(next) > 0 {
-				eclat(set, next)
+				if err := eclat(set, next); err != nil {
+					return err
+				}
 			}
 		}
+		return nil
 	}
 	// Level-1 candidates were already charged above; the recursion charges
 	// each deeper intersection as one counted candidate.
-	eclat(itemset.Set{}, l1)
+	if err := eclat(itemset.Set{}, l1); err != nil {
+		return nil, err
+	}
 
 	// DFS emission order is not lexicographic per level; normalize.
 	for _, lv := range levels {

@@ -64,6 +64,20 @@ func (db *DB) Scan(fn func(tid int, t itemset.Set)) {
 	}
 }
 
+// ScanErr invokes fn once per transaction, in TID order, recording one full
+// scan. It stops at the first non-nil error and returns it — the abortable
+// variant that cancellable miners use so a cancelled pass never runs to the
+// end of the database.
+func (db *DB) ScanErr(fn func(tid int, t itemset.Set) error) error {
+	atomic.AddInt64(&db.scans, 1)
+	for i, t := range db.tx {
+		if err := fn(i, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Scans returns the number of full scans performed so far (an I/O-cost
 // proxy: the paper's experiments count CPU + I/O time, and levelwise
 // algorithms differ chiefly in how many passes they make).

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# check.sh — the repository's CI gate: vet, build, and the race-enabled test
+# suite. Heavy end-to-end experiments are skipped via -short so the gate
+# stays fast; run `go test ./...` (no -short) for the full suite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race -short =="
+go test -race -short ./...
+
+echo "check.sh: all green"
