@@ -1,0 +1,71 @@
+package cfq
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/mine"
+	"repro/internal/obs"
+)
+
+// The observability surface of the public API. A caller that wants
+// per-phase tracing creates a Tracer, attaches it to the context with
+// WithTracer, and runs the query with RunContext (or
+// Session.RunContext); the Result then carries a RunReport — the span
+// tree with per-phase wall times and work-counter deltas, whose Totals
+// reproduce the run's Stats. With no tracer attached the instrumented
+// code paths cost one nil comparison each.
+//
+// Process-wide metrics (queries, durations, budget trips, DB scans,
+// cache hits, and the per-run work counters) are always collected; see
+// the internal/obs registry, published via expvar under "cfq" and served
+// by cmd/cfq's -metrics-addr flag.
+
+// Tracer records the span tree of one or more evaluations. See
+// NewTracer and WithTracer.
+type Tracer = obs.Tracer
+
+// TracerOptions configures a Tracer: the root span name, an optional
+// slog logger receiving one event per completed span, and the level
+// those events are emitted at.
+type TracerOptions = obs.Options
+
+// RunReport is the machine-readable summary of a traced evaluation.
+type RunReport = obs.RunReport
+
+// SpanReport is one node of a RunReport's span tree.
+type SpanReport = obs.SpanReport
+
+// NewTracer creates a tracer with an open root span.
+func NewTracer(opts TracerOptions) *Tracer { return obs.NewTracer(opts) }
+
+// WithTracer returns a context carrying the tracer. Evaluations run
+// under that context record phase spans into it and attach a RunReport
+// to their Result. A nil tracer returns ctx unchanged.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return obs.WithTracer(ctx, t)
+}
+
+// TracerFromContext returns the tracer carried by ctx, or nil.
+func TracerFromContext(ctx context.Context) *Tracer { return obs.FromContext(ctx) }
+
+// publishRun folds one evaluation's outcome into the process-wide
+// metrics: the query counter, its duration, and the work counters of a
+// completed run or a budget-aborted run's partial progress (db_scans
+// excluded — txdb publishes scans live).
+func publishRun(d time.Duration, stats *mine.Stats, err error) {
+	obs.MQueries.Inc()
+	obs.MQueryDur.Observe(d)
+	if err != nil {
+		obs.MQueryErrors.Inc()
+		var be *mine.BudgetError
+		if errors.As(err, &be) {
+			obs.PublishStats(be.Stats.Counters())
+		}
+		return
+	}
+	if stats != nil {
+		obs.PublishStats(stats.Counters())
+	}
+}

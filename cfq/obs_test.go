@@ -1,0 +1,191 @@
+package cfq
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/mine"
+	"repro/internal/obs"
+)
+
+// reportStats rebuilds a public Stats from a report's counter totals.
+func reportStats(rep *RunReport) Stats {
+	return convertStats(mine.FromCounters(rep.Totals))
+}
+
+// TestRunReportTotalsMatchStats: for every engine strategy, a traced 2-var
+// query attaches a RunReport whose per-phase deltas sum exactly to the
+// run's Stats.
+func TestRunReportTotalsMatchStats(t *testing.T) {
+	ds := marketDataset(t)
+	for _, st := range []Strategy{Optimized, OptimizedNoJmax, CAPOnly, AprioriPlus, FM, Sequential} {
+		t.Run(fmt.Sprint(st), func(t *testing.T) {
+			tracer := NewTracer(TracerOptions{Name: "test"})
+			ctx := WithTracer(context.Background(), tracer)
+			res, err := NewQuery(ds).MinSupport(2).
+				Where2(Join(Max, "Price", LE, Min, "Price")).
+				RunContext(ctx, st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Report == nil {
+				t.Fatal("traced run has no Report")
+			}
+			if got := reportStats(res.Report); got != res.Stats {
+				t.Errorf("report totals %+v\nresult stats  %+v", got, res.Stats)
+			}
+		})
+	}
+}
+
+// TestRunReportSpanTree: the optimized strategy's report names every Jmax
+// iteration and mining level, the way the ISSUE's Figure-7-style run
+// requires.
+func TestRunReportSpanTree(t *testing.T) {
+	tracer := NewTracer(TracerOptions{Name: "fig7"})
+	ctx := WithTracer(context.Background(), tracer)
+	res, err := NewQuery(marketDataset(t)).MinSupport(2).
+		WhereS(Range("Price", 2, 10)).
+		Where2(Join(Max, "Price", LE, Min, "Price")).
+		RunContext(ctx, Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"phase1", "reduce", "jmax-iter-1", "finalize", "pairs", "S:level-1", "T:level-1"} {
+		if res.Report.Find(name) == nil {
+			var have []string
+			res.Report.Walk(func(s *SpanReport) { have = append(have, s.Name) })
+			t.Fatalf("span %q missing; have %v", name, have)
+		}
+	}
+	// Untraced runs carry no report and agree on the answer.
+	plain, err := NewQuery(marketDataset(t)).MinSupport(2).
+		WhereS(Range("Price", 2, 10)).
+		Where2(Join(Max, "Price", LE, Min, "Price")).
+		Run(Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Report != nil {
+		t.Error("untraced run has a Report")
+	}
+	if plain.PairCount != res.PairCount || plain.Stats != res.Stats {
+		t.Errorf("tracing changed the run: %+v vs %+v", plain.Stats, res.Stats)
+	}
+}
+
+// TestSessionReport: session runs name the cache interactions; the second
+// run's report shows cache hits and no mining spans.
+func TestSessionReport(t *testing.T) {
+	ds := marketDataset(t)
+	s := NewSession(ds)
+	q := NewQuery(ds).MinSupport(2).Where2(Join(Max, "Price", LE, Min, "Price"))
+
+	tracer := NewTracer(TracerOptions{Name: "cold"})
+	res, err := s.RunContext(WithTracer(context.Background(), tracer), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"S:cache-miss", "S:filter", "T:filter", "pairs"} {
+		if res.Report.Find(name) == nil {
+			t.Errorf("cold-run span %q missing", name)
+		}
+	}
+
+	tracer = NewTracer(TracerOptions{Name: "warm"})
+	res, err = s.RunContext(WithTracer(context.Background(), tracer), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Find("S:cache-hit") == nil || res.Report.Find("T:cache-hit") == nil {
+		t.Error("warm-run report missing cache-hit spans")
+	}
+	if res.Report.Find("S:cache-miss") != nil {
+		t.Error("warm run re-mined")
+	}
+	// Warm-run work is pure filtering: its report totals equal its stats.
+	if got := reportStats(res.Report); got != res.Stats {
+		t.Errorf("warm report totals %+v, stats %+v", got, res.Stats)
+	}
+}
+
+// TestReportJSONOmitsEmpty: Result marshals without a Report field when
+// untraced (the CLI's -json output shape must not change by default).
+func TestReportJSONOmitsEmpty(t *testing.T) {
+	res, err := NewQuery(marketDataset(t)).MinSupport(2).
+		Where2(Join(Max, "Price", LE, Min, "Price")).
+		Run(Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), `"Report"`) {
+		t.Error("untraced Result JSON contains Report")
+	}
+}
+
+// TestMidRunMetricsScrape: a metrics scrape races mining without torn
+// reads — run under -race, this locks in the atomic txdb scan counter and
+// the lock-free registry (the satellite's concurrency property).
+func TestMidRunMetricsScrape(t *testing.T) {
+	ds := marketDataset(t)
+	s := NewSession(ds)
+	handler := obs.MetricsHandler()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+			var snap map[string]any
+			if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+				t.Errorf("scrape returned invalid JSON: %v", err)
+				return
+			}
+			rec = httptest.NewRecorder()
+			obs.NewMetricsMux().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
+			_, _ = io.Copy(io.Discard, rec.Body)
+		}
+	}()
+
+	hitsBefore, _ := s.CacheStats()
+	scansBefore := obs.MDBScans.Value()
+	for i := 0; i < 8; i++ {
+		q := NewQuery(ds).MinSupport(2).Where2(Join(Max, "Price", LE, Min, "Price"))
+		if _, err := s.RunContext(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := q.Run(Optimized); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if hits, _ := s.CacheStats(); hits <= hitsBefore {
+		t.Error("session cache never hit")
+	}
+	if obs.MDBScans.Value() <= scansBefore {
+		t.Error("db_scans_total did not move")
+	}
+	if obs.MQueries.Value() == 0 {
+		t.Error("queries_total is zero")
+	}
+}

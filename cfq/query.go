@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/itemset"
 	"repro/internal/mine"
+	"repro/internal/obs"
 	"repro/internal/rules"
 )
 
@@ -167,6 +168,12 @@ type Result struct {
 	Stats Stats
 	// Plan describes the optimizer's decisions (empty for baselines).
 	Plan string
+	// Report is the per-phase trace of the evaluation, present when the
+	// run's context carried a Tracer (see WithTracer). For engine-driven
+	// runs its Totals equal Stats; session runs may report more (the
+	// report covers cache-building work that session Stats, which
+	// describe only the query's own cost, exclude).
+	Report *RunReport `json:",omitempty"`
 }
 
 // compile translates the public query into the internal CFQ.
@@ -251,12 +258,17 @@ func (q *Query) RunContext(ctx context.Context, strat Strategy) (res *Result, er
 	if err != nil {
 		return nil, err
 	}
-	icfq.Budget = q.budget.internal(time.Now())
+	start := time.Now()
+	icfq.Budget = q.budget.internal(start)
 	ires, err := core.Run(ctx, icfq, strat.internal())
 	if err != nil {
+		publishRun(time.Since(start), nil, err)
 		return nil, convertErr(err)
 	}
-	return convertResult(ires), nil
+	publishRun(time.Since(start), &ires.Stats, nil)
+	res = convertResult(ires)
+	res.Report = obs.FromContext(ctx).Report()
+	return res, nil
 }
 
 // Explain returns a description of the optimizer's plan for the query.
@@ -309,11 +321,14 @@ func (q *Query) RunRulesContext(ctx context.Context, strat Strategy, p RuleParam
 	if err != nil {
 		return nil, err
 	}
-	icfq.Budget = q.budget.internal(time.Now())
+	start := time.Now()
+	icfq.Budget = q.budget.internal(start)
 	ires, err := core.Run(ctx, icfq, strat.internal())
 	if err != nil {
+		publishRun(time.Since(start), nil, err)
 		return nil, convertErr(err)
 	}
+	publishRun(time.Since(start), &ires.Stats, nil)
 	irules, err := rules.FromPairs(icfq.DB, ires.Pairs, rules.Params{
 		MinConfidence:   p.MinConfidence,
 		MinLift:         p.MinLift,

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/itemset"
 	"repro/internal/mine"
+	"repro/internal/obs"
 	"repro/internal/txdb"
 )
 
@@ -89,19 +90,45 @@ func (s *Session) RunContext(ctx context.Context, q *Query) (res *Result, err er
 	s.mu.Unlock()
 
 	// One budget pool for both sides of this evaluation.
-	budget := q.budget.internal(time.Now())
+	start := time.Now()
+	budget := q.budget.internal(start)
+	tracer := obs.FromContext(ctx)
 
 	ires := &core.Result{}
-	sSets, err := s.side(ctx, icfq.DomainS, icfq.MinSupportS, budget)
+	sSets, err := s.side(ctx, "S", icfq.DomainS, icfq.MinSupportS, budget)
 	if err != nil {
+		publishRun(time.Since(start), nil, err)
 		return nil, convertErr(err)
 	}
-	tSets, err := s.side(ctx, icfq.DomainT, icfq.MinSupportT, budget)
+	tSets, err := s.side(ctx, "T", icfq.DomainT, icfq.MinSupportT, budget)
 	if err != nil {
+		publishRun(time.Since(start), nil, err)
 		return nil, convertErr(err)
+	}
+	// The filter spans attribute the generate-and-test pass over the
+	// cached lattices — the session's whole set-computation cost.
+	var fsp *obs.Span
+	if tracer != nil {
+		fsp = tracer.Start("S:filter", obs.Int("cached", len(sSets))).
+			WithStats(ires.Stats.Counters())
 	}
 	ires.LevelsS = filterLattice(sSets, icfq.MinSupportS, icfq.ConstraintsS, &ires.Stats)
+	if fsp != nil {
+		fsp.End(ires.Stats.Counters())
+	}
+	if tracer != nil {
+		fsp = tracer.Start("T:filter", obs.Int("cached", len(tSets))).
+			WithStats(ires.Stats.Counters())
+	}
 	ires.LevelsT = filterLattice(tSets, icfq.MinSupportT, icfq.ConstraintsT, &ires.Stats)
+	if fsp != nil {
+		fsp.End(ires.Stats.Counters())
+	}
+
+	var psp *obs.Span
+	if tracer != nil {
+		psp = tracer.Start("pairs").WithStats(ires.Stats.Counters())
+	}
 
 	// Pair formation with the 2-var constraints, as in the engine.
 	validS, validT := ires.ValidS(), ires.ValidT()
@@ -136,7 +163,14 @@ func (s *Session) RunContext(ctx context.Context, q *Query) (res *Result, err er
 			}
 		}
 	}
-	return convertResult(ires), nil
+	if psp != nil {
+		psp.SetAttrs(obs.Int64("pair_count", ires.PairCount))
+		psp.End(ires.Stats.Counters())
+	}
+	publishRun(time.Since(start), &ires.Stats, nil)
+	res = convertResult(ires)
+	res.Report = tracer.Report()
+	return res, nil
 }
 
 // side returns the cached unconstrained lattice for a domain, mining it if
@@ -144,21 +178,47 @@ func (s *Session) RunContext(ctx context.Context, q *Query) (res *Result, err er
 // its hit counter) is one critical section; mining happens outside the
 // lock, and a failed mining run stores nothing — the cache is never
 // poisoned by partial lattices.
-func (s *Session) side(ctx context.Context, domain itemset.Set, minSup int, budget *mine.Budget) ([]mine.Counted, error) {
+func (s *Session) side(ctx context.Context, label string, domain itemset.Set, minSup int, budget *mine.Budget) ([]mine.Counted, error) {
 	key := "*"
 	if domain != nil {
 		key = domain.Key()
 	}
+	tracer := obs.FromContext(ctx)
 	s.mu.Lock()
 	if entry := s.cache[key]; entry != nil && entry.minSup <= minSup {
 		s.hits++
 		sets := entry.sets
 		s.mu.Unlock()
+		obs.MCacheHits.Inc()
+		if tracer != nil {
+			tracer.Start(label+":cache-hit", obs.Int("sets", len(sets))).End(nil)
+		}
 		return sets, nil
 	}
 	s.mu.Unlock()
+	// Published at the decision point (not after mining) so a mid-run
+	// metrics scrape sees the lookup that is being served right now.
+	obs.MCacheMisses.Inc()
 
-	levels, err := mine.AllFrequent(ctx, s.ds.db, minSup, domain, budget, nil)
+	// The cache-miss span is structural: the labeled miner below emits its
+	// own project/level delta spans as children.
+	var msp *obs.Span
+	if tracer != nil {
+		msp = tracer.Start(label + ":cache-miss")
+	}
+	lw, err := mine.New(ctx, mine.Config{
+		DB:         s.ds.db,
+		MinSupport: minSup,
+		Domain:     domain,
+		Budget:     budget,
+		Label:      label,
+	})
+	if err != nil {
+		msp.End(nil)
+		return nil, err
+	}
+	levels, err := lw.RunAll()
+	msp.End(nil)
 	if err != nil {
 		return nil, err
 	}

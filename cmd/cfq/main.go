@@ -18,6 +18,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -25,6 +28,7 @@ import (
 
 	"repro/cfq"
 	"repro/internal/gen"
+	"repro/internal/obs"
 )
 
 // stringsFlag collects repeatable string flags.
@@ -71,12 +75,52 @@ func realMain() error {
 		timeout                = flag.Duration("timeout", 0, "soft evaluation deadline (e.g. 30s); exceeded runs exit 2 with partial stats")
 		budgetN                = flag.Int64("budget", 0, "max candidate sets counted before aborting with partial stats (0 = unlimited)")
 		queryStr               = flag.String("query", "", "full CFQ, e.g. '{(S,T) | freq(S) >= 100 & max(S.Price) <= min(T.Price)}' (overrides -wheres/-wheret/-where2)")
+		traceFlag              = flag.Bool("trace", false, "log one structured event per evaluation phase to stderr")
+		logLevel               = flag.String("log-level", "info", "minimum level for -trace events: debug, info, warn, error")
+		reportFile             = flag.String("report", "", "write the run's phase report (RunReport JSON) to this file")
+		metricsAddr            = flag.String("metrics-addr", "", "serve /metrics and /debug/vars on this address (e.g. localhost:8080)")
 		whereS, whereT, where2 stringsFlag
 	)
 	flag.Var(&whereS, "wheres", "1-var constraint on S (repeatable)")
 	flag.Var(&whereT, "wheret", "1-var constraint on T (repeatable)")
 	flag.Var(&where2, "where2", "2-var constraint (repeatable)")
 	flag.Parse()
+
+	// Tracing is on when either consumer needs it: -trace (log events) or
+	// -report (span tree). The tracer is created before data loading so the
+	// load/generate phase is part of the report.
+	ctx := context.Background()
+	var tracer *cfq.Tracer
+	if *traceFlag || *reportFile != "" {
+		var logger *slog.Logger
+		if *traceFlag {
+			lvl, err := parseLogLevel(*logLevel)
+			if err != nil {
+				return err
+			}
+			logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+		}
+		tracer = cfq.NewTracer(cfq.TracerOptions{Name: "cfq", Logger: logger})
+		ctx = cfq.WithTracer(ctx, tracer)
+	}
+	if *metricsAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, obs.NewMetricsMux()); err != nil {
+				fmt.Fprintln(os.Stderr, "cfq: metrics server:", err)
+			}
+		}()
+	}
+
+	// The load/generate span is structural (wall time only): dataset
+	// construction does no counted mining work.
+	var lsp *obs.Span
+	if tracer != nil {
+		name := "load"
+		if *genData {
+			name = "generate"
+		}
+		lsp = tracer.Start(name)
+	}
 
 	ds := cfq.NewDataset(*numItems)
 	switch {
@@ -153,6 +197,22 @@ func realMain() error {
 			return err
 		}
 	}
+	if lsp != nil {
+		lsp.SetAttrs(obs.Int("transactions", ds.NumTransactions()),
+			obs.Int("items", ds.NumItems()))
+		lsp.End(nil)
+	}
+
+	opts := runOptions{
+		explain:  *explain,
+		strategy: *strategy,
+		stats:    *stats,
+		jsonOut:  *jsonOut,
+		stdout:   os.Stdout,
+		stderr:   os.Stderr,
+		tracer:   tracer,
+		report:   *reportFile,
+	}
 
 	var q *cfq.Query
 	if *queryStr != "" {
@@ -167,7 +227,7 @@ func realMain() error {
 		if *verbose {
 			q.Verbose(os.Stderr)
 		}
-		return execute(q, *explain, *strategy, *stats, *jsonOut)
+		return execute(ctx, q, opts)
 	}
 	q = cfq.NewQuery(ds).MaxPairs(*maxPairs).Workers(*workers)
 	applyBudget(q, *timeout, *budgetN)
@@ -201,7 +261,22 @@ func realMain() error {
 	if *verbose {
 		q.Verbose(os.Stderr)
 	}
-	return execute(q, *explain, *strategy, *stats, *jsonOut)
+	return execute(ctx, q, opts)
+}
+
+// parseLogLevel maps the -log-level flag to a slog level.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", s)
 }
 
 // applyBudget attaches the -timeout / -budget limits to the query. The
@@ -233,52 +308,99 @@ func parseFullQuery(ds *cfq.Dataset, s string, minSup int, minSupFrac float64) (
 	return q, nil
 }
 
+// runOptions collects everything execute needs besides the query itself.
+// Only the result (text or -json) is written to stdout; the plan, stats,
+// and trace events all go to stderr so stdout stays machine-parseable.
+type runOptions struct {
+	explain  bool
+	strategy string
+	stats    bool
+	jsonOut  bool
+	stdout   io.Writer
+	stderr   io.Writer
+	tracer   *cfq.Tracer
+	report   string // path for the RunReport JSON, "" = none
+}
+
 // execute runs (or explains) the query and prints the results.
-func execute(q *cfq.Query, explain bool, strategy string, stats, jsonOut bool) error {
-	if explain {
+func execute(ctx context.Context, q *cfq.Query, opt runOptions) error {
+	if opt.stdout == nil {
+		opt.stdout = os.Stdout
+	}
+	if opt.stderr == nil {
+		opt.stderr = os.Stderr
+	}
+	if opt.explain {
 		plan, err := q.Explain()
 		if err != nil {
 			return err
 		}
-		fmt.Print(plan)
+		fmt.Fprint(opt.stdout, plan)
 		return nil
 	}
-	st, err := parseStrategy(strategy)
+	st, err := parseStrategy(opt.strategy)
 	if err != nil {
 		return err
 	}
-	res, err := q.Run(st)
+	res, err := q.RunContext(ctx, st)
+	if opt.report != "" {
+		// Written even when the run failed: the tracer still holds the
+		// spans recorded up to the abort (open ones are marked).
+		if werr := writeReport(opt.report, opt.tracer, res); werr != nil && err == nil {
+			err = werr
+		}
+	}
 	if err != nil {
 		var be *cfq.BudgetError
 		if errors.As(err, &be) {
-			printStats(os.Stderr, "partial ", be.Stats)
+			printStats(opt.stderr, "partial ", be.Stats)
 		}
 		return err
 	}
-	if jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+	if opt.stats {
+		if res.Plan != "" {
+			fmt.Fprintln(opt.stderr, res.Plan)
+		}
+		printStats(opt.stderr, "", res.Stats)
+	}
+	if opt.jsonOut {
+		enc := json.NewEncoder(opt.stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(res)
 	}
 
-	fmt.Printf("valid S-sets: %d, valid T-sets: %d, answer pairs: %d\n",
+	fmt.Fprintf(opt.stdout, "valid S-sets: %d, valid T-sets: %d, answer pairs: %d\n",
 		len(res.ValidS), len(res.ValidT), res.PairCount)
 	for i, p := range res.Pairs {
-		fmt.Printf("  %3d: S=%v (sup %d)  T=%v (sup %d)\n",
+		fmt.Fprintf(opt.stdout, "  %3d: S=%v (sup %d)  T=%v (sup %d)\n",
 			i+1, p.S.Items, p.S.Support, p.T.Items, p.T.Support)
-	}
-	if res.Plan != "" && stats {
-		fmt.Println(res.Plan)
-	}
-	if stats {
-		printStats(os.Stdout, "", res.Stats)
 	}
 	return nil
 }
 
+// writeReport writes the evaluation's RunReport as JSON. A completed run
+// carries its report on the Result; an aborted one is snapshotted from
+// the tracer directly.
+func writeReport(path string, tracer *cfq.Tracer, res *cfq.Result) error {
+	var rep *cfq.RunReport
+	if res != nil && res.Report != nil {
+		rep = res.Report
+	} else if tracer != nil {
+		rep = tracer.Report()
+	}
+	if rep == nil {
+		return fmt.Errorf("-report: no trace recorded")
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
 // printStats renders the work counters; prefix distinguishes partial
 // (aborted-run) stats from final ones.
-func printStats(w *os.File, prefix string, s cfq.Stats) {
+func printStats(w io.Writer, prefix string, s cfq.Stats) {
 	fmt.Fprintf(w, "%scandidates counted: %d\n%sitem constraint checks: %d\n%sset constraint checks: %d\n%spair checks: %d\n%sDB scans: %d\n%scheckpoints: %d\n",
 		prefix, s.CandidatesCounted, prefix, s.ItemConstraintChecks, prefix, s.SetConstraintChecks,
 		prefix, s.PairChecks, prefix, s.DBScans, prefix, s.Checkpoints)

@@ -1,9 +1,15 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"errors"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -130,7 +136,7 @@ func TestBudgetFlagAborts(t *testing.T) {
 	ds := cliDataset(t)
 	q := cfq.NewQuery(ds).MinSupport(1)
 	applyBudget(q, 0, 1)
-	err := execute(q, false, "apriori", false, false)
+	err := execute(context.Background(), q, runOptions{strategy: "apriori", stdout: io.Discard, stderr: io.Discard})
 	var be *cfq.BudgetError
 	if !errors.As(err, &be) {
 		t.Fatalf("err = %v, want *cfq.BudgetError", err)
@@ -146,7 +152,7 @@ func TestTimeoutFlagAborts(t *testing.T) {
 	ds := cliDataset(t)
 	q := cfq.NewQuery(ds).MinSupport(1)
 	applyBudget(q, time.Nanosecond, 0)
-	err := execute(q, false, "optimized", false, false)
+	err := execute(context.Background(), q, runOptions{strategy: "optimized", stdout: io.Discard, stderr: io.Discard})
 	var be *cfq.BudgetError
 	if !errors.As(err, &be) || be.Resource != cfq.ResourceDeadline {
 		t.Fatalf("err = %v, want deadline BudgetError", err)
@@ -161,5 +167,132 @@ func TestApplyBudgetNoop(t *testing.T) {
 	applyBudget(q, 0, 0)
 	if _, err := q.Run(cfq.AprioriPlus); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestStdoutParseableWithAllFlags: satellite regression for the
+// stdout/stderr split. With -trace, -stats, -report, and -json all active,
+// stdout must carry nothing but the JSON result; the plan, work counters,
+// and trace events land on stderr or in the report file.
+func TestStdoutParseableWithAllFlags(t *testing.T) {
+	ds := cliDataset(t)
+	c2, err := cfq.ParseConstraint2("max(S.Price) <= min(T.Price)")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(jsonOut bool) (stdout, stderr string, reportPath string) {
+		t.Helper()
+		tracer := cfq.NewTracer(cfq.TracerOptions{Name: "cfq",
+			Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+		ctx := cfq.WithTracer(context.Background(), tracer)
+		var out, errw bytes.Buffer
+		reportPath = filepath.Join(t.TempDir(), "report.json")
+		q := cfq.NewQuery(ds).MinSupport(1).MaxPairs(2).Where2(c2)
+		if err := execute(ctx, q, runOptions{
+			strategy: "optimized",
+			stats:    true,
+			jsonOut:  jsonOut,
+			stdout:   &out,
+			stderr:   &errw,
+			tracer:   tracer,
+			report:   reportPath,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out.String(), errw.String(), reportPath
+	}
+
+	// JSON mode: stdout is exactly one JSON document.
+	stdout, stderr, reportPath := run(true)
+	var res cfq.Result
+	if err := json.Unmarshal([]byte(stdout), &res); err != nil {
+		t.Fatalf("stdout is not parseable JSON: %v\nstdout:\n%s", err, stdout)
+	}
+	if res.PairCount == 0 {
+		t.Error("JSON result has no pairs")
+	}
+	if !strings.Contains(stderr, "candidates counted") {
+		t.Errorf("stats missing from stderr:\n%s", stderr)
+	}
+	if strings.Contains(stdout, "candidates counted") {
+		t.Error("stats leaked onto stdout")
+	}
+
+	// The report file holds a RunReport whose totals match the result.
+	b, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep cfq.RunReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("report is not a RunReport: %v", err)
+	}
+	if rep.Spans == 0 || rep.Root == nil {
+		t.Error("report has no spans")
+	}
+	if got, want := rep.Totals["candidates_counted"], res.Stats.CandidatesCounted; got != want {
+		t.Errorf("report candidates_counted = %d, result stats = %d", got, want)
+	}
+
+	// Text mode: every stdout line is a result line, nothing else.
+	stdout, _, _ = run(false)
+	lines := strings.Split(strings.TrimRight(stdout, "\n"), "\n")
+	if !strings.HasPrefix(lines[0], "valid S-sets:") {
+		t.Errorf("unexpected first stdout line %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if !strings.HasPrefix(l, "  ") || !strings.Contains(l, "S=") {
+			t.Errorf("non-result line on stdout: %q", l)
+		}
+	}
+}
+
+// TestWriteReportOnAbort: a budget-aborted run still produces a report,
+// snapshotted from the tracer with open spans marked.
+func TestWriteReportOnAbort(t *testing.T) {
+	ds := cliDataset(t)
+	tracer := cfq.NewTracer(cfq.TracerOptions{Name: "cfq"})
+	ctx := cfq.WithTracer(context.Background(), tracer)
+	reportPath := filepath.Join(t.TempDir(), "report.json")
+	q := cfq.NewQuery(ds).MinSupport(1)
+	applyBudget(q, 0, 1)
+	err := execute(ctx, q, runOptions{
+		strategy: "apriori",
+		stdout:   io.Discard,
+		stderr:   io.Discard,
+		tracer:   tracer,
+		report:   reportPath,
+	})
+	var be *cfq.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *cfq.BudgetError", err)
+	}
+	b, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatalf("no report after abort: %v", err)
+	}
+	var rep cfq.RunReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Spans == 0 || rep.Root == nil {
+		t.Error("aborted run recorded no spans")
+	}
+}
+
+// TestParseLogLevel covers the -log-level values and the error path.
+func TestParseLogLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo,
+		"warn": slog.LevelWarn, "ERROR": slog.LevelError,
+	} {
+		got, err := parseLogLevel(in)
+		if err != nil || got != want {
+			t.Errorf("parseLogLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseLogLevel("loud"); err == nil {
+		t.Error("bad level accepted")
 	}
 }

@@ -20,12 +20,13 @@ import (
 
 func main() {
 	var (
-		which  = flag.String("exp", "all", "experiment to run: all, fig8a, levels, ranges, fig8b, ranges2, jmax, ccc, scaling")
+		which  = flag.String("exp", "all", "experiment to run: all, fig8a, levels, ranges, fig8b, ranges2, jmax, ccc, scaling, phases")
 		scale  = flag.Int("scale", 10, "database scale divisor (1 = paper scale: 100k transactions)")
 		seed   = flag.Int64("seed", 1, "random seed")
 		frac   = flag.Float64("supportfrac", 0.01, "support threshold as a fraction of transactions")
 		full   = flag.Bool("full", false, "run at paper scale (equivalent to -scale 1)")
 		format = flag.String("format", "text", "output format: text, markdown, csv")
+		phJSON = flag.String("phases-json", "", "also write the phases profile as JSON to this file (BENCH_PHASES.json format)")
 	)
 	flag.Parse()
 	if *full {
@@ -47,6 +48,22 @@ func main() {
 		{"jmax", func() (*exp.Table, error) { r, err := exp.JmaxTable(cfg); return tbl(r, err) }},
 		{"ccc", func() (*exp.Table, error) { r, err := exp.CCCTable(cfg); return tbl(r, err) }},
 		{"scaling", func() (*exp.Table, error) { r, err := exp.ScalingTable(cfg); return tbl(r, err) }},
+		{"phases", func() (*exp.Table, error) {
+			r, err := exp.Phases(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if *phJSON != "" {
+				s, err := r.JSON()
+				if err != nil {
+					return nil, err
+				}
+				if err := os.WriteFile(*phJSON, []byte(s), 0o644); err != nil {
+					return nil, err
+				}
+			}
+			return r.PhaseTable(), nil
+		}},
 	}
 	ran := false
 	for _, e := range experiments {

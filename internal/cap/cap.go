@@ -24,6 +24,7 @@ import (
 	"repro/internal/constraint"
 	"repro/internal/itemset"
 	"repro/internal/mine"
+	"repro/internal/obs"
 	"repro/internal/txdb"
 )
 
@@ -63,6 +64,18 @@ type Query struct {
 	// mine.Budget). Shared by pointer so one budget can span several
 	// runners.
 	Budget *mine.Budget
+	// Label, when non-empty, prefixes trace span names (the CFQ engine
+	// labels its two runners "S" and "T" so a dovetailed run's spans stay
+	// distinguishable).
+	Label string
+}
+
+// spanName prefixes a span name with the query label, when set.
+func spanName(label, name string) string {
+	if label == "" {
+		return name
+	}
+	return label + ":" + name
 }
 
 // Result is the outcome of a constrained mining run.
@@ -101,6 +114,7 @@ type Runner struct {
 	q              Query
 	lw             *mine.Levelwise
 	stats          *mine.Stats
+	tracer         *obs.Tracer
 	finalChecks    []constraint.Constraint
 	hasExistential bool
 	unsat          bool
@@ -125,6 +139,13 @@ func (r *Runner) Step() ([]mine.Counted, bool, error) {
 		r.l1 = r.lw.FrequentItems()
 	}
 	if len(r.finalChecks) > 0 {
+		// The final-verification checks are cap's own work, outside the
+		// levelwise engine's level spans; they get a sibling delta span.
+		var fsp *obs.Span
+		if r.tracer != nil {
+			fsp = r.tracer.Start(spanName(r.q.Label, fmt.Sprintf("finalcheck-%d", r.lw.Level()))).
+				WithStats(r.stats.Counters())
+		}
 		kept := sets[:0]
 		for _, c := range sets {
 			ok := true
@@ -140,6 +161,10 @@ func (r *Runner) Step() ([]mine.Counted, bool, error) {
 			}
 		}
 		sets = kept
+		if fsp != nil {
+			fsp.SetAttrs(obs.Int("kept", len(sets)))
+			fsp.End(r.stats.Counters())
+		}
 	}
 	if r.unsat {
 		sets = nil
@@ -218,6 +243,16 @@ func Prepare(ctx context.Context, q Query) (*Runner, error) {
 	domain := q.Domain
 	if domain == nil {
 		domain = q.DB.ActiveItems()
+	}
+	// The classify span covers constraint classification and the universal/
+	// existential item-level filtering; it ends before mine.New so the
+	// engine's project span attributes the projection scan separately.
+	tracer := obs.FromContext(ctx)
+	var csp *obs.Span
+	if tracer != nil {
+		csp = tracer.Start(spanName(q.Label, "classify"),
+			obs.Int("constraints", len(q.Constraints)), obs.Int("domain", domain.Len())).
+			WithStats(stats.Counters())
 	}
 
 	// Normalize the conjunction first: merge redundant interval
@@ -321,6 +356,7 @@ func Prepare(ctx context.Context, q Query) (*Runner, error) {
 		PresetL1:   q.PresetL1,
 		Budget:     q.Budget,
 		Stats:      stats,
+		Label:      q.Label,
 	}
 	if required != nil && !required.Empty() {
 		cfg.Required = required
@@ -359,6 +395,12 @@ func Prepare(ctx context.Context, q Query) (*Runner, error) {
 		cfg.MaxLevel = 1
 	}
 
+	if csp != nil {
+		csp.SetAttrs(obs.Int("filtered_domain", fdomain.Len()),
+			obs.Int("final_checks", len(finalChecks)))
+		csp.End(stats.Counters())
+	}
+
 	lw, err := mine.New(ctx, cfg)
 	if err != nil {
 		return nil, err
@@ -367,6 +409,7 @@ func Prepare(ctx context.Context, q Query) (*Runner, error) {
 		q:              q,
 		lw:             lw,
 		stats:          stats,
+		tracer:         tracer,
 		finalChecks:    finalChecks,
 		hasExistential: len(classes) > 0,
 		unsat:          unsatisfiable,
@@ -382,6 +425,7 @@ func AprioriPlus(ctx context.Context, q Query) (*Result, error) {
 		return nil, fmt.Errorf("cap: Query.DB is nil")
 	}
 	stats := &mine.Stats{}
+	tracer := obs.FromContext(ctx)
 	lw, err := mine.New(ctx, mine.Config{
 		DB:         q.DB,
 		MinSupport: q.MinSupport,
@@ -391,6 +435,7 @@ func AprioriPlus(ctx context.Context, q Query) (*Result, error) {
 		Workers:    q.Workers,
 		Budget:     q.Budget,
 		Stats:      stats,
+		Label:      q.Label,
 	})
 	if err != nil {
 		return nil, err
@@ -405,6 +450,13 @@ func AprioriPlus(ctx context.Context, q Query) (*Result, error) {
 		if lw.Level() == 1 {
 			l1 = lw.FrequentItems()
 		}
+		// The generate-and-test pass is what Apriori⁺ burns set-level checks
+		// on; its per-level span makes that cost visible next to CAP's.
+		var fsp *obs.Span
+		if tracer != nil && len(q.Constraints) > 0 {
+			fsp = tracer.Start(spanName(q.Label, fmt.Sprintf("filter-%d", lw.Level()))).
+				WithStats(stats.Counters())
+		}
 		kept := make([]mine.Counted, 0, len(sets))
 		for _, c := range sets {
 			ok := true
@@ -418,6 +470,10 @@ func AprioriPlus(ctx context.Context, q Query) (*Result, error) {
 			if ok {
 				kept = append(kept, c)
 			}
+		}
+		if fsp != nil {
+			fsp.SetAttrs(obs.Int("kept", len(kept)))
+			fsp.End(stats.Counters())
 		}
 		if lw.Level() > len(levels) {
 			levels = append(levels, kept)

@@ -24,6 +24,7 @@ import (
 	"repro/internal/itemset"
 	"repro/internal/jmax"
 	"repro/internal/mine"
+	"repro/internal/obs"
 	"repro/internal/twovar"
 	"repro/internal/txdb"
 )
@@ -307,6 +308,7 @@ func (q *CFQ) sideQuery(side twovar.Side) cap.Query {
 		MaxLevel: q.MaxLevel,
 		Workers:  q.Workers,
 		Budget:   q.Budget,
+		Label:    side.String(),
 	}
 	if side == twovar.SideS {
 		cq.MinSupport = q.MinSupportS
@@ -343,7 +345,7 @@ func runBaseline(ctx context.Context, q CFQ, pushOneVar bool) (*Result, error) {
 	res := &Result{LevelsS: sRes.Levels, LevelsT: tRes.Levels}
 	res.Stats.Add(sRes.Stats)
 	res.Stats.Add(tRes.Stats)
-	formPairs(q, res)
+	formPairsTraced(obs.FromContext(ctx), q, res)
 	return res, nil
 }
 
@@ -381,29 +383,46 @@ func runOptimized(ctx context.Context, q CFQ, useJmax bool) (*Result, error) {
 		plan.Strategy = StrategyOptimizedNoJmax
 	}
 	res := &Result{Plan: plan}
+	tracer := obs.FromContext(ctx)
 
 	// Phase 1: one counting iteration per side with 1-var pushdown only.
+	// The phase span is structural (no delta): the runners' classify/
+	// project/level spans nested under it carry the counter deltas.
+	var p1 *obs.Span
+	if tracer != nil {
+		p1 = tracer.Start("phase1")
+	}
 	sq1 := q.sideQuery(twovar.SideS)
 	sq1.MaxLevel = 1
 	tq1 := q.sideQuery(twovar.SideT)
 	tq1.MaxLevel = 1
 	s1, err := cap.Prepare(ctx, sq1)
 	if err != nil {
+		p1.End(nil)
 		return nil, err
 	}
 	t1, err := cap.Prepare(ctx, tq1)
 	if err != nil {
+		p1.End(nil)
 		return nil, err
 	}
 	if _, _, err := s1.Step(); err != nil {
+		p1.End(nil)
 		return nil, err
 	}
 	if _, _, err := t1.Step(); err != nil {
+		p1.End(nil)
 		return nil, err
 	}
 	l1S, l1T := s1.FrequentItems(), t1.FrequentItems()
 	res.Stats.Add(s1.Stats())
 	res.Stats.Add(t1.Stats())
+	p1.End(nil)
+
+	var rsp *obs.Span
+	if tracer != nil {
+		rsp = tracer.Start("reduce")
+	}
 
 	// Reduce every 2-var constraint to 1-var conditions (Figures 2–4).
 	sq := q.sideQuery(twovar.SideS)
@@ -432,6 +451,11 @@ func runOptimized(ctx context.Context, q CFQ, useJmax bool) (*Result, error) {
 			}
 		}
 	}
+
+	rsp.SetAttrs(obs.Int("l1_s", l1S.Len()), obs.Int("l1_t", l1T.Len()),
+		obs.Int("conditions_s", len(plan.ReducedS)), obs.Int("conditions_t", len(plan.ReducedT)),
+		obs.Int("dynamic_bounds", len(dyns)))
+	rsp.End(nil)
 
 	// Phase 2: re-plan both sides with the reduced constraints; level 1 is
 	// preset from phase 1, so nothing is re-counted.
@@ -466,24 +490,42 @@ func runOptimized(ctx context.Context, q CFQ, useJmax bool) (*Result, error) {
 	// side's levels complete (Section 5.2). An abort on either side stops
 	// the whole evaluation — the budget is shared, so continuing the other
 	// lattice would only dig the overrun deeper.
+	iter := 0
 	for !sRun.Done() || !tRun.Done() {
+		// One structural span per dovetail round: its children are the two
+		// sides' level/finalcheck spans, so the report tree names every Jmax
+		// iteration.
+		iter++
+		var isp *obs.Span
+		if tracer != nil {
+			isp = tracer.Start(fmt.Sprintf("jmax-iter-%d", iter))
+		}
 		if !sRun.Done() {
 			if _, _, err := sRun.Step(); err != nil {
+				isp.End(nil)
 				return nil, err
 			}
 			observeLevel(dyns, twovar.SideT, sRun)
 		}
 		if !tRun.Done() {
 			if _, _, err := tRun.Step(); err != nil {
+				isp.End(nil)
 				return nil, err
 			}
 			observeLevel(dyns, twovar.SideS, tRun)
 		}
-		for _, ds := range dyns {
+		bounded := 0
+		for i, ds := range dyns {
 			if b := ds.bound(); !math.IsInf(b, 1) {
+				bounded++
 				q.trace("dynamic bound on %v: %v(%s) %v %.4g", ds.d.PruneSide, ds.d.Agg, ds.d.AttrName, ds.d.Op, b)
 			}
+			if isp != nil && ds.allowed {
+				isp.SetAttrs(ds.series.Attrs(fmt.Sprintf("%s%d_", ds.d.PruneSide, i))...)
+			}
 		}
+		isp.SetAttrs(obs.Int("active_bounds", bounded))
+		isp.End(nil)
 	}
 	for _, ds := range dyns {
 		if ds.allowed {
@@ -494,6 +536,14 @@ func runOptimized(ctx context.Context, q CFQ, useJmax bool) (*Result, error) {
 	sResult, tResult := sRun.Result(), tRun.Result()
 	res.Stats.Add(sResult.Stats)
 	res.Stats.Add(tResult.Stats)
+
+	// The finalize span opens after the Stats.Add copies above (copies are
+	// not work and must not land in any delta) and attributes the dynamic
+	// checks folded in here plus the final-bound re-filtering.
+	var fsp *obs.Span
+	if tracer != nil {
+		fsp = tracer.Start("finalize").WithStats(res.Stats.Counters())
+	}
 	res.Stats.SetConstraintChecks += dynChecks
 
 	// Apply the final (tightest) bounds to the reported sets: sound for
@@ -501,9 +551,27 @@ func runOptimized(ctx context.Context, q CFQ, useJmax bool) (*Result, error) {
 	// conditions (avg series) that could not prune candidates.
 	res.LevelsS = applyFinalDynamic(dyns, twovar.SideS, sResult.Levels, &res.Stats)
 	res.LevelsT = applyFinalDynamic(dyns, twovar.SideT, tResult.Levels, &res.Stats)
+	if fsp != nil {
+		fsp.End(res.Stats.Counters())
+	}
 
-	formPairs(q, res)
+	formPairsTraced(tracer, q, res)
 	return res, nil
+}
+
+// formPairsTraced wraps pair formation in a delta span attributing the
+// PairChecks cost. The span must open after every Stats.Add fold into
+// res.Stats, so its delta is exactly the pair-formation work.
+func formPairsTraced(tracer *obs.Tracer, q CFQ, res *Result) {
+	var sp *obs.Span
+	if tracer != nil {
+		sp = tracer.Start("pairs").WithStats(res.Stats.Counters())
+	}
+	formPairs(q, res)
+	if sp != nil {
+		sp.SetAttrs(obs.Int64("pair_count", res.PairCount))
+		sp.End(res.Stats.Counters())
+	}
 }
 
 func otherSide(s twovar.Side) twovar.Side {
@@ -655,28 +723,38 @@ func runSequential(ctx context.Context, q CFQ) (*Result, error) {
 	}
 	plan.Strategy = StrategySequential
 	res := &Result{Plan: plan}
+	tracer := obs.FromContext(ctx)
 
 	// Phase 1 + reduction, as in runOptimized.
+	var p1 *obs.Span
+	if tracer != nil {
+		p1 = tracer.Start("phase1")
+	}
 	sq1 := q.sideQuery(twovar.SideS)
 	sq1.MaxLevel = 1
 	tq1 := q.sideQuery(twovar.SideT)
 	tq1.MaxLevel = 1
 	s1, err := cap.Prepare(ctx, sq1)
 	if err != nil {
+		p1.End(nil)
 		return nil, err
 	}
 	t1, err := cap.Prepare(ctx, tq1)
 	if err != nil {
+		p1.End(nil)
 		return nil, err
 	}
 	if _, _, err := s1.Step(); err != nil {
+		p1.End(nil)
 		return nil, err
 	}
 	if _, _, err := t1.Step(); err != nil {
+		p1.End(nil)
 		return nil, err
 	}
 	res.Stats.Add(s1.Stats())
 	res.Stats.Add(t1.Stats())
+	p1.End(nil)
 
 	sq := q.sideQuery(twovar.SideS)
 	tq := q.sideQuery(twovar.SideT)
@@ -695,9 +773,15 @@ func runSequential(ctx context.Context, q CFQ) (*Result, error) {
 	tq.PresetL1 = t1.FrequentItemCounts()
 
 	// Mine T to completion; the exact maxima over its counted frequent
-	// sets become the bounds for S-pruning dynamics.
+	// sets become the bounds for S-pruning dynamics. The mine-T/mine-S
+	// spans are structural: the runners' own spans carry the deltas.
+	var msp *obs.Span
+	if tracer != nil {
+		msp = tracer.Start("mine-T")
+	}
 	tRun, err := cap.Prepare(ctx, tq)
 	if err != nil {
+		msp.End(nil)
 		return nil, err
 	}
 	sBounds := map[*dynState]float64{}
@@ -708,6 +792,7 @@ func runSequential(ctx context.Context, q CFQ) (*Result, error) {
 	}
 	for !tRun.Done() {
 		if _, _, err := tRun.Step(); err != nil {
+			msp.End(nil)
 			return nil, err
 		}
 		for _, c := range tRun.LastFrequent() {
@@ -722,6 +807,7 @@ func runSequential(ctx context.Context, q CFQ) (*Result, error) {
 			}
 		}
 	}
+	msp.End(nil)
 	var dynChecks int64
 	var sConds []constraint.Constraint
 	for ds, b := range sBounds {
@@ -746,16 +832,23 @@ func runSequential(ctx context.Context, q CFQ) (*Result, error) {
 			return true
 		}
 	}
+	var ssp *obs.Span
+	if tracer != nil {
+		ssp = tracer.Start("mine-S")
+	}
 	sRun, err := cap.Prepare(ctx, sq)
 	if err != nil {
+		ssp.End(nil)
 		return nil, err
 	}
 	for !sRun.Done() {
 		if _, _, err := sRun.Step(); err != nil {
+			ssp.End(nil)
 			return nil, err
 		}
 		observeLevel(dyns, twovar.SideT, sRun)
 	}
+	ssp.End(nil)
 	for _, ds := range dyns {
 		if ds.d.PruneSide == twovar.SideT {
 			ds.series.Finish()
@@ -764,6 +857,10 @@ func runSequential(ctx context.Context, q CFQ) (*Result, error) {
 	sResult, tResult := sRun.Result(), tRun.Result()
 	res.Stats.Add(sResult.Stats)
 	res.Stats.Add(tResult.Stats)
+	var fsp *obs.Span
+	if tracer != nil {
+		fsp = tracer.Start("finalize").WithStats(res.Stats.Counters())
+	}
 	res.Stats.SetConstraintChecks += dynChecks
 	res.LevelsS = sResult.Levels
 	// T-pruning dynamics could not run during T's mining (S was not mined
@@ -777,8 +874,11 @@ func runSequential(ctx context.Context, q CFQ) (*Result, error) {
 		}
 	}
 	res.LevelsS = applyFinalDynamic(dyns, twovar.SideS, res.LevelsS, &res.Stats)
+	if fsp != nil {
+		fsp.End(res.Stats.Counters())
+	}
 
-	formPairs(q, res)
+	formPairsTraced(tracer, q, res)
 	return res, nil
 }
 
@@ -790,6 +890,14 @@ func runFM(ctx context.Context, q CFQ) (*Result, error) {
 	const maxFMItems = 16
 	res := &Result{}
 	guard := mine.NewGuard(ctx, q.Budget, &res.Stats)
+	tracer := obs.FromContext(ctx)
+	span := func(name string) func() {
+		if tracer == nil {
+			return func() {}
+		}
+		sp := tracer.Start(name).WithStats(res.Stats.Counters())
+		return func() { sp.End(res.Stats.Counters()) }
+	}
 	run := func(domain itemset.Set, minSup int, cons []constraint.Constraint) ([][]mine.Counted, error) {
 		if domain == nil {
 			domain = q.DB.ActiveItems()
@@ -863,12 +971,18 @@ func runFM(ctx context.Context, q CFQ) (*Result, error) {
 		return levels, nil
 	}
 	var err error
-	if res.LevelsS, err = run(q.DomainS, q.MinSupportS, q.ConstraintsS); err != nil {
+	endS := span("fm-S")
+	res.LevelsS, err = run(q.DomainS, q.MinSupportS, q.ConstraintsS)
+	endS()
+	if err != nil {
 		return nil, err
 	}
-	if res.LevelsT, err = run(q.DomainT, q.MinSupportT, q.ConstraintsT); err != nil {
+	endT := span("fm-T")
+	res.LevelsT, err = run(q.DomainT, q.MinSupportT, q.ConstraintsT)
+	endT()
+	if err != nil {
 		return nil, err
 	}
-	formPairs(q, res)
+	formPairsTraced(tracer, q, res)
 	return res, nil
 }

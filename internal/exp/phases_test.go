@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestPhasesShape: the phase profile covers every strategy, all strategies
+// agree on the answer, and each strategy's per-phase deltas sum exactly to
+// its reported totals (the attribution contract, end to end).
+func TestPhasesShape(t *testing.T) {
+	p, err := Phases(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Strategies) != len(PhaseStrategies) {
+		t.Fatalf("%d strategies, want %d", len(p.Strategies), len(PhaseStrategies))
+	}
+	pairs := p.Strategies[0].Pairs
+	for _, sp := range p.Strategies {
+		if sp.Pairs != pairs {
+			t.Errorf("%s: %d pairs, others report %d", sp.Strategy, sp.Pairs, pairs)
+		}
+		if len(sp.Phases) == 0 {
+			t.Errorf("%s: no phases recorded", sp.Strategy)
+		}
+		sum := obs.Counters{}
+		for _, ph := range sp.Phases {
+			sum.Add(ph.Stats)
+		}
+		for k, v := range sp.Totals {
+			if sum[k] != v {
+				t.Errorf("%s: phase deltas sum %s=%d, totals say %d", sp.Strategy, k, sum[k], v)
+			}
+		}
+		for k, v := range sum {
+			if sp.Totals[k] != v {
+				t.Errorf("%s: phase delta %s=%d missing from totals", sp.Strategy, k, v)
+			}
+		}
+	}
+	// The optimized strategy's span tree names its Jmax iterations.
+	var opt *StrategyPhases
+	for i := range p.Strategies {
+		if p.Strategies[i].Strategy == "optimized" {
+			opt = &p.Strategies[i]
+		}
+	}
+	if opt == nil {
+		t.Fatal("optimized strategy missing from profile")
+	}
+	foundIter := false
+	for _, ph := range opt.Phases {
+		if strings.HasPrefix(ph.Name, "jmax-iter-") {
+			foundIter = true
+		}
+	}
+	if !foundIter {
+		t.Error("optimized profile has no jmax-iter-N phase")
+	}
+}
+
+// TestPhasesJSON: the profile round-trips through its JSON form.
+func TestPhasesJSON(t *testing.T) {
+	p, err := Phases(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PhaseProfile
+	if err := json.Unmarshal([]byte(s), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Workload != p.Workload || len(back.Strategies) != len(p.Strategies) {
+		t.Errorf("round-trip mismatch: %+v", back)
+	}
+	if tb := p.PhaseTable(); len(tb.Rows) != len(p.Strategies) {
+		t.Errorf("PhaseTable rows = %d", len(tb.Rows))
+	}
+}

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/attr"
 	"repro/internal/itemset"
+	"repro/internal/obs"
 )
 
 // Unbounded is returned as the Jmax value when no finite bound can be
@@ -206,3 +207,33 @@ func (s *Series) Bound() float64 {
 // SizeBound returns the tightest derived cardinality bound (Unbounded if
 // none).
 func (s *Series) SizeBound() int { return s.sizeBound }
+
+// Attrs renders the series' current state as span annotations (prefixed, so
+// one span can carry several bounds). Infinite / unbounded components are
+// omitted: a span attribute should state information, not its absence.
+func (s *Series) Attrs(prefix string) []obs.Attr {
+	if !s.initialized {
+		return nil
+	}
+	var out []obs.Attr
+	if b := s.Bound(); !math.IsInf(b, 0) {
+		out = append(out, obs.Float(prefix+"sum_bound", b))
+	}
+	if s.sizeBound < Unbounded {
+		out = append(out, obs.Int(prefix+"size_bound", s.sizeBound))
+	}
+	return out
+}
+
+// Attrs renders one level summary as span annotations (Figure 5's Jmax and
+// Figure 6's V for the level), prefixed like Series.Attrs.
+func (s *Summary) Attrs(prefix string) []obs.Attr {
+	out := []obs.Attr{obs.Int(prefix+"k", s.K)}
+	if s.Jmax < Unbounded {
+		out = append(out, obs.Int(prefix+"jmax", s.Jmax))
+	}
+	if !math.IsInf(s.V, 0) {
+		out = append(out, obs.Float(prefix+"v", s.V))
+	}
+	return out
+}

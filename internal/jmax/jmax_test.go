@@ -282,3 +282,34 @@ func TestSeriesBeforeObservation(t *testing.T) {
 		t.Errorf("fresh series size bound = %d", s.SizeBound())
 	}
 }
+
+// TestAttrs: the span-annotation rendering reports finite bounds only.
+func TestAttrs(t *testing.T) {
+	s := NewSeries()
+	if got := s.Attrs("b0_"); got != nil {
+		t.Errorf("uninitialized series rendered attrs: %v", got)
+	}
+	s.Observe(&Summary{K: 2, Jmax: 1, V: 42, MaxExact: 30})
+	attrs := map[string]any{}
+	for _, a := range s.Attrs("b0_") {
+		attrs[a.Key] = a.Value
+	}
+	if attrs["b0_sum_bound"] != 42.0 || attrs["b0_size_bound"] != 3 {
+		t.Errorf("series attrs = %v", attrs)
+	}
+
+	sum := &Summary{K: 2, Jmax: Unbounded, V: math.Inf(1)}
+	attrs = map[string]any{}
+	for _, a := range sum.Attrs("") {
+		attrs[a.Key] = a.Value
+	}
+	if attrs["k"] != 2 {
+		t.Errorf("summary attrs = %v", attrs)
+	}
+	if _, ok := attrs["jmax"]; ok {
+		t.Error("unbounded jmax rendered")
+	}
+	if _, ok := attrs["v"]; ok {
+		t.Error("infinite v rendered")
+	}
+}

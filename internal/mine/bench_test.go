@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/itemset"
+	"repro/internal/obs"
 	"repro/internal/txdb"
 )
 
@@ -101,4 +102,43 @@ func BenchmarkParallelCounting(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkFPGrowth measures the pattern-growth miner end to end on the
+// same workload as the levelwise benchmark.
+func BenchmarkFPGrowth(b *testing.B) {
+	db := benchDB(5000)
+	minSup := db.Len() / 50
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FPGrowth(context.Background(), db, minSup, nil, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTracingOverhead compares a run with no tracer in the context
+// (the default: every instrumentation point is one nil comparison)
+// against a run recording spans. "disabled" vs the plain levelwise
+// benchmark is the regression gate the ISSUE requires.
+func BenchmarkTracingOverhead(b *testing.B) {
+	db := benchDB(5000)
+	minSup := db.Len() / 50
+	b.Run("disabled", func(b *testing.B) {
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			if _, err := AllFrequent(ctx, db, minSup, nil, nil, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tracer := obs.NewTracer(obs.Options{Name: "bench"})
+			ctx := obs.WithTracer(context.Background(), tracer)
+			if _, err := AllFrequent(ctx, db, minSup, nil, nil, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

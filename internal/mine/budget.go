@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Budget caps the resources one query evaluation may consume. A zero limit
@@ -182,6 +184,7 @@ func (g *Guard) Check(where string) error {
 }
 
 func (g *Guard) overrun(where, resource string, limit, used int64) error {
+	obs.MBudgetTrips.Inc()
 	return &BudgetError{Resource: resource, Where: where, Limit: limit, Used: used, Stats: *g.stats}
 }
 

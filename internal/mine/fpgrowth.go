@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/itemset"
+	"repro/internal/obs"
 	"repro/internal/txdb"
 )
 
@@ -80,8 +81,19 @@ func FPGrowth(ctx context.Context, db *txdb.DB, minSupport int, domain itemset.S
 		domain = db.ActiveItems()
 	}
 	guard := NewGuard(ctx, budget, stats)
+	tracer := obs.FromContext(ctx)
+	// span opens one labelled phase span when tracing is on; each carries
+	// the phase's Stats delta (closed via the returned func even on abort).
+	span := func(name string) func() {
+		if tracer == nil {
+			return func() {}
+		}
+		sp := tracer.Start(name).WithStats(stats.Counters())
+		return func() { sp.End(stats.Counters()) }
+	}
 
 	// Pass 1: item frequencies over the domain.
+	endPass1 := span("fpgrowth:frequency-pass")
 	inDomain := map[itemset.Item]bool{}
 	for _, it := range domain {
 		inDomain[it] = true
@@ -102,6 +114,7 @@ func FPGrowth(ctx context.Context, db *txdb.DB, minSupport int, domain itemset.S
 	})
 	stats.DBScans++
 	if err != nil {
+		endPass1()
 		return nil, err
 	}
 
@@ -131,7 +144,10 @@ func FPGrowth(ctx context.Context, db *txdb.DB, minSupport int, domain itemset.S
 		itemOf[i] = f.item
 	}
 
+	endPass1()
+
 	// Pass 2: build the FP-tree from ordered, filtered transactions.
+	endBuild := span("fpgrowth:tree-construction")
 	tree := newFPTree(len(fl))
 	err = db.ScanErr(func(tid int, t itemset.Set) error {
 		if tid%checkBatch == 0 {
@@ -154,13 +170,18 @@ func FPGrowth(ctx context.Context, db *txdb.DB, minSupport int, domain itemset.S
 	})
 	stats.DBScans++
 	if err != nil {
+		endBuild()
 		return nil, err
 	}
 	stats.LatticeBytes += tree.nodes * fpNodeBytes
 	if err := guard.Check("fp-growth: tree construction"); err != nil {
+		endBuild()
 		return nil, err
 	}
+	endBuild()
 
+	endGrow := span("fpgrowth:growth")
+	defer endGrow()
 	var levels [][]Counted
 	emit := func(suffix []int32, support int) {
 		items := make([]itemset.Item, len(suffix))

@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"repro/internal/itemset"
+	"repro/internal/obs"
 	"repro/internal/txdb"
 )
 
@@ -89,6 +90,9 @@ type Config struct {
 	Budget *Budget
 	// Stats, when non-nil, accumulates work counters.
 	Stats *Stats
+	// Label, when non-empty, prefixes the miner's trace span names (the
+	// CFQ engine labels its dovetailed lattices "S" and "T").
+	Label string
 }
 
 // Counted is a frequent itemset together with its support.
@@ -106,6 +110,7 @@ type Levelwise struct {
 	cfg        Config
 	stats      *Stats
 	guard      *Guard
+	tracer     *obs.Tracer
 	tx         [][]int32 // transactions projected to rank space
 	rankToItem []itemset.Item
 	nRequired  int // ranks < nRequired are Required items
@@ -174,6 +179,15 @@ func New(ctx context.Context, cfg Config) (*Levelwise, error) {
 	}
 
 	guard := NewGuard(ctx, cfg.Budget, stats)
+	tracer := obs.FromContext(ctx)
+
+	// The projection span covers the setup scan; its stats delta isolates
+	// the projection cost from the per-level counting spans that follow.
+	var sp *obs.Span
+	if tracer != nil {
+		sp = tracer.Start(spanName(cfg.Label, "project"),
+			obs.Int("domain", domain.Len())).WithStats(stats.Counters())
+	}
 
 	// Project the database (one accounted scan, checked per batch).
 	tx := make([][]int32, 0, cfg.DB.Len())
@@ -194,18 +208,29 @@ func New(ctx context.Context, cfg Config) (*Levelwise, error) {
 		return nil
 	})
 	if err != nil {
+		sp.End(stats.Counters())
 		return nil, err
 	}
 	stats.DBScans++
+	sp.End(stats.Counters())
 
 	return &Levelwise{
 		cfg:        cfg,
 		stats:      stats,
 		guard:      guard,
+		tracer:     tracer,
 		tx:         tx,
 		rankToItem: rankToItem,
 		nRequired:  nRequired,
 	}, nil
+}
+
+// spanName prefixes a span name with the miner's label ("S:level-2").
+func spanName(label, name string) string {
+	if label == "" {
+		return name
+	}
+	return label + ":" + name
 }
 
 // Level returns the last completed level (0 before the first Step).
@@ -279,12 +304,24 @@ func (l *Levelwise) Step() ([]Counted, bool, error) {
 	if l.done {
 		return nil, true, nil
 	}
+	// One span per mining level, carrying the level's Stats delta (the
+	// per-phase counting/checking cost the ccc analysis argues about).
+	// With tracing disabled this is a single nil comparison.
+	var sp *obs.Span
+	if l.tracer != nil {
+		sp = l.tracer.Start(spanName(l.cfg.Label, fmt.Sprintf("level-%d", l.level+1))).
+			WithStats(l.stats.Counters())
+	}
 	var out []Counted
 	var err error
 	if l.level == 0 {
 		out, err = l.stepOne()
 	} else {
 		out, err = l.stepK()
+	}
+	if sp != nil {
+		sp.SetAttrs(obs.Int("frequent", len(l.lastFrequent)), obs.Int("valid", len(out)))
+		sp.End(l.stats.Counters())
 	}
 	if err != nil {
 		l.err = err

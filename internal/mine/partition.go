@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/itemset"
+	"repro/internal/obs"
 	"repro/internal/txdb"
 )
 
@@ -40,6 +41,11 @@ func PartitionFrequent(ctx context.Context, db *txdb.DB, minSupport int, domain 
 		numPartitions = db.Len()
 	}
 
+	// Per-partition spans are structural (no delta): the inner levelwise
+	// miners share this run's stats object and attribute their own deltas,
+	// so an outer delta would double-count.
+	tracer := obs.FromContext(ctx)
+
 	// Phase 1: mine each partition at the proportional local threshold.
 	candidates := map[string]itemset.Set{}
 	per := db.Len() / numPartitions
@@ -64,6 +70,11 @@ func PartitionFrequent(ctx context.Context, db *txdb.DB, minSupport int, domain 
 		if local < 1 {
 			local = 1
 		}
+		var psp *obs.Span
+		if tracer != nil {
+			psp = tracer.Start(fmt.Sprintf("partition-%d", p),
+				obs.Int("transactions", size), obs.Int("local_min_support", local))
+		}
 		lw, err := New(ctx, Config{
 			DB:         txdb.New(part),
 			MinSupport: local,
@@ -72,9 +83,11 @@ func PartitionFrequent(ctx context.Context, db *txdb.DB, minSupport int, domain 
 			Stats:      stats,
 		})
 		if err != nil {
+			psp.End(nil)
 			return nil, fmt.Errorf("mine: partition %d: %w", p, err)
 		}
 		levels, err := lw.RunAll()
+		psp.End(nil)
 		if err != nil {
 			return nil, err
 		}
@@ -87,8 +100,16 @@ func PartitionFrequent(ctx context.Context, db *txdb.DB, minSupport int, domain 
 
 	// Phase 2: one global pass verifies the pool's exact supports. The
 	// guard is created here (not earlier) so it charges only the phase-2
-	// increments — phase 1's inner miners published their own.
+	// increments — phase 1's inner miners published their own. The verify
+	// span carries phase 2's delta for the same reason.
 	guard := NewGuard(ctx, budget, stats)
+	endVerify := func() {}
+	if tracer != nil {
+		sp := tracer.Start("partition-verify", obs.Int("pool", len(candidates))).
+			WithStats(stats.Counters())
+		endVerify = func() { sp.End(stats.Counters()) }
+	}
+	defer endVerify()
 	keys := make([]string, 0, len(candidates))
 	for k := range candidates {
 		keys = append(keys, k)

@@ -1,6 +1,10 @@
 package mine
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // Stats accumulates the work counters behind the paper's ccc-optimality
 // analysis (Section 6.2): how many candidate sets had their support counted,
@@ -50,6 +54,56 @@ func (s *Stats) Add(other Stats) {
 	s.DBScans += other.DBScans
 	s.LatticeBytes += other.LatticeBytes
 	s.Checkpoints += other.Checkpoints
+}
+
+// Minus returns the per-field difference s - prev: the work performed
+// between two snapshots, which tracing attributes to one phase span.
+func (s Stats) Minus(prev Stats) Stats {
+	return Stats{
+		CandidatesCounted:    s.CandidatesCounted - prev.CandidatesCounted,
+		ItemConstraintChecks: s.ItemConstraintChecks - prev.ItemConstraintChecks,
+		SetConstraintChecks:  s.SetConstraintChecks - prev.SetConstraintChecks,
+		PairChecks:           s.PairChecks - prev.PairChecks,
+		FrequentSets:         s.FrequentSets - prev.FrequentSets,
+		ValidSets:            s.ValidSets - prev.ValidSets,
+		DBScans:              s.DBScans - prev.DBScans,
+		LatticeBytes:         s.LatticeBytes - prev.LatticeBytes,
+		Checkpoints:          s.Checkpoints - prev.Checkpoints,
+	}
+}
+
+// Counters converts the stats into the obs span/metric counter form. The
+// key names are the observability vocabulary: they appear in span deltas,
+// RunReport totals and (suffixed with _total) the metrics registry, and
+// IMPLEMENTATION_NOTES maps each to its paper cost component.
+func (s Stats) Counters() obs.Counters {
+	return obs.Counters{
+		"candidates_counted":     s.CandidatesCounted,
+		"item_constraint_checks": s.ItemConstraintChecks,
+		"set_constraint_checks":  s.SetConstraintChecks,
+		"pair_checks":            s.PairChecks,
+		"frequent_sets":          s.FrequentSets,
+		"valid_sets":             s.ValidSets,
+		"db_scans":               s.DBScans,
+		"lattice_bytes":          s.LatticeBytes,
+		"checkpoints":            s.Checkpoints,
+	}
+}
+
+// FromCounters rebuilds a Stats from its counter form (the inverse of
+// Counters; unknown keys are ignored, missing keys are zero).
+func FromCounters(c obs.Counters) Stats {
+	return Stats{
+		CandidatesCounted:    c["candidates_counted"],
+		ItemConstraintChecks: c["item_constraint_checks"],
+		SetConstraintChecks:  c["set_constraint_checks"],
+		PairChecks:           c["pair_checks"],
+		FrequentSets:         c["frequent_sets"],
+		ValidSets:            c["valid_sets"],
+		DBScans:              c["db_scans"],
+		LatticeBytes:         c["lattice_bytes"],
+		Checkpoints:          c["checkpoints"],
+	}
 }
 
 // String renders the counters on one line.

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/itemset"
+	"repro/internal/obs"
 	"repro/internal/txdb"
 )
 
@@ -61,8 +62,17 @@ func VerticalFrequent(ctx context.Context, db *txdb.DB, minSupport int, domain i
 		domain = db.ActiveItems()
 	}
 	guard := NewGuard(ctx, budget, stats)
+	tracer := obs.FromContext(ctx)
+	span := func(name string) func() {
+		if tracer == nil {
+			return func() {}
+		}
+		sp := tracer.Start(name).WithStats(stats.Counters())
+		return func() { sp.End(stats.Counters()) }
+	}
 
 	// Build the vertical representation (one accounted scan).
+	endProject := span("eclat:vertical-projection")
 	inDomain := map[itemset.Item]bool{}
 	for _, it := range domain {
 		inDomain[it] = true
@@ -90,6 +100,7 @@ func VerticalFrequent(ctx context.Context, db *txdb.DB, minSupport int, domain i
 	})
 	stats.DBScans++
 	if err != nil {
+		endProject()
 		return nil, err
 	}
 
@@ -111,9 +122,13 @@ func VerticalFrequent(ctx context.Context, db *txdb.DB, minSupport int, domain i
 	}
 	sort.Slice(l1, func(i, j int) bool { return l1[i].item < l1[j].item })
 	if err := guard.Check("eclat: level 1"); err != nil {
+		endProject()
 		return nil, err
 	}
+	endProject()
 
+	endDFS := span("eclat:dfs")
+	defer endDFS()
 	var levels [][]Counted
 	emit := func(set itemset.Set, support int) {
 		stats.FrequentSets++

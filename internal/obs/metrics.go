@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The process-wide metrics registry. Counters and gauges are lock-free
+// atomics, so hot paths (txdb scans, budget trips, cache lookups) can
+// publish live while an HTTP scrape goroutine snapshots concurrently —
+// the -race mid-run scrape test locks this property in.
+
+var (
+	regMu   sync.Mutex
+	regVars = map[string]metricVar{}
+	regKeys []string
+)
+
+// metricVar is anything the registry can snapshot.
+type metricVar interface {
+	value() any
+}
+
+func register(name string, v metricVar) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := regVars[name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	regVars[name] = v
+	regKeys = append(regKeys, name)
+	sort.Strings(regKeys)
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	n atomic.Int64
+}
+
+// NewCounter registers a counter under the given name.
+func NewCounter(name string) *Counter {
+	c := &Counter{}
+	register(name, c)
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds d (negative deltas are ignored so counters stay monotone).
+func (c *Counter) Add(d int64) {
+	if d > 0 {
+		c.n.Add(d)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// String renders the value (expvar.Var).
+func (c *Counter) String() string { return fmt.Sprint(c.n.Load()) }
+
+func (c *Counter) value() any { return c.n.Load() }
+
+// Gauge is a metric that can move both ways.
+type Gauge struct {
+	n atomic.Int64
+}
+
+// NewGauge registers a gauge under the given name.
+func NewGauge(name string) *Gauge {
+	g := &Gauge{}
+	register(name, g)
+	return g
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.n.Store(v) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d int64) { g.n.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.n.Load() }
+
+// String renders the value (expvar.Var).
+func (g *Gauge) String() string { return fmt.Sprint(g.n.Load()) }
+
+func (g *Gauge) value() any { return g.n.Load() }
+
+// histBounds are the histogram bucket upper bounds in milliseconds;
+// observations above the last bound land in the +Inf bucket.
+var histBounds = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000}
+
+// Histogram is a fixed-bucket timing histogram (milliseconds). Buckets are
+// non-cumulative; SumMS accumulates in microseconds internally for
+// precision and reports milliseconds.
+type Histogram struct {
+	buckets []atomic.Int64 // len(histBounds)+1; last is +Inf
+	count   atomic.Int64
+	sumUS   atomic.Int64
+}
+
+// NewHistogram registers a timing histogram under the given name.
+func NewHistogram(name string) *Histogram {
+	h := &Histogram{buckets: make([]atomic.Int64, len(histBounds)+1)}
+	register(name, h)
+	return h
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	msv := float64(d) / 1e6
+	i := sort.SearchFloat64s(histBounds, msv)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(int64(d / time.Microsecond))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+func (h *Histogram) value() any {
+	buckets := map[string]int64{}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			label := "+Inf"
+			if i < len(histBounds) {
+				label = fmt.Sprintf("%g", histBounds[i])
+			}
+			buckets[label] = n
+		}
+	}
+	return map[string]any{
+		"count":   h.count.Load(),
+		"sum_ms":  float64(h.sumUS.Load()) / 1e3,
+		"buckets": buckets,
+	}
+}
+
+// String renders the histogram snapshot as JSON (expvar.Var).
+func (h *Histogram) String() string {
+	b, _ := json.Marshal(h.value())
+	return string(b)
+}
+
+// Snapshot returns every registered metric's current value, keyed by name.
+// It is safe to call concurrently with metric updates.
+func Snapshot() map[string]any {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make(map[string]any, len(regVars))
+	for _, k := range regKeys {
+		out[k] = regVars[k].value()
+	}
+	return out
+}
+
+// The stack's standard metrics. Counter-shaped mine.Stats dimensions are
+// published at the cfq seam when a run completes (PublishStats); db_scans,
+// budget trips and session-cache lookups are published live at the point
+// they happen, so a mid-run scrape sees progress.
+var (
+	MQueries     = NewCounter("queries_total")
+	MQueryErrors = NewCounter("query_errors_total")
+	MBudgetTrips = NewCounter("budget_trips_total")
+	MDBScans     = NewCounter("db_scans_total")
+	MCacheHits   = NewCounter("session_cache_hits_total")
+	MCacheMisses = NewCounter("session_cache_misses_total")
+	MQueryDur    = NewHistogram("query_duration_ms")
+
+	MCandidates   = NewCounter("candidates_counted_total")
+	MItemChecks   = NewCounter("item_constraint_checks_total")
+	MSetChecks    = NewCounter("set_constraint_checks_total")
+	MPairChecks   = NewCounter("pair_checks_total")
+	MFrequent     = NewCounter("frequent_sets_total")
+	MValid        = NewCounter("valid_sets_total")
+	MLatticeBytes = NewCounter("lattice_bytes_total")
+	MCheckpoints  = NewCounter("checkpoints_total")
+)
+
+// PublishStats folds one completed run's counter set into the global
+// metrics. db_scans is deliberately excluded: txdb publishes scans live, and
+// double counting would skew the rate.
+func PublishStats(c Counters) {
+	MCandidates.Add(c["candidates_counted"])
+	MItemChecks.Add(c["item_constraint_checks"])
+	MSetChecks.Add(c["set_constraint_checks"])
+	MPairChecks.Add(c["pair_checks"])
+	MFrequent.Add(c["frequent_sets"])
+	MValid.Add(c["valid_sets"])
+	MLatticeBytes.Add(c["lattice_bytes"])
+	MCheckpoints.Add(c["checkpoints"])
+}
+
+func init() {
+	// Expose the registry through the standard expvar surface as well, so
+	// any /debug/vars consumer sees the cfq metrics without custom wiring.
+	expvar.Publish("cfq", expvar.Func(func() any { return Snapshot() }))
+}
+
+// MetricsHandler serves the registry snapshot as JSON.
+func MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(Snapshot())
+	})
+}
+
+// NewMetricsMux builds the HTTP mux behind cmd/cfq's -metrics-addr flag:
+// /metrics (registry JSON) and /debug/vars (standard expvar).
+func NewMetricsMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCounterGauge: basic semantics, including the monotone guard on
+// Counter.Add.
+func TestCounterGauge(t *testing.T) {
+	c := NewCounter("test_counter_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotone
+	if c.Value() != 5 || c.String() != "5" {
+		t.Errorf("counter = %d (%q)", c.Value(), c.String())
+	}
+
+	g := NewGauge("test_gauge")
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Errorf("gauge = %d", g.Value())
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	NewCounter("test_counter_total")
+}
+
+// TestHistogram: observations land in the right buckets and the snapshot
+// carries count and sum.
+func TestHistogram(t *testing.T) {
+	h := NewHistogram("test_duration_ms")
+	h.Observe(500 * time.Microsecond) // 0.5ms -> bucket "1"
+	h.Observe(3 * time.Millisecond)   // -> bucket "5"
+	h.Observe(2 * time.Minute)        // -> +Inf
+	if h.Count() != 3 {
+		t.Errorf("count = %d", h.Count())
+	}
+	v := h.value().(map[string]any)
+	buckets := v["buckets"].(map[string]int64)
+	if buckets["1"] != 1 || buckets["5"] != 1 || buckets["+Inf"] != 1 {
+		t.Errorf("buckets = %v", buckets)
+	}
+	if sum := v["sum_ms"].(float64); sum < 120003 || sum > 120004 {
+		t.Errorf("sum_ms = %v", sum)
+	}
+}
+
+// TestSnapshotAndHandler: the registry snapshot includes the standard vars
+// and /metrics serves it as JSON.
+func TestSnapshotAndHandler(t *testing.T) {
+	MQueries.Inc()
+	snap := Snapshot()
+	if _, ok := snap["queries_total"]; !ok {
+		t.Fatalf("queries_total missing from snapshot: %v", snap)
+	}
+	if _, ok := snap["query_duration_ms"]; !ok {
+		t.Error("histogram missing from snapshot")
+	}
+
+	rec := httptest.NewRecorder()
+	NewMetricsMux().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := body["db_scans_total"]; !ok {
+		t.Errorf("db_scans_total missing from /metrics: %v", body)
+	}
+
+	// /debug/vars exposes the same registry under the "cfq" expvar.
+	rec = httptest.NewRecorder()
+	NewMetricsMux().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
+	if !strings.Contains(rec.Body.String(), `"cfq"`) {
+		t.Error("cfq var missing from /debug/vars")
+	}
+}
+
+// TestPublishStats: counter-shaped dimensions are folded in; db_scans is
+// excluded (txdb publishes scans live).
+func TestPublishStats(t *testing.T) {
+	scansBefore := MDBScans.Value()
+	candBefore := MCandidates.Value()
+	PublishStats(Counters{
+		"candidates_counted": 11,
+		"db_scans":           99,
+		"checkpoints":        2,
+	})
+	if got := MCandidates.Value() - candBefore; got != 11 {
+		t.Errorf("candidates delta = %d", got)
+	}
+	if MDBScans.Value() != scansBefore {
+		t.Error("PublishStats double-counted db_scans")
+	}
+}

@@ -1,0 +1,285 @@
+// Package obs is the observability substrate of the CFQ evaluation stack:
+// hierarchical phase tracing with per-span work-counter deltas, a
+// process-wide metrics registry published via expvar, and helpers for
+// structured (log/slog) logging.
+//
+// The package is a leaf — it imports only the standard library — so every
+// layer (txdb scans, the mining engines, CAP, the core optimizer, the
+// public cfq API) can use it without cycles. All entry points are
+// nil-receiver safe: a nil *Tracer produces nil *Spans whose methods are
+// no-ops, so instrumented code pays one pointer comparison when tracing is
+// disabled.
+//
+// Attribution contract: a span may carry a Counters delta (the work
+// performed during the span, measured against one mine.Stats-shaped
+// counter set). Instrumentation must ensure delta-bearing spans never
+// overlap — each counter increment is attributed to exactly one span — so
+// that summing every span delta of a run reproduces the run's total
+// counters (the property the RunReport exposes as Totals and the tests
+// assert).
+package obs
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Counters is a named set of int64 work counters — the span-delta form of
+// mine.Stats (see Stats.Counters), kept as a plain map so obs stays a leaf
+// package.
+type Counters map[string]int64
+
+// Minus returns c - prev, omitting zero entries (keys absent from prev are
+// treated as zero).
+func (c Counters) Minus(prev Counters) Counters {
+	out := Counters{}
+	for k, v := range c {
+		if d := v - prev[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	return out
+}
+
+// Add accumulates d into c.
+func (c Counters) Add(d Counters) {
+	for k, v := range d {
+		c[k] += v
+	}
+}
+
+// keys returns the counter names in sorted order (deterministic logging).
+func (c Counters) keys() []string {
+	out := make([]string, 0, len(c))
+	for k := range c {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{k, v} }
+
+// Int builds an int attribute.
+func Int(k string, v int) Attr { return Attr{k, v} }
+
+// Int64 builds an int64 attribute.
+func Int64(k string, v int64) Attr { return Attr{k, v} }
+
+// Float builds a float attribute.
+func Float(k string, v float64) Attr { return Attr{k, v} }
+
+// Options configures a Tracer.
+type Options struct {
+	// Name labels the root span (default "run").
+	Name string
+	// Logger, when non-nil, receives one structured event per completed
+	// span. A nil Logger records spans silently (report-only tracing).
+	Logger *slog.Logger
+	// Level is the level span events are logged at (default slog.LevelInfo).
+	// The Logger's handler applies its own filtering on top.
+	Level slog.Level
+}
+
+// Tracer records a tree of phase spans for one evaluation. Create one with
+// NewTracer, carry it in a context.Context via WithTracer, and retrieve the
+// accumulated tree with Report.
+//
+// All methods are safe for concurrent use in the sense that the span tree
+// stays structurally consistent, but span parentage follows a single
+// logical stack: interleave Start/End from multiple goroutines and the
+// hierarchy (not the data) may surprise you. The evaluation stack is
+// sequential at phase granularity, which is exactly the granularity spans
+// are created at.
+type Tracer struct {
+	mu     sync.Mutex
+	logger *slog.Logger
+	level  slog.Level
+	start  time.Time
+	root   *Span
+	stack  []*Span
+	count  int
+}
+
+// NewTracer creates a tracer with an open root span.
+func NewTracer(opts Options) *Tracer {
+	if opts.Name == "" {
+		opts.Name = "run"
+	}
+	t := &Tracer{
+		logger: opts.Logger,
+		level:  opts.Level,
+		start:  time.Now(),
+	}
+	t.root = &Span{tracer: t, name: opts.Name, start: t.start}
+	return t
+}
+
+type ctxKey struct{}
+
+// WithTracer returns a context carrying the tracer. A nil tracer returns
+// ctx unchanged.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the tracer carried by ctx, or nil. Instrumented code
+// branches on the nil result, which is the entire cost of disabled tracing.
+func FromContext(ctx context.Context) *Tracer {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(ctxKey{}).(*Tracer)
+	return t
+}
+
+// Start opens a span as a child of the innermost open span (the root when
+// none is open). A nil tracer returns a nil span.
+func (t *Tracer) Start(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	parent := t.root
+	if n := len(t.stack); n > 0 {
+		parent = t.stack[n-1]
+	}
+	s := &Span{tracer: t, parent: parent, name: name, attrs: attrs, start: time.Now()}
+	parent.children = append(parent.children, s)
+	t.stack = append(t.stack, s)
+	t.count++
+	return s
+}
+
+// Span is one phase of an evaluation. Spans are created by Tracer.Start and
+// closed by End; a nil span ignores every call.
+type Span struct {
+	tracer   *Tracer
+	parent   *Span
+	name     string
+	attrs    []Attr
+	start    time.Time
+	end      time.Time
+	begin    Counters // counter snapshot at span start, if stats-tracked
+	delta    Counters // counter delta over the span, set by End
+	children []*Span
+	ended    bool
+}
+
+// WithStats records the counter snapshot at span start; End then computes
+// the span's delta. Returns the span for chaining.
+func (s *Span) WithStats(c Counters) *Span {
+	if s == nil {
+		return nil
+	}
+	s.tracer.mu.Lock()
+	s.begin = c
+	s.tracer.mu.Unlock()
+	return s
+}
+
+// SetAttrs appends annotations to the span.
+func (s *Span) SetAttrs(attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	s.tracer.mu.Lock()
+	s.attrs = append(s.attrs, attrs...)
+	s.tracer.mu.Unlock()
+	return s
+}
+
+// End closes the span. When the span was started WithStats and c is
+// non-nil, the span's stats delta is c minus the start snapshot. Ending an
+// already-ended span is a no-op.
+func (s *Span) End(c Counters) {
+	if s == nil {
+		return
+	}
+	t := s.tracer
+	t.mu.Lock()
+	if s.ended {
+		t.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.end = time.Now()
+	if s.begin != nil && c != nil {
+		s.delta = c.Minus(s.begin)
+	}
+	// Pop the span from the open stack (it is almost always the top).
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		if t.stack[i] == s {
+			t.stack = append(t.stack[:i], t.stack[i+1:]...)
+			break
+		}
+	}
+	logger, level := t.logger, t.level
+	path := s.path()
+	dur := s.end.Sub(s.start)
+	attrs := s.attrs
+	delta := s.delta
+	t.mu.Unlock()
+
+	if logger == nil {
+		return
+	}
+	args := make([]slog.Attr, 0, 2+len(attrs)+1)
+	args = append(args,
+		slog.String("span", path),
+		slog.Float64("dur_ms", float64(dur)/float64(time.Millisecond)))
+	for _, a := range attrs {
+		args = append(args, slog.Any(a.Key, a.Value))
+	}
+	if len(delta) > 0 {
+		stat := make([]any, 0, len(delta))
+		for _, k := range delta.keys() {
+			stat = append(stat, slog.Int64(k, delta[k]))
+		}
+		args = append(args, slog.Group("stats", stat...))
+	}
+	logger.LogAttrs(context.Background(), level, "span", args...)
+}
+
+// path renders the span's ancestry as root/child/.../name. Callers hold the
+// tracer's lock.
+func (s *Span) path() string {
+	if s.parent == nil {
+		return s.name
+	}
+	return s.parent.path() + "/" + s.name
+}
+
+// Logger returns the tracer's logger (nil when logging is disabled or the
+// tracer is nil), for instrumented code that wants to emit ad-hoc events
+// alongside spans.
+func (t *Tracer) Logger() *slog.Logger {
+	if t == nil {
+		return nil
+	}
+	return t.logger
+}
+
+// Logf emits one formatted message through the tracer's logger at the span
+// level. A nil tracer or logger drops the message.
+func (t *Tracer) Logf(format string, args ...any) {
+	if t == nil || t.logger == nil {
+		return
+	}
+	t.logger.LogAttrs(context.Background(), t.level, fmt.Sprintf(format, args...))
+}

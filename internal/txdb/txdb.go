@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/itemset"
+	"repro/internal/obs"
 )
 
 // DB is an immutable in-memory transaction database. The zero value is an
@@ -56,9 +57,11 @@ func (db *DB) NumItems() int { return db.numItems }
 func (db *DB) Transaction(i int) itemset.Set { return db.tx[i] }
 
 // Scan invokes fn once per transaction, in TID order, and records one full
-// database scan for I/O accounting.
+// database scan for I/O accounting (both on the DB and, live, in the global
+// metrics registry — so a mid-run scrape sees scan progress).
 func (db *DB) Scan(fn func(tid int, t itemset.Set)) {
 	atomic.AddInt64(&db.scans, 1)
+	obs.MDBScans.Inc()
 	for i, t := range db.tx {
 		fn(i, t)
 	}
@@ -70,6 +73,7 @@ func (db *DB) Scan(fn func(tid int, t itemset.Set)) {
 // end of the database.
 func (db *DB) ScanErr(fn func(tid int, t itemset.Set) error) error {
 	atomic.AddInt64(&db.scans, 1)
+	obs.MDBScans.Inc()
 	for i, t := range db.tx {
 		if err := fn(i, t); err != nil {
 			return err

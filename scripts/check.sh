@@ -1,9 +1,21 @@
 #!/usr/bin/env bash
-# check.sh — the repository's CI gate: vet, build, and the race-enabled test
-# suite. Heavy end-to-end experiments are skipped via -short so the gate
-# stays fast; run `go test ./...` (no -short) for the full suite.
+# check.sh — the repository's CI gate: vet, build, the race-enabled test
+# suite, a one-iteration benchmark smoke (catches benchmarks that no longer
+# compile or crash), and the logging hygiene gate. Heavy end-to-end
+# experiments are skipped via -short so the gate stays fast; run
+# `go test ./...` (no -short) for the full suite.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== logging hygiene =="
+# All diagnostics flow through internal/obs (slog spans + metrics); ad-hoc
+# log.Printf-style output anywhere else bypasses the stdout/stderr contract.
+# (log.Fatal in example mains is an error exit, not diagnostics, and stays.)
+if grep -rnE '\blog\.(Printf|Println|Print)\(' \
+    --include='*.go' . | grep -v '^./internal/obs/' | grep -v '_test.go'; then
+  echo "check.sh: log.Print* outside internal/obs (use obs tracing/slog)" >&2
+  exit 1
+fi
 
 echo "== go vet =="
 go vet ./...
@@ -13,5 +25,8 @@ go build ./...
 
 echo "== go test -race -short =="
 go test -race -short ./...
+
+echo "== benchmark smoke (-benchtime=1x) =="
+go test -run '^$' -bench . -benchtime=1x ./... > /dev/null
 
 echo "check.sh: all green"
