@@ -141,6 +141,10 @@ type Stats struct {
 	SetConstraintChecks  int64
 	// PairChecks counts 2-var evaluations during final pair formation.
 	PairChecks int64
+	// CandidatesPruned counts candidates generated or materialized and then
+	// discarded — by a constraint, a frequency test, or pair rejection.
+	// ExplainAnalyze attributes this total per constraint-site.
+	CandidatesPruned int64
 	// FrequentSets / ValidSets count discovered sets.
 	FrequentSets int64
 	ValidSets    int64
@@ -388,6 +392,7 @@ func convertStats(s mine.Stats) Stats {
 		ItemConstraintChecks: s.ItemConstraintChecks,
 		SetConstraintChecks:  s.SetConstraintChecks,
 		PairChecks:           s.PairChecks,
+		CandidatesPruned:     s.CandidatesPruned,
 		FrequentSets:         s.FrequentSets,
 		ValidSets:            s.ValidSets,
 		DBScans:              s.DBScans,

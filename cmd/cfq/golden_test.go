@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/cfq"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// goldenCheck compares got against testdata/<name>, rewriting the file
+// under -update.
+func goldenCheck(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/cfq -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted.\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// readmeQuery is the README quickstart: snacks on the S side, beer on the
+// T side, and the quasi-succinct join max(S.Price) <= min(T.Price).
+func readmeQuery(t *testing.T) *cfq.Query {
+	t.Helper()
+	ds := cfq.NewDataset(6)
+	if err := ds.SetNumeric("Price", []float64{2, 3, 4, 8, 12, 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.SetCategorical("Type", []string{"snacks", "snacks", "snacks", "beer", "beer", "beer"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.AddTransactions([][]int{
+		{0, 1, 3}, {0, 2, 4}, {1, 2, 5}, {0, 1, 4},
+		{2, 3, 5}, {0, 1, 2, 3}, {1, 3, 4}, {0, 2, 3, 5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return cfq.NewQuery(ds).
+		MinSupport(2).
+		WhereS(cfq.Domain(cfq.SubsetOf, "Type", "snacks")).
+		WhereT(cfq.Domain(cfq.SubsetOf, "Type", "beer")).
+		Where2(cfq.Join(cfq.Max, "Price", cfq.LE, cfq.Min, "Price"))
+}
+
+// dovetailQuery adds a non-quasi-succinct sum<=sum join, so the optimized
+// strategy mines both lattices dovetailed under iterative Jmax bounds —
+// the analyze report must carry the bound entries and their trajectories.
+func dovetailQuery(t *testing.T) *cfq.Query {
+	t.Helper()
+	ds := cfq.NewDataset(6)
+	if err := ds.SetNumeric("Price", []float64{2, 3, 4, 8, 12, 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.AddTransactions([][]int{
+		{0, 1, 3}, {0, 2, 4}, {1, 2, 5}, {0, 1, 4},
+		{2, 3, 5}, {0, 1, 2, 3}, {1, 3, 4}, {0, 2, 3, 5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return cfq.NewQuery(ds).
+		MinSupport(2).
+		DomainS(0, 1, 2).
+		DomainT(3, 4, 5).
+		Where2(cfq.Join(cfq.Sum, "Price", cfq.LE, cfq.Sum, "Price"))
+}
+
+// runExplain drives the CLI's execute path and returns (stdout, stderr).
+func runExplain(t *testing.T, q *cfq.Query, analyze bool) (string, string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	opt := runOptions{
+		strategy: "optimized",
+		stdout:   &out,
+		stderr:   &errw,
+	}
+	if analyze {
+		opt.explainAnalyze = true
+	} else {
+		opt.explain = true
+	}
+	if err := execute(context.Background(), q, opt); err != nil {
+		t.Fatal(err)
+	}
+	return out.String(), errw.String()
+}
+
+// TestExplainGolden pins -explain output for the README query: the JSON
+// report on stdout and the plan tree on stderr are both part of the CLI
+// contract (stable for a fixed dataset — the report carries no wall times).
+func TestExplainGolden(t *testing.T) {
+	stdout, stderr := runExplain(t, readmeQuery(t), false)
+	goldenCheck(t, "explain_readme.json", stdout)
+	goldenCheck(t, "explain_readme.tree", stderr)
+
+	var rep cfq.ExplainReport
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("stdout is not an ExplainReport: %v", err)
+	}
+	if rep.Analyzed {
+		t.Error("-explain must not run the query")
+	}
+}
+
+// TestExplainAnalyzeGolden pins -explain-analyze output for the README
+// query and for a dovetailed sum<=sum query (which exercises the dynamic
+// bound entries and their Jmax trajectories).
+func TestExplainAnalyzeGolden(t *testing.T) {
+	cases := []struct {
+		name  string
+		query func(*testing.T) *cfq.Query
+	}{
+		{"analyze_readme", readmeQuery},
+		{"analyze_dovetail", dovetailQuery},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			stdout, stderr := runExplain(t, c.query(t), true)
+			goldenCheck(t, c.name+".json", stdout)
+			goldenCheck(t, c.name+".tree", stderr)
+
+			var rep cfq.ExplainReport
+			if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+				t.Fatalf("stdout is not an ExplainReport: %v", err)
+			}
+			if !rep.Analyzed {
+				t.Error("report not analyzed")
+			}
+			if rep.SumPruned() != rep.TotalPruned {
+				t.Errorf("buckets sum to %d, total %d", rep.SumPruned(), rep.TotalPruned)
+			}
+			if c.name == "analyze_dovetail" && len(rep.Bounds) == 0 {
+				t.Error("dovetailed query produced no dynamic bound entries")
+			}
+		})
+	}
+}

@@ -67,7 +67,8 @@ func realMain() error {
 		minSupFrac             = flag.Float64("minsupfrac", 0.01, "minimum support as a fraction of transactions (ignored when -minsup > 0)")
 		strategy               = flag.String("strategy", "optimized", "optimized, nojmax, cap, apriori, fm")
 		maxPairs               = flag.Int("maxpairs", 20, "answer pairs to print (0 = all)")
-		explain                = flag.Bool("explain", false, "print the optimizer plan and exit")
+		explain                = flag.Bool("explain", false, "print the plan (ExplainReport JSON on stdout, tree on stderr) without running")
+		explainAnalyze         = flag.Bool("explain-analyze", false, "run the query and print the plan annotated with actual per-constraint pruning")
 		stats                  = flag.Bool("stats", false, "print work counters")
 		verbose                = flag.Bool("v", false, "print per-level mining progress to stderr")
 		workers                = flag.Int("workers", 0, "support-counting goroutines (0 = serial)")
@@ -79,6 +80,9 @@ func realMain() error {
 		logLevel               = flag.String("log-level", "info", "minimum level for -trace events: debug, info, warn, error")
 		reportFile             = flag.String("report", "", "write the run's phase report (RunReport JSON) to this file")
 		metricsAddr            = flag.String("metrics-addr", "", "serve /metrics and /debug/vars on this address (e.g. localhost:8080)")
+		cpuProfile             = flag.String("cpuprofile", "", "write a CPU profile (with phase / constraint-site labels) to this file")
+		memProfile             = flag.String("memprofile", "", "write a heap profile to this file before exiting")
+		pprofAddr              = flag.String("pprof-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 		whereS, whereT, where2 stringsFlag
 	)
 	flag.Var(&whereS, "wheres", "1-var constraint on S (repeatable)")
@@ -86,12 +90,36 @@ func realMain() error {
 	flag.Var(&where2, "where2", "2-var constraint (repeatable)")
 	flag.Parse()
 
-	// Tracing is on when either consumer needs it: -trace (log events) or
-	// -report (span tree). The tracer is created before data loading so the
-	// load/generate phase is part of the report.
+	// Profiling wants pprof goroutine labels on the spans, so any profile
+	// consumer also implies a tracer.
+	profiling := *cpuProfile != "" || *pprofAddr != ""
+	if *cpuProfile != "" {
+		stop, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "cfq: cpuprofile:", err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			if err := obs.WriteHeapProfile(path); err != nil {
+				fmt.Fprintln(os.Stderr, "cfq: memprofile:", err)
+			}
+		}()
+	}
+
+	// Tracing is on when any consumer needs it: -trace (log events),
+	// -report (span tree), or profiling (pprof labels). The tracer is
+	// created before data loading so the load/generate phase is part of the
+	// report.
 	ctx := context.Background()
 	var tracer *cfq.Tracer
-	if *traceFlag || *reportFile != "" {
+	if *traceFlag || *reportFile != "" || profiling {
 		var logger *slog.Logger
 		if *traceFlag {
 			lvl, err := parseLogLevel(*logLevel)
@@ -100,13 +128,20 @@ func realMain() error {
 			}
 			logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 		}
-		tracer = cfq.NewTracer(cfq.TracerOptions{Name: "cfq", Logger: logger})
+		tracer = cfq.NewTracer(cfq.TracerOptions{Name: "cfq", Logger: logger, PprofLabels: profiling})
 		ctx = cfq.WithTracer(ctx, tracer)
 	}
 	if *metricsAddr != "" {
 		go func() {
 			if err := http.ListenAndServe(*metricsAddr, obs.NewMetricsMux()); err != nil {
 				fmt.Fprintln(os.Stderr, "cfq: metrics server:", err)
+			}
+		}()
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, obs.NewProfilingMux()); err != nil {
+				fmt.Fprintln(os.Stderr, "cfq: pprof server:", err)
 			}
 		}()
 	}
@@ -204,14 +239,15 @@ func realMain() error {
 	}
 
 	opts := runOptions{
-		explain:  *explain,
-		strategy: *strategy,
-		stats:    *stats,
-		jsonOut:  *jsonOut,
-		stdout:   os.Stdout,
-		stderr:   os.Stderr,
-		tracer:   tracer,
-		report:   *reportFile,
+		explain:        *explain,
+		explainAnalyze: *explainAnalyze,
+		strategy:       *strategy,
+		stats:          *stats,
+		jsonOut:        *jsonOut,
+		stdout:         os.Stdout,
+		stderr:         os.Stderr,
+		tracer:         tracer,
+		report:         *reportFile,
 	}
 
 	var q *cfq.Query
@@ -312,17 +348,28 @@ func parseFullQuery(ds *cfq.Dataset, s string, minSup int, minSupFrac float64) (
 // Only the result (text or -json) is written to stdout; the plan, stats,
 // and trace events all go to stderr so stdout stays machine-parseable.
 type runOptions struct {
-	explain  bool
-	strategy string
-	stats    bool
-	jsonOut  bool
-	stdout   io.Writer
-	stderr   io.Writer
-	tracer   *cfq.Tracer
-	report   string // path for the RunReport JSON, "" = none
+	explain        bool
+	explainAnalyze bool
+	strategy       string
+	stats          bool
+	jsonOut        bool
+	stdout         io.Writer
+	stderr         io.Writer
+	tracer         *cfq.Tracer
+	report         string // path for the RunReport JSON, "" = none
 }
 
-// execute runs (or explains) the query and prints the results.
+// emitJSON writes one indented JSON document to w.
+func emitJSON(w io.Writer, v interface{}) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// execute runs (or explains) the query and prints the results. Stdout
+// stays machine-parseable in every mode: the answer (text or -json), or
+// the ExplainReport JSON for -explain / -explain-analyze; the human plan
+// tree, stats, and trace events go to stderr.
 func execute(ctx context.Context, q *cfq.Query, opt runOptions) error {
 	if opt.stdout == nil {
 		opt.stdout = os.Stdout
@@ -330,19 +377,25 @@ func execute(ctx context.Context, q *cfq.Query, opt runOptions) error {
 	if opt.stderr == nil {
 		opt.stderr = os.Stderr
 	}
-	if opt.explain {
-		plan, err := q.Explain()
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(opt.stdout, plan)
-		return nil
-	}
 	st, err := parseStrategy(opt.strategy)
 	if err != nil {
 		return err
 	}
-	res, err := q.RunContext(ctx, st)
+	if opt.explain {
+		rep, err := q.ExplainQuery(st)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(opt.stderr, rep.Tree())
+		return emitJSON(opt.stdout, rep)
+	}
+	var res *cfq.Result
+	var rep *cfq.ExplainReport
+	if opt.explainAnalyze {
+		res, rep, err = q.ExplainAnalyzeContext(ctx, st)
+	} else {
+		res, err = q.RunContext(ctx, st)
+	}
 	if opt.report != "" {
 		// Written even when the run failed: the tracer still holds the
 		// spans recorded up to the abort (open ones are marked).
@@ -363,10 +416,19 @@ func execute(ctx context.Context, q *cfq.Query, opt runOptions) error {
 		}
 		printStats(opt.stderr, "", res.Stats)
 	}
+	if rep != nil {
+		fmt.Fprint(opt.stderr, rep.Tree())
+		if opt.jsonOut {
+			// Both consumers asked for JSON: one combined document.
+			return emitJSON(opt.stdout, struct {
+				Explain *cfq.ExplainReport `json:"explain"`
+				Result  *cfq.Result        `json:"result"`
+			}{rep, res})
+		}
+		return emitJSON(opt.stdout, rep)
+	}
 	if opt.jsonOut {
-		enc := json.NewEncoder(opt.stdout)
-		enc.SetIndent("", "  ")
-		return enc.Encode(res)
+		return emitJSON(opt.stdout, res)
 	}
 
 	fmt.Fprintf(opt.stdout, "valid S-sets: %d, valid T-sets: %d, answer pairs: %d\n",
@@ -401,8 +463,8 @@ func writeReport(path string, tracer *cfq.Tracer, res *cfq.Result) error {
 // printStats renders the work counters; prefix distinguishes partial
 // (aborted-run) stats from final ones.
 func printStats(w io.Writer, prefix string, s cfq.Stats) {
-	fmt.Fprintf(w, "%scandidates counted: %d\n%sitem constraint checks: %d\n%sset constraint checks: %d\n%spair checks: %d\n%sDB scans: %d\n%scheckpoints: %d\n",
-		prefix, s.CandidatesCounted, prefix, s.ItemConstraintChecks, prefix, s.SetConstraintChecks,
+	fmt.Fprintf(w, "%scandidates counted: %d\n%scandidates pruned: %d\n%sitem constraint checks: %d\n%sset constraint checks: %d\n%spair checks: %d\n%sDB scans: %d\n%scheckpoints: %d\n",
+		prefix, s.CandidatesCounted, prefix, s.CandidatesPruned, prefix, s.ItemConstraintChecks, prefix, s.SetConstraintChecks,
 		prefix, s.PairChecks, prefix, s.DBScans, prefix, s.Checkpoints)
 }
 

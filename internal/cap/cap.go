@@ -115,6 +115,7 @@ type Runner struct {
 	lw             *mine.Levelwise
 	stats          *mine.Stats
 	tracer         *obs.Tracer
+	prune          *obs.PruneSet
 	finalChecks    []constraint.Constraint
 	hasExistential bool
 	unsat          bool
@@ -153,6 +154,8 @@ func (r *Runner) Step() ([]mine.Counted, bool, error) {
 				r.stats.SetConstraintChecks++
 				if !fc.Satisfies(c.Set) {
 					ok = false
+					r.stats.CandidatesPruned++
+					r.prune.Charge(spanName(r.q.Label, "final-filter:"+fc.String()), 1)
 					break
 				}
 			}
@@ -267,7 +270,9 @@ func Prepare(ctx context.Context, q Query) (*Runner, error) {
 		q.Constraints = simplified
 	}
 
-	// Classify every constraint against the base domain.
+	// Classify every constraint against the base domain. Predicates and
+	// classes keep a pointer to their source constraint so every pruning
+	// event below can be charged to the constraint that caused it.
 	type analyzed struct {
 		c  constraint.Constraint
 		cl constraint.Class
@@ -276,10 +281,15 @@ func Prepare(ctx context.Context, q Query) (*Runner, error) {
 	for i, c := range q.Constraints {
 		an[i] = analyzed{c, c.Classify(domain)}
 	}
+	prune := obs.PruningFromContext(ctx)
 
 	// 1. Universal item predicates filter the domain (item-level checks).
-	var universals []constraint.ItemPredicate
-	var existentials []constraint.ItemPredicate
+	type itemPred struct {
+		pred constraint.ItemPredicate
+		src  constraint.Constraint
+	}
+	var universals []itemPred
+	var existentials []itemPred
 	var amFilters []constraint.Constraint // anti-monotone, non-succinct
 	var finalChecks []constraint.Constraint
 	for _, a := range an {
@@ -289,9 +299,11 @@ func Prepare(ctx context.Context, q Query) (*Runner, error) {
 		}
 		if snf != nil {
 			if snf.Universal != nil {
-				universals = append(universals, snf.Universal)
+				universals = append(universals, itemPred{snf.Universal, a.c})
 			}
-			existentials = append(existentials, snf.Existential...)
+			for _, ex := range snf.Existential {
+				existentials = append(existentials, itemPred{ex, a.c})
+			}
 		}
 		if a.cl.AntiMonotone && a.cl.Succinct == nil {
 			amFilters = append(amFilters, a.c)
@@ -306,8 +318,12 @@ func Prepare(ctx context.Context, q Query) (*Runner, error) {
 		ok := true
 		for _, u := range universals {
 			stats.ItemConstraintChecks++
-			if !u(it) {
+			if !u.pred(it) {
 				ok = false
+				// One excluded item is one pruned singleton candidate: the
+				// MGF's selection step enforced at candidate generation.
+				stats.CandidatesPruned++
+				prune.Charge(spanName(q.Label, "domain-filter:"+u.src.String()), 1)
 				break
 			}
 		}
@@ -319,24 +335,28 @@ func Prepare(ctx context.Context, q Query) (*Runner, error) {
 
 	// 2. Existential predicates become item classes; the most selective
 	// one steers generation, the rest gate reporting.
-	classes := make([]itemset.Set, 0, len(existentials))
+	type itemClass struct {
+		set itemset.Set
+		src constraint.Constraint
+	}
+	classes := make([]itemClass, 0, len(existentials))
 	for _, ex := range existentials {
 		var members []itemset.Item
 		for _, it := range fdomain {
 			stats.ItemConstraintChecks++
-			if ex(it) {
+			if ex.pred(it) {
 				members = append(members, it)
 			}
 		}
-		classes = append(classes, itemset.New(members...))
+		classes = append(classes, itemClass{itemset.New(members...), ex.src})
 	}
-	sort.Slice(classes, func(i, j int) bool { return classes[i].Len() < classes[j].Len() })
+	sort.SliceStable(classes, func(i, j int) bool { return classes[i].set.Len() < classes[j].set.Len() })
 
-	var required itemset.Set
-	var reportClasses []itemset.Set
+	var required itemClass
+	var reportClasses []itemClass
 	unsatisfiable := unsatConj
 	for i, cl := range classes {
-		if cl.Empty() {
+		if cl.set.Empty() {
 			unsatisfiable = true
 		}
 		if i == 0 {
@@ -358,14 +378,18 @@ func Prepare(ctx context.Context, q Query) (*Runner, error) {
 		Stats:      stats,
 		Label:      q.Label,
 	}
-	if required != nil && !required.Empty() {
-		cfg.Required = required
+	if required.set != nil && !required.set.Empty() {
+		cfg.Required = required.set
+		cfg.RequiredSite = spanName(q.Label, "generate:"+required.src.String())
 	}
 	if len(reportClasses) > 0 {
+		// Charging closures (see mine.Config.RequiredSite): the engine
+		// counts the rejection, the closure names the constraint-site.
 		cfg.ReportValid = func(s itemset.Set) bool {
 			for _, cl := range reportClasses {
 				stats.SetConstraintChecks++
-				if !s.Intersects(cl) {
+				if !s.Intersects(cl.set) {
+					prune.Charge(spanName(q.Label, "report-filter:"+cl.src.String()), 1)
 					return false
 				}
 			}
@@ -377,9 +401,11 @@ func Prepare(ctx context.Context, q Query) (*Runner, error) {
 			for _, c := range amFilters {
 				stats.SetConstraintChecks++
 				if !c.Satisfies(s) {
+					prune.Charge(spanName(q.Label, "candidate-filter:"+c.String()), 1)
 					return false
 				}
 			}
+			// ExtraFilter (the Jmax dynamic bounds) charges its own site.
 			if q.ExtraFilter != nil && !q.ExtraFilter(level, s) {
 				return false
 			}
@@ -391,7 +417,11 @@ func Prepare(ctx context.Context, q Query) (*Runner, error) {
 		// An empty existential class: no set can be valid. Still compute
 		// L1 (one level, reporting nothing) so reduction constants exist.
 		cfg.Required = nil
-		cfg.ReportValid = func(itemset.Set) bool { return false }
+		cfg.RequiredSite = ""
+		cfg.ReportValid = func(itemset.Set) bool {
+			prune.Charge(spanName(q.Label, "report-filter:unsatisfiable"), 1)
+			return false
+		}
 		cfg.MaxLevel = 1
 	}
 
@@ -410,6 +440,7 @@ func Prepare(ctx context.Context, q Query) (*Runner, error) {
 		lw:             lw,
 		stats:          stats,
 		tracer:         tracer,
+		prune:          prune,
 		finalChecks:    finalChecks,
 		hasExistential: len(classes) > 0,
 		unsat:          unsatisfiable,
@@ -426,6 +457,7 @@ func AprioriPlus(ctx context.Context, q Query) (*Result, error) {
 	}
 	stats := &mine.Stats{}
 	tracer := obs.FromContext(ctx)
+	prune := obs.PruningFromContext(ctx)
 	lw, err := mine.New(ctx, mine.Config{
 		DB:         q.DB,
 		MinSupport: q.MinSupport,
@@ -464,6 +496,8 @@ func AprioriPlus(ctx context.Context, q Query) (*Result, error) {
 				stats.SetConstraintChecks++
 				if !con.Satisfies(c.Set) {
 					ok = false
+					stats.CandidatesPruned++
+					prune.Charge(spanName(q.Label, "filter:"+con.String()), 1)
 					break
 				}
 			}

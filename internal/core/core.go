@@ -191,8 +191,38 @@ type Plan struct {
 	// ReducedS/ReducedT are the 1-var conditions obtained by reduction
 	// (including induced weaker constraints), rendered for explanation.
 	ReducedS, ReducedT []string
-	// DynamicBounds lists the iterative (Jmax) pruning hooks.
+	// ReducedFrom maps each reduced condition's rendering to the 2-var
+	// constraint it was derived from (EXPLAIN ANALYZE provenance).
+	ReducedFrom map[string]string
+	// DynamicBounds lists the iterative (Jmax) pruning hooks, rendered with
+	// twovar.DynamicBound.Label so they match the "<side>:jmax:<label>"
+	// pruning-site keys.
 	DynamicBounds []string
+	// Bounds records each dynamic bound's provenance and (after a run) its
+	// per-iteration trajectory, parallel to DynamicBounds.
+	Bounds []BoundDetail
+}
+
+// BoundDetail is one dynamic bound's EXPLAIN ANALYZE record.
+type BoundDetail struct {
+	// Label is the bound's stable rendering (twovar.DynamicBound.Label).
+	Label string
+	// PruneSide names the variable the bound prunes.
+	PruneSide string
+	// Origin is the 2-var constraint the bound was induced from.
+	Origin string
+	// Trajectory renders the bound's per-iteration tightening.
+	Trajectory []string
+}
+
+// noteReduced records a reduced condition's origin.
+func (p *Plan) noteReduced(cond string, origin string) {
+	if p.ReducedFrom == nil {
+		p.ReducedFrom = map[string]string{}
+	}
+	if _, ok := p.ReducedFrom[cond]; !ok {
+		p.ReducedFrom[cond] = origin
+	}
 }
 
 // Describe renders the plan as a human-readable explanation.
@@ -345,7 +375,7 @@ func runBaseline(ctx context.Context, q CFQ, pushOneVar bool) (*Result, error) {
 	res := &Result{LevelsS: sRes.Levels, LevelsT: tRes.Levels}
 	res.Stats.Add(sRes.Stats)
 	res.Stats.Add(tRes.Stats)
-	formPairsTraced(obs.FromContext(ctx), q, res)
+	formPairsTraced(obs.FromContext(ctx), obs.PruningFromContext(ctx), q, res)
 	return res, nil
 }
 
@@ -384,6 +414,7 @@ func runOptimized(ctx context.Context, q CFQ, useJmax bool) (*Result, error) {
 	}
 	res := &Result{Plan: plan}
 	tracer := obs.FromContext(ctx)
+	prune := obs.PruningFromContext(ctx)
 
 	// Phase 1: one counting iteration per side with 1-var pushdown only.
 	// The phase span is structural (no delta): the runners' classify/
@@ -436,18 +467,22 @@ func runOptimized(ctx context.Context, q CFQ, useJmax bool) (*Result, error) {
 		red := c2.Reduce(l1S, l1T)
 		sq.Constraints = append(sq.Constraints, red.C1...)
 		tq.Constraints = append(tq.Constraints, red.C2...)
+		origin := fmt.Sprintf("%v", c2)
 		for _, c := range red.C1 {
 			plan.ReducedS = append(plan.ReducedS, c.String())
+			plan.noteReduced(c.String(), origin)
 		}
 		for _, c := range red.C2 {
 			plan.ReducedT = append(plan.ReducedT, c.String())
+			plan.noteReduced(c.String(), origin)
 		}
 		if useJmax {
 			for _, d := range red.Dynamic {
 				dyns = append(dyns, &dynState{d: d, series: jmax.NewSeries()})
-				plan.DynamicBounds = append(plan.DynamicBounds,
-					fmt.Sprintf("%v(%s.%s) %v V^k from %v-side sums of %s",
-						d.Agg, d.PruneSide, d.AttrName, d.Op, otherSide(d.PruneSide), d.OtherName))
+				plan.DynamicBounds = append(plan.DynamicBounds, d.Label())
+				plan.Bounds = append(plan.Bounds, BoundDetail{
+					Label: d.Label(), PruneSide: d.PruneSide.String(), Origin: origin,
+				})
 			}
 		}
 	}
@@ -466,8 +501,8 @@ func runOptimized(ctx context.Context, q CFQ, useJmax bool) (*Result, error) {
 	q.traceLevels(&sq, twovar.SideS)
 	q.traceLevels(&tq, twovar.SideT)
 	var dynChecks int64
-	sq.ExtraFilter = dynFilter(dyns, twovar.SideS, &dynChecks)
-	tq.ExtraFilter = dynFilter(dyns, twovar.SideT, &dynChecks)
+	sq.ExtraFilter = dynFilter(dyns, twovar.SideS, &dynChecks, prune)
+	tq.ExtraFilter = dynFilter(dyns, twovar.SideT, &dynChecks, prune)
 	sRun, err := cap.Prepare(ctx, sq)
 	if err != nil {
 		return nil, err
@@ -532,6 +567,7 @@ func runOptimized(ctx context.Context, q CFQ, useJmax bool) (*Result, error) {
 			ds.series.Finish()
 		}
 	}
+	recordTrajectories(plan, dyns)
 
 	sResult, tResult := sRun.Result(), tRun.Result()
 	res.Stats.Add(sResult.Stats)
@@ -549,41 +585,36 @@ func runOptimized(ctx context.Context, q CFQ, useJmax bool) (*Result, error) {
 	// Apply the final (tightest) bounds to the reported sets: sound for
 	// answer formation, and it also covers the non-anti-monotone dynamic
 	// conditions (avg series) that could not prune candidates.
-	res.LevelsS = applyFinalDynamic(dyns, twovar.SideS, sResult.Levels, &res.Stats)
-	res.LevelsT = applyFinalDynamic(dyns, twovar.SideT, tResult.Levels, &res.Stats)
+	res.LevelsS = applyFinalDynamic(dyns, twovar.SideS, sResult.Levels, &res.Stats, prune)
+	res.LevelsT = applyFinalDynamic(dyns, twovar.SideT, tResult.Levels, &res.Stats, prune)
 	if fsp != nil {
 		fsp.End(res.Stats.Counters())
 	}
 
-	formPairsTraced(tracer, q, res)
+	formPairsTraced(tracer, prune, q, res)
 	return res, nil
 }
 
 // formPairsTraced wraps pair formation in a delta span attributing the
 // PairChecks cost. The span must open after every Stats.Add fold into
 // res.Stats, so its delta is exactly the pair-formation work.
-func formPairsTraced(tracer *obs.Tracer, q CFQ, res *Result) {
+func formPairsTraced(tracer *obs.Tracer, prune *obs.PruneSet, q CFQ, res *Result) {
 	var sp *obs.Span
 	if tracer != nil {
 		sp = tracer.Start("pairs").WithStats(res.Stats.Counters())
 	}
-	formPairs(q, res)
+	formPairs(q, res, prune)
 	if sp != nil {
 		sp.SetAttrs(obs.Int64("pair_count", res.PairCount))
 		sp.End(res.Stats.Counters())
 	}
 }
 
-func otherSide(s twovar.Side) twovar.Side {
-	if s == twovar.SideS {
-		return twovar.SideT
-	}
-	return twovar.SideS
-}
-
 // dynFilter builds the candidate filter enforcing the anti-monotone
-// dynamic bounds that prune the given side.
-func dynFilter(dyns []*dynState, side twovar.Side, checks *int64) func(int, itemset.Set) bool {
+// dynamic bounds that prune the given side. As a charging closure (see
+// mine.Config.RequiredSite) it attributes each rejection to the bound's
+// "<side>:jmax:<bound>" site; the engine counts the rejection itself.
+func dynFilter(dyns []*dynState, side twovar.Side, checks *int64, prune *obs.PruneSet) func(int, itemset.Set) bool {
 	var active []*dynState
 	for _, ds := range dyns {
 		if ds.d.PruneSide == side && ds.d.AntiMonotonePrunable() {
@@ -601,10 +632,43 @@ func dynFilter(dyns []*dynState, side twovar.Side, checks *int64) func(int, item
 			}
 			*checks++
 			if !ds.d.Condition(b).Satisfies(s) {
+				prune.Charge(side.String()+":jmax:"+ds.d.Label(), 1)
 				return false
 			}
 		}
 		return true
+	}
+}
+
+// recordTrajectories fills each plan bound's per-iteration trajectory from
+// its observed Jmax series (EXPLAIN ANALYZE's bound evolution).
+func recordTrajectories(plan *Plan, dyns []*dynState) {
+	for _, ds := range dyns {
+		hist := ds.series.History()
+		if len(hist) == 0 {
+			continue
+		}
+		lines := make([]string, 0, len(hist))
+		for _, st := range hist {
+			switch {
+			case ds.d.Kind == twovar.BoundCount:
+				if st.SizeBound >= jmax.Unbounded {
+					lines = append(lines, fmt.Sprintf("k=%d: size unbounded", st.K))
+				} else {
+					lines = append(lines, fmt.Sprintf("k=%d: size<=%d", st.K, st.SizeBound))
+				}
+			case math.IsInf(st.Bound, 0):
+				lines = append(lines, fmt.Sprintf("k=%d: unbounded", st.K))
+			default:
+				lines = append(lines, fmt.Sprintf("k=%d: <=%.4g", st.K, st.Bound))
+			}
+		}
+		for i := range plan.Bounds {
+			if plan.Bounds[i].Label == ds.d.Label() && plan.Bounds[i].Trajectory == nil {
+				plan.Bounds[i].Trajectory = lines
+				break
+			}
+		}
 	}
 }
 
@@ -633,14 +697,18 @@ func observeLevel(dyns []*dynState, pruneSide twovar.Side, from *cap.Runner) {
 
 // applyFinalDynamic re-filters the reported sets with each dynamic bound's
 // final value.
-func applyFinalDynamic(dyns []*dynState, side twovar.Side, levels [][]mine.Counted, stats *mine.Stats) [][]mine.Counted {
-	var conds []constraint.Constraint
+func applyFinalDynamic(dyns []*dynState, side twovar.Side, levels [][]mine.Counted, stats *mine.Stats, prune *obs.PruneSet) [][]mine.Counted {
+	type finalCond struct {
+		cond constraint.Constraint
+		site string
+	}
+	var conds []finalCond
 	for _, ds := range dyns {
 		if ds.d.PruneSide != side {
 			continue
 		}
 		if b := ds.bound(); !math.IsInf(b, 1) {
-			conds = append(conds, ds.d.Condition(b))
+			conds = append(conds, finalCond{ds.d.Condition(b), side.String() + ":final-filter:" + ds.d.Label()})
 		}
 	}
 	if len(conds) == 0 {
@@ -651,10 +719,12 @@ func applyFinalDynamic(dyns []*dynState, side twovar.Side, levels [][]mine.Count
 		kept := make([]mine.Counted, 0, len(lv))
 		for _, c := range lv {
 			ok := true
-			for _, cond := range conds {
+			for _, fc := range conds {
 				stats.SetConstraintChecks++
-				if !cond.Satisfies(c.Set) {
+				if !fc.cond.Satisfies(c.Set) {
 					ok = false
+					stats.CandidatesPruned++
+					prune.Charge(fc.site, 1)
 					break
 				}
 			}
@@ -673,7 +743,7 @@ func applyFinalDynamic(dyns []*dynState, side twovar.Side, levels [][]mine.Count
 // formPairs materializes the answer: every (valid S, valid T) pair
 // satisfying all 2-var constraints. With no 2-var constraints the answer is
 // the cross product and no checks are spent.
-func formPairs(q CFQ, res *Result) {
+func formPairs(q CFQ, res *Result, prune *obs.PruneSet) {
 	validS, validT := res.ValidS(), res.ValidT()
 	if len(q.Constraints2) == 0 {
 		res.PairCount = int64(len(validS)) * int64(len(validT))
@@ -696,6 +766,11 @@ func formPairs(q CFQ, res *Result) {
 				res.Stats.PairChecks++
 				if !c2.Satisfies(s.Set, t.Set) {
 					ok = false
+					// A rejected pair is one pruned answer candidate: the
+					// cost a plan pays for 2-var constraints it could not
+					// push into the lattices.
+					res.Stats.CandidatesPruned++
+					prune.Charge(fmt.Sprintf("pairs:%v", c2), 1)
 					break
 				}
 			}
@@ -724,6 +799,7 @@ func runSequential(ctx context.Context, q CFQ) (*Result, error) {
 	plan.Strategy = StrategySequential
 	res := &Result{Plan: plan}
 	tracer := obs.FromContext(ctx)
+	prune := obs.PruningFromContext(ctx)
 
 	// Phase 1 + reduction, as in runOptimized.
 	var p1 *obs.Span
@@ -765,8 +841,21 @@ func runSequential(ctx context.Context, q CFQ) (*Result, error) {
 		red := c2.Reduce(s1.FrequentItems(), t1.FrequentItems())
 		sq.Constraints = append(sq.Constraints, red.C1...)
 		tq.Constraints = append(tq.Constraints, red.C2...)
+		origin := fmt.Sprintf("%v", c2)
+		for _, c := range red.C1 {
+			plan.ReducedS = append(plan.ReducedS, c.String())
+			plan.noteReduced(c.String(), origin)
+		}
+		for _, c := range red.C2 {
+			plan.ReducedT = append(plan.ReducedT, c.String())
+			plan.noteReduced(c.String(), origin)
+		}
 		for _, d := range red.Dynamic {
 			dyns = append(dyns, &dynState{d: d, series: jmax.NewSeries(), allowed: true})
+			plan.DynamicBounds = append(plan.DynamicBounds, d.Label())
+			plan.Bounds = append(plan.Bounds, BoundDetail{
+				Label: d.Label(), PruneSide: d.PruneSide.String(), Origin: origin,
+			})
 		}
 	}
 	sq.PresetL1 = s1.FrequentItemCounts()
@@ -809,23 +898,28 @@ func runSequential(ctx context.Context, q CFQ) (*Result, error) {
 	}
 	msp.End(nil)
 	var dynChecks int64
-	var sConds []constraint.Constraint
+	type seqCond struct {
+		cond constraint.Constraint
+		site string
+	}
+	var sConds []seqCond
 	for ds, b := range sBounds {
 		if !math.IsInf(b, -1) {
 			if ds.d.AntiMonotonePrunable() {
-				sConds = append(sConds, ds.d.Condition(b))
+				sConds = append(sConds, seqCond{ds.d.Condition(b), "S:jmax:" + ds.d.Label()})
 			}
 		} else {
 			// No frequent T-set at all: nothing can pair; an unsatisfiable
 			// filter is sound.
-			sConds = append(sConds, constraint.Card(constraint.LE, -1))
+			sConds = append(sConds, seqCond{constraint.Card(constraint.LE, -1), "S:jmax:no-frequent-T"})
 		}
 	}
 	if len(sConds) > 0 {
 		sq.ExtraFilter = func(_ int, s itemset.Set) bool {
 			for _, c := range sConds {
 				dynChecks++
-				if !c.Satisfies(s) {
+				if !c.cond.Satisfies(s) {
+					prune.Charge(c.site, 1)
 					return false
 				}
 			}
@@ -865,7 +959,7 @@ func runSequential(ctx context.Context, q CFQ) (*Result, error) {
 	res.LevelsS = sResult.Levels
 	// T-pruning dynamics could not run during T's mining (S was not mined
 	// yet); apply their final bounds now.
-	res.LevelsT = applyFinalDynamic(dyns, twovar.SideT, tResult.Levels, &res.Stats)
+	res.LevelsT = applyFinalDynamic(dyns, twovar.SideT, tResult.Levels, &res.Stats, prune)
 	// And the non-anti-monotone S dynamics (avg forms) as report filters:
 	// seed their series with the exact bound so applyFinalDynamic sees it.
 	for ds, b := range sBounds {
@@ -873,12 +967,13 @@ func runSequential(ctx context.Context, q CFQ) (*Result, error) {
 			ds.series.Observe(&jmax.Summary{K: int(b), Jmax: 0, V: b, MaxExact: b})
 		}
 	}
-	res.LevelsS = applyFinalDynamic(dyns, twovar.SideS, res.LevelsS, &res.Stats)
+	res.LevelsS = applyFinalDynamic(dyns, twovar.SideS, res.LevelsS, &res.Stats, prune)
 	if fsp != nil {
 		fsp.End(res.Stats.Counters())
 	}
+	recordTrajectories(plan, dyns)
 
-	formPairsTraced(tracer, q, res)
+	formPairsTraced(tracer, prune, q, res)
 	return res, nil
 }
 
@@ -891,6 +986,7 @@ func runFM(ctx context.Context, q CFQ) (*Result, error) {
 	res := &Result{}
 	guard := mine.NewGuard(ctx, q.Budget, &res.Stats)
 	tracer := obs.FromContext(ctx)
+	prune := obs.PruningFromContext(ctx)
 	span := func(name string) func() {
 		if tracer == nil {
 			return func() {}
@@ -898,7 +994,7 @@ func runFM(ctx context.Context, q CFQ) (*Result, error) {
 		sp := tracer.Start(name).WithStats(res.Stats.Counters())
 		return func() { sp.End(res.Stats.Counters()) }
 	}
-	run := func(domain itemset.Set, minSup int, cons []constraint.Constraint) ([][]mine.Counted, error) {
+	run := func(label string, domain itemset.Set, minSup int, cons []constraint.Constraint) ([][]mine.Counted, error) {
 		if domain == nil {
 			domain = q.DB.ActiveItems()
 		}
@@ -913,6 +1009,10 @@ func runFM(ctx context.Context, q CFQ) (*Result, error) {
 				res.Stats.SetConstraintChecks++
 				if !c.Satisfies(s) {
 					ok = false
+					// Every enumerated subset is a materialized candidate;
+					// a constraint rejection here is FM's pruning.
+					res.Stats.CandidatesPruned++
+					prune.Charge(label+":materialize:"+c.String(), 1)
 					break
 				}
 			}
@@ -955,6 +1055,8 @@ func runFM(ctx context.Context, q CFQ) (*Result, error) {
 			sup := q.DB.Support(s)
 			res.Stats.DBScans++
 			if sup < minSup {
+				res.Stats.CandidatesPruned++
+				prune.Charge(label+":frequency", 1)
 				continue
 			}
 			res.Stats.FrequentSets++
@@ -972,17 +1074,17 @@ func runFM(ctx context.Context, q CFQ) (*Result, error) {
 	}
 	var err error
 	endS := span("fm-S")
-	res.LevelsS, err = run(q.DomainS, q.MinSupportS, q.ConstraintsS)
+	res.LevelsS, err = run("fm-S", q.DomainS, q.MinSupportS, q.ConstraintsS)
 	endS()
 	if err != nil {
 		return nil, err
 	}
 	endT := span("fm-T")
-	res.LevelsT, err = run(q.DomainT, q.MinSupportT, q.ConstraintsT)
+	res.LevelsT, err = run("fm-T", q.DomainT, q.MinSupportT, q.ConstraintsT)
 	endT()
 	if err != nil {
 		return nil, err
 	}
-	formPairsTraced(tracer, q, res)
+	formPairsTraced(tracer, prune, q, res)
 	return res, nil
 }

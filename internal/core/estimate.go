@@ -1,0 +1,52 @@
+// Selectivity estimation for EXPLAIN: a deliberately crude item-frequency
+// model. The planner has no histogram machinery; what it does have cheaply
+// is the support of every item (one database scan). A 1-var constraint's
+// estimated selectivity is the support-weighted fraction of domain items
+// whose *singleton* satisfies it — i.e. the expected level-1 pass rate,
+// treating the constraint as an item filter. For succinct constraints this
+// is exact at level 1; for aggregate constraints it is only an indicator of
+// how restrictive the constraint is on small sets. EXPLAIN ANALYZE exists
+// precisely because this estimate is rough: the actual pruned counts sit
+// next to it.
+package core
+
+import (
+	"repro/internal/constraint"
+	"repro/internal/itemset"
+	"repro/internal/txdb"
+)
+
+// itemSupports computes the support of every domain item in one database
+// scan (counted in the db's scan total, like any other pass).
+func itemSupports(db *txdb.DB, domain itemset.Set) map[itemset.Item]int64 {
+	sup := make(map[itemset.Item]int64, domain.Len())
+	db.Scan(func(_ int, t itemset.Set) {
+		for _, it := range t {
+			if domain.Contains(it) {
+				sup[it]++
+			}
+		}
+	})
+	return sup
+}
+
+// estimateSelectivity returns the estimated fraction of candidate mass the
+// constraint keeps, in [0, 1], or -1 when the domain carries no support
+// mass at all (no estimate possible).
+func estimateSelectivity(c constraint.Constraint, domain itemset.Set, sup map[itemset.Item]int64) float64 {
+	var kept, total int64
+	for _, it := range domain {
+		w := sup[it]
+		if w == 0 {
+			continue
+		}
+		total += w
+		if c.Satisfies(itemset.New(it)) {
+			kept += w
+		}
+	}
+	if total == 0 {
+		return -1
+	}
+	return float64(kept) / float64(total)
+}

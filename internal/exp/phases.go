@@ -27,7 +27,7 @@ type PhaseProfile struct {
 
 // StrategyPhases is the per-phase cost of one strategy on the workload.
 type StrategyPhases struct {
-	Strategy  string `json:"strategy"`
+	Strategy  string  `json:"strategy"`
 	ElapsedMS float64 `json:"elapsed_ms"`
 	// Pairs is the answer size (identical across strategies by
 	// construction; recorded as a cross-check).

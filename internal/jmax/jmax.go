@@ -163,6 +163,20 @@ type Series struct {
 	exactMax    float64 // max sum among frequent sets of completed levels
 	vTail       float64 // tightest bound on sums of deeper (uncounted) sets
 	sizeBound   int
+	history     []SeriesStep
+}
+
+// SeriesStep records the series state after one observed level — the raw
+// material for EXPLAIN ANALYZE's per-iteration bound trajectory.
+type SeriesStep struct {
+	// K is the observed level.
+	K int
+	// Bound is Series.Bound() after folding the level in (+Inf when still
+	// unbounded).
+	Bound float64
+	// SizeBound is Series.SizeBound() after folding the level in
+	// (Unbounded when none).
+	SizeBound int
 }
 
 // NewSeries returns a Series with no information: Bound() = +Inf.
@@ -182,7 +196,12 @@ func (s *Series) Observe(sum *Summary) {
 	if sb := sum.SizeBound(); sb < s.sizeBound {
 		s.sizeBound = sb
 	}
+	s.history = append(s.history, SeriesStep{K: sum.K, Bound: s.Bound(), SizeBound: s.sizeBound})
 }
+
+// History returns the per-level bound trajectory, in observation order. The
+// slice is owned by the series; callers must not mutate it.
+func (s *Series) History() []SeriesStep { return s.history }
 
 // Finish records that every level of the lattice has been observed: no
 // deeper frequent sets exist, so the exact per-level maxima alone bound all

@@ -82,6 +82,7 @@ func FPGrowth(ctx context.Context, db *txdb.DB, minSupport int, domain itemset.S
 	}
 	guard := NewGuard(ctx, budget, stats)
 	tracer := obs.FromContext(ctx)
+	prune := obs.PruningFromContext(ctx)
 	// span opens one labelled phase span when tracing is on; each carries
 	// the phase's Stats delta (closed via the returned func even on abort).
 	span := func(name string) func() {
@@ -129,6 +130,9 @@ func FPGrowth(ctx context.Context, db *txdb.DB, minSupport int, domain itemset.S
 		stats.CandidatesCounted++
 		if c >= minSupport {
 			fl = append(fl, fi{it, c})
+		} else {
+			stats.CandidatesPruned++
+			prune.Charge("fpgrowth:frequency", 1)
 		}
 	}
 	sort.Slice(fl, func(i, j int) bool {
@@ -205,6 +209,12 @@ func FPGrowth(ctx context.Context, db *txdb.DB, minSupport int, domain itemset.S
 		for o := int32(len(t.headers)) - 1; o >= 0; o-- {
 			sup := t.counts[o]
 			if sup < minSupport {
+				if sup > 0 {
+					// A materialized extension of the suffix, discarded by
+					// the support threshold.
+					stats.CandidatesPruned++
+					prune.Charge("fpgrowth:frequency", 1)
+				}
 				continue
 			}
 			if err := guard.Check("fp-growth: conditional projection"); err != nil {

@@ -93,6 +93,18 @@ type Config struct {
 	// Label, when non-empty, prefixes the miner's trace span names (the
 	// CFQ engine labels its dovetailed lattices "S" and "T").
 	Label string
+	// RequiredSite, when non-empty, is the obs.PruneSet site charged for
+	// frequent singletons excluded from the valid output by the Required
+	// class (defaults to "<label>:generate"). CAP sets it to name the
+	// existential constraint that contributed the class.
+	//
+	// Pruning attribution contract: the engine increments
+	// Stats.CandidatesPruned for every discarded candidate and charges the
+	// sites it owns (frequency, Required exclusion) itself; a rejection by
+	// CandidateFilter or ReportValid is the *closure's* site to charge —
+	// a charging closure must charge the context's PruneSet exactly once
+	// per false return, so per-site sums keep matching the total.
+	RequiredSite string
 }
 
 // Counted is a frequent itemset together with its support.
@@ -111,6 +123,9 @@ type Levelwise struct {
 	stats      *Stats
 	guard      *Guard
 	tracer     *obs.Tracer
+	prune      *obs.PruneSet
+	freqSite   string    // pruning site for infrequent candidates
+	reqSite    string    // pruning site for Required-excluded singletons
 	tx         [][]int32 // transactions projected to rank space
 	rankToItem []itemset.Item
 	nRequired  int // ranks < nRequired are Required items
@@ -214,11 +229,18 @@ func New(ctx context.Context, cfg Config) (*Levelwise, error) {
 	stats.DBScans++
 	sp.End(stats.Counters())
 
+	reqSite := cfg.RequiredSite
+	if reqSite == "" {
+		reqSite = spanName(cfg.Label, "generate")
+	}
 	return &Levelwise{
 		cfg:        cfg,
 		stats:      stats,
 		guard:      guard,
 		tracer:     tracer,
+		prune:      obs.PruningFromContext(ctx),
+		freqSite:   spanName(cfg.Label, "frequency"),
+		reqSite:    reqSite,
 		tx:         tx,
 		rankToItem: rankToItem,
 		nRequired:  nRequired,
@@ -353,6 +375,10 @@ func (l *Levelwise) stepOne() ([]Counted, error) {
 	}
 	n := len(l.rankToItem)
 	counts := make([]int, n)
+	// counted marks ranks that were candidates of *this* run: only they can
+	// be frequency-pruned below. Preset ranks were counted by an earlier
+	// run, which already charged their frequency pruning.
+	counted := make([]bool, n)
 	if l.cfg.PresetL1 != nil {
 		rankOf := make(map[itemset.Item]int, n)
 		for r, it := range l.rankToItem {
@@ -367,6 +393,7 @@ func (l *Levelwise) stepOne() ([]Counted, error) {
 				continue
 			}
 			if l.cfg.CandidateFilter != nil && !l.cfg.CandidateFilter(1, c.Set) {
+				l.stats.CandidatesPruned++ // site charged by the filter closure
 				continue
 			}
 			counts[r] = c.Support
@@ -376,9 +403,11 @@ func (l *Levelwise) stepOne() ([]Counted, error) {
 		for r := 0; r < n; r++ {
 			if l.cfg.CandidateFilter != nil &&
 				!l.cfg.CandidateFilter(1, itemset.New(l.rankToItem[r])) {
+				l.stats.CandidatesPruned++ // site charged by the filter closure
 				continue
 			}
 			eligible[r] = true
+			counted[r] = true
 			l.stats.CandidatesCounted++
 		}
 		for start := 0; start < len(l.tx); start += checkBatch {
@@ -410,6 +439,10 @@ func (l *Levelwise) stepOne() ([]Counted, error) {
 	for r := 0; r < n; r++ {
 		// MinSupport >= 1, so ineligible ranks (count 0) are excluded here.
 		if counts[r] < l.cfg.MinSupport {
+			if counted[r] {
+				l.stats.CandidatesPruned++
+				l.prune.Charge(l.freqSite, 1)
+			}
 			continue
 		}
 		l.stats.FrequentSets++
@@ -430,7 +463,12 @@ func (l *Levelwise) stepOne() ([]Counted, error) {
 			if l.cfg.ReportValid == nil || l.cfg.ReportValid(orig) {
 				l.stats.ValidSets++
 				out = append(out, Counted{Set: orig, Support: counts[r]})
+			} else {
+				l.stats.CandidatesPruned++ // site charged by ReportValid
 			}
+		} else {
+			l.stats.CandidatesPruned++
+			l.prune.Charge(l.reqSite, 1)
 		}
 	}
 	l.level = 1
@@ -470,6 +508,8 @@ func (l *Levelwise) stepK() ([]Counted, error) {
 			}
 			if l.cfg.CandidateFilter(k+1, l.toOrig(c)) {
 				kept = append(kept, c)
+			} else {
+				l.stats.CandidatesPruned++ // site charged by the filter closure
 			}
 		}
 		cands = kept
@@ -499,6 +539,8 @@ func (l *Levelwise) stepK() ([]Counted, error) {
 	l.lastFrequent = nil
 	for i, c := range cands {
 		if counts[i] < l.cfg.MinSupport {
+			l.stats.CandidatesPruned++
+			l.prune.Charge(l.freqSite, 1)
 			continue
 		}
 		l.stats.FrequentSets++
@@ -511,6 +553,8 @@ func (l *Levelwise) stepK() ([]Counted, error) {
 		if l.cfg.ReportValid == nil || l.cfg.ReportValid(orig) {
 			l.stats.ValidSets++
 			out = append(out, Counted{Set: orig, Support: counts[i]})
+		} else {
+			l.stats.CandidatesPruned++ // site charged by ReportValid
 		}
 	}
 	l.prevSets, l.prevSup, l.prevKeys = newSets, newSup, newKeys

@@ -43,8 +43,11 @@ func PartitionFrequent(ctx context.Context, db *txdb.DB, minSupport int, domain 
 
 	// Per-partition spans are structural (no delta): the inner levelwise
 	// miners share this run's stats object and attribute their own deltas,
-	// so an outer delta would double-count.
+	// so an outer delta would double-count. The same holds for pruning: the
+	// inner miners charge their own frequency sites; only phase 2's global
+	// verification pruning is charged here.
 	tracer := obs.FromContext(ctx)
+	prune := obs.PruningFromContext(ctx)
 
 	// Phase 1: mine each partition at the proportional local threshold.
 	candidates := map[string]itemset.Set{}
@@ -145,6 +148,8 @@ func PartitionFrequent(ctx context.Context, db *txdb.DB, minSupport int, domain 
 	var levels [][]Counted
 	for i, s := range sets {
 		if counts[i] < minSupport {
+			stats.CandidatesPruned++
+			prune.Charge("partition:frequency", 1)
 			continue
 		}
 		stats.FrequentSets++

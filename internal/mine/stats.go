@@ -16,6 +16,13 @@ type Stats struct {
 	// CandidatesCounted is the number of candidate sets whose support was
 	// counted (the "counting" cost component of ccc-optimality).
 	CandidatesCounted int64
+	// CandidatesPruned is the number of candidates discarded after
+	// generation — by a pushed constraint filter, a frequency test, report
+	// filtering, final checks, or pair rejection. Subset-pruned candidates
+	// (never materialized past generation) are not counted. Each pruned
+	// candidate is also charged to exactly one obs.PruneSet site; the sum
+	// over sites equals this total (asserted by tests).
+	CandidatesPruned int64
 	// ItemConstraintChecks counts constraint-checking invocations on
 	// singleton sets (condition (2) of Definition 6 permits only these).
 	ItemConstraintChecks int64
@@ -46,6 +53,7 @@ type Stats struct {
 // Add accumulates other into s.
 func (s *Stats) Add(other Stats) {
 	s.CandidatesCounted += other.CandidatesCounted
+	s.CandidatesPruned += other.CandidatesPruned
 	s.ItemConstraintChecks += other.ItemConstraintChecks
 	s.SetConstraintChecks += other.SetConstraintChecks
 	s.PairChecks += other.PairChecks
@@ -61,6 +69,7 @@ func (s *Stats) Add(other Stats) {
 func (s Stats) Minus(prev Stats) Stats {
 	return Stats{
 		CandidatesCounted:    s.CandidatesCounted - prev.CandidatesCounted,
+		CandidatesPruned:     s.CandidatesPruned - prev.CandidatesPruned,
 		ItemConstraintChecks: s.ItemConstraintChecks - prev.ItemConstraintChecks,
 		SetConstraintChecks:  s.SetConstraintChecks - prev.SetConstraintChecks,
 		PairChecks:           s.PairChecks - prev.PairChecks,
@@ -79,6 +88,7 @@ func (s Stats) Minus(prev Stats) Stats {
 func (s Stats) Counters() obs.Counters {
 	return obs.Counters{
 		"candidates_counted":     s.CandidatesCounted,
+		"candidates_pruned":      s.CandidatesPruned,
 		"item_constraint_checks": s.ItemConstraintChecks,
 		"set_constraint_checks":  s.SetConstraintChecks,
 		"pair_checks":            s.PairChecks,
@@ -95,6 +105,7 @@ func (s Stats) Counters() obs.Counters {
 func FromCounters(c obs.Counters) Stats {
 	return Stats{
 		CandidatesCounted:    c["candidates_counted"],
+		CandidatesPruned:     c["candidates_pruned"],
 		ItemConstraintChecks: c["item_constraint_checks"],
 		SetConstraintChecks:  c["set_constraint_checks"],
 		PairChecks:           c["pair_checks"],
@@ -108,7 +119,7 @@ func FromCounters(c obs.Counters) Stats {
 
 // String renders the counters on one line.
 func (s *Stats) String() string {
-	return fmt.Sprintf("counted=%d itemChecks=%d setChecks=%d pairChecks=%d frequent=%d valid=%d scans=%d latticeBytes=%d checkpoints=%d",
-		s.CandidatesCounted, s.ItemConstraintChecks, s.SetConstraintChecks, s.PairChecks,
+	return fmt.Sprintf("counted=%d pruned=%d itemChecks=%d setChecks=%d pairChecks=%d frequent=%d valid=%d scans=%d latticeBytes=%d checkpoints=%d",
+		s.CandidatesCounted, s.CandidatesPruned, s.ItemConstraintChecks, s.SetConstraintChecks, s.PairChecks,
 		s.FrequentSets, s.ValidSets, s.DBScans, s.LatticeBytes, s.Checkpoints)
 }

@@ -63,6 +63,7 @@ func VerticalFrequent(ctx context.Context, db *txdb.DB, minSupport int, domain i
 	}
 	guard := NewGuard(ctx, budget, stats)
 	tracer := obs.FromContext(ctx)
+	prune := obs.PruningFromContext(ctx)
 	span := func(name string) func() {
 		if tracer == nil {
 			return func() {}
@@ -118,6 +119,9 @@ func VerticalFrequent(ctx context.Context, db *txdb.DB, minSupport int, domain i
 		stats.CandidatesCounted++
 		if b.count() >= minSupport {
 			l1 = append(l1, entry{it, b})
+		} else {
+			stats.CandidatesPruned++
+			prune.Charge("eclat:frequency", 1)
 		}
 	}
 	sort.Slice(l1, func(i, j int) bool { return l1[i].item < l1[j].item })
@@ -158,6 +162,9 @@ func VerticalFrequent(ctx context.Context, db *txdb.DB, minSupport int, domain i
 				if sup := andInto(dst, e.bits, f.bits); sup >= minSupport {
 					next = append(next, entry{f.item, dst})
 					stats.LatticeBytes += bitsetBytes(dst)
+				} else {
+					stats.CandidatesPruned++
+					prune.Charge("eclat:frequency", 1)
 				}
 			}
 			if len(next) > 0 {

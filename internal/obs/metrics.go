@@ -176,6 +176,7 @@ var (
 	MQueryDur    = NewHistogram("query_duration_ms")
 
 	MCandidates   = NewCounter("candidates_counted_total")
+	MPruned       = NewCounter("candidates_pruned_total")
 	MItemChecks   = NewCounter("item_constraint_checks_total")
 	MSetChecks    = NewCounter("set_constraint_checks_total")
 	MPairChecks   = NewCounter("pair_checks_total")
@@ -190,6 +191,7 @@ var (
 // double counting would skew the rate.
 func PublishStats(c Counters) {
 	MCandidates.Add(c["candidates_counted"])
+	MPruned.Add(c["candidates_pruned"])
 	MItemChecks.Add(c["item_constraint_checks"])
 	MSetChecks.Add(c["set_constraint_checks"])
 	MPairChecks.Add(c["pair_checks"])

@@ -1,0 +1,83 @@
+package obs
+
+// All runtime/pprof use in the repository is confined to this file (the
+// scripts/check.sh hygiene gate enforces it): the rest of the stack gets
+// profile attribution through the Tracer, never by labeling goroutines
+// directly.
+//
+// When a tracer is created with Options.PprofLabels, every Start/End pair
+// re-labels the current goroutine with the innermost open span: "phase" is
+// the span's slash-joined path and "constraint_site" its leaf name. CPU and
+// heap samples taken while a span is open therefore aggregate by phase and
+// by constraint-site in `go tool pprof -tags`, which is how a profile is
+// joined against the ExplainReport's per-site pruning counts.
+//
+// Labels are goroutine-local; parallel counting workers inherit the labels
+// of the goroutine that spawned them (pprof.Do semantics do not apply —
+// workers are spawned with plain `go`, so they inherit nothing). That is
+// acceptable: spans are phase-granular and phases are sequential, so the
+// coordinator goroutine carries the labels where the samples are.
+
+import (
+	"context"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	runtimepprof "runtime/pprof"
+)
+
+// applyPprofLabels labels the current goroutine for the span now at the top
+// of the tracer's stack (or clears back to the base labels when the stack
+// is empty). Called from Start/End with the tracer lock held.
+func (t *Tracer) applyPprofLabels() {
+	var ctx context.Context
+	if n := len(t.stack); n > 0 {
+		top := t.stack[n-1]
+		ctx = runtimepprof.WithLabels(context.Background(),
+			runtimepprof.Labels("phase", top.path(), "constraint_site", top.name))
+	} else {
+		ctx = runtimepprof.WithLabels(context.Background(),
+			runtimepprof.Labels("phase", t.root.name, "constraint_site", t.root.name))
+	}
+	runtimepprof.SetGoroutineLabels(ctx)
+}
+
+// StartCPUProfile begins a CPU profile written to path and returns a stop
+// function that finishes the profile and closes the file.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := runtimepprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() error {
+		runtimepprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile writes the current heap profile to path.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return runtimepprof.Lookup("heap").WriteTo(f, 0)
+}
+
+// NewProfilingMux extends the metrics mux with the standard net/http/pprof
+// endpoints, for cmd/cfq -pprof-addr: /debug/pprof/... plus /metrics and
+// /debug/vars.
+func NewProfilingMux() *http.ServeMux {
+	mux := NewMetricsMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

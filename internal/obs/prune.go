@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"context"
+	"sort"
+	"sync"
+)
+
+// PruneSet accumulates per-site pruning attribution for one evaluation: a
+// map from constraint-site key to the number of candidates that site
+// discarded. Sites are dot-free strings of the form
+// "<label>:<stage>[:<constraint>]" — e.g. "S:frequency",
+// "S:candidate-filter:sum(S.Price) <= 30", "pairs:max(S.A) <= min(T.B)".
+//
+// Attribution contract (the pruning analogue of the span-delta contract):
+// every candidate an engine drops increments mine.Stats.CandidatesPruned
+// exactly once AND is charged to exactly one PruneSet site, so the sum of
+// every site's count reproduces the run's total pruned candidates. Tests
+// assert the equality across all miners and strategies.
+//
+// Like the Tracer, a nil *PruneSet ignores every call, so instrumented code
+// pays one pointer comparison when pruning attribution is disabled.
+type PruneSet struct {
+	mu    sync.Mutex
+	sites map[string]int64
+}
+
+// NewPruneSet creates an empty pruning-attribution set.
+func NewPruneSet() *PruneSet {
+	return &PruneSet{sites: map[string]int64{}}
+}
+
+// Charge attributes n pruned candidates to site. Nil-safe; n <= 0 is a
+// no-op so callers can charge computed deltas unconditionally.
+func (p *PruneSet) Charge(site string, n int64) {
+	if p == nil || n <= 0 {
+		return
+	}
+	p.mu.Lock()
+	p.sites[site] += n
+	p.mu.Unlock()
+}
+
+// Snapshot returns a copy of the per-site counts. A nil set snapshots nil.
+func (p *PruneSet) Snapshot() Counters {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(Counters, len(p.sites))
+	for k, v := range p.sites {
+		out[k] = v
+	}
+	return out
+}
+
+// Total returns the sum over all sites. A nil set totals zero.
+func (p *PruneSet) Total() int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var t int64
+	for _, v := range p.sites {
+		t += v
+	}
+	return t
+}
+
+// Sites returns the site keys in sorted order (deterministic rendering).
+func (p *PruneSet) Sites() []string {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.sites))
+	for k := range p.sites {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+type pruneKey struct{}
+
+// WithPruning returns a context carrying the pruning set. A nil set returns
+// ctx unchanged. Pruning attribution travels independently of the Tracer:
+// -explain-analyze wants sites without necessarily logging spans.
+func WithPruning(ctx context.Context, p *PruneSet) context.Context {
+	if p == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, pruneKey{}, p)
+}
+
+// PruningFromContext returns the pruning set carried by ctx, or nil.
+func PruningFromContext(ctx context.Context) *PruneSet {
+	if ctx == nil {
+		return nil
+	}
+	p, _ := ctx.Value(pruneKey{}).(*PruneSet)
+	return p
+}

@@ -8,7 +8,14 @@ import "time"
 // contract this equals the run's total mine.Stats for engine-driven runs).
 // It marshals to stable JSON for the BENCH_*.json trajectory and the
 // cmd/cfq -report flag.
+// ReportSchema is the current RunReport / ExplainReport wire version.
+// Bump it when a field changes meaning or shape; trajectory tooling keys
+// off it to parse old snapshots.
+const ReportSchema = 1
+
 type RunReport struct {
+	// Schema versions the JSON shape (ReportSchema).
+	Schema int `json:"schema"`
 	// Name is the root span's label.
 	Name string `json:"name"`
 	// Start is when the tracer was created.
@@ -50,6 +57,7 @@ func (t *Tracer) Report() *RunReport {
 	defer t.mu.Unlock()
 	now := time.Now()
 	rep := &RunReport{
+		Schema:     ReportSchema,
 		Name:       t.root.name,
 		Start:      t.start,
 		DurationMS: ms(now.Sub(t.start)),

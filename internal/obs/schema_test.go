@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestReportSchemaVersion pins the wire version: both report shapes must
+// carry `"schema": 1` so trajectory tooling can key parsing off it. Bumping
+// ReportSchema is an intentional act — update this test alongside the
+// parsers.
+func TestReportSchemaVersion(t *testing.T) {
+	if ReportSchema != 1 {
+		t.Fatalf("ReportSchema = %d; bumping it breaks every recorded snapshot — update the tooling and this test together", ReportSchema)
+	}
+
+	tr := NewTracer(Options{Name: "schema-test"})
+	tr.Start("phase").End(nil)
+	runJSON, err := json.Marshal(tr.Report())
+	if err != nil {
+		t.Fatal(err)
+	}
+	expJSON, err := json.Marshal(&ExplainReport{Schema: ReportSchema, Strategy: "optimized"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, b := range map[string][]byte{"RunReport": runJSON, "ExplainReport": expJSON} {
+		var head struct {
+			Schema int `json:"schema"`
+		}
+		if err := json.Unmarshal(b, &head); err != nil {
+			t.Fatal(err)
+		}
+		if head.Schema != 1 {
+			t.Errorf(`%s JSON "schema" = %d, want 1: %s`, name, head.Schema, b)
+		}
+	}
+}
+
+// TestCPUProfileCarriesSpanLabels: with Options.PprofLabels, CPU samples
+// taken while a span is open are tagged with the "phase" and
+// "constraint_site" labels — the join key between a profile and the
+// ExplainReport's per-site counters. The pprof wire format stores label
+// keys in the profile's string table, so decompressing the profile and
+// searching for the key bytes is enough to prove samples carried them.
+func TestCPUProfileCarriesSpanLabels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs ~300ms of profiled CPU burn")
+	}
+	path := filepath.Join(t.TempDir(), "cpu.pprof")
+	stop, err := StartCPUProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracer(Options{Name: "prof-test", PprofLabels: true})
+	sp := tr.Start("count-level-2")
+	// Burn CPU inside the span long enough for the 100Hz profiler to take
+	// labeled samples.
+	deadline := time.Now().Add(300 * time.Millisecond)
+	x := 0
+	for time.Now().Before(deadline) {
+		for i := 0; i < 1000; i++ {
+			x += i * i
+		}
+	}
+	sp.SetAttrs(Int("sink", x%2))
+	sp.End(nil)
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"phase", "constraint_site", "count-level-2"} {
+		if !bytes.Contains(raw, []byte(key)) {
+			t.Errorf("profile carries no %q string; span labels missing", key)
+		}
+	}
+}

@@ -90,6 +90,11 @@ type Options struct {
 	// Level is the level span events are logged at (default slog.LevelInfo).
 	// The Logger's handler applies its own filtering on top.
 	Level slog.Level
+	// PprofLabels, when set, labels the current goroutine with the innermost
+	// open span on every Start/End ("phase" = span path, "constraint_site" =
+	// leaf name), so CPU/heap profile samples aggregate by phase. See
+	// pprof.go.
+	PprofLabels bool
 }
 
 // Tracer records a tree of phase spans for one evaluation. Create one with
@@ -106,6 +111,7 @@ type Tracer struct {
 	mu     sync.Mutex
 	logger *slog.Logger
 	level  slog.Level
+	pprof  bool
 	start  time.Time
 	root   *Span
 	stack  []*Span
@@ -120,6 +126,7 @@ func NewTracer(opts Options) *Tracer {
 	t := &Tracer{
 		logger: opts.Logger,
 		level:  opts.Level,
+		pprof:  opts.PprofLabels,
 		start:  time.Now(),
 	}
 	t.root = &Span{tracer: t, name: opts.Name, start: t.start}
@@ -163,6 +170,9 @@ func (t *Tracer) Start(name string, attrs ...Attr) *Span {
 	parent.children = append(parent.children, s)
 	t.stack = append(t.stack, s)
 	t.count++
+	if t.pprof {
+		t.applyPprofLabels()
+	}
 	return s
 }
 
@@ -228,6 +238,9 @@ func (s *Span) End(c Counters) {
 			t.stack = append(t.stack[:i], t.stack[i+1:]...)
 			break
 		}
+	}
+	if t.pprof {
+		t.applyPprofLabels()
 	}
 	logger, level := t.logger, t.level
 	path := s.path()

@@ -107,6 +107,13 @@ func (d *DynamicBound) AntiMonotonePrunable() bool {
 		(d.Op == constraint.LE || d.Op == constraint.LT)
 }
 
+// Label renders the bound as a stable description, independent of the
+// current bound value — the obs.PruneSet site name for candidates pruned by
+// this bound, and the ExplainReport's rendering of a Jmax pruning hook.
+func (d *DynamicBound) Label() string {
+	return fmt.Sprintf("%v(%s.%s) %v V^k(%s)", d.Agg, d.PruneSide, d.AttrName, d.Op, d.OtherName)
+}
+
 // Reduction is the outcome of decoupling a 2-var constraint after the first
 // counting iteration: 1-var pruning conditions for each side, their
 // per-side tightness, and any dynamic sum bounds for iterative pruning.

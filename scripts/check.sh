@@ -17,6 +17,17 @@ if grep -rnE '\blog\.(Printf|Println|Print)\(' \
   exit 1
 fi
 
+echo "== pprof hygiene =="
+# Profiling attribution flows through internal/obs (tracer pprof labels,
+# StartCPUProfile, NewProfilingMux); raw runtime/pprof or net/http/pprof
+# imports anywhere else would bypass the phase/constraint-site labeling
+# contract that joins profiles to ExplainReports.
+if grep -rnE '"(runtime/pprof|net/http/pprof)"' \
+    --include='*.go' . | grep -v '^./internal/obs/' | grep -v '_test.go'; then
+  echo "check.sh: runtime/pprof outside internal/obs (use obs.StartCPUProfile / tracer labels)" >&2
+  exit 1
+fi
+
 echo "== go vet =="
 go vet ./...
 
@@ -28,5 +39,17 @@ go test -race -short ./...
 
 echo "== benchmark smoke (-benchtime=1x) =="
 go test -run '^$' -bench . -benchtime=1x ./... > /dev/null
+
+echo "== perf-trajectory smoke (cmd/bench -compare) =="
+# One fast workload/strategy pair, measured twice: the second run diffs
+# itself against the first through the -compare gate, exercising the same
+# code path that guards BENCH.json regressions. The threshold is generous —
+# this checks the harness, not the machine.
+bench_tmp="$(mktemp -d)"
+trap 'rm -rf "$bench_tmp"' EXIT
+go run ./cmd/bench -scale 25 -workloads fig8a-overlap-33 -strategies optimized,sequential \
+  -out "$bench_tmp/base.json" 2> /dev/null
+go run ./cmd/bench -scale 25 -workloads fig8a-overlap-33 -strategies optimized,sequential \
+  -compare "$bench_tmp/base.json" -threshold 25 -out "$bench_tmp/fresh.json" 2> /dev/null
 
 echo "check.sh: all green"
