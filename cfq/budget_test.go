@@ -129,8 +129,8 @@ func TestSessionCancelledThenRetried(t *testing.T) {
 	if _, err := sess.RunContext(ctx, q); !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled run: err = %v", err)
 	}
-	if hits, misses := sess.CacheStats(); misses != 0 || hits != 0 {
-		t.Fatalf("aborted run touched the cache: hits=%d misses=%d", hits, misses)
+	if cs := sess.CacheStats(); cs.Misses != 0 || cs.Hits != 0 {
+		t.Fatalf("aborted run touched the cache: hits=%d misses=%d", cs.Hits, cs.Misses)
 	}
 
 	// Retry on the same session vs a brand-new one.
@@ -146,8 +146,8 @@ func TestSessionCancelledThenRetried(t *testing.T) {
 		retried.PairCount != fresh.PairCount {
 		t.Error("retried session differs from a fresh session")
 	}
-	if _, misses := sess.CacheStats(); misses != 1 {
-		t.Errorf("misses after retry = %d, want 1 (cache was not poisoned)", misses)
+	if cs := sess.CacheStats(); cs.Misses != 1 {
+		t.Errorf("misses after retry = %d, want 1 (cache was not poisoned)", cs.Misses)
 	}
 }
 
@@ -162,7 +162,7 @@ func TestSessionBudgetError(t *testing.T) {
 	if !errors.As(err, &be) || be.Resource != ResourceFrequentSets {
 		t.Fatalf("err = %v, want frequent-sets BudgetError", err)
 	}
-	if _, misses := sess.CacheStats(); misses != 0 {
+	if cs := sess.CacheStats(); cs.Misses != 0 {
 		t.Error("aborted run cached a partial lattice")
 	}
 	if _, err := sess.Run(budgetQuery(ds)); err != nil {

@@ -118,6 +118,35 @@ func (s Strategy) internal() core.Strategy {
 		core.StrategySequential}[s]
 }
 
+// String renders the strategy in the spelling ParseStrategy accepts.
+func (s Strategy) String() string {
+	names := [...]string{"optimized", "nojmax", "cap", "apriori", "fm", "sequential"}
+	if int(s) < 0 || int(s) >= len(names) {
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+	return names[s]
+}
+
+// ParseStrategy maps a strategy name (the CLI / wire spelling) to its
+// Strategy value: optimized, nojmax, cap, apriori, fm, sequential.
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "optimized", "":
+		return Optimized, nil
+	case "nojmax":
+		return OptimizedNoJmax, nil
+	case "cap":
+		return CAPOnly, nil
+	case "apriori":
+		return AprioriPlus, nil
+	case "fm":
+		return FM, nil
+	case "sequential":
+		return Sequential, nil
+	}
+	return 0, fmt.Errorf("cfq: unknown strategy %q", s)
+}
+
 // Constraint is a 1-variable constraint specification. Attribute names are
 // resolved against the query's Dataset when the query runs.
 type Constraint struct {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"repro/internal/attr"
 	"repro/internal/itemset"
@@ -17,7 +18,14 @@ import (
 // Datasets are mutable until the first query runs against them; after that,
 // adding transactions or attributes invalidates nothing but only affects
 // later queries.
+//
+// A Dataset is safe for concurrent use: mutators and query compilation
+// serialize on an internal lock, and each query evaluation captures an
+// immutable compiled snapshot, so a mutation landing mid-evaluation never
+// tears the transaction data a running query sees. A query that races a
+// mutation sees either the old or the new compiled database, atomically.
 type Dataset struct {
+	mu          sync.Mutex
 	numItems    int
 	txs         []itemset.Set
 	numeric     map[string][]float64
@@ -43,11 +51,21 @@ func NewDataset(numItems int) *Dataset {
 func (d *Dataset) NumItems() int { return d.numItems }
 
 // NumTransactions returns the number of transactions added so far.
-func (d *Dataset) NumTransactions() int { return len(d.txs) }
+func (d *Dataset) NumTransactions() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.txs)
+}
 
 // AddTransaction appends one transaction. Duplicate items are collapsed;
 // out-of-domain items are an error.
 func (d *Dataset) AddTransaction(items ...int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.addTransactionLocked(items)
+}
+
+func (d *Dataset) addTransactionLocked(items []int) error {
 	conv := make([]itemset.Item, len(items))
 	for i, it := range items {
 		if it < 0 || it >= d.numItems {
@@ -62,8 +80,10 @@ func (d *Dataset) AddTransaction(items ...int) error {
 
 // AddTransactions appends many transactions.
 func (d *Dataset) AddTransactions(txs [][]int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	for _, t := range txs {
-		if err := d.AddTransaction(t...); err != nil {
+		if err := d.addTransactionLocked(t); err != nil {
 			return err
 		}
 	}
@@ -77,6 +97,8 @@ func (d *Dataset) SetNumeric(name string, values []float64) error {
 		return fmt.Errorf("cfq: attribute %q has %d values, domain has %d items",
 			name, len(values), d.numItems)
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.numeric[name] = append([]float64(nil), values...)
 	d.dirty = true
 	return nil
@@ -89,9 +111,27 @@ func (d *Dataset) SetCategorical(name string, labels []string) error {
 		return fmt.Errorf("cfq: attribute %q has %d labels, domain has %d items",
 			name, len(labels), d.numItems)
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.categorical[name] = append([]string(nil), labels...)
 	d.dirty = true
 	return nil
+}
+
+// Attributes returns the registered numeric and categorical attribute
+// names, sorted (the dataset-info surface of a serving registry).
+func (d *Dataset) Attributes() (numeric, categorical []string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for name := range d.numeric {
+		numeric = append(numeric, name)
+	}
+	for name := range d.categorical {
+		categorical = append(categorical, name)
+	}
+	sort.Strings(numeric)
+	sort.Strings(categorical)
+	return numeric, categorical
 }
 
 // WrapDB adopts an existing internal transaction database (used by the
@@ -118,6 +158,8 @@ func (d *Dataset) ReadTransactions(r io.Reader) (err error) {
 		return fmt.Errorf("cfq: transactions reference item %d outside domain [0, %d)",
 			db.NumItems()-1, d.numItems)
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	for i := 0; i < db.Len(); i++ {
 		d.txs = append(d.txs, db.Transaction(i))
 	}
@@ -127,32 +169,61 @@ func (d *Dataset) ReadTransactions(r io.Reader) (err error) {
 
 // WriteTransactions saves the transactions in the text format.
 func (d *Dataset) WriteTransactions(w io.Writer) error {
-	return txdb.New(d.txs).WriteText(w)
+	d.mu.Lock()
+	txs := append([]itemset.Set(nil), d.txs...)
+	d.mu.Unlock()
+	return txdb.New(txs).WriteText(w)
 }
 
-// compile freezes the dataset into the internal representations. Internal
-// invariant violations (e.g. a malformed transaction injected past the
-// validating mutators) surface as errors: compile is the panic boundary
+// Compile eagerly freezes the dataset into its internal compiled form (the
+// first query otherwise pays this lazily). A long-lived server calls it
+// after each batch of mutations so query requests never carry the
+// compilation cost — and so the compiled snapshot flips atomically from the
+// perspective of concurrent queries.
+func (d *Dataset) Compile() error {
+	_, _, err := d.snapshot()
+	return err
+}
+
+// snapshot compiles (if needed) and returns the immutable compiled pair a
+// query evaluation should capture once and use throughout. The returned
+// *txdb.DB doubles as the dataset's generation token: it changes identity
+// exactly when a mutation recompiles.
+func (d *Dataset) snapshot() (*txdb.DB, *attr.Table, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.compileLocked(); err != nil {
+		return nil, nil, err
+	}
+	return d.db, d.attrs, nil
+}
+
+// compileLocked freezes the dataset into the internal representations.
+// Internal invariant violations (e.g. a malformed transaction injected past
+// the validating mutators) surface as errors: compile is the panic boundary
 // between caller-supplied data and the engine's panic-on-programmer-error
-// constructors.
-func (d *Dataset) compile() (err error) {
+// constructors. Callers hold d.mu.
+func (d *Dataset) compileLocked() (err error) {
 	defer recoverToError(&err)
 	if !d.dirty && d.db != nil {
 		return nil
 	}
-	d.db = txdb.New(d.txs)
-	d.attrs = attr.NewTable(d.numItems)
+	db := txdb.New(d.txs)
+	attrs := attr.NewTable(d.numItems)
 	for name, vals := range d.numeric {
-		if err := d.attrs.SetNumeric(name, vals); err != nil {
+		if err := attrs.SetNumeric(name, vals); err != nil {
 			return err
 		}
 	}
 	for name, labels := range d.categorical {
 		ids, labelNames := internCategories(labels)
-		if err := d.attrs.SetCategorical(name, ids, labelNames); err != nil {
+		if err := attrs.SetCategorical(name, ids, labelNames); err != nil {
 			return err
 		}
 	}
+	// Publish only after both halves built, so a failed compile leaves the
+	// previous snapshot (if any) intact.
+	d.db, d.attrs = db, attrs
 	d.dirty = false
 	return nil
 }
@@ -179,10 +250,11 @@ func internCategories(labels []string) ([]int32, []string) {
 }
 
 func (d *Dataset) numericAttr(name string) (attr.Numeric, error) {
-	if err := d.compile(); err != nil {
+	_, attrs, err := d.snapshot()
+	if err != nil {
 		return nil, err
 	}
-	num, ok := d.attrs.Numeric(name)
+	num, ok := attrs.Numeric(name)
 	if !ok {
 		return nil, fmt.Errorf("cfq: unknown numeric attribute %q", name)
 	}
@@ -192,10 +264,11 @@ func (d *Dataset) numericAttr(name string) (attr.Numeric, error) {
 // categoricalValues resolves a categorical attribute and, optionally, a
 // list of labels into category ids (unknown labels are an error).
 func (d *Dataset) categoricalValues(name string, labels []string) (*attr.Categorical, attr.ValueSet, error) {
-	if err := d.compile(); err != nil {
+	_, attrs, err := d.snapshot()
+	if err != nil {
 		return nil, nil, err
 	}
-	cat, ok := d.attrs.Categorical(name)
+	cat, ok := attrs.Categorical(name)
 	if !ok {
 		return nil, nil, fmt.Errorf("cfq: unknown categorical attribute %q", name)
 	}

@@ -165,7 +165,7 @@ func TestMidRunMetricsScrape(t *testing.T) {
 		}
 	}()
 
-	hitsBefore, _ := s.CacheStats()
+	hitsBefore := s.CacheStats().Hits
 	scansBefore := obs.MDBScans.Value()
 	for i := 0; i < 8; i++ {
 		q := NewQuery(ds).MinSupport(2).Where2(Join(Max, "Price", LE, Min, "Price"))
@@ -179,7 +179,7 @@ func TestMidRunMetricsScrape(t *testing.T) {
 	close(stop)
 	wg.Wait()
 
-	if hits, _ := s.CacheStats(); hits <= hitsBefore {
+	if hits := s.CacheStats().Hits; hits <= hitsBefore {
 		t.Error("session cache never hit")
 	}
 	if obs.MDBScans.Value() <= scansBefore {

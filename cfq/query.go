@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -180,17 +182,63 @@ type Result struct {
 	Report *RunReport `json:",omitempty"`
 }
 
-// compile translates the public query into the internal CFQ.
+// Canonical renders the query in a normalized textual form: effective
+// frequency thresholds, domains, and the sorted constraint lists. Two
+// queries with the same canonical form compute the same answer over the
+// same dataset snapshot, which is what makes it usable as a result-cache
+// key (whitespace and conjunct order in the source text do not matter —
+// the form is derived from the parsed structure, not the input string).
+// Budget, Workers and Verbose do not affect the answer and are excluded.
+func (q *Query) Canonical() string {
+	parts := []string{
+		fmt.Sprintf("freq(S) >= %d", q.minSupS),
+		fmt.Sprintf("freq(T) >= %d", q.minSupT),
+	}
+	dom := func(label string, items []int) {
+		if items == nil {
+			return
+		}
+		sorted := append([]int(nil), items...)
+		sort.Ints(sorted)
+		parts = append(parts, fmt.Sprintf("%s in %v", label, sorted))
+	}
+	dom("S", q.domS)
+	dom("T", q.domT)
+	group := func(prefix string, n int, str func(int) string) {
+		g := make([]string, n)
+		for i := range g {
+			g[i] = prefix + str(i)
+		}
+		sort.Strings(g)
+		parts = append(parts, g...)
+	}
+	group("S: ", len(q.consS), func(i int) string { return q.consS[i].str })
+	group("T: ", len(q.consT), func(i int) string { return q.consT[i].str })
+	group("2: ", len(q.cons2), func(i int) string { return q.cons2[i].str })
+	if q.maxPairs > 0 {
+		parts = append(parts, fmt.Sprintf("maxpairs=%d", q.maxPairs))
+	}
+	if q.maxLevel > 0 {
+		parts = append(parts, fmt.Sprintf("maxlevel=%d", q.maxLevel))
+	}
+	return strings.Join(parts, " & ")
+}
+
+// compile translates the public query into the internal CFQ. The dataset's
+// compiled snapshot is captured once here, so the whole evaluation sees one
+// consistent transaction database even if the dataset is mutated while the
+// query runs.
 func (q *Query) compile() (core.CFQ, error) {
 	var zero core.CFQ
 	if q.ds == nil {
 		return zero, fmt.Errorf("cfq: query has no dataset")
 	}
-	if err := q.ds.compile(); err != nil {
+	db, _, err := q.ds.snapshot()
+	if err != nil {
 		return zero, err
 	}
 	icfq := core.CFQ{
-		DB:          q.ds.db,
+		DB:          db,
 		MinSupportS: q.minSupS,
 		MinSupportT: q.minSupT,
 		MaxPairs:    q.maxPairs,
@@ -214,7 +262,6 @@ func (q *Query) compile() (core.CFQ, error) {
 		}
 		return itemset.New(out...), nil
 	}
-	var err error
 	if icfq.DomainS, err = conv(q.domS); err != nil {
 		return zero, err
 	}

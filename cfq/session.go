@@ -27,25 +27,39 @@ import (
 // Query.Run(Optimized). Sessions pay that once and then make the
 // interactive loop free.
 //
-// A Session is safe for concurrent use. Mutating the underlying Dataset
-// invalidates the cache on the next Run. A run that is cancelled or runs
-// out of budget writes nothing to the cache: retrying the same query on
-// the same session mines afresh and returns the same result a new session
-// would.
+// A Session is safe for concurrent use: many goroutines may Run queries
+// against it simultaneously (the pattern a query server relies on — one
+// shared Session per dataset amortizes the lattice cache across all
+// clients). Mutating the underlying Dataset invalidates the cache on the
+// next Run. A run that is cancelled or runs out of budget writes nothing to
+// the cache: retrying the same query on the same session mines afresh and
+// returns the same result a new session would. A run that raced a dataset
+// mutation never stores its (pre-mutation) lattice into the post-mutation
+// cache.
+//
+// Long-lived servers bound the cache with SetCacheLimit: when the estimated
+// cached lattice bytes exceed the limit, least-recently-used domains are
+// evicted (surfaced in CacheStats), so a many-dataset daemon cannot grow
+// without limit.
 type Session struct {
 	ds *Dataset
 
-	mu    sync.Mutex
-	db    *txdb.DB // the compiled database the cache was built from
-	cache map[string]*latticeEntry
+	mu       sync.Mutex
+	db       *txdb.DB // the compiled database the cache was built from
+	cache    map[string]*latticeEntry
+	bytes    int64  // estimated bytes across all cached lattices
+	maxBytes int64  // 0 = unbounded
+	seq      uint64 // LRU clock: bumped on every lookup/store
 
-	// hits and misses count cache lookups, guarded by mu.
-	hits, misses int
+	// Lookup/eviction counters, guarded by mu.
+	hits, misses, evictions int
 }
 
 type latticeEntry struct {
-	minSup int
-	sets   []mine.Counted
+	minSup  int
+	sets    []mine.Counted
+	bytes   int64
+	lastUse uint64
 }
 
 // NewSession starts an exploratory session over the dataset.
@@ -53,11 +67,46 @@ func NewSession(ds *Dataset) *Session {
 	return &Session{ds: ds, cache: map[string]*latticeEntry{}}
 }
 
-// Stats reports the cache hit/miss counters (one lookup per query side).
-func (s *Session) CacheStats() (hits, misses int) {
+// SetCacheLimit bounds the estimated bytes of cached lattice state
+// (0 restores the default: unbounded). When an insert pushes the cache past
+// the limit, least-recently-used entries are evicted until it fits; a
+// single lattice larger than the whole limit is not cached at all, so the
+// bound is strict. Evicted domains simply re-mine on next use.
+func (s *Session) SetCacheLimit(maxBytes int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.hits, s.misses
+	s.maxBytes = maxBytes
+	s.evictLocked()
+}
+
+// CacheStats describes the session's lattice cache: lookup counters (one
+// lookup per query side), LRU evictions, and current occupancy.
+type CacheStats struct {
+	// Hits and Misses count cache lookups.
+	Hits, Misses int
+	// Evictions counts lattices dropped by the SetCacheLimit bound
+	// (including oversized lattices rejected at insert).
+	Evictions int
+	// Entries and Bytes describe current occupancy (Bytes is the same
+	// estimate Stats.LatticeBytes uses).
+	Entries int
+	Bytes   int64
+	// LimitBytes is the configured bound (0 = unbounded).
+	LimitBytes int64
+}
+
+// CacheStats reports the cache counters and occupancy.
+func (s *Session) CacheStats() CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return CacheStats{
+		Hits:       s.hits,
+		Misses:     s.misses,
+		Evictions:  s.evictions,
+		Entries:    len(s.cache),
+		Bytes:      s.bytes,
+		LimitBytes: s.maxBytes,
+	}
 }
 
 // Run evaluates the query against the session cache. It is
@@ -80,12 +129,18 @@ func (s *Session) RunContext(ctx context.Context, q *Query) (res *Result, err er
 		return nil, err
 	}
 
+	// The compiled snapshot captured by compile() is this run's generation
+	// token: the whole evaluation (staleness check, mining, cache stores)
+	// keys off this one pointer, so a dataset mutation landing mid-run can
+	// neither tear what we read nor let us poison the refreshed cache.
+	db := icfq.DB
 	s.mu.Lock()
-	if s.db != s.ds.db {
+	if s.db != db {
 		// The dataset was recompiled (new transactions or attributes):
 		// every cached lattice is stale.
 		s.cache = map[string]*latticeEntry{}
-		s.db = s.ds.db
+		s.bytes = 0
+		s.db = db
 	}
 	s.mu.Unlock()
 
@@ -95,12 +150,12 @@ func (s *Session) RunContext(ctx context.Context, q *Query) (res *Result, err er
 	tracer := obs.FromContext(ctx)
 
 	ires := &core.Result{}
-	sSets, err := s.side(ctx, "S", icfq.DomainS, icfq.MinSupportS, budget)
+	sSets, err := s.side(ctx, "S", db, icfq.DomainS, icfq.MinSupportS, budget)
 	if err != nil {
 		publishRun(time.Since(start), nil, err)
 		return nil, convertErr(err)
 	}
-	tSets, err := s.side(ctx, "T", icfq.DomainT, icfq.MinSupportT, budget)
+	tSets, err := s.side(ctx, "T", db, icfq.DomainT, icfq.MinSupportT, budget)
 	if err != nil {
 		publishRun(time.Since(start), nil, err)
 		return nil, convertErr(err)
@@ -177,16 +232,21 @@ func (s *Session) RunContext(ctx context.Context, q *Query) (res *Result, err er
 // absent or cached at a higher threshold than requested. The lookup (and
 // its hit counter) is one critical section; mining happens outside the
 // lock, and a failed mining run stores nothing — the cache is never
-// poisoned by partial lattices.
-func (s *Session) side(ctx context.Context, label string, domain itemset.Set, minSup int, budget *mine.Budget) ([]mine.Counted, error) {
+// poisoned by partial lattices. db is the compiled snapshot this run
+// captured; a store is skipped when the cache has moved to a newer
+// snapshot, so a slow run racing a dataset mutation cannot resurrect a
+// stale lattice.
+func (s *Session) side(ctx context.Context, label string, db *txdb.DB, domain itemset.Set, minSup int, budget *mine.Budget) ([]mine.Counted, error) {
 	key := "*"
 	if domain != nil {
 		key = domain.Key()
 	}
 	tracer := obs.FromContext(ctx)
 	s.mu.Lock()
-	if entry := s.cache[key]; entry != nil && entry.minSup <= minSup {
+	if entry := s.cache[key]; entry != nil && entry.minSup <= minSup && s.db == db {
 		s.hits++
+		s.seq++
+		entry.lastUse = s.seq
 		sets := entry.sets
 		s.mu.Unlock()
 		obs.MCacheHits.Inc()
@@ -207,7 +267,7 @@ func (s *Session) side(ctx context.Context, label string, domain itemset.Set, mi
 		msp = tracer.Start(label + ":cache-miss")
 	}
 	lw, err := mine.New(ctx, mine.Config{
-		DB:         s.ds.db,
+		DB:         db,
 		MinSupport: minSup,
 		Domain:     domain,
 		Budget:     budget,
@@ -229,11 +289,60 @@ func (s *Session) side(ctx context.Context, label string, domain itemset.Set, mi
 	s.mu.Lock()
 	s.misses++
 	// Keep the lowest-threshold lattice: it can serve every refinement.
-	if old := s.cache[key]; old == nil || minSup < old.minSup {
-		s.cache[key] = &latticeEntry{minSup: minSup, sets: sets}
+	// Store only while the cache still describes the snapshot we mined —
+	// a concurrent mutation flips s.db and this (now stale) lattice must
+	// not survive the flip.
+	if s.db == db {
+		if old := s.cache[key]; old == nil || minSup < old.minSup {
+			if old != nil {
+				s.bytes -= old.bytes
+			}
+			s.seq++
+			entry := &latticeEntry{
+				minSup:  minSup,
+				sets:    sets,
+				bytes:   latticeBytes(sets),
+				lastUse: s.seq,
+			}
+			s.cache[key] = entry
+			s.bytes += entry.bytes
+			s.evictLocked()
+		}
 	}
 	s.mu.Unlock()
 	return sets, nil
+}
+
+// evictLocked drops least-recently-used lattices until the cache fits the
+// configured bound. Callers hold s.mu.
+func (s *Session) evictLocked() {
+	if s.maxBytes <= 0 {
+		return
+	}
+	for s.bytes > s.maxBytes && len(s.cache) > 0 {
+		var lruKey string
+		var lru *latticeEntry
+		for k, e := range s.cache {
+			if lru == nil || e.lastUse < lru.lastUse {
+				lruKey, lru = k, e
+			}
+		}
+		delete(s.cache, lruKey)
+		s.bytes -= lru.bytes
+		s.evictions++
+		obs.MCacheEvictions.Inc()
+	}
+}
+
+// latticeBytes estimates the retained size of a cached lattice with the
+// same per-set model Stats.LatticeBytes uses (rank-space set + original
+// copy + map overhead), plus a fixed per-entry overhead.
+func latticeBytes(sets []mine.Counted) int64 {
+	total := int64(64)
+	for _, c := range sets {
+		total += int64(16*c.Set.Len() + 64)
+	}
+	return total
 }
 
 // filterLattice applies the support threshold and 1-var constraints to a

@@ -40,12 +40,12 @@ func TestSessionMatchesDirectRun(t *testing.T) {
 	}
 	// First query misses for the shared (nil-domain) lattice; all later
 	// queries (same domain, equal-or-higher threshold) hit.
-	hits, misses := sess.CacheStats()
-	if misses != 1 {
-		t.Errorf("cache misses = %d, want 1", misses)
+	cs := sess.CacheStats()
+	if cs.Misses != 1 {
+		t.Errorf("cache misses = %d, want 1", cs.Misses)
 	}
-	if hits < 2*len(queries)-1 {
-		t.Errorf("cache hits = %d, want >= %d", hits, 2*len(queries)-1)
+	if cs.Hits < 2*len(queries)-1 {
+		t.Errorf("cache hits = %d, want >= %d", cs.Hits, 2*len(queries)-1)
 	}
 }
 
@@ -55,20 +55,20 @@ func TestSessionLowerThresholdRemines(t *testing.T) {
 	if _, err := sess.Run(NewQuery(ds).MinSupport(4)); err != nil {
 		t.Fatal(err)
 	}
-	_, missesAfterFirst := sess.CacheStats()
+	missesAfterFirst := sess.CacheStats().Misses
 	// A *lower* threshold cannot be served from the cache.
 	if _, err := sess.Run(NewQuery(ds).MinSupport(2)); err != nil {
 		t.Fatal(err)
 	}
-	if _, misses := sess.CacheStats(); misses <= missesAfterFirst {
+	if misses := sess.CacheStats().Misses; misses <= missesAfterFirst {
 		t.Error("lower threshold served from a higher-threshold cache")
 	}
 	// …but now the low-threshold lattice serves both.
-	hits, _ := sess.CacheStats()
+	hits := sess.CacheStats().Hits
 	if _, err := sess.Run(NewQuery(ds).MinSupport(4)); err != nil {
 		t.Fatal(err)
 	}
-	if h, _ := sess.CacheStats(); h <= hits {
+	if h := sess.CacheStats().Hits; h <= hits {
 		t.Error("refinement after re-mining did not hit the cache")
 	}
 }
@@ -105,13 +105,13 @@ func TestSessionDomainsCachedSeparately(t *testing.T) {
 	if _, err := sess.Run(NewQuery(ds).MinSupport(2).DomainS(0, 1, 2).DomainT(3, 4, 5)); err != nil {
 		t.Fatal(err)
 	}
-	if _, misses := sess.CacheStats(); misses != 2 {
+	if misses := sess.CacheStats().Misses; misses != 2 {
 		t.Errorf("misses = %d, want 2 (one per domain)", misses)
 	}
 	if _, err := sess.Run(NewQuery(ds).MinSupport(3).DomainS(0, 1, 2).DomainT(3, 4, 5)); err != nil {
 		t.Fatal(err)
 	}
-	if _, misses := sess.CacheStats(); misses != 2 {
+	if misses := sess.CacheStats().Misses; misses != 2 {
 		t.Errorf("refinement re-mined: misses = %d", misses)
 	}
 }

@@ -377,7 +377,7 @@ func execute(ctx context.Context, q *cfq.Query, opt runOptions) error {
 	if opt.stderr == nil {
 		opt.stderr = os.Stderr
 	}
-	st, err := parseStrategy(opt.strategy)
+	st, err := cfq.ParseStrategy(opt.strategy)
 	if err != nil {
 		return err
 	}
@@ -466,24 +466,6 @@ func printStats(w io.Writer, prefix string, s cfq.Stats) {
 	fmt.Fprintf(w, "%scandidates counted: %d\n%scandidates pruned: %d\n%sitem constraint checks: %d\n%sset constraint checks: %d\n%spair checks: %d\n%sDB scans: %d\n%scheckpoints: %d\n",
 		prefix, s.CandidatesCounted, prefix, s.CandidatesPruned, prefix, s.ItemConstraintChecks, prefix, s.SetConstraintChecks,
 		prefix, s.PairChecks, prefix, s.DBScans, prefix, s.Checkpoints)
-}
-
-func parseStrategy(s string) (cfq.Strategy, error) {
-	switch s {
-	case "optimized":
-		return cfq.Optimized, nil
-	case "nojmax":
-		return cfq.OptimizedNoJmax, nil
-	case "cap":
-		return cfq.CAPOnly, nil
-	case "apriori":
-		return cfq.AprioriPlus, nil
-	case "fm":
-		return cfq.FM, nil
-	case "sequential":
-		return cfq.Sequential, nil
-	}
-	return 0, fmt.Errorf("unknown strategy %q", s)
 }
 
 func readFloats(path string, n int) ([]float64, error) {

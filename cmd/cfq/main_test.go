@@ -26,12 +26,12 @@ func TestParseStrategy(t *testing.T) {
 		"sequential": cfq.Sequential,
 	}
 	for in, want := range valid {
-		got, err := parseStrategy(in)
+		got, err := cfq.ParseStrategy(in)
 		if err != nil || got != want {
-			t.Errorf("parseStrategy(%q) = %v, %v", in, got, err)
+			t.Errorf("cfq.ParseStrategy(%q) = %v, %v", in, got, err)
 		}
 	}
-	if _, err := parseStrategy("bogus"); err == nil {
+	if _, err := cfq.ParseStrategy("bogus"); err == nil {
 		t.Error("bogus strategy accepted")
 	}
 }

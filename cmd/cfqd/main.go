@@ -1,0 +1,161 @@
+// Command cfqd serves constrained frequent set queries over HTTP/JSON: a
+// dataset registry, three query endpoints (/v1/query, /v1/explain,
+// /v1/explain-analyze) carrying the textual CFQ language, admission control
+// with bounded queueing, per-request budgets clamped by server maxima, and
+// a normalized-query result cache above each dataset's shared session.
+//
+//	cfqd -addr localhost:8344 -ops-addr localhost:8345 \
+//	     -workers 8 -queue-depth 16 -default-timeout 30s
+//
+// The ops port serves /metrics, /debug/vars, /debug/pprof, /healthz and
+// /statz; keep it off the public interface. SIGINT/SIGTERM drain
+// gracefully: new work is rejected with 503, in-flight queries get
+// -drain-timeout to finish, stragglers are cancelled at their next budget
+// checkpoint.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "cfqd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable daemon body. ready, when non-nil, receives the bound
+// API address once the server is listening.
+func run(args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("cfqd", flag.ContinueOnError)
+	var (
+		addr           = fs.String("addr", "localhost:8344", "API listen address")
+		opsAddr        = fs.String("ops-addr", "", "ops listen address (/metrics, /debug/pprof, /healthz); empty = disabled")
+		addrFile       = fs.String("addr-file", "", "write the bound API address to this file (ephemeral-port scripting)")
+		workers        = fs.Int("workers", 0, "concurrent evaluations (0 = GOMAXPROCS)")
+		queueDepth     = fs.Int("queue-depth", 0, "admission queue depth beyond the workers (0 = 2x workers)")
+		queueWait      = fs.Duration("queue-wait", time.Second, "max time a queued request waits for a worker before 429")
+		defaultTimeout = fs.Duration("default-timeout", 30*time.Second, "soft evaluation deadline when the request sets none")
+		maxTimeout     = fs.Duration("max-timeout", 0, "hard cap on request-supplied deadlines (0 = uncapped)")
+		defaultBudget  = fs.Int64("default-budget", 0, "default max candidates counted per query (0 = unlimited)")
+		maxBudget      = fs.Int64("max-budget", 0, "hard cap on request-supplied candidate budgets (0 = uncapped)")
+		defaultPairs   = fs.Int("default-maxpairs", 20, "default materialized answer pairs per query")
+		maxPairs       = fs.Int("max-maxpairs", 0, "hard cap on request-supplied maxpairs (0 = uncapped)")
+		minSupFrac     = fs.Float64("minsupfrac", 0.01, "default minimum support fraction when a request sets no threshold")
+		resultEntries  = fs.Int("result-cache-entries", 256, "result cache entry bound (negative disables the cache)")
+		resultBytes    = fs.Int64("result-cache-bytes", 64<<20, "result cache byte bound")
+		sessionBytes   = fs.Int64("session-cache-bytes", 256<<20, "per-dataset session lattice cache byte bound (negative = unbounded)")
+		allowFiles     = fs.Bool("allow-files", false, "allow datasets loaded from server-local files")
+		drainTimeout   = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain window for in-flight requests")
+		logLevel       = fs.String("log-level", "info", "log level: debug, info, warn, error")
+		quiet          = fs.Bool("quiet", false, "disable request logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var logger *slog.Logger
+	if !*quiet {
+		var lvl slog.Level
+		if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+			return fmt.Errorf("bad -log-level %q", *logLevel)
+		}
+		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	}
+
+	srv := serve.NewServer(serve.Config{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		QueueWait:  *queueWait,
+		Limits: serve.Limits{
+			DefaultTimeout: *defaultTimeout,
+			MaxTimeout:     *maxTimeout,
+			DefaultBudget:  serve.BudgetSpec{MaxCandidates: *defaultBudget},
+			MaxBudget:      serve.BudgetSpec{MaxCandidates: *maxBudget},
+			DefaultPairs:   *defaultPairs,
+			MaxPairs:       *maxPairs,
+		},
+		DefaultMinSupportFrac: *minSupFrac,
+		ResultCacheEntries:    *resultEntries,
+		ResultCacheBytes:      *resultBytes,
+		SessionCacheBytes:     *sessionBytes,
+		AllowFiles:            *allowFiles,
+		Logger:                logger,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	if ready != nil {
+		ready <- bound
+	}
+	if logger != nil {
+		logger.Info("cfqd listening", slog.String("addr", bound))
+	}
+
+	var opsSrv *http.Server
+	if *opsAddr != "" {
+		opsLn, err := net.Listen("tcp", *opsAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		opsSrv = &http.Server{Handler: srv.OpsHandler()}
+		go func() {
+			if err := opsSrv.Serve(opsLn); err != nil && err != http.ErrServerClosed && logger != nil {
+				logger.Error("ops server", slog.Any("err", err))
+			}
+		}()
+		if logger != nil {
+			logger.Info("ops listening", slog.String("addr", opsLn.Addr().String()))
+		}
+	}
+
+	// Serve until a shutdown signal, then drain.
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		if logger != nil {
+			logger.Info("draining", slog.String("signal", fmt.Sprint(sig)),
+				slog.Duration("timeout", *drainTimeout))
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		err := srv.Shutdown(ctx)
+		if opsSrv != nil {
+			_ = opsSrv.Close()
+		}
+		<-errc // Serve has returned once Shutdown completes
+		if logger != nil {
+			logger.Info("cfqd stopped")
+		}
+		return err
+	}
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TestRunServesAndDrains boots the real daemon body on an ephemeral port,
+// creates a dataset and runs a query round-trip over HTTP, then delivers
+// SIGTERM to the process and asserts run() drains and returns cleanly.
+func TestRunServesAndDrains(t *testing.T) {
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-ops-addr", "127.0.0.1:0",
+			"-addr-file", addrFile,
+			"-quiet",
+			"-drain-timeout", "5s",
+		}, ready)
+	}()
+
+	var bound string
+	select {
+	case bound = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	if fileAddr, err := os.ReadFile(addrFile); err != nil {
+		t.Fatalf("addr-file: %v", err)
+	} else if got := strings.TrimSpace(string(fileAddr)); got != bound {
+		t.Fatalf("addr-file %q, ready %q", got, bound)
+	}
+	base := "http://" + bound
+
+	post := func(path string, v any) (int, []byte) {
+		t.Helper()
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	spec := &serve.DatasetSpec{
+		Name:         "t",
+		Items:        3,
+		Transactions: [][]int{{0, 1}, {1, 2}, {0, 1, 2}, {0, 2}},
+	}
+	if status, body := post("/v1/datasets", spec); status != http.StatusCreated {
+		t.Fatalf("create: %d %s", status, body)
+	}
+	status, body := post("/v1/query", &serve.QueryRequest{
+		Dataset: "t", Query: "freq(S) >= 2 & freq(T) >= 2",
+	})
+	if status != http.StatusOK {
+		t.Fatalf("query: %d %s", status, body)
+	}
+	var resp serve.QueryResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Schema != serve.SchemaVersion || resp.RequestID == "" || resp.Generation != 1 {
+		t.Fatalf("bad envelope: %s", body)
+	}
+
+	// SIGTERM to ourselves: signal.Notify in run() intercepts it before the
+	// default terminate disposition, exactly as a real deployment would see.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not drain after SIGTERM")
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("API port still accepting after drain")
+	}
+}

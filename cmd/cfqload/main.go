@@ -1,0 +1,201 @@
+// Command cfqload is a closed-loop load generator for cfqd: N concurrent
+// clients each issue a fixed number of query requests back-to-back (the
+// next request leaves when the previous response lands), and the run
+// reports throughput, status-code mix, result-cache hit counts, and
+// latency percentiles. Closed-loop load is the right shape for measuring
+// an admission-controlled server: offered load tracks completed load, so
+// the 429 shed rate and the latency knee are visible separately.
+//
+//	cfqload -addr localhost:8344 -create -clients 8 -requests 50 \
+//	        -query '{(S,T) | freq(S) >= 20 & max(S.Price) <= min(T.Price)}'
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cfqload:", err)
+		os.Exit(1)
+	}
+}
+
+// outcome is one request's observation.
+type outcome struct {
+	status  int
+	cached  bool
+	latency time.Duration
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cfqload", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "localhost:8344", "cfqd API address")
+		dataset     = fs.String("dataset", "load", "dataset name to query")
+		create      = fs.Bool("create", false, "create the dataset first (Quest generator + uniform prices)")
+		genTx       = fs.Int("gen-tx", 2000, "generated transactions for -create")
+		genItems    = fs.Int("gen-items", 50, "item domain size for -create")
+		genSeed     = fs.Int64("gen-seed", 1, "generator seed for -create")
+		query       = fs.String("query", "{(S,T) | freq(S) & freq(T)}", "CFQ text to issue")
+		minSup      = fs.Int("minsup", 0, "absolute minimum support (0 = server default)")
+		clients     = fs.Int("clients", 8, "concurrent closed-loop clients")
+		requests    = fs.Int("requests", 50, "requests per client")
+		explainEach = fs.Int("explain-every", 0, "send every Nth request to /v1/explain instead (0 = never)")
+		budgetN     = fs.Int64("budget", 0, "per-request candidate budget (exercises 422 partial-stats responses)")
+		timeoutMS   = fs.Int64("timeout-ms", 0, "per-request soft deadline override")
+		noCache     = fs.Bool("no-cache", false, "bypass the server result cache")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	base := "http://" + *addr
+	hc := &http.Client{Timeout: 2 * time.Minute}
+
+	if *create {
+		spec := serve.DatasetSpec{
+			Name: *dataset,
+			Gen: &serve.GenSpec{
+				Transactions:  *genTx,
+				Items:         *genItems,
+				Seed:          *genSeed,
+				UniformPrices: true,
+			},
+		}
+		status, _, err := post(hc, base+"/v1/datasets", spec)
+		if err != nil {
+			return err
+		}
+		// Conflict means a previous run already created it — fine for a
+		// repeatable benchmark.
+		if status != http.StatusCreated && status != http.StatusConflict {
+			return fmt.Errorf("create dataset: status %d", status)
+		}
+	}
+
+	req := serve.QueryRequest{
+		Dataset:    *dataset,
+		Query:      *query,
+		MinSupport: *minSup,
+		TimeoutMS:  *timeoutMS,
+		NoCache:    *noCache,
+	}
+	if *budgetN > 0 {
+		req.Budget = &serve.BudgetSpec{MaxCandidates: *budgetN}
+	}
+
+	results := make([][]outcome, *clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			results[c] = make([]outcome, 0, *requests)
+			for i := 0; i < *requests; i++ {
+				url := base + "/v1/query"
+				if *explainEach > 0 && (i+1)%*explainEach == 0 {
+					url = base + "/v1/explain"
+				}
+				t0 := time.Now()
+				status, body, err := post(hc, url, req)
+				lat := time.Since(t0)
+				if err != nil {
+					results[c] = append(results[c], outcome{status: -1, latency: lat})
+					continue
+				}
+				var resp serve.QueryResponse
+				cached := false
+				if status == http.StatusOK && json.Unmarshal(body, &resp) == nil {
+					cached = resp.Cached
+				}
+				results[c] = append(results[c], outcome{status: status, cached: cached, latency: lat})
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report(out, results, elapsed)
+	return nil
+}
+
+func post(hc *http.Client, url string, v any) (int, []byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := hc.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, body, nil
+}
+
+func report(out io.Writer, results [][]outcome, elapsed time.Duration) {
+	var all []outcome
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	byStatus := map[int]int{}
+	cached := 0
+	lats := make([]time.Duration, 0, len(all))
+	for _, o := range all {
+		byStatus[o.status]++
+		if o.cached {
+			cached++
+		}
+		lats = append(lats, o.latency)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+
+	fmt.Fprintf(out, "requests: %d in %v (%.1f req/s)\n",
+		len(all), elapsed.Round(time.Millisecond), float64(len(all))/elapsed.Seconds())
+	statuses := make([]int, 0, len(byStatus))
+	for s := range byStatus {
+		statuses = append(statuses, s)
+	}
+	sort.Ints(statuses)
+	for _, s := range statuses {
+		label := fmt.Sprint(s)
+		if s == -1 {
+			label = "transport-error"
+		}
+		fmt.Fprintf(out, "  status %s: %d\n", label, byStatus[s])
+	}
+	fmt.Fprintf(out, "  result-cache hits: %d\n", cached)
+	if len(lats) > 0 {
+		fmt.Fprintf(out, "latency: p50 %v  p90 %v  p99 %v  max %v\n",
+			pct(lats, 50).Round(time.Microsecond), pct(lats, 90).Round(time.Microsecond),
+			pct(lats, 99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+	}
+}
+
+// pct returns the p-th percentile of sorted latencies (nearest-rank).
+func pct(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (len(sorted)*p + 99) / 100
+	if i < 1 {
+		i = 1
+	}
+	return sorted[i-1]
+}

@@ -52,11 +52,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		hits, misses := sess.CacheStats()
+		cs := sess.CacheStats()
 		fmt.Printf("%-35s %10d %8.1f %d hits / %d misses\n",
 			step.label, res.PairCount,
 			float64(time.Since(start).Microseconds())/1000,
-			hits, misses)
+			cs.Hits, cs.Misses)
 	}
 }
 

@@ -167,13 +167,14 @@ func Snapshot() map[string]any {
 // budget trips and session-cache lookups are published live at the point
 // they happen, so a mid-run scrape sees progress.
 var (
-	MQueries     = NewCounter("queries_total")
-	MQueryErrors = NewCounter("query_errors_total")
-	MBudgetTrips = NewCounter("budget_trips_total")
-	MDBScans     = NewCounter("db_scans_total")
-	MCacheHits   = NewCounter("session_cache_hits_total")
-	MCacheMisses = NewCounter("session_cache_misses_total")
-	MQueryDur    = NewHistogram("query_duration_ms")
+	MQueries        = NewCounter("queries_total")
+	MQueryErrors    = NewCounter("query_errors_total")
+	MBudgetTrips    = NewCounter("budget_trips_total")
+	MDBScans        = NewCounter("db_scans_total")
+	MCacheHits      = NewCounter("session_cache_hits_total")
+	MCacheMisses    = NewCounter("session_cache_misses_total")
+	MCacheEvictions = NewCounter("session_cache_evictions_total")
+	MQueryDur       = NewHistogram("query_duration_ms")
 
 	MCandidates   = NewCounter("candidates_counted_total")
 	MPruned       = NewCounter("candidates_pruned_total")

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Admission errors.
+var (
+	// ErrOverloaded is returned when the wait queue is full or a queued
+	// request's queue-wait deadline expires; the handler maps it to 429 with
+	// a Retry-After hint.
+	ErrOverloaded = errors.New("serve: server overloaded")
+)
+
+// admission is the server's two-stage load regulator: a semaphore of worker
+// slots bounds concurrent evaluations, and a bounded wait queue in front of
+// it absorbs bursts. A request that would make the queue exceed its depth
+// is shed immediately; a queued request that does not get a slot within the
+// queue-wait deadline is shed with a Retry-After hint. Shedding early (429)
+// instead of queueing without bound keeps tail latency flat under overload
+// — the closed-loop load generator demonstrates the flat knee.
+type admission struct {
+	slots     chan struct{}
+	queueWait time.Duration
+	depth     int64        // max requests allowed to wait (beyond the slots)
+	waiting   atomic.Int64 // requests currently blocked on a slot
+}
+
+func newAdmission(workers, queueDepth int, queueWait time.Duration) *admission {
+	if workers <= 0 {
+		workers = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	if queueWait <= 0 {
+		queueWait = time.Second
+	}
+	a := &admission{
+		slots:     make(chan struct{}, workers),
+		queueWait: queueWait,
+		depth:     int64(queueDepth),
+	}
+	for i := 0; i < workers; i++ {
+		a.slots <- struct{}{}
+	}
+	return a
+}
+
+// acquire blocks until a worker slot is free, the queue-wait deadline
+// passes (ErrOverloaded), or ctx is done. The fast path — a free slot with
+// an empty queue — takes no timer.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case <-a.slots:
+		return nil
+	default:
+	}
+	// No free slot: join the queue if there is room.
+	if a.waiting.Add(1) > a.depth {
+		a.waiting.Add(-1)
+		mShed.Inc()
+		return ErrOverloaded
+	}
+	defer a.waiting.Add(-1)
+	mQueued.Add(1)
+	defer mQueued.Add(-1)
+	timer := time.NewTimer(a.queueWait)
+	defer timer.Stop()
+	select {
+	case <-a.slots:
+		return nil
+	case <-timer.C:
+		mShed.Inc()
+		return ErrOverloaded
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a worker slot.
+func (a *admission) release() {
+	a.slots <- struct{}{}
+}
+
+// retryAfter is the hint sent with 429 responses: half the queue-wait — by
+// then roughly half the queued work has drained, so an immediate retry has
+// a fair shot at a queue spot.
+func (a *admission) retryAfter() time.Duration {
+	return a.queueWait / 2
+}

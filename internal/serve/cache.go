@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// resultCache is the daemon's second cache layer, above the per-dataset
+// session lattice cache: it maps a *normalized* query — canonical query
+// text × dataset generation × evaluation mode — to the marshaled result
+// bytes, so a repeated query is answered without touching the session (and
+// without re-marshaling). The canonical form is conjunct-order- and
+// whitespace-independent (cfq.Query.Canonical), so syntactically different
+// spellings of the same query share one entry.
+//
+// Generation is part of the key, so a dataset mutation implicitly misses;
+// Invalidate additionally drops the dead generations' entries eagerly so
+// mutations release memory immediately rather than waiting for LRU churn.
+type resultCache struct {
+	mu         sync.Mutex
+	entries    map[string]*list.Element
+	lru        *list.List // front = most recent
+	bytes      int64
+	maxBytes   int64
+	maxEntries int
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key   string
+	size  int64
+	value cachedResult
+}
+
+// cachedResult is the cacheable portion of a QueryResponse: everything
+// except the per-request fields (request id, cached flag).
+type cachedResult struct {
+	Generation uint64
+	Strategy   string
+	Result     json.RawMessage
+	Explain    json.RawMessage
+}
+
+// newResultCache bounds the cache by entries and bytes (either 0 disables
+// that bound; both 0 disables caching entirely).
+func newResultCache(maxEntries int, maxBytes int64) *resultCache {
+	return &resultCache{
+		entries:    map[string]*list.Element{},
+		lru:        list.New(),
+		maxBytes:   maxBytes,
+		maxEntries: maxEntries,
+	}
+}
+
+func (c *resultCache) enabled() bool { return c.maxEntries > 0 || c.maxBytes > 0 }
+
+// resultKey builds the cache key. kind distinguishes the three endpoints
+// (their payload shapes differ), mode the evaluation path (session vs a
+// named engine strategy — their Stats and Plan differ even though the
+// answers agree), gen the dataset snapshot.
+func resultKey(dataset string, gen uint64, kind, mode, canonical string) string {
+	return fmt.Sprintf("%s\x00%d\x00%s\x00%s\x00%s", dataset, gen, kind, mode, canonical)
+}
+
+// get returns the cached result and bumps its recency.
+func (c *resultCache) get(key string) (cachedResult, bool) {
+	if !c.enabled() {
+		return cachedResult{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		mResultMisses.Inc()
+		return cachedResult{}, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	mResultHits.Inc()
+	return el.Value.(*cacheEntry).value, true
+}
+
+// put stores a result, evicting least-recently-used entries to fit the
+// bounds. An entry larger than the whole byte bound is not stored.
+func (c *resultCache) put(key string, v cachedResult) {
+	if !c.enabled() {
+		return
+	}
+	size := int64(len(key) + len(v.Result) + len(v.Explain) + 64)
+	if c.maxBytes > 0 && size > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		old := el.Value.(*cacheEntry)
+		c.bytes += size - old.size
+		old.size, old.value = size, v
+		c.lru.MoveToFront(el)
+	} else {
+		c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, size: size, value: v})
+		c.bytes += size
+	}
+	for (c.maxEntries > 0 && c.lru.Len() > c.maxEntries) ||
+		(c.maxBytes > 0 && c.bytes > c.maxBytes) {
+		c.evictOldest()
+	}
+}
+
+// invalidate drops every entry for the dataset (all generations). Called on
+// mutation and drop, under no other locks.
+func (c *resultCache) invalidate(dataset string) {
+	prefix := dataset + "\x00"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*cacheEntry); strings.HasPrefix(e.key, prefix) {
+			c.removeLocked(el, e)
+		}
+		el = next
+	}
+}
+
+func (c *resultCache) evictOldest() {
+	el := c.lru.Back()
+	if el == nil {
+		return
+	}
+	c.removeLocked(el, el.Value.(*cacheEntry))
+	c.evictions++
+	mResultEvictions.Inc()
+}
+
+func (c *resultCache) removeLocked(el *list.Element, e *cacheEntry) {
+	c.lru.Remove(el)
+	delete(c.entries, e.key)
+	c.bytes -= e.size
+}
+
+// stats snapshots the cache counters (the ops /statz surface).
+func (c *resultCache) stats() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return map[string]int64{
+		"hits":      c.hits,
+		"misses":    c.misses,
+		"evictions": c.evictions,
+		"entries":   int64(c.lru.Len()),
+		"bytes":     c.bytes,
+	}
+}

@@ -1,0 +1,36 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// decodeStrict decodes one JSON document into v, rejecting unknown fields
+// (they are almost always a misspelled option the caller thinks is in
+// effect) and trailing data.
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON document")
+	}
+	return nil
+}
+
+// DecodeQueryRequest decodes and validates the body of the query endpoints.
+// It is the wire boundary the fuzz target hammers: arbitrary bytes must
+// produce either a valid request or an error, never a panic.
+func DecodeQueryRequest(data []byte) (*QueryRequest, error) {
+	var req QueryRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return nil, err
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/cfq"
+)
+
+// FuzzDecodeQueryRequest hammers the wire boundary: arbitrary bytes into
+// the strict request decoder, and whatever it accepts is pushed on through
+// query parsing against a real dataset — the same path a handler takes —
+// with no panic allowed anywhere. The seed corpus wraps the cfq parser
+// fuzz corpus in request envelopes, so wire fuzzing reaches the same
+// grammar corners the parser fuzzers explore.
+func FuzzDecodeQueryRequest(f *testing.F) {
+	queries := []string{
+		"{(S, T) | freq(S) >= 2 & max(S.Price) <= min(T.Price)}",
+		"freq(S) & freq(T) & S.Type = T.Type",
+		"{(S,T) | }", "{", "}", "& & &", "freq(S) >= 999999999999999999999",
+		"min(S.Price) >= 1 & min(T.Price) >= 1",
+		"sum(S.Price) <= 10 & range(T.Price, 2, 4)",
+		"count(S) <= 2 & T.Type subset {a}",
+		"S.Type subset {a\x00b}",
+	}
+	for _, q := range queries {
+		body, _ := json.Marshal(&QueryRequest{Dataset: "d", Query: q})
+		f.Add(body)
+	}
+	// Envelope corners: unknown fields, wrong types, trailing data, budget
+	// and limit shapes.
+	for _, raw := range []string{
+		``, `{}`, `null`, `[1,2]`, `{"dataset":"d"}{"x":1}`,
+		`{"dataset":"d","query":"freq(S)","unknown_field":true}`,
+		`{"dataset":"d","query":"freq(S)","timeout_ms":-5}`,
+		`{"dataset":"d","query":"freq(S)","budget":{"max_candidates":-1}}`,
+		`{"dataset":"d","query":"freq(S)","min_support_frac":2.5}`,
+		`{"dataset":"d","query":"freq(S)","strategy":"cap","max_pairs":3,"trace":true}`,
+	} {
+		f.Add([]byte(raw))
+	}
+
+	ds := cfq.NewDataset(4)
+	_ = ds.SetNumeric("Price", []float64{1, 2, 3, 4})
+	_ = ds.SetCategorical("Type", []string{"a", "a", "b", "b"})
+	for i := 0; i < 4; i++ {
+		_ = ds.AddTransaction(0, 1, 2, 3)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeQueryRequest(data)
+		if err != nil {
+			return
+		}
+		// Accepted requests must satisfy the validated invariants — the
+		// handlers rely on them.
+		if req.TimeoutMS < 0 || req.MinSupport < 0 || req.MaxPairs < 0 || req.Dataset == "" {
+			t.Fatalf("validated request violates invariants: %+v", req)
+		}
+		if _, err := cfq.ParseStrategy(req.Strategy); err != nil {
+			return // handler would 400; parse must simply not panic
+		}
+		if len(req.Query) > 512 {
+			return // keep fuzz iterations fast
+		}
+		q, err := cfq.ParseQuery(ds, req.Query)
+		if err != nil {
+			return
+		}
+		_ = q.Canonical() // cache-key derivation must not panic either
+	})
+}

@@ -1,0 +1,286 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/cfq"
+	"repro/internal/gen"
+)
+
+// Registry errors, mapped to HTTP statuses by the handlers.
+var (
+	ErrNotFound = errors.New("serve: unknown dataset")
+	ErrExists   = errors.New("serve: dataset already exists")
+)
+
+// Registry holds the served datasets. Each dataset carries one shared
+// cfq.Session — the whole point of serving from a daemon: every client's
+// queries amortize the same unconstrained-lattice cache — and a generation
+// counter that advances on every mutation. The generation is the result
+// cache's staleness token: cached results are keyed by it, and a handler
+// stores a result only if the generation it read before evaluating is still
+// current afterwards.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*regEntry
+
+	sessionCacheBytes int64
+	allowFiles        bool
+}
+
+type regEntry struct {
+	ds   *cfq.Dataset
+	sess *cfq.Session
+	gen  uint64
+}
+
+// NewRegistry creates an empty registry. sessionCacheBytes bounds each
+// dataset's session lattice cache (0 = unbounded); allowFiles gates the
+// DatasetSpec.File source (a server-side path read — off by default).
+func NewRegistry(sessionCacheBytes int64, allowFiles bool) *Registry {
+	return &Registry{
+		entries:           map[string]*regEntry{},
+		sessionCacheBytes: sessionCacheBytes,
+		allowFiles:        allowFiles,
+	}
+}
+
+// Lookup returns a dataset's handle: the dataset, its shared session, and
+// the generation current at the time of the call.
+func (r *Registry) Lookup(name string) (*cfq.Dataset, *cfq.Session, uint64, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e := r.entries[name]
+	if e == nil {
+		return nil, nil, 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return e.ds, e.sess, e.gen, nil
+}
+
+// Generation returns the dataset's current generation (for the store-side
+// staleness check after an evaluation).
+func (r *Registry) Generation(name string) (uint64, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e := r.entries[name]
+	if e == nil {
+		return 0, false
+	}
+	return e.gen, true
+}
+
+// Create builds a dataset from its spec, compiles it eagerly (so the first
+// query pays no compile cost), and registers it under spec.Name.
+func (r *Registry) Create(spec *DatasetSpec) (DatasetInfo, error) {
+	if err := validateName(spec.Name); err != nil {
+		return DatasetInfo{}, err
+	}
+	ds, err := r.build(spec)
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	if err := ds.Compile(); err != nil {
+		return DatasetInfo{}, err
+	}
+	sess := cfq.NewSession(ds)
+	if r.sessionCacheBytes > 0 {
+		sess.SetCacheLimit(r.sessionCacheBytes)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[spec.Name]; dup {
+		return DatasetInfo{}, fmt.Errorf("%w: %q", ErrExists, spec.Name)
+	}
+	e := &regEntry{ds: ds, sess: sess, gen: 1}
+	r.entries[spec.Name] = e
+	return infoOf(spec.Name, e), nil
+}
+
+// Mutate appends transactions to a dataset, recompiles it, and bumps its
+// generation. The caller invalidates result-cache entries for the dataset;
+// the session cache invalidates itself via the compiled-snapshot identity.
+func (r *Registry) Mutate(name string, txs [][]int) (DatasetInfo, error) {
+	r.mu.RLock()
+	e := r.entries[name]
+	r.mu.RUnlock()
+	if e == nil {
+		return DatasetInfo{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if err := e.ds.AddTransactions(txs); err != nil {
+		return DatasetInfo{}, err
+	}
+	// Recompile now: the snapshot flips atomically here, not on some later
+	// query's first touch, so "mutation acknowledged" means "subsequent
+	// queries see the new data".
+	if err := e.ds.Compile(); err != nil {
+		return DatasetInfo{}, err
+	}
+	r.mu.Lock()
+	e.gen++
+	info := infoOf(name, e)
+	r.mu.Unlock()
+	return info, nil
+}
+
+// Drop removes a dataset. In-flight queries against its session finish
+// against the snapshot they captured.
+func (r *Registry) Drop(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	delete(r.entries, name)
+	return nil
+}
+
+// List describes every registered dataset, sorted by name.
+func (r *Registry) List() []DatasetInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]DatasetInfo, 0, len(r.entries))
+	for name, e := range r.entries {
+		out = append(out, infoOf(name, e))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Info describes one dataset.
+func (r *Registry) Info(name string) (DatasetInfo, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e := r.entries[name]
+	if e == nil {
+		return DatasetInfo{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return infoOf(name, e), nil
+}
+
+func infoOf(name string, e *regEntry) DatasetInfo {
+	num, cat := e.ds.Attributes()
+	return DatasetInfo{
+		Name:         name,
+		Items:        e.ds.NumItems(),
+		Transactions: e.ds.NumTransactions(),
+		Generation:   e.gen,
+		Numeric:      num,
+		Categorical:  cat,
+		Session:      e.sess.CacheStats(),
+	}
+}
+
+func validateName(name string) error {
+	if name == "" {
+		return fmt.Errorf("missing dataset name")
+	}
+	if strings.ContainsAny(name, "/\x00 ") {
+		return fmt.Errorf("dataset name %q contains '/', space, or NUL", name)
+	}
+	return nil
+}
+
+// build constructs the dataset from exactly one transaction source.
+func (r *Registry) build(spec *DatasetSpec) (*cfq.Dataset, error) {
+	sources := 0
+	if spec.Transactions != nil {
+		sources++
+	}
+	if spec.File != "" {
+		sources++
+	}
+	if spec.Gen != nil {
+		sources++
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("need exactly one of transactions, file, gen (got %d)", sources)
+	}
+
+	var ds *cfq.Dataset
+	switch {
+	case spec.Gen != nil:
+		g := spec.Gen
+		items := g.Items
+		if items <= 0 {
+			items = 1000
+		}
+		if g.Transactions <= 0 {
+			return nil, fmt.Errorf("gen.transactions must be positive")
+		}
+		seed := g.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		p := gen.Default(1)
+		p.NumTransactions = g.Transactions
+		p.NumItems = items
+		p.NumPatterns = g.Patterns
+		if p.NumPatterns <= 0 {
+			p.NumPatterns = g.Transactions / 50
+			if p.NumPatterns < 10 {
+				p.NumPatterns = 10
+			}
+		}
+		db, err := gen.Quest(p)
+		if err != nil {
+			return nil, err
+		}
+		ds = cfq.WrapDB(db, items)
+		if g.UniformPrices {
+			if err := ds.SetNumeric("Price", gen.UniformPrices(items, 0, 1000, seed+1)); err != nil {
+				return nil, err
+			}
+		}
+		if g.UniformTypes > 0 {
+			vals, names := gen.UniformTypes(items, g.UniformTypes, seed+2)
+			labels := make([]string, items)
+			for i, v := range vals {
+				labels[i] = names[v]
+			}
+			if err := ds.SetCategorical("Type", labels); err != nil {
+				return nil, err
+			}
+		}
+	case spec.File != "":
+		if !r.allowFiles {
+			return nil, fmt.Errorf("file datasets are disabled (start the server with -allow-files)")
+		}
+		if spec.Items <= 0 {
+			return nil, fmt.Errorf("file datasets need a positive items domain size")
+		}
+		f, err := os.Open(spec.File)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		ds = cfq.NewDataset(spec.Items)
+		if err := ds.ReadTransactions(f); err != nil {
+			return nil, err
+		}
+	default:
+		if spec.Items <= 0 {
+			return nil, fmt.Errorf("inline datasets need a positive items domain size")
+		}
+		ds = cfq.NewDataset(spec.Items)
+		if err := ds.AddTransactions(spec.Transactions); err != nil {
+			return nil, err
+		}
+	}
+
+	for name, vals := range spec.Numeric {
+		if err := ds.SetNumeric(name, vals); err != nil {
+			return nil, err
+		}
+	}
+	for name, labels := range spec.Categorical {
+		if err := ds.SetCategorical(name, labels); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}

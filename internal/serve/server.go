@@ -1,0 +1,645 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/cfq"
+	"repro/internal/obs"
+)
+
+// The daemon's metrics, in the same lock-free registry the engine metrics
+// live in: one /metrics scrape shows the full stack, admission to lattice.
+var (
+	mReqs            = obs.NewCounter("server_requests_total")
+	mReqErrors       = obs.NewCounter("server_request_errors_total")
+	mShed            = obs.NewCounter("server_shed_total")
+	mResultHits      = obs.NewCounter("server_result_cache_hits_total")
+	mResultMisses    = obs.NewCounter("server_result_cache_misses_total")
+	mResultEvictions = obs.NewCounter("server_result_cache_evictions_total")
+	mActive          = obs.NewGauge("server_active_requests")
+	mQueued          = obs.NewGauge("server_queued_requests")
+	mReqDur          = obs.NewHistogram("server_request_duration_ms")
+)
+
+// Request body limits.
+const (
+	maxQueryBody   = 1 << 20  // query requests are small
+	maxDatasetBody = 64 << 20 // inline transactions can be large
+)
+
+// The three query endpoints.
+const (
+	kindQuery   = "query"
+	kindExplain = "explain"
+	kindAnalyze = "explain-analyze"
+)
+
+// Config tunes a Server. Zero values get serving defaults (see NewServer).
+type Config struct {
+	// Workers bounds concurrent evaluations (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker beyond the workers
+	// themselves (default: 2×Workers). A request that would exceed it is
+	// shed immediately with 429.
+	QueueDepth int
+	// QueueWait bounds how long an admitted-to-queue request waits for a
+	// worker before being shed with 429 + Retry-After (default: 1s).
+	QueueWait time.Duration
+	// QueryWorkers is the per-query support-counting parallelism passed to
+	// Query.Workers (default: 0 = serial; evaluation concurrency comes from
+	// Workers).
+	QueryWorkers int
+	// Limits are the evaluation budget/deadline/pairs defaults and maxima.
+	Limits Limits
+	// DefaultMinSupportFrac is the support threshold applied when a request
+	// sets neither min_support nor an explicit freq() conjunct
+	// (default: 0.01, the CLI's default).
+	DefaultMinSupportFrac float64
+	// ResultCacheEntries / ResultCacheBytes bound the normalized-query
+	// result cache (defaults: 256 entries, 64 MiB; set both negative to
+	// disable caching).
+	ResultCacheEntries int
+	ResultCacheBytes   int64
+	// SessionCacheBytes bounds each dataset session's lattice cache
+	// (default: 256 MiB; negative = unbounded).
+	SessionCacheBytes int64
+	// AllowFiles permits DatasetSpec.File (a server-side path read).
+	AllowFiles bool
+	// Logger, when set, receives one line per request plus span events.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = time.Second
+	}
+	if c.Limits.DefaultTimeout <= 0 {
+		c.Limits.DefaultTimeout = 30 * time.Second
+	}
+	if c.DefaultMinSupportFrac <= 0 {
+		c.DefaultMinSupportFrac = 0.01
+	}
+	if c.ResultCacheEntries == 0 {
+		c.ResultCacheEntries = 256
+	}
+	if c.ResultCacheBytes == 0 {
+		c.ResultCacheBytes = 64 << 20
+	}
+	if c.SessionCacheBytes == 0 {
+		c.SessionCacheBytes = 256 << 20
+	}
+	return c
+}
+
+// Server is the CFQ query daemon: Handler serves the /v1 API, OpsHandler
+// the metrics/pprof surface, Shutdown drains gracefully.
+type Server struct {
+	cfg   Config
+	reg   *Registry
+	adm   *admission
+	cache *resultCache
+	log   *slog.Logger
+	mux   *http.ServeMux
+
+	baseCtx  context.Context
+	cancel   context.CancelFunc
+	draining atomic.Bool
+
+	srvMu   sync.Mutex // guards httpSrv: Serve publishes it, Shutdown reads it
+	httpSrv *http.Server
+
+	idPrefix string
+	reqSeq   atomic.Uint64
+}
+
+// NewServer builds a server from the config (see Config for defaults).
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	baseCtx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		reg:      NewRegistry(max64(cfg.SessionCacheBytes, 0), cfg.AllowFiles),
+		adm:      newAdmission(cfg.Workers, cfg.QueueDepth, cfg.QueueWait),
+		cache:    newResultCache(maxInt(cfg.ResultCacheEntries, 0), max64(cfg.ResultCacheBytes, 0)),
+		log:      cfg.Logger,
+		baseCtx:  baseCtx,
+		cancel:   cancel,
+		idPrefix: fmt.Sprintf("%08x", time.Now().UnixNano()&0xffffffff),
+	}
+	s.mux = s.buildMux()
+	return s
+}
+
+func max64(v, min int64) int64 {
+	if v < min {
+		return min
+	}
+	return v
+}
+
+func maxInt(v, min int) int {
+	if v < min {
+		return min
+	}
+	return v
+}
+
+// Registry exposes the dataset registry (preloading at startup).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Handler returns the /v1 API handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// OpsHandler returns the operations surface: /metrics, /debug/vars,
+// /debug/pprof (all confined to internal/obs), /healthz, and /statz (the
+// result-cache counters). Serve it on a separate, non-public port.
+func (s *Server) OpsHandler() http.Handler {
+	mux := obs.NewProfilingMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/statz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]any{"result_cache": s.cache.stats()})
+	})
+	return mux
+}
+
+func (s *Server) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleQueryKind(kindQuery))
+	mux.HandleFunc("POST /v1/explain", s.handleQueryKind(kindExplain))
+	mux.HandleFunc("POST /v1/explain-analyze", s.handleQueryKind(kindAnalyze))
+	mux.HandleFunc("GET /v1/datasets", s.handleList)
+	mux.HandleFunc("POST /v1/datasets", s.handleCreate)
+	mux.HandleFunc("GET /v1/datasets/{name}", s.handleInfo)
+	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDrop)
+	mux.HandleFunc("POST /v1/datasets/{name}/transactions", s.handleMutate)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// Serve accepts connections on ln until Shutdown. Request contexts descend
+// from the server's base context, so a forced drain cancels in-flight
+// evaluations at their next budget checkpoint.
+func (s *Server) Serve(ln net.Listener) error {
+	srv := &http.Server{
+		Handler:     s.mux,
+		BaseContext: func(net.Listener) context.Context { return s.baseCtx },
+	}
+	s.srvMu.Lock()
+	s.httpSrv = srv
+	s.srvMu.Unlock()
+	err := srv.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains the server: new work is rejected with 503 immediately,
+// in-flight requests get until ctx's deadline to finish, then the base
+// context is cancelled so stragglers abort at their next checkpoint and
+// remaining connections are closed. Safe to call without Serve (tests
+// driving Handler directly).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.srvMu.Lock()
+	srv := s.httpSrv
+	s.srvMu.Unlock()
+	var err error
+	if srv != nil {
+		err = srv.Shutdown(ctx)
+		if err != nil {
+			// Drain deadline expired: force-cancel the stragglers.
+			s.cancel()
+			_ = srv.Close()
+		}
+	}
+	s.cancel()
+	return err
+}
+
+// requestID honors a caller-supplied X-Request-ID (so a client can thread
+// its own correlation id through logs and spans) or mints one.
+func (s *Server) requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-ID"); id != "" && len(id) <= 128 {
+		return id
+	}
+	return fmt.Sprintf("%s-%06d", s.idPrefix, s.reqSeq.Add(1))
+}
+
+// --- query endpoints ---
+
+func (s *Server) handleQueryKind(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqID := s.requestID(r)
+		mReqs.Inc()
+		mActive.Add(1)
+		defer mActive.Add(-1)
+		defer func() { mReqDur.Observe(time.Since(start)) }()
+
+		status, cached := s.serveQuery(w, r, kind, reqID)
+		if s.log != nil {
+			s.log.Info("request",
+				slog.String("request_id", reqID),
+				slog.String("endpoint", kind),
+				slog.Int("status", status),
+				slog.Bool("cached", cached),
+				slog.Duration("elapsed", time.Since(start)))
+		}
+	}
+}
+
+// serveQuery runs one query-endpoint request through the server's phases —
+// parse, admission, evaluate, encode — each a span on the request's tracer
+// (see IMPLEMENTATION_NOTES §12). Returns the HTTP status and whether the
+// result came from the cache.
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind, reqID string) (int, bool) {
+	if s.draining.Load() {
+		return s.writeError(w, reqID, http.StatusServiceUnavailable,
+			&ErrorBody{Code: CodeDraining, Message: "server is shutting down"}), false
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxQueryBody))
+	if err != nil {
+		return s.writeError(w, reqID, http.StatusBadRequest,
+			&ErrorBody{Code: CodeBadRequest, Message: "read body: " + err.Error()}), false
+	}
+	req, err := DecodeQueryRequest(body)
+	if err != nil {
+		return s.writeError(w, reqID, http.StatusBadRequest,
+			&ErrorBody{Code: CodeBadRequest, Message: err.Error()}), false
+	}
+
+	// The request tracer: per-phase spans feed the slog stream (always, when
+	// the server has a logger) and the response's RunReport (when the client
+	// asked with trace).
+	var tracer *obs.Tracer
+	if req.Trace || s.log != nil {
+		var spanLog *slog.Logger
+		if s.log != nil {
+			spanLog = s.log.With(slog.String("request_id", reqID), slog.String("endpoint", kind))
+		}
+		tracer = obs.NewTracer(obs.Options{Name: "serve:" + kind, Logger: spanLog})
+	}
+	ctx := obs.WithTracer(r.Context(), tracer)
+	// A forced server drain must reach requests even when the handler is
+	// driven without Serve (httptest), where request contexts do not descend
+	// from baseCtx.
+	ctx, cancelReq := context.WithCancel(ctx)
+	defer cancelReq()
+	stop := context.AfterFunc(s.baseCtx, cancelReq)
+	defer stop()
+
+	// parse: registry lookup, query text, defaults, clamped limits.
+	psp := tracer.Start("parse")
+	ds, sess, gen, err := s.reg.Lookup(req.Dataset)
+	if err != nil {
+		psp.End(nil)
+		return s.writeError(w, reqID, http.StatusNotFound,
+			&ErrorBody{Code: CodeUnknownDataset, Message: err.Error()}), false
+	}
+	q, strat, timeout, err := s.buildQuery(ds, req)
+	if err != nil {
+		psp.End(nil)
+		return s.writeError(w, reqID, http.StatusBadRequest,
+			&ErrorBody{Code: CodeBadRequest, Message: err.Error()}), false
+	}
+	mode := strat.String()
+	if kind == kindQuery && !req.NoSession {
+		mode = "session"
+	}
+	canonical := q.Canonical()
+	psp.SetAttrs(obs.String("dataset", req.Dataset), obs.String("mode", mode))
+	psp.End(nil)
+
+	// Result-cache lookup. Traced requests bypass the cache: the report
+	// must describe this run, not a previous one.
+	cacheable := !req.NoCache && !req.Trace && s.cache.enabled()
+	key := resultKey(req.Dataset, gen, kind, mode, canonical)
+	if cacheable {
+		if hit, ok := s.cache.get(key); ok {
+			return s.writeJSON(w, http.StatusOK, &QueryResponse{
+				Schema: SchemaVersion, RequestID: reqID, Dataset: req.Dataset,
+				Generation: hit.Generation, Strategy: hit.Strategy, Cached: true,
+				Result: hit.Result, Explain: hit.Explain,
+			}), true
+		}
+	}
+
+	// admission: a worker slot, or a bounded queue wait, or 429.
+	asp := tracer.Start("admission")
+	err = s.adm.acquire(ctx)
+	asp.End(nil)
+	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			retry := s.adm.retryAfter()
+			w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
+			return s.writeError(w, reqID, http.StatusTooManyRequests,
+				&ErrorBody{Code: CodeOverloaded, Message: "all workers busy and queue full",
+					RetryAfterMS: retry.Milliseconds()}), false
+		}
+		return s.writeEvalError(w, reqID, err), false
+	}
+	defer s.adm.release()
+
+	// The soft budget deadline (timeout, partial stats) is the primary
+	// bound; a hard context deadline at 2× backstops evaluations stuck
+	// between checkpoints.
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, 2*timeout)
+		defer cancel()
+	}
+
+	esp := tracer.Start("evaluate")
+	var result, explain json.RawMessage
+	var evalErr error
+	switch kind {
+	case kindQuery:
+		var res *cfq.Result
+		if req.NoSession {
+			res, evalErr = q.RunContext(ctx, strat)
+		} else {
+			res, evalErr = sess.RunContext(ctx, q)
+		}
+		if evalErr == nil {
+			// The span tree is delivered once, in the envelope's report
+			// field, not embedded in the result document too.
+			res.Report = nil
+			result, evalErr = json.Marshal(res)
+		}
+	case kindExplain:
+		var rep *cfq.ExplainReport
+		rep, evalErr = q.ExplainQuery(strat)
+		if evalErr == nil {
+			explain, evalErr = json.Marshal(rep)
+		}
+	case kindAnalyze:
+		var res *cfq.Result
+		var rep *cfq.ExplainReport
+		res, rep, evalErr = q.ExplainAnalyzeContext(ctx, strat)
+		if evalErr == nil {
+			res.Report = nil
+			if result, evalErr = json.Marshal(res); evalErr == nil {
+				explain, evalErr = json.Marshal(rep)
+			}
+		}
+	}
+	esp.End(nil)
+	if evalErr != nil {
+		return s.writeEvalError(w, reqID, evalErr), false
+	}
+
+	// Store only if the dataset generation we evaluated against is still
+	// current: a mutation that landed mid-evaluation must not get its
+	// pre-mutation result cached against the post-mutation generation key's
+	// dataset state. (The key carries the old gen, so the entry would be
+	// unreachable anyway — this check keeps dead generations from occupying
+	// cache space at all.)
+	if cacheable {
+		if cur, ok := s.reg.Generation(req.Dataset); ok && cur == gen {
+			s.cache.put(key, cachedResult{Generation: gen, Strategy: mode, Result: result, Explain: explain})
+		}
+	}
+
+	resp := &QueryResponse{
+		Schema: SchemaVersion, RequestID: reqID, Dataset: req.Dataset,
+		Generation: gen, Strategy: mode, Result: result, Explain: explain,
+	}
+	if req.Trace && tracer != nil {
+		resp.Report = tracer.Report()
+	}
+	return s.writeJSON(w, http.StatusOK, resp), false
+}
+
+// buildQuery parses the CFQ text and applies the server's defaults and
+// clamped limits.
+func (s *Server) buildQuery(ds *cfq.Dataset, req *QueryRequest) (*cfq.Query, cfq.Strategy, time.Duration, error) {
+	strat, err := cfq.ParseStrategy(req.Strategy)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	q, err := cfq.ParseQuery(ds, req.Query)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	// Defaults apply only to the sides the query text left implicit.
+	def := cfq.NewQuery(ds)
+	if req.MinSupport > 0 {
+		def.MinSupport(req.MinSupport)
+	} else {
+		frac := req.MinSupportFrac
+		if frac <= 0 {
+			frac = s.cfg.DefaultMinSupportFrac
+		}
+		def.MinSupportFraction(frac)
+	}
+	q.ApplyDefaultSupports(def)
+	q.MaxPairs(s.cfg.Limits.ResolvePairs(req))
+	q.Workers(s.cfg.QueryWorkers)
+	budget, timeout := s.cfg.Limits.Resolve(req)
+	q.Budget(budget)
+	return q, strat, timeout, nil
+}
+
+// writeEvalError maps evaluation failures onto the wire: budget exhaustion
+// carries its partial stats (422), deadline and cancellation are told apart
+// (504 / 503), anything else is a 500.
+func (s *Server) writeEvalError(w http.ResponseWriter, reqID string, err error) int {
+	var be *cfq.BudgetError
+	switch {
+	case errors.As(err, &be):
+		stats := be.Stats
+		return s.writeError(w, reqID, http.StatusUnprocessableEntity, &ErrorBody{
+			Code: CodeBudgetExhausted, Message: err.Error(),
+			Resource: be.Resource, Where: be.Where, Limit: be.Limit, Used: be.Used,
+			PartialStats: &stats,
+		})
+	case errors.Is(err, context.DeadlineExceeded):
+		return s.writeError(w, reqID, http.StatusGatewayTimeout,
+			&ErrorBody{Code: CodeDeadline, Message: err.Error()})
+	case errors.Is(err, context.Canceled):
+		code := CodeCanceled
+		if s.draining.Load() {
+			code = CodeDraining
+		}
+		return s.writeError(w, reqID, http.StatusServiceUnavailable,
+			&ErrorBody{Code: code, Message: err.Error()})
+	}
+	return s.writeError(w, reqID, http.StatusInternalServerError,
+		&ErrorBody{Code: CodeInternal, Message: err.Error()})
+}
+
+// --- dataset endpoints ---
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	reqID := s.requestID(r)
+	s.writeJSON(w, http.StatusOK, &DatasetsResponse{
+		Schema: SchemaVersion, RequestID: reqID, Datasets: s.reg.List(),
+	})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	reqID := s.requestID(r)
+	if s.draining.Load() {
+		s.writeError(w, reqID, http.StatusServiceUnavailable,
+			&ErrorBody{Code: CodeDraining, Message: "server is shutting down"})
+		return
+	}
+	var spec DatasetSpec
+	if !s.decodeBody(w, r, reqID, maxDatasetBody, &spec) {
+		return
+	}
+	info, err := s.reg.Create(&spec)
+	if err != nil {
+		if errors.Is(err, ErrExists) {
+			s.writeError(w, reqID, http.StatusConflict,
+				&ErrorBody{Code: CodeDatasetExists, Message: err.Error()})
+		} else {
+			s.writeError(w, reqID, http.StatusBadRequest,
+				&ErrorBody{Code: CodeBadRequest, Message: err.Error()})
+		}
+		return
+	}
+	if s.log != nil {
+		s.log.Info("dataset created", slog.String("request_id", reqID),
+			slog.String("dataset", info.Name), slog.Int("transactions", info.Transactions))
+	}
+	s.writeJSON(w, http.StatusCreated, &DatasetsResponse{
+		Schema: SchemaVersion, RequestID: reqID, Dataset: &info,
+	})
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	reqID := s.requestID(r)
+	info, err := s.reg.Info(r.PathValue("name"))
+	if err != nil {
+		s.writeError(w, reqID, http.StatusNotFound,
+			&ErrorBody{Code: CodeUnknownDataset, Message: err.Error()})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, &DatasetsResponse{
+		Schema: SchemaVersion, RequestID: reqID, Dataset: &info,
+	})
+}
+
+func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
+	reqID := s.requestID(r)
+	name := r.PathValue("name")
+	if err := s.reg.Drop(name); err != nil {
+		s.writeError(w, reqID, http.StatusNotFound,
+			&ErrorBody{Code: CodeUnknownDataset, Message: err.Error()})
+		return
+	}
+	s.cache.invalidate(name)
+	s.writeJSON(w, http.StatusOK, &DatasetsResponse{
+		Schema: SchemaVersion, RequestID: reqID, Dropped: name,
+	})
+}
+
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	reqID := s.requestID(r)
+	if s.draining.Load() {
+		s.writeError(w, reqID, http.StatusServiceUnavailable,
+			&ErrorBody{Code: CodeDraining, Message: "server is shutting down"})
+		return
+	}
+	var req MutateRequest
+	if !s.decodeBody(w, r, reqID, maxDatasetBody, &req) {
+		return
+	}
+	if len(req.Transactions) == 0 {
+		s.writeError(w, reqID, http.StatusBadRequest,
+			&ErrorBody{Code: CodeBadRequest, Message: "no transactions"})
+		return
+	}
+	name := r.PathValue("name")
+	info, err := s.reg.Mutate(name, req.Transactions)
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			s.writeError(w, reqID, http.StatusNotFound,
+				&ErrorBody{Code: CodeUnknownDataset, Message: err.Error()})
+		} else {
+			s.writeError(w, reqID, http.StatusBadRequest,
+				&ErrorBody{Code: CodeBadRequest, Message: err.Error()})
+		}
+		return
+	}
+	// Invalidate after the generation bump: a racing evaluation of the old
+	// generation fails its gen-unchanged check and stores nothing.
+	s.cache.invalidate(name)
+	if s.log != nil {
+		s.log.Info("dataset mutated", slog.String("request_id", reqID),
+			slog.String("dataset", name), slog.Uint64("generation", info.Generation))
+	}
+	s.writeJSON(w, http.StatusOK, &DatasetsResponse{
+		Schema: SchemaVersion, RequestID: reqID, Dataset: &info,
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	_ = json.NewEncoder(w).Encode(map[string]string{"status": status})
+}
+
+// --- helpers ---
+
+// decodeBody strictly decodes a JSON body into v, writing the 400 itself on
+// failure.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, reqID string, limit int64, v any) bool {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	if err == nil {
+		err = decodeStrict(body, v)
+	}
+	if err != nil {
+		s.writeError(w, reqID, http.StatusBadRequest,
+			&ErrorBody{Code: CodeBadRequest, Message: err.Error()})
+		return false
+	}
+	return true
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) int {
+	w.Header().Set("Content-Type", "application/json")
+	if resp, ok := v.(*QueryResponse); ok {
+		w.Header().Set("X-Request-ID", resp.RequestID)
+	}
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+	return status
+}
+
+func (s *Server) writeError(w http.ResponseWriter, reqID string, status int, body *ErrorBody) int {
+	mReqErrors.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Request-ID", reqID)
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(&ErrorResponse{
+		Schema: SchemaVersion, RequestID: reqID, Error: body,
+	})
+	return status
+}

@@ -45,11 +45,47 @@ echo "== perf-trajectory smoke (cmd/bench -compare) =="
 # itself against the first through the -compare gate, exercising the same
 # code path that guards BENCH.json regressions. The threshold is generous —
 # this checks the harness, not the machine.
-bench_tmp="$(mktemp -d)"
-trap 'rm -rf "$bench_tmp"' EXIT
+check_tmp="$(mktemp -d)"
+cfqd_pid=""
+cleanup() {
+  if [[ -n "$cfqd_pid" ]]; then kill "$cfqd_pid" 2> /dev/null || true; fi
+  rm -rf "$check_tmp"
+}
+trap cleanup EXIT
 go run ./cmd/bench -scale 25 -workloads fig8a-overlap-33 -strategies optimized,sequential \
-  -out "$bench_tmp/base.json" 2> /dev/null
+  -out "$check_tmp/base.json" 2> /dev/null
 go run ./cmd/bench -scale 25 -workloads fig8a-overlap-33 -strategies optimized,sequential \
-  -compare "$bench_tmp/base.json" -threshold 25 -out "$bench_tmp/fresh.json" 2> /dev/null
+  -compare "$check_tmp/base.json" -threshold 25 -out "$check_tmp/fresh.json" 2> /dev/null
+
+echo "== cfqd smoke (serve, query round-trip, SIGTERM drain) =="
+# Boot the real daemon on an ephemeral port, push one small closed-loop
+# load through it (dataset create + queries, expecting 200s), then drain
+# it with SIGTERM and require a clean exit.
+go build -o "$check_tmp/cfqd" ./cmd/cfqd
+go build -o "$check_tmp/cfqload" ./cmd/cfqload
+"$check_tmp/cfqd" -addr 127.0.0.1:0 -addr-file "$check_tmp/addr" -quiet &
+cfqd_pid=$!
+for _ in $(seq 1 100); do
+  [[ -s "$check_tmp/addr" ]] && break
+  sleep 0.1
+done
+if [[ ! -s "$check_tmp/addr" ]]; then
+  echo "check.sh: cfqd never wrote its addr-file" >&2
+  exit 1
+fi
+"$check_tmp/cfqload" -addr "$(cat "$check_tmp/addr")" -create \
+  -gen-tx 200 -gen-items 20 -minsup 20 -clients 2 -requests 5 \
+  > "$check_tmp/load.out"
+if ! grep -q 'status 200' "$check_tmp/load.out"; then
+  echo "check.sh: cfqload saw no 200 responses" >&2
+  cat "$check_tmp/load.out" >&2
+  exit 1
+fi
+kill -TERM "$cfqd_pid"
+if ! wait "$cfqd_pid"; then
+  echo "check.sh: cfqd did not drain cleanly on SIGTERM" >&2
+  exit 1
+fi
+cfqd_pid=""
 
 echo "check.sh: all green"
