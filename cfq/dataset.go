@@ -118,6 +118,39 @@ func (d *Dataset) SetCategorical(name string, labels []string) error {
 	return nil
 }
 
+// CheckTransactions validates a batch against the item domain without
+// applying it. A durable registry logs the batch before the in-memory
+// apply, and the validation must happen before the log write — an invalid
+// batch must fail the request, not poison the log.
+func (d *Dataset) CheckTransactions(txs [][]int) error {
+	for i, t := range txs {
+		for _, it := range t {
+			if it < 0 || it >= d.numItems {
+				return fmt.Errorf("cfq: transaction %d item %d outside domain [0, %d)", i, it, d.numItems)
+			}
+		}
+	}
+	return nil
+}
+
+// ExportState returns copies of the dataset's transactions and attribute
+// maps — the payload a durable store persists in a create record or
+// snapshot. The copies are safe to retain across later mutations.
+func (d *Dataset) ExportState() (txs []itemset.Set, numeric map[string][]float64, categorical map[string][]string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	txs = append([]itemset.Set(nil), d.txs...)
+	numeric = make(map[string][]float64, len(d.numeric))
+	for name, vals := range d.numeric {
+		numeric[name] = append([]float64(nil), vals...)
+	}
+	categorical = make(map[string][]string, len(d.categorical))
+	for name, labels := range d.categorical {
+		categorical[name] = append([]string(nil), labels...)
+	}
+	return txs, numeric, categorical
+}
+
 // Attributes returns the registered numeric and categorical attribute
 // names, sorted (the dataset-info surface of a serving registry).
 func (d *Dataset) Attributes() (numeric, categorical []string) {

@@ -1,0 +1,262 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// crashSpec is the README market dataset as the crash-storm fixture.
+func crashSpec() *serve.DatasetSpec {
+	return &serve.DatasetSpec{
+		Name:  "market",
+		Items: 6,
+		Transactions: [][]int{
+			{0, 1, 3}, {0, 2, 4}, {1, 2, 5}, {0, 1, 4},
+			{2, 3, 5}, {0, 1, 2, 3}, {1, 3, 4}, {0, 2, 3, 5},
+		},
+		Numeric:     map[string][]float64{"Price": {2, 3, 4, 8, 12, 20}},
+		Categorical: map[string][]string{"Type": {"snacks", "snacks", "snacks", "beer", "beer", "beer"}},
+	}
+}
+
+// crashBatch is the deterministic i-th append batch, so a never-crashed
+// replica can reproduce any recovered prefix exactly.
+func crashBatch(i int) [][]int {
+	return [][]int{{i % 6, (i*2 + 1) % 6}, {(i + 3) % 6, (i + 5) % 6}}
+}
+
+const crashQuery = "{(S, T) | freq(S) >= 2 & freq(T) >= 2 & max(S.Price) <= min(T.Price)}"
+
+// buildCfqd compiles the daemon binary so SIGKILL hits a real process, not
+// an in-process goroutine that would share the test's page cache fate.
+func buildCfqd(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "cfqd-crash-test")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// daemon is one exec'd cfqd instance.
+type daemon struct {
+	cmd    *exec.Cmd
+	base   string
+	done   chan error
+	killed bool
+}
+
+// startCfqd launches the daemon over dataDir and waits until /readyz
+// reports ready — i.e. boot recovery has finished.
+func startCfqd(t *testing.T, bin, dataDir string) *daemon {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-addr-file", addrFile,
+		"-data-dir", dataDir,
+		"-fsync", "always",
+		"-compact-records", "8", // rotate aggressively so crashes also land around compaction
+		"-quiet",
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, done: make(chan error, 1)}
+	go func() { d.done <- cmd.Wait() }()
+	t.Cleanup(d.kill)
+
+	deadline := time.Now().Add(30 * time.Second)
+	for d.base == "" {
+		if b, err := os.ReadFile(addrFile); err == nil && len(bytes.TrimSpace(b)) > 0 {
+			d.base = "http://" + strings.TrimSpace(string(b))
+			break
+		}
+		select {
+		case err := <-d.done:
+			d.done <- err
+			t.Fatalf("daemon exited before listening: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never wrote its addr file")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for {
+		resp, err := http.Get(d.base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return d
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never became ready")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// kill delivers SIGKILL — no drain, no store flush — and reaps the process.
+func (d *daemon) kill() {
+	if d.killed {
+		return
+	}
+	d.killed = true
+	_ = d.cmd.Process.Kill()
+	<-d.done
+}
+
+func postBody(base, path string, v any) (int, []byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, body, err
+}
+
+func mustPost(t *testing.T, base, path string, v any, want int) []byte {
+	t.Helper()
+	status, body, err := postBody(base, path, v)
+	if err != nil || status != want {
+		t.Fatalf("POST %s: %d %s %v (want %d)", path, status, body, err, want)
+	}
+	return body
+}
+
+// queryResult runs the reference query uncached and returns the raw Result
+// bytes plus the served generation.
+func queryResult(t *testing.T, base string) ([]byte, uint64) {
+	t.Helper()
+	body := mustPost(t, base, "/v1/query", &serve.QueryRequest{
+		Dataset: "market", Query: crashQuery, NoCache: true,
+	}, http.StatusOK)
+	var resp serve.QueryResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("bad query body: %v\n%s", err, body)
+	}
+	return resp.Result, resp.Generation
+}
+
+// TestCrashRecoveryStorm is the end-to-end durability acceptance test: a
+// real cfqd process is SIGKILLed mid-append-storm at randomized points, then
+// restarted over the same data directory. Every restart must recover a
+// prefix that (a) loses no acked mutation, (b) issues no mutation the
+// client never sent, and (c) answers the reference query byte-identically
+// to a never-crashed replica fed exactly the recovered prefix.
+func TestCrashRecoveryStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs the built daemon; skipped with -short")
+	}
+	bin := buildCfqd(t)
+	rng := rand.New(rand.NewSource(1)) // deterministic crash points per run
+	const rounds = 3
+	const maxBatches = 5000
+
+	for round := 0; round < rounds; round++ {
+		killAfter := time.Duration(10+rng.Intn(150)) * time.Millisecond
+		t.Run(fmt.Sprintf("crash-%d", round), func(t *testing.T) {
+			dataDir := t.TempDir()
+			d := startCfqd(t, bin, dataDir)
+			mustPost(t, d.base, "/v1/datasets", crashSpec(), http.StatusCreated)
+
+			// Sequential append storm: acked counts only 200 responses —
+			// with -fsync always each of those is durable by contract. The
+			// storm stops at the first transport error (the SIGKILL).
+			type stormStats struct{ acked, issued int }
+			statc := make(chan stormStats, 1)
+			go func() {
+				var s stormStats
+				defer func() { statc <- s }()
+				for i := 0; i < maxBatches; i++ {
+					s.issued = i + 1
+					status, _, err := postBody(d.base, "/v1/datasets/market/transactions",
+						&serve.MutateRequest{Transactions: crashBatch(i)})
+					if err != nil || status != http.StatusOK {
+						return
+					}
+					s.acked = i + 1
+				}
+			}()
+			time.Sleep(killAfter)
+			d.kill()
+			st := <-statc
+			if st.acked == 0 {
+				t.Logf("round %d: killed before any append acked (killAfter=%v)", round, killAfter)
+			}
+
+			// Restart over the crashed directory. Readiness implies the
+			// replay finished and the dataset is queryable.
+			d2 := startCfqd(t, bin, dataDir)
+			var list serve.DatasetsResponse
+			resp, err := http.Get(d2.base + "/v1/datasets")
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("list after restart: %d %s", resp.StatusCode, body)
+			}
+			if err := json.Unmarshal(body, &list); err != nil {
+				t.Fatal(err)
+			}
+			if len(list.Datasets) != 1 || list.Datasets[0].Name != "market" {
+				t.Fatalf("recovered datasets = %s, want only market", body)
+			}
+			gen := list.Datasets[0].Generation
+			ackedGen, issuedGen := uint64(st.acked)+1, uint64(st.issued)+1
+			if gen < ackedGen || gen > issuedGen {
+				t.Fatalf("recovered generation %d outside acked window [%d, %d] (killAfter=%v)",
+					gen, ackedGen, issuedGen, killAfter)
+			}
+			t.Logf("round %d: killAfter=%v acked=%d issued=%d recovered gen=%d",
+				round, killAfter, st.acked, st.issued, gen)
+
+			// Never-crashed replica: same create, then exactly the recovered
+			// prefix of batches applied synchronously.
+			replica := startCfqd(t, bin, t.TempDir())
+			mustPost(t, replica.base, "/v1/datasets", crashSpec(), http.StatusCreated)
+			for i := uint64(0); i < gen-1; i++ {
+				mustPost(t, replica.base, "/v1/datasets/market/transactions",
+					&serve.MutateRequest{Transactions: crashBatch(int(i))}, http.StatusOK)
+			}
+			gotRes, gotGen := queryResult(t, d2.base)
+			wantRes, wantGen := queryResult(t, replica.base)
+			if gotGen != gen || wantGen != gen {
+				t.Fatalf("generations diverged: recovered %d, replica %d, want %d", gotGen, wantGen, gen)
+			}
+			if !bytes.Equal(gotRes, wantRes) {
+				t.Fatalf("recovered answer diverged from replica\nrecovered: %s\nreplica:   %s", gotRes, wantRes)
+			}
+
+			// The recovered log keeps accepting appends.
+			mustPost(t, d2.base, "/v1/datasets/market/transactions",
+				&serve.MutateRequest{Transactions: crashBatch(int(gen - 1))}, http.StatusOK)
+		})
+	}
+}

@@ -7,11 +7,17 @@
 //	cfqd -addr localhost:8344 -ops-addr localhost:8345 \
 //	     -workers 8 -queue-depth 16 -default-timeout 30s
 //
-// The ops port serves /metrics, /debug/vars, /debug/pprof, /healthz and
-// /statz; keep it off the public interface. SIGINT/SIGTERM drain
-// gracefully: new work is rejected with 503, in-flight queries get
+// With -data-dir the registry is durable: every dataset create, append, and
+// drop is written to a per-dataset write-ahead log (fsynced per -fsync)
+// before it is acknowledged, and a restarted daemon replays the directory at
+// boot — /readyz stays 503 until the replay finishes, so orchestrators and
+// load balancers never route to a half-recovered daemon.
+//
+// The ops port serves /metrics, /debug/vars, /debug/pprof, /healthz,
+// /readyz and /statz; keep it off the public interface. SIGINT/SIGTERM
+// drain gracefully: new work is rejected with 503, in-flight queries get
 // -drain-timeout to finish, stragglers are cancelled at their next budget
-// checkpoint.
+// checkpoint, and the store is flushed and closed after the drain.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -58,6 +65,11 @@ func run(args []string, ready chan<- string) error {
 		resultBytes    = fs.Int64("result-cache-bytes", 64<<20, "result cache byte bound")
 		sessionBytes   = fs.Int64("session-cache-bytes", 256<<20, "per-dataset session lattice cache byte bound (negative = unbounded)")
 		allowFiles     = fs.Bool("allow-files", false, "allow datasets loaded from server-local files")
+		dataDir        = fs.String("data-dir", "", "durable dataset directory (WAL + snapshots); empty = ephemeral registry")
+		fsyncPolicy    = fs.String("fsync", "always", "WAL fsync policy: always, interval, never")
+		fsyncInterval  = fs.Duration("fsync-interval", 100*time.Millisecond, "max unsynced window under -fsync interval")
+		compactRecords = fs.Int("compact-records", 1024, "snapshot+truncate a dataset log after this many WAL records (negative disables)")
+		compactBytes   = fs.Int64("compact-bytes", 64<<20, "snapshot+truncate a dataset log after this many WAL bytes (negative disables)")
 		drainTimeout   = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain window for in-flight requests")
 		logLevel       = fs.String("log-level", "info", "log level: debug, info, warn, error")
 		quiet          = fs.Bool("quiet", false, "disable request logging")
@@ -75,7 +87,23 @@ func run(args []string, ready chan<- string) error {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 	}
 
+	var storeOpts *store.Options
+	if *dataDir != "" {
+		policy, err := store.ParseSyncPolicy(*fsyncPolicy)
+		if err != nil {
+			return err
+		}
+		storeOpts = &store.Options{
+			Dir:            *dataDir,
+			Policy:         policy,
+			SyncEvery:      *fsyncInterval,
+			CompactRecords: *compactRecords,
+			CompactBytes:   *compactBytes,
+		}
+	}
+
 	srv := serve.NewServer(serve.Config{
+		Store: storeOpts,
 		Workers:    *workers,
 		QueueDepth: *queueDepth,
 		QueueWait:  *queueWait,
@@ -134,6 +162,24 @@ func run(args []string, ready chan<- string) error {
 	// Serve until a shutdown signal, then drain.
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+
+	// Boot recovery runs with the listener already accepting: probes see
+	// /readyz 503 "starting" and /v1 traffic gets structured not_ready
+	// errors until the replay flips the server ready.
+	recoverStart := time.Now()
+	recovered, err := srv.Recover()
+	if err != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Shutdown(sctx)
+		<-errc
+		return fmt.Errorf("boot recovery: %w", err)
+	}
+	if logger != nil && storeOpts != nil {
+		logger.Info("recovery complete", slog.Int("datasets", len(recovered)),
+			slog.Duration("elapsed", time.Since(recoverStart)))
+	}
+
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigc)

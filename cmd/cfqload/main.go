@@ -6,6 +6,11 @@
 // an admission-controlled server: offered load tracks completed load, so
 // the 429 shed rate and the latency knee are visible separately.
 //
+// Shed (429) and unavailable (503) responses are retried with jittered
+// exponential backoff honoring the server's Retry-After hint, and
+// -wait-ready polls /readyz before the run — so a daemon still replaying
+// its durable store at boot is waited for, not counted as errors.
+//
 //	cfqload -addr localhost:8344 -create -clients 8 -requests 50 \
 //	        -query '{(S,T) | freq(S) >= 20 & max(S.Price) <= min(T.Price)}'
 package main
@@ -16,9 +21,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -32,10 +39,13 @@ func main() {
 	}
 }
 
-// outcome is one request's observation.
+// outcome is one request's observation. latency covers the full closed-loop
+// exchange including backoff sleeps and retried attempts; retries counts the
+// extra attempts this request needed.
 type outcome struct {
 	status  int
 	cached  bool
+	retries int
 	latency time.Duration
 }
 
@@ -56,6 +66,10 @@ func run(args []string, out io.Writer) error {
 		budgetN     = fs.Int64("budget", 0, "per-request candidate budget (exercises 422 partial-stats responses)")
 		timeoutMS   = fs.Int64("timeout-ms", 0, "per-request soft deadline override")
 		noCache     = fs.Bool("no-cache", false, "bypass the server result cache")
+		retries     = fs.Int("retries", 3, "max extra attempts per request on 429/503 (0 = never retry)")
+		retryBase   = fs.Duration("retry-base", 25*time.Millisecond, "base of the jittered exponential backoff")
+		retryCap    = fs.Duration("retry-cap", 2*time.Second, "upper bound on a single backoff sleep")
+		waitReady   = fs.Duration("wait-ready", 0, "poll the server's /readyz for up to this long before loading (0 = don't)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +77,13 @@ func run(args []string, out io.Writer) error {
 
 	base := "http://" + *addr
 	hc := &http.Client{Timeout: 2 * time.Minute}
+	pol := retryPolicy{max: *retries, base: *retryBase, cap: *retryCap}
+
+	if *waitReady > 0 {
+		if err := awaitReady(hc, base, *waitReady); err != nil {
+			return err
+		}
+	}
 
 	if *create {
 		spec := serve.DatasetSpec{
@@ -74,7 +95,7 @@ func run(args []string, out io.Writer) error {
 				UniformPrices: true,
 			},
 		}
-		status, _, err := post(hc, base+"/v1/datasets", spec)
+		status, _, _, err := pol.post(hc, base+"/v1/datasets", spec)
 		if err != nil {
 			return err
 		}
@@ -110,10 +131,10 @@ func run(args []string, out io.Writer) error {
 					url = base + "/v1/explain"
 				}
 				t0 := time.Now()
-				status, body, err := post(hc, url, req)
+				status, body, tries, err := pol.post(hc, url, req)
 				lat := time.Since(t0)
 				if err != nil {
-					results[c] = append(results[c], outcome{status: -1, latency: lat})
+					results[c] = append(results[c], outcome{status: -1, retries: tries, latency: lat})
 					continue
 				}
 				var resp serve.QueryResponse
@@ -121,7 +142,7 @@ func run(args []string, out io.Writer) error {
 				if status == http.StatusOK && json.Unmarshal(body, &resp) == nil {
 					cached = resp.Cached
 				}
-				results[c] = append(results[c], outcome{status: status, cached: cached, latency: lat})
+				results[c] = append(results[c], outcome{status: status, cached: cached, retries: tries, latency: lat})
 			}
 		}(c)
 	}
@@ -132,21 +153,105 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-func post(hc *http.Client, url string, v any) (int, []byte, error) {
+// awaitReady polls /readyz until the server reports ready — covering both a
+// daemon still replaying its durable store at boot and a race with process
+// startup (connection refused).
+func awaitReady(hc *http.Client, base string, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := hc.Get(base + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("server not ready after %v: %v", wait, err)
+			}
+			return fmt.Errorf("server not ready after %v", wait)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// retryPolicy retries shed (429) and unavailable (503) responses with
+// jittered exponential backoff, honoring the server's Retry-After hint —
+// header seconds or the structured body's retry_after_ms — when present.
+type retryPolicy struct {
+	max  int
+	base time.Duration
+	cap  time.Duration
+}
+
+// post issues one logical request, retrying per the policy. It returns the
+// final status/body plus the number of extra attempts spent.
+func (p retryPolicy) post(hc *http.Client, url string, v any) (status int, body []byte, tries int, err error) {
+	for attempt := 0; ; attempt++ {
+		var hint time.Duration
+		status, body, hint, err = postOnce(hc, url, v)
+		if err != nil || (status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable) {
+			return status, body, attempt, err
+		}
+		if attempt >= p.max {
+			return status, body, attempt, nil
+		}
+		time.Sleep(p.delay(attempt, hint))
+	}
+}
+
+// delay picks the backoff before attempt+1: the server's hint when it gave
+// one, otherwise full-jitter exponential from the base, both capped.
+func (p retryPolicy) delay(attempt int, hint time.Duration) time.Duration {
+	d := hint
+	if d <= 0 {
+		d = p.base << attempt
+		if d > p.cap || d <= 0 {
+			d = p.cap
+		}
+		d = time.Duration(rand.Int63n(int64(d) + 1))
+	}
+	if d > p.cap {
+		d = p.cap
+	}
+	return d
+}
+
+// retryAfterHint extracts the structured retry_after_ms from an error body.
+func retryAfterHint(body []byte) time.Duration {
+	var er serve.ErrorResponse
+	if json.Unmarshal(body, &er) == nil && er.Error != nil && er.Error.RetryAfterMS > 0 {
+		return time.Duration(er.Error.RetryAfterMS) * time.Millisecond
+	}
+	return 0
+}
+
+// postOnce issues a single attempt and extracts the server's retry hint:
+// the structured body's retry_after_ms, falling back to the Retry-After
+// header (delta-seconds form).
+func postOnce(hc *http.Client, url string, v any) (int, []byte, time.Duration, error) {
 	b, err := json.Marshal(v)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, 0, err
 	}
 	resp, err := hc.Post(url, "application/json", bytes.NewReader(b))
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, 0, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, 0, err
 	}
-	return resp.StatusCode, body, nil
+	hint := retryAfterHint(body)
+	if hint == 0 {
+		if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+			hint = time.Duration(secs) * time.Second
+		}
+	}
+	return resp.StatusCode, body, hint, nil
 }
 
 func report(out io.Writer, results [][]outcome, elapsed time.Duration) {
@@ -155,12 +260,16 @@ func report(out io.Writer, results [][]outcome, elapsed time.Duration) {
 		all = append(all, r...)
 	}
 	byStatus := map[int]int{}
-	cached := 0
+	cached, retried, retryAttempts := 0, 0, 0
 	lats := make([]time.Duration, 0, len(all))
 	for _, o := range all {
 		byStatus[o.status]++
 		if o.cached {
 			cached++
+		}
+		if o.retries > 0 {
+			retried++
+			retryAttempts += o.retries
 		}
 		lats = append(lats, o.latency)
 	}
@@ -181,6 +290,8 @@ func report(out io.Writer, results [][]outcome, elapsed time.Duration) {
 		fmt.Fprintf(out, "  status %s: %d\n", label, byStatus[s])
 	}
 	fmt.Fprintf(out, "  result-cache hits: %d\n", cached)
+	fmt.Fprintf(out, "  retries: %d extra attempts across %d requests; shed after retries: %d\n",
+		retryAttempts, retried, byStatus[http.StatusTooManyRequests])
 	if len(lats) > 0 {
 		fmt.Fprintf(out, "latency: p50 %v  p90 %v  p99 %v  max %v\n",
 			pct(lats, 50).Round(time.Microsecond), pct(lats, 90).Round(time.Microsecond),

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRetryAndWaitReady drives the load generator against a stub cfqd that
+// is not-ready for its first readiness probes and sheds the first two query
+// attempts with a Retry-After hint: the run must wait, retry, converge to a
+// 200, and report the retry counts in its summary.
+func TestRetryAndWaitReady(t *testing.T) {
+	var readyProbes, queryAttempts atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if readyProbes.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"status":"starting"}`))
+			return
+		}
+		w.Write([]byte(`{"status":"ready"}`))
+	})
+	mux.HandleFunc("/v1/query", func(w http.ResponseWriter, r *http.Request) {
+		if queryAttempts.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":{"code":"not_ready","message":"starting","retry_after_ms":1}}`))
+			return
+		}
+		w.Write([]byte(`{"schema":"v1","cached":false}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", strings.TrimPrefix(ts.URL, "http://"),
+		"-wait-ready", "5s",
+		"-clients", "1", "-requests", "1",
+		"-retries", "3", "-retry-base", "1ms", "-retry-cap", "10ms",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if got := readyProbes.Load(); got < 3 {
+		t.Errorf("readiness probes = %d, want >= 3 (two not-ready, one ready)", got)
+	}
+	if got := queryAttempts.Load(); got != 3 {
+		t.Errorf("query attempts = %d, want 3 (two shed, one served)", got)
+	}
+	rep := out.String()
+	for _, want := range []string{"status 200: 1", "retries: 2 extra attempts across 1 requests"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("summary missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+// TestRetriesExhausted: a server that sheds forever yields a final 429 after
+// the configured attempts, never an infinite loop.
+func TestRetriesExhausted(t *testing.T) {
+	var attempts atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":{"code":"overloaded","message":"full","retry_after_ms":1}}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", strings.TrimPrefix(ts.URL, "http://"),
+		"-clients", "1", "-requests", "1",
+		"-retries", "2", "-retry-base", "1ms", "-retry-cap", "5ms",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("attempts = %d, want 3 (1 + 2 retries)", got)
+	}
+	rep := out.String()
+	for _, want := range []string{"status 429: 1", "shed after retries: 1"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("summary missing %q:\n%s", want, rep)
+		}
+	}
+}

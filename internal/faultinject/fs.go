@@ -1,0 +1,258 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+
+	"repro/internal/store"
+)
+
+// This file extends the checkpoint injector with a filesystem fault layer
+// for the durable store: a FaultFS wraps any store.VFS, counts mutating
+// operations, and fires a deterministic failure at the N-th one — a torn
+// write followed by a simulated power cut, or a one-shot fsync error. The
+// recovery property tests calibrate with a counting pass (plan zero), then
+// re-run the same mutation script once per crash point, exactly the
+// Count/Fail pattern the mining checkpoints use.
+
+// Errors delivered by FaultFS.
+var (
+	// ErrCrashed is returned by every operation after the crash point: the
+	// process is "dead", and anything it attempts past that instant must
+	// not reach the disk image the next boot recovers from.
+	ErrCrashed = errors.New("faultinject: simulated crash")
+	// ErrInjectedSync is the one-shot fsync failure (an EIO-style error
+	// that does NOT kill the process — the store must refuse the ack and
+	// wedge the log instead).
+	ErrInjectedSync = errors.New("faultinject: injected fsync error")
+)
+
+// FaultPlan schedules filesystem failures. Counting is over mutating
+// operations only (writes, syncs, renames, removes, truncates, and
+// O_CREATE/O_TRUNC opens): reads never advance the clock, so replay-heavy
+// recovery paths do not shift later crash points.
+type FaultPlan struct {
+	// CrashAt, when > 0, simulates a power cut at the CrashAt-th mutating
+	// operation (1-based): that operation is applied partially (a Write
+	// persists only TornBytes bytes; any other op is not applied) and every
+	// subsequent operation fails with ErrCrashed.
+	CrashAt int64
+	// TornBytes is how many leading bytes of a crashing Write reach the
+	// disk image (0 = none; the record framing must treat any prefix as a
+	// torn tail).
+	TornBytes int
+	// SyncErrAt, when > 0, makes the SyncErrAt-th mutating operation fail
+	// with ErrInjectedSync if it is a Sync (without crashing); if the op is
+	// not a Sync it is unaffected and the trigger is spent.
+	SyncErrAt int64
+}
+
+// FaultFS wraps a store.VFS with deterministic fault injection. The zero
+// plan makes it a pure operation counter (the calibration pass).
+type FaultFS struct {
+	inner store.VFS
+	plan  FaultPlan
+
+	mu      sync.Mutex
+	ops     int64
+	crashed bool
+	log     []string
+}
+
+// NewFaultFS wraps inner with the given plan.
+func NewFaultFS(inner store.VFS, plan FaultPlan) *FaultFS {
+	return &FaultFS{inner: inner, plan: plan}
+}
+
+// Ops returns how many mutating operations have been observed.
+func (f *FaultFS) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether the crash point has fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// OpLog returns a description of every mutating operation seen, in order —
+// the map from crash-point index to semantic location ("which write of
+// which file"), for targeting specific phases (e.g. the snapshot fold).
+func (f *FaultFS) OpLog() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.log...)
+}
+
+// step advances the mutating-op clock. It returns (torn, err): err non-nil
+// means the operation must fail with it; torn means the operation is the
+// crashing one and should be applied partially before failing.
+func (f *FaultFS) step(desc string) (bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return false, ErrCrashed
+	}
+	f.ops++
+	f.log = append(f.log, desc)
+	if f.plan.SyncErrAt > 0 && f.ops == f.plan.SyncErrAt {
+		// Only meaningful on Sync; callers pass through the marker.
+		return false, ErrInjectedSync
+	}
+	if f.plan.CrashAt > 0 && f.ops == f.plan.CrashAt {
+		f.crashed = true
+		return true, ErrCrashed
+	}
+	return false, nil
+}
+
+// readGate fails reads after the crash (a dead process reads nothing)
+// without advancing the op clock.
+func (f *FaultFS) readGate() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (store.File, error) {
+	mutating := flag&(os.O_CREATE|os.O_TRUNC|os.O_APPEND|os.O_WRONLY|os.O_RDWR) != 0
+	if mutating {
+		torn, err := f.step(fmt.Sprintf("open %s", name))
+		if err != nil && !errors.Is(err, ErrInjectedSync) {
+			_ = torn
+			return nil, err
+		}
+	} else if err := f.readGate(); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, name: name, inner: inner}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if _, err := f.step(fmt.Sprintf("rename %s -> %s", oldpath, newpath)); err != nil && !errors.Is(err, ErrInjectedSync) {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if _, err := f.step(fmt.Sprintf("remove %s", name)); err != nil && !errors.Is(err, ErrInjectedSync) {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	if _, err := f.step(fmt.Sprintf("mkdir %s", path)); err != nil && !errors.Is(err, ErrInjectedSync) {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	if err := f.readGate(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *FaultFS) Stat(name string) (fs.FileInfo, error) {
+	if err := f.readGate(); err != nil {
+		return nil, err
+	}
+	return f.inner.Stat(name)
+}
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if _, err := f.step(fmt.Sprintf("truncate %s to %d", name, size)); err != nil && !errors.Is(err, ErrInjectedSync) {
+		return err
+	}
+	return f.inner.Truncate(name, size)
+}
+
+func (f *FaultFS) SyncDir(name string) error {
+	_, err := f.step(fmt.Sprintf("syncdir %s", name))
+	if err != nil {
+		if errors.Is(err, ErrInjectedSync) {
+			return ErrInjectedSync
+		}
+		return err
+	}
+	return f.inner.SyncDir(name)
+}
+
+// faultFile threads file operations through the plan.
+type faultFile struct {
+	fs    *FaultFS
+	name  string
+	inner store.File
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	if err := ff.fs.readGate(); err != nil {
+		return 0, err
+	}
+	return ff.inner.Read(p)
+}
+
+func (ff *faultFile) Seek(offset int64, whence int) (int64, error) {
+	if err := ff.fs.readGate(); err != nil {
+		return 0, err
+	}
+	return ff.inner.Seek(offset, whence)
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	torn, err := ff.fs.step(fmt.Sprintf("write %s %dB", ff.name, len(p)))
+	if err != nil {
+		if errors.Is(err, ErrInjectedSync) {
+			// Sync-only trigger on a write: pass through.
+			return ff.inner.Write(p)
+		}
+		if torn {
+			// The power cut lands mid-write: a prefix reaches the disk
+			// image, then the "process" dies.
+			n := ff.fs.plan.TornBytes
+			if n > len(p) {
+				n = len(p)
+			}
+			if n > 0 {
+				if wn, werr := ff.inner.Write(p[:n]); werr != nil {
+					return wn, werr
+				}
+			}
+		}
+		return 0, err
+	}
+	return ff.inner.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	_, err := ff.fs.step(fmt.Sprintf("sync %s", ff.name))
+	if err != nil {
+		// Both the one-shot EIO and the crash suppress the fsync; only the
+		// crash kills the process, which the caller observes via later ops.
+		return err
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Close() error {
+	// Close is not a durability point and a dead process's fds close
+	// anyway: never inject here, but do apply the inner close so the real
+	// file is released.
+	return ff.inner.Close()
+}

@@ -92,6 +92,9 @@ const (
 	CodeBadRequest      = "bad_request"
 	CodeUnknownDataset  = "unknown_dataset"
 	CodeDatasetExists   = "dataset_exists"
+	CodeDatasetDropped  = "dataset_dropped"  // mutation raced a concurrent drop (409)
+	CodeNotReady        = "not_ready"        // server still recovering datasets at boot
+	CodeStorage         = "storage_failed"   // durable log wedged by an earlier write failure
 	CodeOverloaded      = "overloaded"       // admission queue full or queue-wait deadline
 	CodeDraining        = "draining"         // server shutting down
 	CodeBudgetExhausted = "budget_exhausted" // cfq.BudgetError (partial stats attached)

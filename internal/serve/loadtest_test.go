@@ -233,7 +233,11 @@ func TestServerLoadSoak(t *testing.T) {
 	}
 
 	// Clean drain: shutdown with a generous window returns nil, the serve
-	// loop exits, and the port stops accepting.
+	// loop exits, and the port stops accepting. Release the client's pooled
+	// connections first: the transport dials spare conns under burst load
+	// that never carry a request, and the server only reaps such a conn
+	// once it is 5s old — which would race the shutdown window.
+	client.CloseIdleConnections()
 	sctx, scancel := context.WithTimeout(ctx, 5*time.Second)
 	defer scancel()
 	if err := s.Shutdown(sctx); err != nil {

@@ -10,12 +10,19 @@ import (
 
 	"repro/cfq"
 	"repro/internal/gen"
+	"repro/internal/store"
+	"repro/internal/txdb"
 )
 
 // Registry errors, mapped to HTTP statuses by the handlers.
 var (
 	ErrNotFound = errors.New("serve: unknown dataset")
 	ErrExists   = errors.New("serve: dataset already exists")
+	// ErrDropped reports a mutation that raced a concurrent drop: the
+	// dataset existed when the request was routed but was durably dropped
+	// before the mutation could be logged (409, not 404 — the caller's view
+	// was not wrong, just stale).
+	ErrDropped = errors.New("serve: dataset was dropped")
 )
 
 // Registry holds the served datasets. Each dataset carries one shared
@@ -25,18 +32,28 @@ var (
 // cache's staleness token: cached results are keyed by it, and a handler
 // stores a result only if the generation it read before evaluating is still
 // current afterwards.
+// When a durable store is attached (SetStore), every create, append, and
+// drop is written to the write-ahead log — and fsynced per the store's
+// policy — *before* the in-memory registry changes and the request is
+// acked, so a crashed daemon recovers exactly what it acknowledged.
 type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*regEntry
 
+	st                *store.Store // nil = ephemeral registry
 	sessionCacheBytes int64
 	allowFiles        bool
 }
 
 type regEntry struct {
-	ds   *cfq.Dataset
-	sess *cfq.Session
-	gen  uint64
+	// mu serializes mutations and drop on this dataset against each other,
+	// so the durable log and the in-memory dataset advance in the same
+	// order and a drop cannot interleave with a half-applied append.
+	mu      sync.Mutex
+	ds      *cfq.Dataset
+	sess    *cfq.Session
+	gen     uint64
+	dropped bool
 }
 
 // NewRegistry creates an empty registry. sessionCacheBytes bounds each
@@ -48,6 +65,45 @@ func NewRegistry(sessionCacheBytes int64, allowFiles bool) *Registry {
 		sessionCacheBytes: sessionCacheBytes,
 		allowFiles:        allowFiles,
 	}
+}
+
+// SetStore attaches the durable store. Call before serving traffic (boot
+// recovery), never concurrently with requests.
+func (r *Registry) SetStore(st *store.Store) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.st = st
+}
+
+// Adopt registers a dataset recovered from the durable store at its
+// recovered generation, compiled and with a fresh session — the boot-time
+// counterpart of Create, with the store replay as the transaction source.
+func (r *Registry) Adopt(name string, meta store.Meta, db *txdb.DB, generation uint64) error {
+	ds := cfq.WrapDB(db, meta.Items)
+	for attr, vals := range meta.Numeric {
+		if err := ds.SetNumeric(attr, vals); err != nil {
+			return err
+		}
+	}
+	for attr, labels := range meta.Categorical {
+		if err := ds.SetCategorical(attr, labels); err != nil {
+			return err
+		}
+	}
+	if err := ds.Compile(); err != nil {
+		return err
+	}
+	sess := cfq.NewSession(ds)
+	if r.sessionCacheBytes > 0 {
+		sess.SetCacheLimit(r.sessionCacheBytes)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[name]; dup {
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	r.entries[name] = &regEntry{ds: ds, sess: sess, gen: generation}
+	return nil
 }
 
 // Lookup returns a dataset's handle: the dataset, its shared session, and
@@ -75,10 +131,20 @@ func (r *Registry) Generation(name string) (uint64, bool) {
 }
 
 // Create builds a dataset from its spec, compiles it eagerly (so the first
-// query pays no compile cost), and registers it under spec.Name.
+// query pays no compile cost), durably logs it (when a store is attached),
+// and registers it under spec.Name. The registry entry appears only after
+// the create record is on stable storage: a 201 means the dataset survives
+// a crash.
 func (r *Registry) Create(spec *DatasetSpec) (DatasetInfo, error) {
 	if err := validateName(spec.Name); err != nil {
 		return DatasetInfo{}, err
+	}
+	r.mu.RLock()
+	_, dup := r.entries[spec.Name]
+	st := r.st
+	r.mu.RUnlock()
+	if dup {
+		return DatasetInfo{}, fmt.Errorf("%w: %q", ErrExists, spec.Name)
 	}
 	ds, err := r.build(spec)
 	if err != nil {
@@ -86,6 +152,18 @@ func (r *Registry) Create(spec *DatasetSpec) (DatasetInfo, error) {
 	}
 	if err := ds.Compile(); err != nil {
 		return DatasetInfo{}, err
+	}
+	if st != nil {
+		// The store reserves the name itself, so two racing creates of the
+		// same name resolve there, exactly one durably.
+		txs, num, cat := ds.ExportState()
+		meta := store.Meta{Items: ds.NumItems(), Numeric: num, Categorical: cat}
+		if err := st.Create(spec.Name, meta, txs); err != nil {
+			if errors.Is(err, store.ErrExists) {
+				return DatasetInfo{}, fmt.Errorf("%w: %q", ErrExists, spec.Name)
+			}
+			return DatasetInfo{}, err
+		}
 	}
 	sess := cfq.NewSession(ds)
 	if r.sessionCacheBytes > 0 {
@@ -102,16 +180,45 @@ func (r *Registry) Create(spec *DatasetSpec) (DatasetInfo, error) {
 }
 
 // Mutate appends transactions to a dataset, recompiles it, and bumps its
-// generation. The caller invalidates result-cache entries for the dataset;
-// the session cache invalidates itself via the compiled-snapshot identity.
+// generation — durable-first: the batch is validated, written to the WAL
+// (the ack point under the store's fsync policy), and only then applied in
+// memory. The caller invalidates result-cache entries for the dataset; the
+// session cache invalidates itself via the compiled-snapshot identity.
 func (r *Registry) Mutate(name string, txs [][]int) (DatasetInfo, error) {
 	r.mu.RLock()
 	e := r.entries[name]
+	st := r.st
 	r.mu.RUnlock()
 	if e == nil {
 		return DatasetInfo{}, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dropped {
+		return DatasetInfo{}, fmt.Errorf("%w: %q", ErrDropped, name)
+	}
+	// Validate before the WAL write: an invalid batch must fail the request
+	// without leaving a record behind.
+	if err := e.ds.CheckTransactions(txs); err != nil {
+		return DatasetInfo{}, err
+	}
+	var storeGen uint64
+	if st != nil {
+		sets, err := store.SetsFromInts(txs, e.ds.NumItems())
+		if err != nil {
+			return DatasetInfo{}, err
+		}
+		storeGen, err = st.Append(name, sets)
+		if errors.Is(err, store.ErrNotFound) {
+			return DatasetInfo{}, fmt.Errorf("%w: %q", ErrDropped, name)
+		}
+		if err != nil {
+			return DatasetInfo{}, err
+		}
+	}
 	if err := e.ds.AddTransactions(txs); err != nil {
+		// Validated above, so this is an internal invariant violation. The
+		// durable log is now ahead of memory; the next restart replays it.
 		return DatasetInfo{}, err
 	}
 	// Recompile now: the snapshot flips atomically here, not on some later
@@ -121,21 +228,46 @@ func (r *Registry) Mutate(name string, txs [][]int) (DatasetInfo, error) {
 		return DatasetInfo{}, err
 	}
 	r.mu.Lock()
-	e.gen++
+	if st != nil {
+		e.gen = storeGen
+	} else {
+		e.gen++
+	}
 	info := infoOf(name, e)
 	r.mu.Unlock()
 	return info, nil
 }
 
-// Drop removes a dataset. In-flight queries against its session finish
-// against the snapshot they captured.
+// Drop removes a dataset: the drop record is durable before the entry
+// disappears. In-flight queries against its session finish against the
+// snapshot they captured — the entry's dataset and session stay valid for
+// anyone who looked them up before the drop.
 func (r *Registry) Drop(name string) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.entries[name]; !ok {
+	r.mu.RLock()
+	e := r.entries[name]
+	st := r.st
+	r.mu.RUnlock()
+	if e == nil {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	delete(r.entries, name)
+	e.mu.Lock()
+	if e.dropped {
+		e.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if st != nil {
+		if err := st.Drop(name); err != nil && !errors.Is(err, store.ErrNotFound) {
+			e.mu.Unlock()
+			return err
+		}
+	}
+	e.dropped = true
+	e.mu.Unlock()
+	r.mu.Lock()
+	if cur := r.entries[name]; cur == e {
+		delete(r.entries, name)
+	}
+	r.mu.Unlock()
 	return nil
 }
 
@@ -179,8 +311,10 @@ func validateName(name string) error {
 	if name == "" {
 		return fmt.Errorf("missing dataset name")
 	}
-	if strings.ContainsAny(name, "/\x00 ") {
-		return fmt.Errorf("dataset name %q contains '/', space, or NUL", name)
+	// Same rules as the durable store's file naming, so an ephemeral
+	// registry and a durable one accept identical names.
+	if strings.ContainsAny(name, "/\\\x00 ") || strings.HasPrefix(name, ".") {
+		return fmt.Errorf("dataset name %q contains a path separator, space, or NUL, or starts with '.'", name)
 	}
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 
 	"repro/cfq"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // The daemon's metrics, in the same lock-free registry the engine metrics
@@ -77,6 +78,12 @@ type Config struct {
 	SessionCacheBytes int64
 	// AllowFiles permits DatasetSpec.File (a server-side path read).
 	AllowFiles bool
+	// Store, when set, makes the dataset registry durable: every create,
+	// append, and drop is written to a per-dataset WAL under Store.Dir
+	// before it is acked, and Recover replays the directory at boot. The
+	// server starts not-ready (503 not_ready on /v1, /readyz failing) until
+	// Recover completes.
+	Store *store.Options
 	// Logger, when set, receives one line per request plus span events.
 	Logger *slog.Logger
 }
@@ -122,6 +129,8 @@ type Server struct {
 	baseCtx  context.Context
 	cancel   context.CancelFunc
 	draining atomic.Bool
+	ready    atomic.Bool
+	store    *store.Store
 
 	srvMu   sync.Mutex // guards httpSrv: Serve publishes it, Shutdown reads it
 	httpSrv *http.Server
@@ -145,7 +154,56 @@ func NewServer(cfg Config) *Server {
 		idPrefix: fmt.Sprintf("%08x", time.Now().UnixNano()&0xffffffff),
 	}
 	s.mux = s.buildMux()
+	// Without a durable store there is nothing to recover: the server is
+	// ready from construction. With one, readiness waits for Recover.
+	s.ready.Store(cfg.Store == nil)
 	return s
+}
+
+// Recover opens the durable store (Config.Store), replays every dataset
+// into the registry, and marks the server ready. Until it returns, /readyz
+// fails and the /v1 endpoints answer 503 not_ready — a load balancer must
+// not route to a daemon that has not finished reloading its acked state.
+// With no Config.Store it is a no-op. Call once, before Serve's listener is
+// advertised as ready.
+func (s *Server) Recover() ([]store.Recovered, error) {
+	if s.cfg.Store == nil {
+		s.ready.Store(true)
+		return nil, nil
+	}
+	opts := *s.cfg.Store
+	if opts.Logger == nil {
+		opts.Logger = s.log
+	}
+	st, recovered, err := store.Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	s.store = st
+	s.reg.SetStore(st)
+	for _, rec := range recovered {
+		if rec.Err != nil {
+			// The files stay on disk for inspection and the store refuses
+			// re-creation of the name; the daemon serves everything else.
+			if s.log != nil {
+				s.log.Error("dataset unrecoverable",
+					slog.String("dataset", rec.Name), slog.Any("err", rec.Err))
+			}
+			continue
+		}
+		if err := s.reg.Adopt(rec.Name, rec.Meta, rec.DB, rec.Gen); err != nil {
+			return recovered, fmt.Errorf("adopt recovered dataset %q: %w", rec.Name, err)
+		}
+		if s.log != nil {
+			s.log.Info("dataset recovered",
+				slog.String("dataset", rec.Name),
+				slog.Uint64("generation", rec.Gen),
+				slog.Int("transactions", rec.DB.Len()),
+				slog.Int("records_replayed", rec.Records))
+		}
+	}
+	s.ready.Store(true)
+	return recovered, nil
 }
 
 func max64(v, min int64) int64 {
@@ -174,6 +232,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) OpsHandler() http.Handler {
 	mux := obs.NewProfilingMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/readyz", s.handleReady)
 	mux.HandleFunc("/statz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
@@ -194,6 +253,7 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDrop)
 	mux.HandleFunc("POST /v1/datasets/{name}/transactions", s.handleMutate)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	return mux
 }
 
@@ -235,6 +295,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 	}
 	s.cancel()
+	// Close the durable store after the drain: no handler is writing once
+	// Shutdown returns from srv.Shutdown, and a clean close fsyncs every
+	// log regardless of policy.
+	if s.store != nil {
+		if cerr := s.store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	return err
 }
 
@@ -275,6 +343,9 @@ func (s *Server) handleQueryKind(kind string) http.HandlerFunc {
 // (see IMPLEMENTATION_NOTES §12). Returns the HTTP status and whether the
 // result came from the cache.
 func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind, reqID string) (int, bool) {
+	if !s.ready.Load() {
+		return s.notReady(w, reqID), false
+	}
 	if s.draining.Load() {
 		return s.writeError(w, reqID, http.StatusServiceUnavailable,
 			&ErrorBody{Code: CodeDraining, Message: "server is shutting down"}), false
@@ -494,6 +565,10 @@ func (s *Server) writeEvalError(w http.ResponseWriter, reqID string, err error) 
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	reqID := s.requestID(r)
+	if !s.ready.Load() {
+		s.notReady(w, reqID)
+		return
+	}
 	s.writeJSON(w, http.StatusOK, &DatasetsResponse{
 		Schema: SchemaVersion, RequestID: reqID, Datasets: s.reg.List(),
 	})
@@ -501,6 +576,10 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	reqID := s.requestID(r)
+	if !s.ready.Load() {
+		s.notReady(w, reqID)
+		return
+	}
 	if s.draining.Load() {
 		s.writeError(w, reqID, http.StatusServiceUnavailable,
 			&ErrorBody{Code: CodeDraining, Message: "server is shutting down"})
@@ -512,10 +591,14 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	info, err := s.reg.Create(&spec)
 	if err != nil {
-		if errors.Is(err, ErrExists) {
+		switch {
+		case errors.Is(err, ErrExists):
 			s.writeError(w, reqID, http.StatusConflict,
 				&ErrorBody{Code: CodeDatasetExists, Message: err.Error()})
-		} else {
+		case errors.Is(err, store.ErrWedged):
+			s.writeError(w, reqID, http.StatusServiceUnavailable,
+				&ErrorBody{Code: CodeStorage, Message: err.Error()})
+		default:
 			s.writeError(w, reqID, http.StatusBadRequest,
 				&ErrorBody{Code: CodeBadRequest, Message: err.Error()})
 		}
@@ -532,6 +615,10 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	reqID := s.requestID(r)
+	if !s.ready.Load() {
+		s.notReady(w, reqID)
+		return
+	}
 	info, err := s.reg.Info(r.PathValue("name"))
 	if err != nil {
 		s.writeError(w, reqID, http.StatusNotFound,
@@ -545,10 +632,20 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
 	reqID := s.requestID(r)
+	if !s.ready.Load() {
+		s.notReady(w, reqID)
+		return
+	}
 	name := r.PathValue("name")
 	if err := s.reg.Drop(name); err != nil {
-		s.writeError(w, reqID, http.StatusNotFound,
-			&ErrorBody{Code: CodeUnknownDataset, Message: err.Error()})
+		switch {
+		case errors.Is(err, store.ErrWedged):
+			s.writeError(w, reqID, http.StatusServiceUnavailable,
+				&ErrorBody{Code: CodeStorage, Message: err.Error()})
+		default:
+			s.writeError(w, reqID, http.StatusNotFound,
+				&ErrorBody{Code: CodeUnknownDataset, Message: err.Error()})
+		}
 		return
 	}
 	s.cache.invalidate(name)
@@ -559,6 +656,10 @@ func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	reqID := s.requestID(r)
+	if !s.ready.Load() {
+		s.notReady(w, reqID)
+		return
+	}
 	if s.draining.Load() {
 		s.writeError(w, reqID, http.StatusServiceUnavailable,
 			&ErrorBody{Code: CodeDraining, Message: "server is shutting down"})
@@ -576,10 +677,19 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	info, err := s.reg.Mutate(name, req.Transactions)
 	if err != nil {
-		if errors.Is(err, ErrNotFound) {
+		switch {
+		case errors.Is(err, ErrNotFound):
 			s.writeError(w, reqID, http.StatusNotFound,
 				&ErrorBody{Code: CodeUnknownDataset, Message: err.Error()})
-		} else {
+		case errors.Is(err, ErrDropped):
+			// The mutation raced a concurrent drop: the durable log never
+			// saw it, so it is a structured conflict, not a lost write.
+			s.writeError(w, reqID, http.StatusConflict,
+				&ErrorBody{Code: CodeDatasetDropped, Message: err.Error()})
+		case errors.Is(err, store.ErrWedged):
+			s.writeError(w, reqID, http.StatusServiceUnavailable,
+				&ErrorBody{Code: CodeStorage, Message: err.Error()})
+		default:
 			s.writeError(w, reqID, http.StatusBadRequest,
 				&ErrorBody{Code: CodeBadRequest, Message: err.Error()})
 		}
@@ -604,6 +714,31 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		status = "draining"
 	}
 	_ = json.NewEncoder(w).Encode(map[string]string{"status": status})
+}
+
+// handleReady is the readiness probe: 200 only when boot recovery has
+// finished and the server is not draining. Liveness (/healthz) stays 200
+// through both, so an orchestrator restarts a hung process but does not
+// kill one that is merely reloading its WALs.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	status, code := "ready", http.StatusOK
+	switch {
+	case s.draining.Load():
+		status, code = "draining", http.StatusServiceUnavailable
+	case !s.ready.Load():
+		status, code = "starting", http.StatusServiceUnavailable
+	}
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"status": status})
+}
+
+// notReady rejects /v1 traffic while boot recovery is still replaying WALs.
+func (s *Server) notReady(w http.ResponseWriter, reqID string) int {
+	w.Header().Set("Retry-After", "1")
+	return s.writeError(w, reqID, http.StatusServiceUnavailable,
+		&ErrorBody{Code: CodeNotReady, Message: "server is recovering datasets; retry shortly",
+			RetryAfterMS: 1000})
 }
 
 // --- helpers ---

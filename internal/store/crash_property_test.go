@@ -1,0 +1,352 @@
+package store_test
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/cfq"
+	"repro/internal/faultinject"
+	"repro/internal/itemset"
+	"repro/internal/store"
+	"repro/internal/txdb"
+)
+
+// The crash property: run a fixed mutation script against a FaultFS that
+// kills the "process" at the K-th filesystem mutation, for every K the
+// script performs, then recover the directory with a clean filesystem. The
+// recovered dataset must hold a prefix of the issued mutations that
+// includes every acked one — never a torn record, never a reordering, never
+// a poisoned store — and a CFQ query over the recovered state must answer
+// identically to a dataset built by synchronous replay of that prefix.
+
+const propAppends = 6
+
+func propMeta() store.Meta {
+	return store.Meta{
+		Items:       6,
+		Numeric:     map[string][]float64{"Price": {5, 10, 20, 3, 8, 50}},
+		Categorical: map[string][]string{"Type": {"snacks", "beer", "beer", "snacks", "soda", "wine"}},
+	}
+}
+
+func propBase() [][]int { return [][]int{{0, 1}, {0, 2, 3}, {1, 2}, {3, 4, 5}} }
+
+// propBatch is the i-th append batch — deterministic, and distinct per i so
+// a lost or duplicated batch always changes the transaction bytes.
+func propBatch(i int) [][]int {
+	return [][]int{{i % 6, (i + 2) % 6, 5}, {(i + 1) % 6}}
+}
+
+// scriptResult records what the script observed: which mutations were acked
+// (returned without error) and which were issued (attempted at all).
+type scriptResult struct {
+	createAcked bool
+	ackedGen    uint64 // generation of the last acked mutation (0 = none)
+	issuedGen   uint64 // generation the last *attempted* mutation would reach
+	err         error  // first error the script hit, nil if it ran to completion
+}
+
+// runScript drives the fixed mutation script over dir through fs. The small
+// CompactRecords plus SyncCompact makes the script cross the rotation and
+// fold paths deterministically, so the crash-point sweep covers them.
+func runScript(t *testing.T, dir string, fs store.VFS) scriptResult {
+	t.Helper()
+	var res scriptResult
+	st, _, err := store.Open(store.Options{
+		Dir: dir, FS: fs, Policy: store.SyncAlways,
+		CompactRecords: 3, SyncCompact: true,
+	})
+	if err != nil {
+		res.err = err
+		return res
+	}
+	defer st.Close()
+	meta := propMeta()
+	res.issuedGen = 1
+	if err := st.Create("ds", meta, mustSets(t, propBase(), meta.Items)); err != nil {
+		res.err = err
+		return res
+	}
+	res.createAcked = true
+	res.ackedGen = 1
+	for i := 0; i < propAppends; i++ {
+		res.issuedGen++
+		gen, err := st.Append("ds", mustSets(t, propBatch(i), meta.Items))
+		if err != nil {
+			res.err = err
+			return res
+		}
+		if gen != res.ackedGen+1 {
+			t.Fatalf("append %d acked generation %d, want %d", i, gen, res.ackedGen+1)
+		}
+		res.ackedGen = gen
+	}
+	return res
+}
+
+// expectedTxs is the synchronous-replay golden: the transactions a dataset
+// at generation gen must hold (the create plus the first gen-1 batches).
+func expectedTxs(t *testing.T, gen uint64) []itemset.Set {
+	t.Helper()
+	items := propMeta().Items
+	txs := mustSets(t, propBase(), items)
+	for i := uint64(0); i+1 < gen; i++ {
+		txs = append(txs, mustSets(t, propBatch(int(i)), items)...)
+	}
+	return txs
+}
+
+// queryAnswer runs the reference CFQ query over a database and returns its
+// answer (pairs and valid sets, not cost counters) as a comparable string.
+func queryAnswer(t *testing.T, db *txdb.DB, meta store.Meta) string {
+	t.Helper()
+	ds := cfq.WrapDB(db, meta.Items)
+	for name, vals := range meta.Numeric {
+		if err := ds.SetNumeric(name, vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, labels := range meta.Categorical {
+		if err := ds.SetCategorical(name, labels); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, err := cfq.ParseQuery(ds, `{(S, T) | freq(S) >= 2 & freq(T) >= 2 &
+		max(S.Price) <= min(T.Price)}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Run(cfq.Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans := struct {
+		Pairs          []cfq.Pair
+		PairCount      int64
+		ValidS, ValidT []cfq.FrequentSet
+	}{res.Pairs, res.PairCount, res.ValidS, res.ValidT}
+	b, err := json.Marshal(ans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// verifyRecovery opens dir with a clean filesystem and checks the recovery
+// invariant against what the crashed run acked and issued.
+func verifyRecovery(t *testing.T, dir string, sr scriptResult, label string) {
+	t.Helper()
+	st, recs, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("%s: recovery Open failed: %v", label, err)
+	}
+	defer st.Close()
+	var rec *store.Recovered
+	for i := range recs {
+		if recs[i].Name == "ds" {
+			rec = &recs[i]
+		}
+	}
+	if rec == nil {
+		if sr.createAcked {
+			t.Fatalf("%s: acked create lost at recovery", label)
+		}
+		return
+	}
+	if rec.Err != nil {
+		t.Fatalf("%s: dataset poisoned at recovery: %v", label, rec.Err)
+	}
+	gen := rec.Gen
+	if gen < 1 || gen < sr.ackedGen || gen > sr.issuedGen {
+		t.Fatalf("%s: recovered generation %d outside [acked %d, issued %d]",
+			label, gen, sr.ackedGen, sr.issuedGen)
+	}
+	meta := propMeta()
+	if rec.Meta.Items != meta.Items {
+		t.Fatalf("%s: recovered item domain %d, want %d", label, rec.Meta.Items, meta.Items)
+	}
+	want := expectedTxs(t, gen)
+	if !sameTxs(t, rec.DB.Transactions(), want) {
+		t.Fatalf("%s: recovered transactions differ from the issued prefix at generation %d", label, gen)
+	}
+	// The recovered dataset and the synchronous replay must be query-
+	// indistinguishable.
+	if got, golden := queryAnswer(t, rec.DB, rec.Meta), queryAnswer(t, txdb.New(want), meta); got != golden {
+		t.Fatalf("%s: query answer diverged from synchronous replay\n got: %s\nwant: %s", label, got, golden)
+	}
+}
+
+// TestCrashRecoveryProperty sweeps a simulated power cut over every
+// filesystem mutation the script performs, with three torn-write shapes:
+// nothing persisted, a 5-byte prefix (tears a record header), and the whole
+// buffer (the write survives, the ack does not).
+func TestCrashRecoveryProperty(t *testing.T) {
+	// Calibration pass: count the script's mutating operations.
+	calDir := t.TempDir()
+	calFS := faultinject.NewFaultFS(store.OSFS{}, faultinject.FaultPlan{})
+	if sr := runScript(t, calDir, calFS); sr.err != nil {
+		t.Fatalf("calibration run failed: %v", sr.err)
+	}
+	total := calFS.Ops()
+	if total < 10 {
+		t.Fatalf("calibration saw only %d mutating ops; script too small to sweep", total)
+	}
+	opLog := calFS.OpLog()
+
+	for _, torn := range []struct {
+		name  string
+		bytes int
+	}{
+		{"torn-none", 0},
+		{"torn-header", 5},
+		{"torn-full", 1 << 20},
+	} {
+		t.Run(torn.name, func(t *testing.T) {
+			for crashAt := int64(1); crashAt <= total; crashAt++ {
+				dir := t.TempDir()
+				ffs := faultinject.NewFaultFS(store.OSFS{}, faultinject.FaultPlan{
+					CrashAt: crashAt, TornBytes: torn.bytes,
+				})
+				sr := runScript(t, dir, ffs)
+				if ffs.Crashed() && sr.err == nil && sr.ackedGen != sr.issuedGen {
+					t.Fatalf("crash@%d: script saw no error but crashed mid-mutation", crashAt)
+				}
+				label := fmt.Sprintf("crash@%d(%s)", crashAt, opLog[crashAt-1])
+				verifyRecovery(t, dir, sr, label)
+			}
+		})
+	}
+
+	// No-fault control: the full script recovers at its final generation.
+	ctrlDir := t.TempDir()
+	sr := runScript(t, ctrlDir, store.OSFS{})
+	if sr.err != nil || sr.ackedGen != propAppends+1 {
+		t.Fatalf("control run: gen=%d err=%v", sr.ackedGen, sr.err)
+	}
+	verifyRecovery(t, ctrlDir, sr, "control")
+}
+
+// TestFsyncErrorSweep injects a one-shot EIO at every mutating operation in
+// turn. When the victim is an fsync the store must refuse the ack and wedge
+// the log rather than lie about durability; either way, recovery holds the
+// prefix invariant.
+func TestFsyncErrorSweep(t *testing.T) {
+	calDir := t.TempDir()
+	calFS := faultinject.NewFaultFS(store.OSFS{}, faultinject.FaultPlan{})
+	if sr := runScript(t, calDir, calFS); sr.err != nil {
+		t.Fatalf("calibration run failed: %v", sr.err)
+	}
+	total := calFS.Ops()
+	opLog := calFS.OpLog()
+
+	sawWedge := false
+	for errAt := int64(1); errAt <= total; errAt++ {
+		dir := t.TempDir()
+		ffs := faultinject.NewFaultFS(store.OSFS{}, faultinject.FaultPlan{SyncErrAt: errAt})
+		sr := runScript(t, dir, ffs)
+		label := fmt.Sprintf("syncerr@%d(%s)", errAt, opLog[errAt-1])
+		if sr.err != nil && errors.Is(sr.err, faultinject.ErrInjectedSync) && sr.createAcked {
+			// The failed fsync was an append's durability point: the log must
+			// now be wedged against further mutations.
+			st, recs, err := store.Open(store.Options{Dir: dir, FS: ffs})
+			if err != nil {
+				t.Fatalf("%s: reopen for wedge check: %v", label, err)
+			}
+			_ = recs
+			st.Close()
+			sawWedge = true
+		}
+		verifyRecovery(t, dir, sr, label)
+	}
+	if !sawWedge && total > 0 {
+		t.Log("no append fsync was hit by the sweep (policy paths may have changed)")
+	}
+}
+
+// TestWedgedLogRefusesMutations pins the wedge behavior directly: after an
+// append's fsync fails, further appends and drops return ErrWedged until a
+// restart re-derives the state from disk.
+func TestWedgedLogRefusesMutations(t *testing.T) {
+	// Find the fsync of the first append: calibrate with compaction off so
+	// op indices are easy to interpret, then pick the second file sync (the
+	// first is the create record's).
+	cal := faultinject.NewFaultFS(store.OSFS{}, faultinject.FaultPlan{})
+	calDir := t.TempDir()
+	{
+		st, _, err := store.Open(store.Options{Dir: calDir, FS: cal, CompactRecords: -1, CompactBytes: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		meta := propMeta()
+		if err := st.Create("ds", meta, mustSets(t, propBase(), meta.Items)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Append("ds", mustSets(t, propBatch(0), meta.Items)); err != nil {
+			t.Fatal(err)
+		}
+		st.Close()
+	}
+	syncAt := int64(0)
+	syncs := 0
+	for i, desc := range cal.OpLog() {
+		if strings.HasPrefix(desc, "sync ") {
+			syncs++
+			if syncs == 2 {
+				syncAt = int64(i + 1)
+				break
+			}
+		}
+	}
+	if syncAt == 0 {
+		t.Fatal("calibration found no append fsync")
+	}
+
+	dir := t.TempDir()
+	ffs := faultinject.NewFaultFS(store.OSFS{}, faultinject.FaultPlan{SyncErrAt: syncAt})
+	st, _, err := store.Open(store.Options{Dir: dir, FS: ffs, CompactRecords: -1, CompactBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := propMeta()
+	if err := st.Create("ds", meta, mustSets(t, propBase(), meta.Items)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append("ds", mustSets(t, propBatch(0), meta.Items)); !errors.Is(err, faultinject.ErrInjectedSync) {
+		t.Fatalf("append with failing fsync: err=%v, want ErrInjectedSync", err)
+	}
+	if _, err := st.Append("ds", mustSets(t, propBatch(1), meta.Items)); !errors.Is(err, store.ErrWedged) {
+		t.Fatalf("append on wedged log: err=%v, want ErrWedged", err)
+	}
+	if err := st.Drop("ds"); !errors.Is(err, store.ErrWedged) {
+		t.Fatalf("drop on wedged log: err=%v, want ErrWedged", err)
+	}
+	st.Close()
+
+	// Restart clears the wedge: the store re-derives state from disk and
+	// accepts mutations again. The unacked append's record was fully
+	// written before its fsync failed, so it may legally be part of the
+	// recovered prefix.
+	st2, recs, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	var rec *store.Recovered
+	for i := range recs {
+		if recs[i].Name == "ds" {
+			rec = &recs[i]
+		}
+	}
+	if rec == nil || rec.Err != nil {
+		t.Fatalf("recovery after wedge: %+v", rec)
+	}
+	if rec.Gen < 1 || rec.Gen > 2 {
+		t.Fatalf("recovered generation %d outside [1, 2]", rec.Gen)
+	}
+	if gen, err := st2.Append("ds", mustSets(t, propBatch(1), meta.Items)); err != nil || gen != rec.Gen+1 {
+		t.Fatalf("append after restart: gen=%d err=%v", gen, err)
+	}
+}

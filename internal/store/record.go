@@ -1,0 +1,220 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/itemset"
+	"repro/internal/txdb"
+)
+
+// WAL record layout (all integers little-endian):
+//
+//	offset 0  uint32  payload length n
+//	offset 4  uint8   record type (1=create, 2=append, 3=drop)
+//	offset 5  uint64  sequence number (1-based, monotone per dataset)
+//	offset 13 uint32  CRC32-IEEE over bytes [4,17) + payload
+//	offset 17 payload (n bytes)
+//
+// The CRC covers type and sequence as well as the payload, so a torn header
+// is as detectable as a torn payload. Payloads: create carries a
+// length-prefixed JSON Meta followed by a txdb.EncodeTransactions block;
+// append carries just the transactions block; drop is empty.
+const (
+	recCreate byte = 1
+	recAppend byte = 2
+	recDrop   byte = 3
+)
+
+const (
+	recHeaderSize    = 4 + 1 + 8 + 4
+	maxRecordPayload = 1 << 30
+	maxMetaLen       = 16 << 20
+)
+
+// ErrCorrupt reports a WAL or snapshot that fails structural validation.
+// During recovery a corrupt suffix is truncated (crash-consistent prefix
+// semantics); outside recovery it is surfaced to the caller.
+var ErrCorrupt = errors.New("store: corrupt data")
+
+type record struct {
+	typ     byte
+	seq     uint64
+	payload []byte
+}
+
+// encodeRecord renders one WAL record into a fresh byte slice.
+func encodeRecord(typ byte, seq uint64, payload []byte) []byte {
+	b := make([]byte, recHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(b[0:4], uint32(len(payload)))
+	b[4] = typ
+	binary.LittleEndian.PutUint64(b[5:13], seq)
+	copy(b[recHeaderSize:], payload)
+	h := crc32.NewIEEE()
+	h.Write(b[4:13])
+	h.Write(payload)
+	binary.LittleEndian.PutUint32(b[13:17], h.Sum32())
+	return b
+}
+
+// scanRecords reads records from r, invoking fn for each well-formed one.
+// It returns the byte offset just past the last record that was both
+// well-formed and accepted by fn. A nil error means the stream ended
+// cleanly at a record boundary; otherwise err describes why scanning
+// stopped (torn tail, CRC mismatch, or an fn rejection) and valid is the
+// offset recovery should truncate the file to.
+func scanRecords(r io.Reader, fn func(record) error) (valid int64, err error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var off int64
+	hdr := make([]byte, recHeaderSize)
+	for {
+		if _, err := io.ReadFull(br, hdr); err != nil {
+			if err == io.EOF {
+				return off, nil
+			}
+			return off, fmt.Errorf("%w: torn record header at offset %d: %v", ErrCorrupt, off, err)
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		typ := hdr[4]
+		seq := binary.LittleEndian.Uint64(hdr[5:13])
+		want := binary.LittleEndian.Uint32(hdr[13:17])
+		if n > maxRecordPayload {
+			return off, fmt.Errorf("%w: record at offset %d claims %d payload bytes", ErrCorrupt, off, n)
+		}
+		if typ < recCreate || typ > recDrop {
+			return off, fmt.Errorf("%w: record at offset %d has unknown type %d", ErrCorrupt, off, typ)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return off, fmt.Errorf("%w: torn record payload at offset %d: %v", ErrCorrupt, off, err)
+		}
+		h := crc32.NewIEEE()
+		h.Write(hdr[4:13])
+		h.Write(payload)
+		if h.Sum32() != want {
+			return off, fmt.Errorf("%w: CRC mismatch at offset %d (seq %d)", ErrCorrupt, off, seq)
+		}
+		if err := fn(record{typ: typ, seq: seq, payload: payload}); err != nil {
+			return off, err
+		}
+		off += int64(recHeaderSize) + int64(n)
+	}
+}
+
+// Meta is the durable description of a dataset apart from its
+// transactions: the item-domain size and the item attributes. It is stored
+// as length-prefixed JSON inside create records and snapshots — attributes
+// are small and schema-flexible, while the transaction bulk stays in the
+// compact txdb binary encoding.
+type Meta struct {
+	Items       int                  `json:"items"`
+	Numeric     map[string][]float64 `json:"numeric,omitempty"`
+	Categorical map[string][]string  `json:"categorical,omitempty"`
+}
+
+// encodeCreatePayload renders a create-record / snapshot body: uint32 meta
+// length, meta JSON, then the transactions block.
+func encodeCreatePayload(meta Meta, txs []itemset.Set) ([]byte, error) {
+	mj, err := json.Marshal(meta)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	var lenb [4]byte
+	binary.LittleEndian.PutUint32(lenb[:], uint32(len(mj)))
+	buf.Write(lenb[:])
+	buf.Write(mj)
+	if err := txdb.EncodeTransactions(&buf, txs); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeCreatePayload parses a create-record / snapshot body, requiring the
+// transactions block to consume the remaining bytes exactly.
+func decodeCreatePayload(b []byte) (Meta, []itemset.Set, error) {
+	var meta Meta
+	if len(b) < 4 {
+		return meta, nil, fmt.Errorf("%w: create payload shorter than its meta length", ErrCorrupt)
+	}
+	mlen := binary.LittleEndian.Uint32(b[0:4])
+	if mlen > maxMetaLen || int64(mlen) > int64(len(b)-4) {
+		return meta, nil, fmt.Errorf("%w: create payload claims %d meta bytes of %d", ErrCorrupt, mlen, len(b)-4)
+	}
+	if err := json.Unmarshal(b[4:4+mlen], &meta); err != nil {
+		return meta, nil, fmt.Errorf("%w: create meta: %v", ErrCorrupt, err)
+	}
+	if meta.Items <= 0 {
+		return meta, nil, fmt.Errorf("%w: create meta has non-positive item domain %d", ErrCorrupt, meta.Items)
+	}
+	r := bytes.NewReader(b[4+mlen:])
+	txs, err := txdb.DecodeTransactions(r)
+	if err != nil {
+		return meta, nil, fmt.Errorf("%w: create transactions: %v", ErrCorrupt, err)
+	}
+	if r.Len() != 0 {
+		return meta, nil, fmt.Errorf("%w: %d trailing bytes after create transactions", ErrCorrupt, r.Len())
+	}
+	if err := checkDomain(txs, meta.Items); err != nil {
+		return meta, nil, err
+	}
+	return meta, txs, nil
+}
+
+// encodeAppendPayload renders an append-record body: just the transactions.
+func encodeAppendPayload(txs []itemset.Set) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := txdb.EncodeTransactions(&buf, txs); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeAppendPayload parses an append-record body.
+func decodeAppendPayload(b []byte) ([]itemset.Set, error) {
+	r := bytes.NewReader(b)
+	txs, err := txdb.DecodeTransactions(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: append transactions: %v", ErrCorrupt, err)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after append transactions", ErrCorrupt, r.Len())
+	}
+	return txs, nil
+}
+
+// checkDomain rejects transactions referencing items outside [0, items).
+func checkDomain(txs []itemset.Set, items int) error {
+	for i, t := range txs {
+		if n := t.Len(); n > 0 && int(t[n-1]) >= items {
+			return fmt.Errorf("%w: transaction %d references item %d outside domain [0, %d)",
+				ErrCorrupt, i, int(t[n-1]), items)
+		}
+	}
+	return nil
+}
+
+// SetsFromInts validates and normalizes caller-supplied transactions into
+// itemsets over the given domain — the exact form both the WAL payload and
+// the in-memory dataset will hold, so "what was acked" and "what replays"
+// cannot diverge on normalization.
+func SetsFromInts(txs [][]int, items int) ([]itemset.Set, error) {
+	out := make([]itemset.Set, len(txs))
+	for i, t := range txs {
+		conv := make([]itemset.Item, len(t))
+		for j, it := range t {
+			if it < 0 || it >= items {
+				return nil, fmt.Errorf("store: transaction %d item %d outside domain [0, %d)", i, it, items)
+			}
+			conv[j] = itemset.Item(it)
+		}
+		out[i] = itemset.New(conv...)
+	}
+	return out, nil
+}

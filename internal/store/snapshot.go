@@ -1,0 +1,103 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/itemset"
+)
+
+// Snapshot layout:
+//
+//	magic "CFQSNP1\n"
+//	uint64 seq   — the last WAL sequence number the snapshot covers
+//	uint64 gen   — the dataset generation at that sequence number
+//	create payload (meta + transactions, see record.go)
+//	uint32 CRC32-IEEE over everything after the magic
+//
+// Snapshots are written to <name>.snap.tmp, fsynced, renamed onto
+// <name>.snap, and the directory fsynced — so a <name>.snap is always
+// complete, and a crash mid-write leaves only a .tmp that recovery deletes.
+var snapMagic = [8]byte{'C', 'F', 'Q', 'S', 'N', 'P', '1', '\n'}
+
+// writeSnapshotFile durably writes a snapshot via the tmp+rename protocol.
+func writeSnapshotFile(fs VFS, dir, tmpPath, finalPath string, seq, gen uint64, meta Meta, txs []itemset.Set) error {
+	payload, err := encodeCreatePayload(meta, txs)
+	if err != nil {
+		return err
+	}
+	var body bytes.Buffer
+	var u64 [8]byte
+	binary.LittleEndian.PutUint64(u64[:], seq)
+	body.Write(u64[:])
+	binary.LittleEndian.PutUint64(u64[:], gen)
+	body.Write(u64[:])
+	body.Write(payload)
+	crc := crc32.ChecksumIEEE(body.Bytes())
+
+	f, err := fs.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(snapMagic[:])
+	if werr == nil {
+		_, werr = f.Write(body.Bytes())
+	}
+	if werr == nil {
+		var crcb [4]byte
+		binary.LittleEndian.PutUint32(crcb[:], crc)
+		_, werr = f.Write(crcb[:])
+	}
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		_ = fs.Remove(tmpPath)
+		return werr
+	}
+	if err := fs.Rename(tmpPath, finalPath); err != nil {
+		_ = fs.Remove(tmpPath)
+		return err
+	}
+	return fs.SyncDir(dir)
+}
+
+// readSnapshotFile loads and validates a snapshot.
+func readSnapshotFile(fs VFS, path string) (seq, gen uint64, meta Meta, txs []itemset.Set, err error) {
+	f, err := fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return 0, 0, meta, nil, err
+	}
+	data, rerr := io.ReadAll(f)
+	if cerr := f.Close(); rerr == nil {
+		rerr = cerr
+	}
+	if rerr != nil {
+		return 0, 0, meta, nil, rerr
+	}
+	if len(data) < len(snapMagic)+8+8+4 {
+		return 0, 0, meta, nil, fmt.Errorf("%w: snapshot %s too short (%d bytes)", ErrCorrupt, path, len(data))
+	}
+	if !bytes.Equal(data[:len(snapMagic)], snapMagic[:]) {
+		return 0, 0, meta, nil, fmt.Errorf("%w: snapshot %s has bad magic", ErrCorrupt, path)
+	}
+	body := data[len(snapMagic) : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != want {
+		return 0, 0, meta, nil, fmt.Errorf("%w: snapshot %s CRC mismatch", ErrCorrupt, path)
+	}
+	seq = binary.LittleEndian.Uint64(body[0:8])
+	gen = binary.LittleEndian.Uint64(body[8:16])
+	meta, txs, err = decodeCreatePayload(body[16:])
+	if err != nil {
+		return 0, 0, meta, nil, fmt.Errorf("snapshot %s: %w", path, err)
+	}
+	return seq, gen, meta, txs, nil
+}

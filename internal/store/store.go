@@ -1,0 +1,880 @@
+// Package store is cfqd's durable dataset store: one write-ahead log per
+// dataset (length-prefixed, CRC32-checksummed records for create / append /
+// drop), a configurable fsync policy, and background snapshot+truncate
+// compaction. The registry writes every mutation here *before*
+// acknowledging it, and Open replays logs and snapshots at boot so a
+// restarted daemon serves exactly the state it acked — the recovery
+// invariant the crash property tests enforce is "the registry holds a
+// prefix of the issued mutations that includes every acked one, or
+// nothing, never a torn in-between".
+//
+// On-disk layout, per dataset, inside Options.Dir:
+//
+//	<name>.wal       active log (create record first, then appends/drop)
+//	<name>.wal.old   rotated log awaiting compaction (transient)
+//	<name>.snap      last durable snapshot (complete by construction)
+//	<name>.snap.tmp  snapshot being written (deleted at recovery)
+//
+// Compaction rotates the active log, then folds <name>.snap + <name>.wal.old
+// into a fresh snapshot — the snapshot is derived from the log, not from the
+// live in-memory dataset, so "snapshot ≡ replay" holds by construction. A
+// crash at any point leaves either the old snapshot plus the rotated log, or
+// the new snapshot; recovery finishes the fold.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/itemset"
+	"repro/internal/obs"
+	"repro/internal/txdb"
+)
+
+// Store-wide metrics, in the same lock-free registry as the engine and
+// server metrics: one /metrics scrape shows WAL pressure next to query load.
+var (
+	mWalRecords  = obs.NewCounter("store_wal_records_total")
+	mWalBytes    = obs.NewCounter("store_wal_bytes_total")
+	mFsyncs      = obs.NewCounter("store_fsyncs_total")
+	mCompactions = obs.NewCounter("store_compactions_total")
+	mRecovered   = obs.NewCounter("store_recovered_datasets_total")
+	mReplayed    = obs.NewCounter("store_replayed_records_total")
+	mTornTails   = obs.NewCounter("store_truncated_tails_total")
+	mWedged      = obs.NewCounter("store_wedged_logs_total")
+)
+
+// Store errors.
+var (
+	ErrExists   = errors.New("store: dataset already exists")
+	ErrNotFound = errors.New("store: unknown dataset")
+	// ErrWedged reports a log that refuses mutations because an earlier
+	// write or fsync failed: once durability is uncertain the log stops
+	// acking, and only a restart (which re-derives state from disk) clears
+	// the condition.
+	ErrWedged = errors.New("store: log wedged by earlier write failure")
+)
+
+// SyncPolicy decides when WAL appends reach stable storage relative to the
+// ack. Create and drop records are always fsynced regardless of policy:
+// they are rare, and losing one silently re-creates or resurrects a
+// dataset.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before every append ack — the strict-durability
+	// default: an acked mutation survives any crash.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval acks from the OS page cache and fsyncs on a background
+	// ticker (Options.SyncEvery): bounded data loss, much higher append
+	// throughput.
+	SyncInterval
+	// SyncNever leaves flushing entirely to the OS — crash durability is
+	// whatever the page cache had written back.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy parses the -fsync flag values.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("store: unknown fsync policy %q (want always, interval, never)", s)
+}
+
+// Options configures Open. Zero values get serving defaults.
+type Options struct {
+	// Dir is the data directory (created if missing). Required.
+	Dir string
+	// FS overrides the filesystem (fault injection in tests). Default: OSFS.
+	FS VFS
+	// Policy is the append fsync policy (default SyncAlways).
+	Policy SyncPolicy
+	// SyncEvery is the SyncInterval flush period (default 100ms).
+	SyncEvery time.Duration
+	// CompactRecords triggers compaction after this many WAL records since
+	// the last snapshot (default 1024; negative disables).
+	CompactRecords int
+	// CompactBytes triggers compaction when the active WAL exceeds this
+	// size (default 64 MiB; negative disables).
+	CompactBytes int64
+	// SyncCompact runs compaction synchronously inside the append that
+	// triggered it instead of on a background goroutine — deterministic
+	// operation order for the crash property tests.
+	SyncCompact bool
+	// Logger, when set, receives recovery spans and compaction events.
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.FS == nil {
+		o.FS = OSFS{}
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 100 * time.Millisecond
+	}
+	if o.CompactRecords == 0 {
+		o.CompactRecords = 1024
+	}
+	if o.CompactBytes == 0 {
+		o.CompactBytes = 64 << 20
+	}
+	return o
+}
+
+// Store manages every dataset log under one data directory.
+type Store struct {
+	opts Options
+	fs   VFS
+
+	mu     sync.Mutex
+	logs   map[string]*dsLog
+	failed map[string]bool // datasets whose files are present but unrecoverable
+	closed bool
+
+	stopc chan struct{}
+	bg    sync.WaitGroup
+}
+
+// dsLog is one dataset's open write-ahead log.
+type dsLog struct {
+	st   *Store
+	name string
+
+	mu         sync.Mutex
+	wal        File
+	ready      bool // create record durable; log accepts mutations
+	seq        uint64
+	gen        uint64
+	walBytes   int64
+	recsSince  int // records in the active WAL (since last rotation)
+	dirty      bool
+	wedged     error
+	dropped    bool
+	compacting bool
+	hasOld     bool
+
+	// compactMu serializes the compaction fold against file removal on
+	// drop, so a background fold can never resurrect a dropped dataset's
+	// snapshot.
+	compactMu sync.Mutex
+}
+
+// Recovered describes one dataset rebuilt at Open. Err, when non-nil, means
+// the dataset's files are present but unrecoverable (e.g. a corrupt
+// snapshot): the files are left untouched for inspection and the name
+// refuses re-creation until an operator intervenes.
+type Recovered struct {
+	Name    string
+	Meta    Meta
+	DB      *txdb.DB
+	Gen     uint64
+	Records int // WAL records replayed (excludes snapshot contents)
+	Err     error
+}
+
+// Open creates or recovers the store rooted at opts.Dir: every dataset's
+// snapshot is loaded, its logs replayed (torn tails truncated, pending
+// compactions finished), and the rebuilt states returned for the registry
+// to adopt. Mutations acked before a crash are always in the result; a
+// final unacked mutation may be (it was written, not yet acked) — recovery
+// never invents, reorders, or tears records.
+func Open(opts Options) (*Store, []Recovered, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, nil, fmt.Errorf("store: no data directory")
+	}
+	s := &Store{
+		opts:   opts,
+		fs:     opts.FS,
+		logs:   map[string]*dsLog{},
+		failed: map[string]bool{},
+		stopc:  make(chan struct{}),
+	}
+	if err := s.fs.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	entries, err := s.fs.ReadDir(opts.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	names := datasetNames(entries)
+
+	tracer := obs.NewTracer(obs.Options{Name: "store:recover", Logger: opts.Logger})
+	var recovered []Recovered
+	for _, name := range names {
+		sp := tracer.Start("dataset", obs.String("dataset", name))
+		rec, lg := s.recoverDataset(name)
+		if rec == nil {
+			sp.SetAttrs(obs.String("outcome", "dropped"))
+			sp.End(nil)
+			continue
+		}
+		if rec.Err != nil {
+			s.failed[name] = true
+			sp.SetAttrs(obs.String("outcome", "failed"), obs.String("err", rec.Err.Error()))
+		} else {
+			s.logs[name] = lg
+			mRecovered.Inc()
+			sp.SetAttrs(
+				obs.String("outcome", "ok"),
+				obs.Int64("generation", int64(rec.Gen)),
+				obs.Int("records_replayed", rec.Records),
+				obs.Int("transactions", rec.DB.Len()))
+		}
+		sp.End(nil)
+		recovered = append(recovered, *rec)
+	}
+	if opts.Policy == SyncInterval {
+		s.bg.Add(1)
+		go s.syncLoop()
+	}
+	return s, recovered, nil
+}
+
+// datasetNames extracts the dataset names present in a data directory.
+func datasetNames(entries []fs.DirEntry) []string {
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		n := e.Name()
+		for _, suffix := range []string{".wal.old", ".wal", ".snap.tmp", ".snap"} {
+			if strings.HasSuffix(n, suffix) {
+				seen[strings.TrimSuffix(n, suffix)] = true
+				break
+			}
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (s *Store) walPath(name string) string  { return filepath.Join(s.opts.Dir, name+".wal") }
+func (s *Store) oldPath(name string) string  { return filepath.Join(s.opts.Dir, name+".wal.old") }
+func (s *Store) snapPath(name string) string { return filepath.Join(s.opts.Dir, name+".snap") }
+func (s *Store) tmpPath(name string) string  { return filepath.Join(s.opts.Dir, name+".snap.tmp") }
+
+func (s *Store) exists(path string) bool {
+	_, err := s.fs.Stat(path)
+	return err == nil
+}
+
+func (s *Store) removeIfPresent(path string) error {
+	err := s.fs.Remove(path)
+	if err != nil && os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// replay folds records into a dataset state. The sequence rule gives
+// recovery its prefix semantics: a record at or below the applied sequence
+// is already covered (snapshot overlap) and skipped; a gap means lost data,
+// so replay stops and everything after is discarded.
+type replay struct {
+	seq     uint64
+	gen     uint64
+	meta    Meta
+	txs     []itemset.Set
+	have    bool
+	dropped bool
+	applied int
+}
+
+func (rp *replay) apply(rec record) error {
+	if rec.seq <= rp.seq {
+		return nil
+	}
+	if rec.seq != rp.seq+1 {
+		return fmt.Errorf("%w: sequence gap (have %d, next record %d)", ErrCorrupt, rp.seq, rec.seq)
+	}
+	if rp.dropped {
+		return fmt.Errorf("%w: record %d after drop", ErrCorrupt, rec.seq)
+	}
+	switch rec.typ {
+	case recCreate:
+		if rp.have {
+			return fmt.Errorf("%w: duplicate create at seq %d", ErrCorrupt, rec.seq)
+		}
+		meta, txs, err := decodeCreatePayload(rec.payload)
+		if err != nil {
+			return err
+		}
+		rp.meta, rp.txs, rp.have, rp.gen = meta, txs, true, 1
+	case recAppend:
+		if !rp.have {
+			return fmt.Errorf("%w: append at seq %d before create", ErrCorrupt, rec.seq)
+		}
+		txs, err := decodeAppendPayload(rec.payload)
+		if err != nil {
+			return err
+		}
+		if err := checkDomain(txs, rp.meta.Items); err != nil {
+			return err
+		}
+		rp.txs = append(rp.txs, txs...)
+		rp.gen++
+	case recDrop:
+		if !rp.have {
+			return fmt.Errorf("%w: drop at seq %d before create", ErrCorrupt, rec.seq)
+		}
+		rp.dropped = true
+	}
+	rp.seq = rec.seq
+	rp.applied++
+	return nil
+}
+
+// replayFile scans one log file into rp, truncating a corrupt tail in
+// place. Returns the number of records applied from this file.
+func (s *Store) replayFile(path string, rp *replay) (int, error) {
+	f, err := s.fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return 0, err
+	}
+	before := rp.applied
+	valid, scanErr := scanRecords(f, rp.apply)
+	if cerr := f.Close(); cerr != nil && scanErr == nil {
+		return rp.applied - before, cerr
+	}
+	if scanErr != nil {
+		// Crash-consistent prefix: everything after the last good record is
+		// discarded, on disk as well as in memory.
+		mTornTails.Inc()
+		if err := s.fs.Truncate(path, valid); err != nil {
+			return rp.applied - before, err
+		}
+	}
+	return rp.applied - before, nil
+}
+
+// recoverDataset rebuilds one dataset from its files. A nil Recovered means
+// the dataset was durably dropped (or never durably created) and its files
+// were cleaned up.
+func (s *Store) recoverDataset(name string) (*Recovered, *dsLog) {
+	fail := func(err error) (*Recovered, *dsLog) {
+		return &Recovered{Name: name, Err: err}, nil
+	}
+	// An in-progress snapshot is, by protocol, incomplete: discard it.
+	if s.exists(s.tmpPath(name)) {
+		if err := s.removeIfPresent(s.tmpPath(name)); err != nil {
+			return fail(err)
+		}
+	}
+	rp := &replay{}
+	if s.exists(s.snapPath(name)) {
+		seq, gen, meta, txs, err := readSnapshotFile(s.fs, s.snapPath(name))
+		if err != nil {
+			return fail(err)
+		}
+		rp.seq, rp.gen, rp.meta, rp.txs, rp.have = seq, gen, meta, txs, true
+	}
+	hadOld := s.exists(s.oldPath(name))
+	if hadOld {
+		if _, err := s.replayFile(s.oldPath(name), rp); err != nil {
+			return fail(err)
+		}
+	}
+	activeRecs := 0
+	if s.exists(s.walPath(name)) {
+		n, err := s.replayFile(s.walPath(name), rp)
+		if err != nil {
+			return fail(err)
+		}
+		activeRecs = n
+	}
+	mReplayed.Add(int64(rp.applied))
+
+	if rp.dropped || !rp.have {
+		// Durably dropped, or the create never became durable. Remove the
+		// snapshot first: the WAL (holding the drop record, if any) must
+		// outlive it so a crash mid-cleanup cannot resurrect the dataset.
+		for _, p := range []string{s.snapPath(name), s.oldPath(name), s.walPath(name)} {
+			if err := s.removeIfPresent(p); err != nil {
+				return fail(err)
+			}
+		}
+		if err := s.fs.SyncDir(s.opts.Dir); err != nil {
+			return fail(err)
+		}
+		return nil, nil
+	}
+
+	if hadOld {
+		// Finish the interrupted compaction: the full replayed state *is*
+		// the fold, so snapshot it, then drop both logs' contents.
+		if err := writeSnapshotFile(s.fs, s.opts.Dir, s.tmpPath(name), s.snapPath(name),
+			rp.seq, rp.gen, rp.meta, rp.txs); err != nil {
+			return fail(err)
+		}
+		if err := s.removeIfPresent(s.oldPath(name)); err != nil {
+			return fail(err)
+		}
+		if s.exists(s.walPath(name)) {
+			if err := s.fs.Truncate(s.walPath(name), 0); err != nil {
+				return fail(err)
+			}
+		}
+		if err := s.fs.SyncDir(s.opts.Dir); err != nil {
+			return fail(err)
+		}
+		activeRecs = 0
+		mCompactions.Inc()
+	}
+
+	f, err := s.fs.OpenFile(s.walPath(name), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fail(err)
+	}
+	size, err := f.Seek(0, 2)
+	if err != nil {
+		cerr := f.Close()
+		_ = cerr
+		return fail(err)
+	}
+	lg := &dsLog{
+		st: s, name: name, wal: f, ready: true,
+		seq: rp.seq, gen: rp.gen, walBytes: size, recsSince: activeRecs,
+	}
+	return &Recovered{
+		Name: name, Meta: rp.meta, DB: txdb.New(rp.txs), Gen: rp.gen, Records: rp.applied,
+	}, lg
+}
+
+func (s *Store) lookup(name string) *dsLog {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.logs[name]
+}
+
+func validateName(name string) error {
+	if name == "" {
+		return fmt.Errorf("store: empty dataset name")
+	}
+	if strings.ContainsAny(name, "/\\\x00 ") || strings.HasPrefix(name, ".") {
+		return fmt.Errorf("store: dataset name %q contains a path separator, space, NUL, or leading dot", name)
+	}
+	return nil
+}
+
+// Create durably registers a new dataset: its create record (meta +
+// initial transactions) is written and fsynced before Create returns.
+func (s *Store) Create(name string, meta Meta, txs []itemset.Set) error {
+	if err := validateName(name); err != nil {
+		return err
+	}
+	if meta.Items <= 0 {
+		return fmt.Errorf("store: dataset %q has non-positive item domain", name)
+	}
+	if err := checkDomain(txs, meta.Items); err != nil {
+		return err
+	}
+	payload, err := encodeCreatePayload(meta, txs)
+	if err != nil {
+		return err
+	}
+	lg := &dsLog{st: s, name: name}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("store: closed")
+	}
+	if s.failed[name] {
+		s.mu.Unlock()
+		return fmt.Errorf("store: dataset %q has unrecoverable files in %s; refusing to overwrite", name, s.opts.Dir)
+	}
+	if _, dup := s.logs[name]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	s.logs[name] = lg // reserve the name; published as ready only on success
+	s.mu.Unlock()
+
+	abort := func(err error) error {
+		s.mu.Lock()
+		delete(s.logs, name)
+		s.mu.Unlock()
+		return err
+	}
+	f, err := s.fs.OpenFile(s.walPath(name), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return abort(err)
+	}
+	// The first record, an fsync, and a directory fsync so the new WAL's
+	// directory entry survives a crash. Only then is the name published.
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	lg.wal = f
+	rec := encodeRecord(recCreate, 1, payload)
+	writeErr := func() error {
+		if _, err := f.Write(rec); err != nil {
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			return err
+		}
+		mFsyncs.Inc()
+		return s.fs.SyncDir(s.opts.Dir)
+	}()
+	if writeErr != nil {
+		cerr := f.Close()
+		_ = cerr
+		lg.wal = nil
+		return abort(writeErr)
+	}
+	mWalRecords.Inc()
+	mWalBytes.Add(int64(len(rec)))
+	lg.seq, lg.gen, lg.walBytes, lg.recsSince, lg.ready = 1, 1, int64(len(rec)), 1, true
+	return nil
+}
+
+// writeRecordLocked appends one record to the active WAL and applies the
+// fsync policy (sync forces an immediate fsync regardless of policy). Any
+// write or sync failure wedges the log. Callers hold lg.mu.
+func (lg *dsLog) writeRecordLocked(typ byte, payload []byte, sync bool) error {
+	if len(payload) > maxRecordPayload {
+		return fmt.Errorf("store: record payload of %d bytes exceeds the %d limit", len(payload), maxRecordPayload)
+	}
+	rec := encodeRecord(typ, lg.seq+1, payload)
+	if _, err := lg.wal.Write(rec); err != nil {
+		lg.wedge(err)
+		return err
+	}
+	if sync || lg.st.opts.Policy == SyncAlways {
+		if err := lg.wal.Sync(); err != nil {
+			lg.wedge(err)
+			return err
+		}
+		mFsyncs.Inc()
+	} else {
+		lg.dirty = true
+	}
+	lg.seq++
+	lg.walBytes += int64(len(rec))
+	lg.recsSince++
+	mWalRecords.Inc()
+	mWalBytes.Add(int64(len(rec)))
+	return nil
+}
+
+// wedge marks the log as refusing further mutations. Callers hold lg.mu.
+func (lg *dsLog) wedge(err error) {
+	if lg.wedged == nil {
+		lg.wedged = err
+		mWedged.Inc()
+		if l := lg.st.opts.Logger; l != nil {
+			l.Error("store: log wedged", slog.String("dataset", lg.name), slog.Any("err", err))
+		}
+	}
+}
+
+// Append durably logs a batch of transactions and returns the dataset's new
+// generation. Under SyncAlways the record is on stable storage when Append
+// returns; under SyncInterval/SyncNever the ack is advisory to the policy's
+// declared loss window.
+func (s *Store) Append(name string, txs []itemset.Set) (uint64, error) {
+	lg := s.lookup(name)
+	if lg == nil {
+		return 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	lg.mu.Lock()
+	if !lg.ready || lg.dropped {
+		lg.mu.Unlock()
+		return 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if lg.wedged != nil {
+		err := fmt.Errorf("%w: %q: %v", ErrWedged, name, lg.wedged)
+		lg.mu.Unlock()
+		return 0, err
+	}
+	payload, err := encodeAppendPayload(txs)
+	if err != nil {
+		lg.mu.Unlock()
+		return 0, err
+	}
+	if err := lg.writeRecordLocked(recAppend, payload, false); err != nil {
+		lg.mu.Unlock()
+		return 0, err
+	}
+	lg.gen++
+	gen := lg.gen
+	doCompact := lg.maybeRotateLocked()
+	lg.mu.Unlock()
+
+	if doCompact {
+		if s.opts.SyncCompact {
+			s.compact(lg)
+		} else {
+			s.bg.Add(1)
+			go func() {
+				defer s.bg.Done()
+				s.compact(lg)
+			}()
+		}
+	}
+	return gen, nil
+}
+
+// maybeRotateLocked rotates the active WAL when a compaction threshold is
+// crossed and no fold is already pending. Returns true when the caller
+// should run the fold. Callers hold lg.mu.
+func (lg *dsLog) maybeRotateLocked() bool {
+	opts := lg.st.opts
+	trigger := (opts.CompactRecords > 0 && lg.recsSince >= opts.CompactRecords) ||
+		(opts.CompactBytes > 0 && lg.walBytes >= opts.CompactBytes)
+	if !trigger || lg.compacting || lg.hasOld || lg.wedged != nil || lg.dropped {
+		return false
+	}
+	// The rotated log must be durable before the snapshot claims to cover
+	// it, and before its name changes out from under the page cache.
+	if err := lg.wal.Sync(); err != nil {
+		lg.wedge(err)
+		return false
+	}
+	mFsyncs.Inc()
+	lg.dirty = false
+	if err := lg.wal.Close(); err != nil {
+		lg.wedge(err)
+		return false
+	}
+	s := lg.st
+	if err := s.fs.Rename(s.walPath(lg.name), s.oldPath(lg.name)); err != nil {
+		lg.wedge(err)
+		return false
+	}
+	f, err := s.fs.OpenFile(s.walPath(lg.name), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		lg.wedge(err)
+		return false
+	}
+	if err := s.fs.SyncDir(s.opts.Dir); err != nil {
+		cerr := f.Close()
+		_ = cerr
+		lg.wedge(err)
+		return false
+	}
+	lg.wal = f
+	lg.walBytes = 0
+	lg.recsSince = 0
+	lg.hasOld = true
+	lg.compacting = true
+	return true
+}
+
+// compact folds <name>.snap + <name>.wal.old into a fresh snapshot and
+// removes the rotated log. Failures leave the rotated log in place —
+// recovery finishes the fold at next boot — and never affect the active
+// WAL or the acked state.
+func (s *Store) compact(lg *dsLog) {
+	lg.compactMu.Lock()
+	defer lg.compactMu.Unlock()
+	defer func() {
+		lg.mu.Lock()
+		lg.compacting = false
+		lg.mu.Unlock()
+	}()
+	lg.mu.Lock()
+	dropped := lg.dropped
+	lg.mu.Unlock()
+	if dropped {
+		return
+	}
+	rp := &replay{}
+	if s.exists(s.snapPath(lg.name)) {
+		seq, gen, meta, txs, err := readSnapshotFile(s.fs, s.snapPath(lg.name))
+		if err != nil {
+			s.compactFailed(lg, err)
+			return
+		}
+		rp.seq, rp.gen, rp.meta, rp.txs, rp.have = seq, gen, meta, txs, true
+	}
+	if _, err := s.replayFile(s.oldPath(lg.name), rp); err != nil {
+		s.compactFailed(lg, err)
+		return
+	}
+	if !rp.have {
+		s.compactFailed(lg, fmt.Errorf("%w: rotated log holds no create", ErrCorrupt))
+		return
+	}
+	if err := writeSnapshotFile(s.fs, s.opts.Dir, s.tmpPath(lg.name), s.snapPath(lg.name),
+		rp.seq, rp.gen, rp.meta, rp.txs); err != nil {
+		s.compactFailed(lg, err)
+		return
+	}
+	if err := s.removeIfPresent(s.oldPath(lg.name)); err != nil {
+		s.compactFailed(lg, err)
+		return
+	}
+	if err := s.fs.SyncDir(s.opts.Dir); err != nil {
+		s.compactFailed(lg, err)
+		return
+	}
+	lg.mu.Lock()
+	lg.hasOld = false
+	lg.mu.Unlock()
+	mCompactions.Inc()
+	if l := s.opts.Logger; l != nil {
+		l.Info("store: compacted", slog.String("dataset", lg.name),
+			slog.Uint64("seq", rp.seq), slog.Uint64("generation", rp.gen),
+			slog.Int("transactions", len(rp.txs)))
+	}
+}
+
+func (s *Store) compactFailed(lg *dsLog, err error) {
+	if l := s.opts.Logger; l != nil {
+		l.Error("store: compaction failed; rotated log kept for recovery",
+			slog.String("dataset", lg.name), slog.Any("err", err))
+	}
+}
+
+// Drop durably removes a dataset: the drop record is fsynced (the ack),
+// then the files are deleted snapshot-first so a crash mid-cleanup can
+// never resurrect the dataset.
+func (s *Store) Drop(name string) error {
+	lg := s.lookup(name)
+	if lg == nil {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	lg.mu.Lock()
+	if !lg.ready || lg.dropped {
+		lg.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if lg.wedged != nil {
+		err := fmt.Errorf("%w: %q: %v", ErrWedged, name, lg.wedged)
+		lg.mu.Unlock()
+		return err
+	}
+	if err := lg.writeRecordLocked(recDrop, nil, true); err != nil {
+		lg.mu.Unlock()
+		return err
+	}
+	lg.dropped = true
+	if err := lg.wal.Close(); err != nil && s.opts.Logger != nil {
+		s.opts.Logger.Warn("store: close after drop", slog.String("dataset", name), slog.Any("err", err))
+	}
+	lg.wal = nil
+	lg.mu.Unlock()
+
+	// Best-effort cleanup, ordered so the drop record outlives the
+	// snapshot. A failure leaves files for recovery to clean.
+	lg.compactMu.Lock()
+	if err := s.removeIfPresent(s.snapPath(name)); err == nil {
+		if err := s.removeIfPresent(s.oldPath(name)); err == nil {
+			if err := s.removeIfPresent(s.walPath(name)); err != nil && s.opts.Logger != nil {
+				s.opts.Logger.Warn("store: drop cleanup", slog.String("dataset", name), slog.Any("err", err))
+			}
+		}
+	}
+	if err := s.fs.SyncDir(s.opts.Dir); err != nil && s.opts.Logger != nil {
+		s.opts.Logger.Warn("store: drop cleanup sync", slog.String("dataset", name), slog.Any("err", err))
+	}
+	lg.compactMu.Unlock()
+
+	s.mu.Lock()
+	delete(s.logs, name)
+	s.mu.Unlock()
+	return nil
+}
+
+// syncLoop is the SyncInterval flusher.
+func (s *Store) syncLoop() {
+	defer s.bg.Done()
+	t := time.NewTicker(s.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopc:
+			return
+		case <-t.C:
+			s.syncAll()
+		}
+	}
+}
+
+func (s *Store) syncAll() {
+	s.mu.Lock()
+	logs := make([]*dsLog, 0, len(s.logs))
+	for _, lg := range s.logs {
+		logs = append(logs, lg)
+	}
+	s.mu.Unlock()
+	for _, lg := range logs {
+		lg.mu.Lock()
+		if lg.dirty && lg.wedged == nil && lg.wal != nil {
+			if err := lg.wal.Sync(); err != nil {
+				lg.wedge(err)
+			} else {
+				lg.dirty = false
+				mFsyncs.Inc()
+			}
+		}
+		lg.mu.Unlock()
+	}
+}
+
+// Close flushes and closes every log, waiting for background compactions.
+// A clean shutdown is durable regardless of the fsync policy.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.stopc)
+	logs := make([]*dsLog, 0, len(s.logs))
+	for _, lg := range s.logs {
+		logs = append(logs, lg)
+	}
+	s.mu.Unlock()
+	s.bg.Wait()
+	var first error
+	for _, lg := range logs {
+		lg.mu.Lock()
+		if lg.wal != nil {
+			if lg.dirty && lg.wedged == nil {
+				if err := lg.wal.Sync(); err != nil && first == nil {
+					first = err
+				}
+			}
+			if err := lg.wal.Close(); err != nil && first == nil {
+				first = err
+			}
+			lg.wal = nil
+		}
+		lg.mu.Unlock()
+	}
+	return first
+}

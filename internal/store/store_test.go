@@ -1,0 +1,521 @@
+package store_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/itemset"
+	"repro/internal/store"
+	"repro/internal/txdb"
+)
+
+func mustSets(t *testing.T, txs [][]int, items int) []itemset.Set {
+	t.Helper()
+	sets, err := store.SetsFromInts(txs, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sets
+}
+
+// sameTxs compares two transaction slices via the stable binary encoding —
+// the same byte-level equality the WAL itself relies on.
+func sameTxs(t *testing.T, got, want []itemset.Set) bool {
+	t.Helper()
+	var g, w bytes.Buffer
+	if err := txdb.EncodeTransactions(&g, got); err != nil {
+		t.Fatal(err)
+	}
+	if err := txdb.EncodeTransactions(&w, want); err != nil {
+		t.Fatal(err)
+	}
+	return bytes.Equal(g.Bytes(), w.Bytes())
+}
+
+func testMeta() store.Meta {
+	return store.Meta{
+		Items:       6,
+		Numeric:     map[string][]float64{"Price": {5, 10, 20, 3, 8, 50}},
+		Categorical: map[string][]string{"Type": {"snacks", "beer", "beer", "snacks", "soda", "wine"}},
+	}
+}
+
+func baseTxs() [][]int { return [][]int{{0, 1}, {0, 2, 3}, {1, 2}, {3, 4, 5}} }
+
+func findRecovered(recs []store.Recovered, name string) *store.Recovered {
+	for i := range recs {
+		if recs[i].Name == name {
+			return &recs[i]
+		}
+	}
+	return nil
+}
+
+func TestCreateAppendRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, recs, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh dir recovered %d datasets", len(recs))
+	}
+	meta := testMeta()
+	base := mustSets(t, baseTxs(), meta.Items)
+	if err := st.Create("sales", meta, base); err != nil {
+		t.Fatal(err)
+	}
+	b1 := mustSets(t, [][]int{{0, 4}, {1, 3}}, meta.Items)
+	b2 := mustSets(t, [][]int{{2, 5}}, meta.Items)
+	if gen, err := st.Append("sales", b1); err != nil || gen != 2 {
+		t.Fatalf("append 1: gen=%d err=%v", gen, err)
+	}
+	if gen, err := st.Append("sales", b2); err != nil || gen != 3 {
+		t.Fatalf("append 2: gen=%d err=%v", gen, err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, recs2, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rec := findRecovered(recs2, "sales")
+	if rec == nil {
+		t.Fatal("dataset not recovered")
+	}
+	if rec.Err != nil {
+		t.Fatalf("recovery error: %v", rec.Err)
+	}
+	if rec.Gen != 3 {
+		t.Fatalf("recovered generation = %d, want 3", rec.Gen)
+	}
+	if rec.Records != 3 {
+		t.Fatalf("records replayed = %d, want 3", rec.Records)
+	}
+	if !reflect.DeepEqual(rec.Meta, meta) {
+		t.Fatalf("meta did not round-trip: %+v vs %+v", rec.Meta, meta)
+	}
+	want := append(append(append([]itemset.Set{}, base...), b1...), b2...)
+	if !sameTxs(t, rec.DB.Transactions(), want) {
+		t.Fatal("recovered transactions differ from the acked sequence")
+	}
+	// The recovered log must stay appendable.
+	if gen, err := st2.Append("sales", b2); err != nil || gen != 4 {
+		t.Fatalf("append after recovery: gen=%d err=%v", gen, err)
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	meta := testMeta()
+	base := mustSets(t, baseTxs(), meta.Items)
+	for _, bad := range []string{"", "a/b", `a\b`, ".hidden", "a b", "a\x00b"} {
+		if err := st.Create(bad, meta, base); err == nil {
+			t.Errorf("Create(%q) accepted a bad name", bad)
+		}
+	}
+	if err := st.Create("nodomain", store.Meta{Items: 0}, nil); err == nil {
+		t.Error("Create accepted a non-positive item domain")
+	}
+	if err := st.Create("sales", meta, base); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Create("sales", meta, base); !errors.Is(err, store.ErrExists) {
+		t.Errorf("duplicate create: err=%v, want ErrExists", err)
+	}
+	if _, err := st.Append("ghost", base); !errors.Is(err, store.ErrNotFound) {
+		t.Errorf("append to unknown: err=%v, want ErrNotFound", err)
+	}
+	if err := st.Drop("ghost"); !errors.Is(err, store.ErrNotFound) {
+		t.Errorf("drop of unknown: err=%v, want ErrNotFound", err)
+	}
+}
+
+func TestDropDurableAcrossReboot(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := testMeta()
+	base := mustSets(t, baseTxs(), meta.Items)
+	if err := st.Create("sales", meta, base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append("sales", base); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Drop("sales"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append("sales", base); !errors.Is(err, store.ErrNotFound) {
+		t.Errorf("append after drop: err=%v, want ErrNotFound", err)
+	}
+	// The name is immediately reusable, and both datasets survive reboots
+	// independently.
+	if err := st.Create("sales", meta, base[:1]); err != nil {
+		t.Fatalf("re-create after drop: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, recs, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rec := findRecovered(recs, "sales")
+	if rec == nil || rec.Err != nil {
+		t.Fatalf("re-created dataset not recovered: %+v", rec)
+	}
+	if !sameTxs(t, rec.DB.Transactions(), base[:1]) {
+		t.Fatal("recovered the dropped incarnation, not the re-created one")
+	}
+}
+
+func TestCorruptTailTruncatedAndLogStillAppendable(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := testMeta()
+	base := mustSets(t, baseTxs(), meta.Items)
+	b := mustSets(t, [][]int{{0, 5}}, meta.Items)
+	if err := st.Create("sales", meta, base); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := st.Append("sales", b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip the last byte of the WAL: the final record's CRC no longer
+	// matches, so recovery must truncate exactly that record.
+	wal := filepath.Join(dir, "sales.wal")
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(wal, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, recs, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := findRecovered(recs, "sales")
+	if rec == nil || rec.Err != nil {
+		t.Fatalf("recovery failed: %+v", rec)
+	}
+	if rec.Gen != 3 {
+		t.Fatalf("recovered generation = %d, want 3 (last append truncated)", rec.Gen)
+	}
+	want := append(append([]itemset.Set{}, base...), b[0], b[0])
+	if !sameTxs(t, rec.DB.Transactions(), want) {
+		t.Fatal("recovered prefix differs from the surviving records")
+	}
+	// The truncated log accepts new appends, and they survive another reboot.
+	if gen, err := st2.Append("sales", b); err != nil || gen != 4 {
+		t.Fatalf("append after truncation: gen=%d err=%v", gen, err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st3, recs3, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	rec3 := findRecovered(recs3, "sales")
+	if rec3 == nil || rec3.Err != nil || rec3.Gen != 4 {
+		t.Fatalf("second recovery: %+v", rec3)
+	}
+}
+
+func TestCorruptSnapshotBlocksRecreate(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := store.Open(store.Options{Dir: dir, CompactRecords: 2, SyncCompact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := testMeta()
+	base := mustSets(t, baseTxs(), meta.Items)
+	if err := st.Create("sales", meta, base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append("sales", base[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(dir, "sales.snap")
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatalf("compaction did not produce a snapshot: %v", err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(snap, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, recs, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rec := findRecovered(recs, "sales")
+	if rec == nil || rec.Err == nil {
+		t.Fatalf("corrupt snapshot not reported: %+v", rec)
+	}
+	// The damaged files are preserved and the name refuses re-creation so
+	// an operator can inspect them.
+	if _, err := os.Stat(snap); err != nil {
+		t.Errorf("corrupt snapshot was deleted: %v", err)
+	}
+	if err := st2.Create("sales", meta, base); err == nil {
+		t.Error("Create over an unrecoverable dataset was allowed")
+	}
+}
+
+func TestCompactionFoldsSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := store.Open(store.Options{Dir: dir, CompactRecords: 3, SyncCompact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := testMeta()
+	base := mustSets(t, baseTxs(), meta.Items)
+	if err := st.Create("sales", meta, base); err != nil {
+		t.Fatal(err)
+	}
+	var want []itemset.Set
+	want = append(want, base...)
+	for i := 0; i < 7; i++ {
+		b := mustSets(t, [][]int{{i % meta.Items, 5}}, meta.Items)
+		if _, err := st.Append("sales", b); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, b...)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "sales.snap")); err != nil {
+		t.Fatalf("no snapshot after compaction: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "sales.wal.old")); !os.IsNotExist(err) {
+		t.Fatalf("rotated log not removed: %v", err)
+	}
+
+	st2, recs, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rec := findRecovered(recs, "sales")
+	if rec == nil || rec.Err != nil {
+		t.Fatalf("recovery failed: %+v", rec)
+	}
+	if rec.Gen != 8 {
+		t.Fatalf("recovered generation = %d, want 8", rec.Gen)
+	}
+	if !sameTxs(t, rec.DB.Transactions(), want) {
+		t.Fatal("compacted state differs from the full append sequence")
+	}
+	// Most of the state came from the snapshot, not record replay.
+	if rec.Records >= 8 {
+		t.Fatalf("replayed %d records; snapshot did not absorb the prefix", rec.Records)
+	}
+}
+
+func TestBackgroundCompaction(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := store.Open(store.Options{Dir: dir, CompactRecords: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := testMeta()
+	base := mustSets(t, baseTxs(), meta.Items)
+	if err := st.Create("sales", meta, base); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := st.Append("sales", base[:1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Close waits for in-flight background folds.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "sales.snap")); err != nil {
+		t.Fatalf("no snapshot after background compaction: %v", err)
+	}
+	st2, recs, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rec := findRecovered(recs, "sales")
+	if rec == nil || rec.Err != nil || rec.Gen != 11 {
+		t.Fatalf("recovery after background compaction: %+v", rec)
+	}
+}
+
+func TestPartialSnapshotTmpRemoved(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := testMeta()
+	base := mustSets(t, baseTxs(), meta.Items)
+	if err := st.Create("sales", meta, base); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, "sales.snap.tmp")
+	if err := os.WriteFile(tmp, []byte("half a snapsh"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, recs, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rec := findRecovered(recs, "sales")
+	if rec == nil || rec.Err != nil || rec.Gen != 1 {
+		t.Fatalf("recovery with stale .snap.tmp: %+v", rec)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("stale .snap.tmp not removed: %v", err)
+	}
+}
+
+func TestRecoveryFinishesInterruptedCompaction(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := store.Open(store.Options{Dir: dir, CompactRecords: -1, CompactBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := testMeta()
+	base := mustSets(t, baseTxs(), meta.Items)
+	if err := st.Create("sales", meta, base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append("sales", base[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash between WAL rotation and the snapshot fold: the
+	// rotated log exists and the active WAL does not.
+	if err := os.Rename(filepath.Join(dir, "sales.wal"), filepath.Join(dir, "sales.wal.old")); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, recs, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := findRecovered(recs, "sales")
+	if rec == nil || rec.Err != nil || rec.Gen != 2 {
+		t.Fatalf("recovery of interrupted compaction: %+v", rec)
+	}
+	want := append(append([]itemset.Set{}, base...), base[:2]...)
+	if !sameTxs(t, rec.DB.Transactions(), want) {
+		t.Fatal("folded state differs from the pre-rotation state")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "sales.snap")); err != nil {
+		t.Fatalf("fold did not produce a snapshot: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "sales.wal.old")); !os.IsNotExist(err) {
+		t.Fatalf("rotated log survived the fold: %v", err)
+	}
+	// The fold must be stable: appends land in the fresh WAL and a second
+	// reboot replays snapshot + appends.
+	if gen, err := st2.Append("sales", base[:1]); err != nil || gen != 3 {
+		t.Fatalf("append after fold: gen=%d err=%v", gen, err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st3, recs3, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	rec3 := findRecovered(recs3, "sales")
+	if rec3 == nil || rec3.Err != nil || rec3.Gen != 3 {
+		t.Fatalf("second recovery after fold: %+v", rec3)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, s := range []string{"always", "interval", "never"} {
+		p, err := store.ParseSyncPolicy(s)
+		if err != nil {
+			t.Fatalf("ParseSyncPolicy(%q): %v", s, err)
+		}
+		if p.String() != s {
+			t.Errorf("policy %q round-trips as %q", s, p.String())
+		}
+	}
+	if _, err := store.ParseSyncPolicy("sometimes"); err == nil {
+		t.Error("ParseSyncPolicy accepted an unknown policy")
+	}
+
+	// Clean shutdown is durable under every policy.
+	for _, p := range []store.SyncPolicy{store.SyncAlways, store.SyncInterval, store.SyncNever} {
+		t.Run(p.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			st, _, err := store.Open(store.Options{Dir: dir, Policy: p, SyncEvery: 5 * time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			meta := testMeta()
+			base := mustSets(t, baseTxs(), meta.Items)
+			if err := st.Create("sales", meta, base); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := st.Append("sales", base[:1]); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+			st2, recs, err := store.Open(store.Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st2.Close()
+			rec := findRecovered(recs, "sales")
+			if rec == nil || rec.Err != nil || rec.Gen != 2 {
+				t.Fatalf("recovery under %v: %+v", p, rec)
+			}
+		})
+	}
+}

@@ -1,0 +1,82 @@
+package store
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// VFS is the store's view of a filesystem. The production implementation is
+// OSFS; internal/faultinject wraps any VFS with deterministic fault
+// injection (torn writes, fsync errors, crash points), which is how the
+// recovery property tests drive the store through every failure mode
+// without mocking the store itself.
+type VFS interface {
+	// OpenFile opens a file with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath (POSIX rename).
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// MkdirAll creates a directory tree.
+	MkdirAll(path string, perm os.FileMode) error
+	// ReadDir lists a directory.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// Stat describes a file.
+	Stat(name string) (fs.FileInfo, error)
+	// Truncate cuts a file to the given size (recovery chops torn tails).
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs a directory, making renames and removals durable.
+	SyncDir(name string) error
+}
+
+// File is the subset of *os.File the store writes through.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	io.Seeker
+	// Sync flushes the file's data to stable storage (fsync).
+	Sync() error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OSFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (OSFS) Remove(name string) error                     { return os.Remove(name) }
+func (OSFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (OSFS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
+func (OSFS) Stat(name string) (fs.FileInfo, error)        { return os.Stat(name) }
+func (OSFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+
+// SyncDir opens the directory and fsyncs it so that directory-entry
+// mutations (rename, remove, create) survive a power cut. Filesystems that
+// reject fsync on directories are tolerated: the store degrades to the
+// durability the platform offers.
+func (OSFS) SyncDir(name string) error {
+	d, err := os.Open(filepath.Clean(name))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	cerr := d.Close()
+	if err != nil {
+		// EINVAL-style refusals on directories are a platform property, not
+		// a lost write.
+		if pe, ok := err.(*os.PathError); ok && pe.Op == "sync" {
+			return cerr
+		}
+		return err
+	}
+	return cerr
+}

@@ -1,0 +1,102 @@
+package txdb
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/itemset"
+)
+
+// TestEncodeDecodeTransactionsRoundTrip proves the record payload codec is
+// lossless and composes inside a stream: two payloads written back-to-back
+// decode independently, consuming exactly their own bytes.
+func TestEncodeDecodeTransactionsRoundTrip(t *testing.T) {
+	a := []itemset.Set{
+		itemset.New(0, 3, 7),
+		itemset.New(),
+		itemset.New(2),
+	}
+	b := []itemset.Set{
+		itemset.New(1, 2, 3, 4),
+	}
+	var buf bytes.Buffer
+	if err := EncodeTransactions(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeTransactions(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(buf.Bytes())
+	gotA, err := DecodeTransactions(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := DecodeTransactions(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("decode left %d unread bytes", r.Len())
+	}
+	check := func(got, want []itemset.Set) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("got %d transactions, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("transaction %d: got %v want %v", i, got[i], want[i])
+			}
+		}
+	}
+	check(gotA, a)
+	check(gotB, b)
+}
+
+// TestDecodeTransactionsRejectsCorruption exercises the validation paths:
+// truncated streams, unsorted items, duplicates, and oversized length
+// claims all surface as ErrBadFormat, never a panic or silent acceptance.
+func TestDecodeTransactionsRejectsCorruption(t *testing.T) {
+	encode := func(txs []itemset.Set) []byte {
+		var buf bytes.Buffer
+		if err := EncodeTransactions(&buf, txs); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	good := encode([]itemset.Set{itemset.New(1, 5, 9), itemset.New(2, 4)})
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"truncated": good[:len(good)-3],
+		// count says 2 transactions but the body holds one.
+		"short body": good[:4+4+3*4],
+		// flip the second transaction's first item (4) to 6 > 4's successor —
+		// decode order becomes 6,4: unsorted.
+		"unsorted": func() []byte {
+			b := append([]byte(nil), good...)
+			b[len(b)-8] = 6
+			return b
+		}(),
+		"duplicates": func() []byte {
+			b := append([]byte(nil), good...)
+			b[len(b)-8] = 4 // second tx becomes 4,4
+			b[len(b)-4] = 4
+			return b
+		}(),
+		"huge tx length": func() []byte {
+			b := append([]byte(nil), good...)
+			b[4] = 0xff // first tx length low byte
+			b[5] = 0xff
+			b[6] = 0xff
+			b[7] = 0x7f
+			return b
+		}(),
+	}
+	for name, data := range cases {
+		if _, err := DecodeTransactions(bytes.NewReader(data)); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("%s: got %v, want ErrBadFormat", name, err)
+		}
+	}
+}

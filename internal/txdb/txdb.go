@@ -56,6 +56,11 @@ func (db *DB) NumItems() int { return db.numItems }
 // mutated.
 func (db *DB) Transaction(i int) itemset.Set { return db.tx[i] }
 
+// Transactions returns the underlying transaction slice. Callers must treat
+// it as read-only; it is shared with the DB (used by the durable store to
+// encode snapshots without copying the dataset).
+func (db *DB) Transactions() []itemset.Set { return db.tx }
+
 // Scan invokes fn once per transaction, in TID order, and records one full
 // database scan for I/O accounting (both on the DB and, live, in the global
 // metrics registry — so a mid-run scrape sees scan progress).
@@ -198,20 +203,85 @@ func (db *DB) WriteBinary(w io.Writer) error {
 	if _, err := bw.Write(binaryMagic[:]); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(len(db.tx))); err != nil {
+	if err := EncodeTransactions(bw, db.tx); err != nil {
 		return err
 	}
-	for _, t := range db.tx {
-		if err := binary.Write(bw, binary.LittleEndian, uint32(t.Len())); err != nil {
+	return bw.Flush()
+}
+
+// EncodeTransactions writes the stable binary encoding of a transaction
+// list: a uint32 count, then per transaction a uint32 length followed by
+// that many uint32 item ids, all little-endian. The layout is shared by the
+// whole-DB binary codec (WriteBinary adds a magic prefix and a trailing-data
+// check) and the durable store's WAL record and snapshot payloads — it is
+// part of the on-disk contract, so it must never change shape silently.
+func EncodeTransactions(w io.Writer, txs []itemset.Set) error {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], uint32(len(txs)))
+	if _, err := w.Write(buf[:]); err != nil {
+		return err
+	}
+	for _, t := range txs {
+		binary.LittleEndian.PutUint32(buf[:], uint32(t.Len()))
+		if _, err := w.Write(buf[:]); err != nil {
 			return err
 		}
 		for _, it := range t {
-			if err := binary.Write(bw, binary.LittleEndian, uint32(it)); err != nil {
+			binary.LittleEndian.PutUint32(buf[:], uint32(it))
+			if _, err := w.Write(buf[:]); err != nil {
 				return err
 			}
 		}
 	}
-	return bw.Flush()
+	return nil
+}
+
+// DecodeTransactions reads back an EncodeTransactions payload, validating
+// length claims, item ranges and itemset invariants (sortedness, no
+// duplicates). Corruption yields ErrBadFormat wrapped with position detail.
+// The decode consumes exactly the encoded bytes, so it composes inside
+// length-delimited containers (WAL records) as well as whole files.
+func DecodeTransactions(r io.Reader) ([]itemset.Set, error) {
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("%w: reading count: %v", ErrBadFormat, err)
+	}
+	// Never pre-allocate from an untrusted header: a forged count would
+	// reserve gigabytes before the truncated body could be rejected.
+	capHint := count
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	txs := make([]itemset.Set, 0, capHint)
+	for i := uint32(0); i < count; i++ {
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return nil, fmt.Errorf("%w: transaction %d length: %v", ErrBadFormat, i, err)
+		}
+		if n > maxBinaryTxLen {
+			return nil, fmt.Errorf("%w: transaction %d claims %d items", ErrBadFormat, i, n)
+		}
+		items := make([]itemset.Item, n)
+		for j := range items {
+			var v uint32
+			if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
+				return nil, fmt.Errorf("%w: transaction %d item %d: %v", ErrBadFormat, i, j, err)
+			}
+			if v > math.MaxInt32 {
+				return nil, fmt.Errorf("%w: transaction %d item %d = %d outside [0, 2^31)", ErrBadFormat, i, j, v)
+			}
+			items[j] = itemset.Item(v)
+		}
+		if !sort.SliceIsSorted(items, func(a, b int) bool { return items[a] < items[b] }) {
+			return nil, fmt.Errorf("%w: transaction %d not sorted", ErrBadFormat, i)
+		}
+		s := itemset.Set(items)
+		if !s.Valid() {
+			return nil, fmt.Errorf("%w: transaction %d has duplicates", ErrBadFormat, i)
+		}
+		txs = append(txs, s)
+	}
+	return txs, nil
 }
 
 // maxBinaryTxLen bounds a single transaction's length claim so corrupt
@@ -230,48 +300,13 @@ func ReadBinary(r io.Reader) (*DB, error) {
 	if magic != binaryMagic {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, magic[:])
 	}
-	var count uint32
-	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-		return nil, fmt.Errorf("%w: reading count: %v", ErrBadFormat, err)
-	}
-	// Never pre-allocate from an untrusted header: a forged count would
-	// reserve gigabytes before the truncated body could be rejected.
-	capHint := count
-	if capHint > 1<<16 {
-		capHint = 1 << 16
-	}
-	txs := make([]itemset.Set, 0, capHint)
-	for i := uint32(0); i < count; i++ {
-		var n uint32
-		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
-			return nil, fmt.Errorf("%w: transaction %d length: %v", ErrBadFormat, i, err)
-		}
-		if n > maxBinaryTxLen {
-			return nil, fmt.Errorf("%w: transaction %d claims %d items", ErrBadFormat, i, n)
-		}
-		items := make([]itemset.Item, n)
-		for j := range items {
-			var v uint32
-			if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
-				return nil, fmt.Errorf("%w: transaction %d item %d: %v", ErrBadFormat, i, j, err)
-			}
-			if v > math.MaxInt32 {
-				return nil, fmt.Errorf("%w: transaction %d item %d = %d outside [0, 2^31)", ErrBadFormat, i, j, v)
-			}
-			items[j] = itemset.Item(v)
-		}
-		if !sort.SliceIsSorted(items, func(a, b int) bool { return items[a] < items[b] }) {
-			return nil, fmt.Errorf("%w: transaction %d not sorted", ErrBadFormat, i)
-		}
-		s := itemset.Set(items)
-		if !s.Valid() {
-			return nil, fmt.Errorf("%w: transaction %d has duplicates", ErrBadFormat, i)
-		}
-		txs = append(txs, s)
+	txs, err := DecodeTransactions(br)
+	if err != nil {
+		return nil, err
 	}
 	// Trailing garbage is rejected: the format is self-delimiting.
 	if _, err := br.ReadByte(); err != io.EOF {
-		return nil, fmt.Errorf("%w: trailing data after %d transactions", ErrBadFormat, count)
+		return nil, fmt.Errorf("%w: trailing data after %d transactions", ErrBadFormat, len(txs))
 	}
 	return New(txs), nil
 }

@@ -28,6 +28,17 @@ if grep -rnE '"(runtime/pprof|net/http/pprof)"' \
   exit 1
 fi
 
+echo "== durability hygiene =="
+# Inside the WAL/snapshot store every Close and Sync return is load-bearing:
+# a swallowed fsync error is a silent durability hole. Bare call statements
+# (including deferred ones) are rejected; explicit `_ =` discards with a
+# justifying comment and checked `if err :=` forms pass.
+if grep -rnE '^[[:space:]]*(defer[[:space:]]+)?[A-Za-z_][A-Za-z0-9_.()]*\.(Close|Sync)\(\)[[:space:]]*$' \
+    internal/store --include='*.go' | grep -v '_test.go'; then
+  echo "check.sh: unchecked Close/Sync under internal/store (handle or explicitly discard the error)" >&2
+  exit 1
+fi
+
 echo "== go vet =="
 go vet ./...
 
@@ -57,23 +68,33 @@ go run ./cmd/bench -scale 25 -workloads fig8a-overlap-33 -strategies optimized,s
 go run ./cmd/bench -scale 25 -workloads fig8a-overlap-33 -strategies optimized,sequential \
   -compare "$check_tmp/base.json" -threshold 25 -out "$check_tmp/fresh.json" 2> /dev/null
 
-echo "== cfqd smoke (serve, query round-trip, SIGTERM drain) =="
-# Boot the real daemon on an ephemeral port, push one small closed-loop
-# load through it (dataset create + queries, expecting 200s), then drain
-# it with SIGTERM and require a clean exit.
+echo "== cfqd smoke (durable serve, SIGKILL recovery, SIGTERM drain) =="
+# Boot the real daemon with a durable data dir on an ephemeral port and push
+# one small closed-loop load through it (dataset create + queries, expecting
+# 200s). cfqload's -wait-ready polls /readyz, so startup and boot recovery
+# are awaited, not slept through. Then SIGKILL the daemon — no drain, no
+# store flush — restart it over the same directory, and require the
+# recovered dataset to keep answering; finally SIGTERM for a clean drain.
 go build -o "$check_tmp/cfqd" ./cmd/cfqd
 go build -o "$check_tmp/cfqload" ./cmd/cfqload
-"$check_tmp/cfqd" -addr 127.0.0.1:0 -addr-file "$check_tmp/addr" -quiet &
-cfqd_pid=$!
-for _ in $(seq 1 100); do
-  [[ -s "$check_tmp/addr" ]] && break
-  sleep 0.1
-done
-if [[ ! -s "$check_tmp/addr" ]]; then
-  echo "check.sh: cfqd never wrote its addr-file" >&2
-  exit 1
-fi
-"$check_tmp/cfqload" -addr "$(cat "$check_tmp/addr")" -create \
+
+start_cfqd() {
+  rm -f "$check_tmp/addr"
+  "$check_tmp/cfqd" -addr 127.0.0.1:0 -addr-file "$check_tmp/addr" \
+    -data-dir "$check_tmp/data" -quiet &
+  cfqd_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$check_tmp/addr" ]] && break
+    sleep 0.1
+  done
+  if [[ ! -s "$check_tmp/addr" ]]; then
+    echo "check.sh: cfqd never wrote its addr-file" >&2
+    exit 1
+  fi
+}
+
+start_cfqd
+"$check_tmp/cfqload" -addr "$(cat "$check_tmp/addr")" -wait-ready 10s -create \
   -gen-tx 200 -gen-items 20 -minsup 20 -clients 2 -requests 5 \
   > "$check_tmp/load.out"
 if ! grep -q 'status 200' "$check_tmp/load.out"; then
@@ -81,11 +102,31 @@ if ! grep -q 'status 200' "$check_tmp/load.out"; then
   cat "$check_tmp/load.out" >&2
   exit 1
 fi
+
+kill -9 "$cfqd_pid"
+wait "$cfqd_pid" 2> /dev/null || true
+start_cfqd
+"$check_tmp/cfqload" -addr "$(cat "$check_tmp/addr")" -wait-ready 10s \
+  -minsup 20 -clients 2 -requests 5 \
+  > "$check_tmp/recover.out"
+if ! grep -q 'status 200' "$check_tmp/recover.out"; then
+  echo "check.sh: recovered cfqd not serving the durable dataset after SIGKILL" >&2
+  cat "$check_tmp/recover.out" >&2
+  exit 1
+fi
+
 kill -TERM "$cfqd_pid"
 if ! wait "$cfqd_pid"; then
   echo "check.sh: cfqd did not drain cleanly on SIGTERM" >&2
   exit 1
 fi
 cfqd_pid=""
+
+echo "== crash-recovery property (kill -9 storm, -race) =="
+# The full acceptance test: a real cfqd SIGKILLed mid-append-storm at
+# randomized points must recover exactly an acked-prefix and answer
+# byte-identically to a never-crashed replica. Not -short, so the exec'd
+# crash rounds actually run.
+go test -race -count=1 -run 'TestCrashRecoveryStorm' ./cmd/cfqd
 
 echo "check.sh: all green"
