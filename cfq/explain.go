@@ -98,3 +98,25 @@ func (q *Query) ExplainAnalyzeContext(ctx context.Context, strat Strategy) (res 
 	res.Report = obs.FromContext(ctx).Report()
 	return res, rep, nil
 }
+
+// AnalyzeCapture builds the plan report for an already-finished run from
+// its attributed pruning counters: the plan is rendered fresh (one database
+// scan for selectivity estimates) and annotated with the given PruneSet and
+// pruned total. It is the slow-query capture path — the run went through
+// the normal RunContext (possibly via a session cache), so no Result or
+// plan internals survive, yet the report's sum contract still holds:
+// SumPruned() == pruned, with sites that only a live plan could claim
+// landing in OtherPruned.
+func (q *Query) AnalyzeCapture(strat Strategy, prune *PruneSet, pruned int64) (rep *ExplainReport, err error) {
+	defer recoverToError(&err)
+	icfq, err := q.compile()
+	if err != nil {
+		return nil, err
+	}
+	rep, err = core.BuildExplain(icfq, strat.internal())
+	if err != nil {
+		return nil, err
+	}
+	core.AnalyzeCapture(rep, pruned, prune)
+	return rep, nil
+}

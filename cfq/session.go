@@ -139,6 +139,7 @@ func (s *Session) RunContext(ctx context.Context, q *Query) (res *Result, err er
 		// The dataset was recompiled (new transactions or attributes):
 		// every cached lattice is stale.
 		s.cache = map[string]*latticeEntry{}
+		obs.MCacheBytes.Add(-s.bytes)
 		s.bytes = 0
 		s.db = db
 	}
@@ -296,6 +297,7 @@ func (s *Session) side(ctx context.Context, label string, db *txdb.DB, domain it
 		if old := s.cache[key]; old == nil || minSup < old.minSup {
 			if old != nil {
 				s.bytes -= old.bytes
+				obs.MCacheBytes.Add(-old.bytes)
 			}
 			s.seq++
 			entry := &latticeEntry{
@@ -306,6 +308,7 @@ func (s *Session) side(ctx context.Context, label string, db *txdb.DB, domain it
 			}
 			s.cache[key] = entry
 			s.bytes += entry.bytes
+			obs.MCacheBytes.Add(entry.bytes)
 			s.evictLocked()
 		}
 	}
@@ -329,6 +332,7 @@ func (s *Session) evictLocked() {
 		}
 		delete(s.cache, lruKey)
 		s.bytes -= lru.bytes
+		obs.MCacheBytes.Add(-lru.bytes)
 		s.evictions++
 		obs.MCacheEvictions.Inc()
 	}

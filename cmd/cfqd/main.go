@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -70,6 +71,7 @@ func run(args []string, ready chan<- string) error {
 		fsyncInterval  = fs.Duration("fsync-interval", 100*time.Millisecond, "max unsynced window under -fsync interval")
 		compactRecords = fs.Int("compact-records", 1024, "snapshot+truncate a dataset log after this many WAL records (negative disables)")
 		compactBytes   = fs.Int64("compact-bytes", 64<<20, "snapshot+truncate a dataset log after this many WAL bytes (negative disables)")
+		slowQueryMS    = fs.Int64("slow-query-ms", 0, "capture queries slower than this (or budget/error outcomes) in the slow-query log; 0 disables")
 		drainTimeout   = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain window for in-flight requests")
 		logLevel       = fs.String("log-level", "info", "log level: debug, info, warn, error")
 		quiet          = fs.Bool("quiet", false, "disable request logging")
@@ -102,6 +104,14 @@ func run(args []string, ready chan<- string) error {
 		}
 	}
 
+	// The slow-query ring persists beside the WALs when the daemon has a
+	// data directory; without one, records stay in memory (GET /v1/slowlog
+	// still serves them for the process lifetime).
+	var slowLogDir string
+	if *slowQueryMS > 0 && *dataDir != "" {
+		slowLogDir = filepath.Join(*dataDir, "slowlog")
+	}
+
 	srv := serve.NewServer(serve.Config{
 		Store: storeOpts,
 		Workers:    *workers,
@@ -120,6 +130,8 @@ func run(args []string, ready chan<- string) error {
 		ResultCacheBytes:      *resultBytes,
 		SessionCacheBytes:     *sessionBytes,
 		AllowFiles:            *allowFiles,
+		SlowQuery:             time.Duration(*slowQueryMS) * time.Millisecond,
+		SlowLogDir:            slowLogDir,
 		Logger:                logger,
 	})
 

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs/telemetry"
 	"repro/internal/serve"
 )
 
@@ -47,6 +48,7 @@ type outcome struct {
 	cached  bool
 	retries int
 	latency time.Duration
+	traceID string
 }
 
 func run(args []string, out io.Writer) error {
@@ -70,6 +72,7 @@ func run(args []string, out io.Writer) error {
 		retryBase   = fs.Duration("retry-base", 25*time.Millisecond, "base of the jittered exponential backoff")
 		retryCap    = fs.Duration("retry-cap", 2*time.Second, "upper bound on a single backoff sleep")
 		waitReady   = fs.Duration("wait-ready", 0, "poll the server's /readyz for up to this long before loading (0 = don't)")
+		slowMS      = fs.Int64("slow-ms", 0, "report requests slower than this with their trace ids (0 = don't)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,7 +98,7 @@ func run(args []string, out io.Writer) error {
 				UniformPrices: true,
 			},
 		}
-		status, _, _, err := pol.post(hc, base+"/v1/datasets", spec)
+		status, _, _, err := pol.post(hc, base+"/v1/datasets", spec, telemetry.MintTrace().Traceparent())
 		if err != nil {
 			return err
 		}
@@ -130,11 +133,15 @@ func run(args []string, out io.Writer) error {
 				if *explainEach > 0 && (i+1)%*explainEach == 0 {
 					url = base + "/v1/explain"
 				}
+				// One trace per logical request, shared across retried
+				// attempts, so the server-side spans of every attempt
+				// join under a single trace id.
+				tc := telemetry.MintTrace()
 				t0 := time.Now()
-				status, body, tries, err := pol.post(hc, url, req)
+				status, body, tries, err := pol.post(hc, url, req, tc.Traceparent())
 				lat := time.Since(t0)
 				if err != nil {
-					results[c] = append(results[c], outcome{status: -1, retries: tries, latency: lat})
+					results[c] = append(results[c], outcome{status: -1, retries: tries, latency: lat, traceID: tc.TraceID})
 					continue
 				}
 				var resp serve.QueryResponse
@@ -142,14 +149,14 @@ func run(args []string, out io.Writer) error {
 				if status == http.StatusOK && json.Unmarshal(body, &resp) == nil {
 					cached = resp.Cached
 				}
-				results[c] = append(results[c], outcome{status: status, cached: cached, retries: tries, latency: lat})
+				results[c] = append(results[c], outcome{status: status, cached: cached, retries: tries, latency: lat, traceID: tc.TraceID})
 			}
 		}(c)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	report(out, results, elapsed)
+	report(out, results, elapsed, time.Duration(*slowMS)*time.Millisecond)
 	return nil
 }
 
@@ -187,11 +194,13 @@ type retryPolicy struct {
 }
 
 // post issues one logical request, retrying per the policy. It returns the
-// final status/body plus the number of extra attempts spent.
-func (p retryPolicy) post(hc *http.Client, url string, v any) (status int, body []byte, tries int, err error) {
+// final status/body plus the number of extra attempts spent. The traceparent
+// header is resent verbatim on every attempt — retries are the same logical
+// request, so they share one trace.
+func (p retryPolicy) post(hc *http.Client, url string, v any, traceparent string) (status int, body []byte, tries int, err error) {
 	for attempt := 0; ; attempt++ {
 		var hint time.Duration
-		status, body, hint, err = postOnce(hc, url, v)
+		status, body, hint, err = postOnce(hc, url, v, traceparent)
 		if err != nil || (status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable) {
 			return status, body, attempt, err
 		}
@@ -231,12 +240,20 @@ func retryAfterHint(body []byte) time.Duration {
 // postOnce issues a single attempt and extracts the server's retry hint:
 // the structured body's retry_after_ms, falling back to the Retry-After
 // header (delta-seconds form).
-func postOnce(hc *http.Client, url string, v any) (int, []byte, time.Duration, error) {
+func postOnce(hc *http.Client, url string, v any, traceparent string) (int, []byte, time.Duration, error) {
 	b, err := json.Marshal(v)
 	if err != nil {
 		return 0, nil, 0, err
 	}
-	resp, err := hc.Post(url, "application/json", bytes.NewReader(b))
+	hreq, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(b))
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		hreq.Header.Set("Traceparent", traceparent)
+	}
+	resp, err := hc.Do(hreq)
 	if err != nil {
 		return 0, nil, 0, err
 	}
@@ -254,7 +271,7 @@ func postOnce(hc *http.Client, url string, v any) (int, []byte, time.Duration, e
 	return resp.StatusCode, body, hint, nil
 }
 
-func report(out io.Writer, results [][]outcome, elapsed time.Duration) {
+func report(out io.Writer, results [][]outcome, elapsed time.Duration, slow time.Duration) {
 	var all []outcome
 	for _, r := range results {
 		all = append(all, r...)
@@ -296,6 +313,39 @@ func report(out io.Writer, results [][]outcome, elapsed time.Duration) {
 		fmt.Fprintf(out, "latency: p50 %v  p90 %v  p99 %v  max %v\n",
 			pct(lats, 50).Round(time.Microsecond), pct(lats, 90).Round(time.Microsecond),
 			pct(lats, 99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+	}
+	if slow > 0 {
+		reportSlow(out, all, slow)
+	}
+}
+
+// reportSlow lists the requests slower than the threshold, worst first, with
+// the trace id each one carried — the join key against the server's
+// slow-query log and span-level traces.
+func reportSlow(out io.Writer, all []outcome, slow time.Duration) {
+	var over []outcome
+	for _, o := range all {
+		if o.latency >= slow {
+			over = append(over, o)
+		}
+	}
+	fmt.Fprintf(out, "slow requests (>= %v): %d of %d\n", slow, len(over), len(all))
+	if len(over) == 0 {
+		return
+	}
+	sort.Slice(over, func(i, j int) bool { return over[i].latency > over[j].latency })
+	const worst = 5
+	for i, o := range over {
+		if i >= worst {
+			fmt.Fprintf(out, "  ... and %d more\n", len(over)-worst)
+			break
+		}
+		label := fmt.Sprint(o.status)
+		if o.status == -1 {
+			label = "transport-error"
+		}
+		fmt.Fprintf(out, "  %v  status %s  retries %d  trace %s\n",
+			o.latency.Round(time.Microsecond), label, o.retries, o.traceID)
 	}
 }
 

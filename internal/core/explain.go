@@ -229,19 +229,12 @@ func AnalyzeExplain(rep *obs.ExplainReport, res *Result, prune *obs.PruneSet) {
 	}
 	rep.TotalPruned = res.Stats.CandidatesPruned
 
-	key := func(v, cons string) string { return v + "\x00" + cons }
-	byCons := map[string]*obs.ConstraintExplain{}
-	for _, ce := range rep.Constraints {
-		if _, dup := byCons[key(ce.Variable, ce.Constraint)]; !dup {
-			byCons[key(ce.Variable, ce.Constraint)] = ce
-		}
-	}
-
+	byCons := consIndex(rep)
 	plan := res.Plan
 	if plan != nil {
 		addReduced := func(v string, conds []string) {
 			for _, cond := range conds {
-				if byCons[key(v, cond)] != nil {
+				if byCons[consKey(v, cond)] != nil {
 					// A reduction that reproduced an original constraint (or
 					// another 2-var's condition): the existing entry absorbs
 					// the charges.
@@ -256,7 +249,7 @@ func AnalyzeExplain(rep *obs.ExplainReport, res *Result, prune *obs.PruneSet) {
 					EstimatedSelectivity: -1,
 				}
 				rep.Constraints = append(rep.Constraints, ce)
-				byCons[key(v, cond)] = ce
+				byCons[consKey(v, cond)] = ce
 			}
 		}
 		addReduced("S", plan.ReducedS)
@@ -270,6 +263,44 @@ func AnalyzeExplain(rep *obs.ExplainReport, res *Result, prune *obs.PruneSet) {
 			})
 		}
 	}
+	distributeCharges(rep, prune)
+}
+
+// AnalyzeCapture completes a plan report with a finished run's pruning when
+// only the attributed counters survive (slow-query capture after the
+// Result is gone, or a cache-served run where the plan was never rebuilt).
+// Unlike AnalyzeExplain it adds no plan-derived reduced conditions or bound
+// trajectories — sites that would have matched them land in OtherPruned
+// instead, so the report's sum contract (SumPruned() == pruned) still
+// holds.
+func AnalyzeCapture(rep *obs.ExplainReport, pruned int64, prune *obs.PruneSet) {
+	rep.Analyzed = true
+	rep.TotalPruned = pruned
+	distributeCharges(rep, prune)
+}
+
+// consKey indexes a constraint entry by (variable, constraint).
+func consKey(v, cons string) string { return v + "\x00" + cons }
+
+// consIndex maps the report's constraint entries by consKey (first entry
+// wins on duplicates).
+func consIndex(rep *obs.ExplainReport) map[string]*obs.ConstraintExplain {
+	byCons := map[string]*obs.ConstraintExplain{}
+	for _, ce := range rep.Constraints {
+		if _, dup := byCons[consKey(ce.Variable, ce.Constraint)]; !dup {
+			byCons[consKey(ce.Variable, ce.Constraint)] = ce
+		}
+	}
+	return byCons
+}
+
+// distributeCharges routes every attributed pruning site onto the report
+// entry that owns it — bound entries for jmax/final-filter sites,
+// constraint entries for pair and per-constraint sites — with OtherPruned
+// absorbing whatever matches nothing, so the charges always sum to
+// TotalPruned.
+func distributeCharges(rep *obs.ExplainReport, prune *obs.PruneSet) {
+	byCons := consIndex(rep)
 	byBound := map[string]*obs.BoundExplain{}
 	for _, be := range rep.Bounds {
 		if _, dup := byBound[be.Bound]; !dup {
@@ -314,13 +345,13 @@ func AnalyzeExplain(rep *obs.ExplainReport, res *Result, prune *obs.PruneSet) {
 				continue
 			}
 		case "pairs":
-			if ce := byCons[key("S,T", detail)]; ce != nil {
+			if ce := byCons[consKey("S,T", detail)]; ce != nil {
 				chargeC(ce, site, n)
 				continue
 			}
 		}
 		if detail != "" {
-			if ce := byCons[key(varForLabel(label), detail)]; ce != nil {
+			if ce := byCons[consKey(varForLabel(label), detail)]; ce != nil {
 				chargeC(ce, site, n)
 				continue
 			}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,22 +19,50 @@ import (
 
 var (
 	regMu   sync.Mutex
-	regVars = map[string]metricVar{}
+	regVars = map[string]regEntry{}
 	regKeys []string
 )
 
-// metricVar is anything the registry can snapshot.
+// metricVar is anything the registry can snapshot: value() is the legacy
+// JSON form, series() the typed form the Prometheus exposition renders.
 type metricVar interface {
 	value() any
+	series() []Series
 }
 
-func register(name string, v metricVar) {
+type regEntry struct {
+	v      metricVar
+	kind   FamilyKind
+	labels []string
+}
+
+// register adds a family to the registry, enforcing the naming contract the
+// exposition lint tests assert: snake_case names, counters end in _total,
+// duration histograms in _ms, gauges in neither.
+func register(name string, kind FamilyKind, labels []string, v metricVar) {
+	if !nameOK(name) {
+		panic(fmt.Sprintf("obs: metric name %q is not snake_case", name))
+	}
+	switch kind {
+	case KindCounter:
+		if !strings.HasSuffix(name, "_total") {
+			panic(fmt.Sprintf("obs: counter %q must end in _total", name))
+		}
+	case KindGauge:
+		if strings.HasSuffix(name, "_total") || strings.HasSuffix(name, "_ms") {
+			panic(fmt.Sprintf("obs: gauge %q must not carry a counter/histogram suffix", name))
+		}
+	case KindHistogram:
+		if !strings.HasSuffix(name, "_ms") {
+			panic(fmt.Sprintf("obs: histogram %q must end in _ms (durations in milliseconds)", name))
+		}
+	}
 	regMu.Lock()
 	defer regMu.Unlock()
 	if _, dup := regVars[name]; dup {
 		panic(fmt.Sprintf("obs: duplicate metric %q", name))
 	}
-	regVars[name] = v
+	regVars[name] = regEntry{v: v, kind: kind, labels: labels}
 	regKeys = append(regKeys, name)
 	sort.Strings(regKeys)
 }
@@ -46,7 +75,7 @@ type Counter struct {
 // NewCounter registers a counter under the given name.
 func NewCounter(name string) *Counter {
 	c := &Counter{}
-	register(name, c)
+	register(name, KindCounter, nil, c)
 	return c
 }
 
@@ -68,6 +97,8 @@ func (c *Counter) String() string { return fmt.Sprint(c.n.Load()) }
 
 func (c *Counter) value() any { return c.n.Load() }
 
+func (c *Counter) series() []Series { return []Series{{Value: float64(c.n.Load())}} }
+
 // Gauge is a metric that can move both ways.
 type Gauge struct {
 	n atomic.Int64
@@ -76,7 +107,7 @@ type Gauge struct {
 // NewGauge registers a gauge under the given name.
 func NewGauge(name string) *Gauge {
 	g := &Gauge{}
-	register(name, g)
+	register(name, KindGauge, nil, g)
 	return g
 }
 
@@ -94,9 +125,19 @@ func (g *Gauge) String() string { return fmt.Sprint(g.n.Load()) }
 
 func (g *Gauge) value() any { return g.n.Load() }
 
+func (g *Gauge) series() []Series { return []Series{{Value: float64(g.n.Load())}} }
+
 // histBounds are the histogram bucket upper bounds in milliseconds;
 // observations above the last bound land in the +Inf bucket.
 var histBounds = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000}
+
+// BucketBoundsMS returns a copy of the registry's histogram bucket upper
+// bounds, for consumers (RED rollups, /statz) that need the same shape.
+func BucketBoundsMS() []float64 {
+	out := make([]float64, len(histBounds))
+	copy(out, histBounds)
+	return out
+}
 
 // Histogram is a fixed-bucket timing histogram (milliseconds). Buckets are
 // non-cumulative; SumMS accumulates in microseconds internally for
@@ -107,10 +148,15 @@ type Histogram struct {
 	sumUS   atomic.Int64
 }
 
+// newHistogram builds an unregistered histogram (vec children).
+func newHistogram() *Histogram {
+	return &Histogram{buckets: make([]atomic.Int64, len(histBounds)+1)}
+}
+
 // NewHistogram registers a timing histogram under the given name.
 func NewHistogram(name string) *Histogram {
-	h := &Histogram{buckets: make([]atomic.Int64, len(histBounds)+1)}
-	register(name, h)
+	h := newHistogram()
+	register(name, KindHistogram, nil, h)
 	return h
 }
 
@@ -125,6 +171,27 @@ func (h *Histogram) Observe(d time.Duration) {
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Snapshot returns the histogram's explicit bucket boundaries and
+// non-cumulative counts — the transparent form /statz and the Prometheus
+// exposition render (the exposition cumulates them per its convention).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	snap := HistogramSnapshot{
+		BoundsMS: histBounds,
+		Counts:   make([]int64, len(h.buckets)),
+		Count:    h.count.Load(),
+		SumMS:    float64(h.sumUS.Load()) / 1e3,
+	}
+	for i := range h.buckets {
+		snap.Counts[i] = h.buckets[i].Load()
+	}
+	return snap
+}
+
+func (h *Histogram) series() []Series {
+	snap := h.Snapshot()
+	return []Series{{Hist: &snap}}
+}
 
 func (h *Histogram) value() any {
 	buckets := map[string]int64{}
@@ -157,7 +224,7 @@ func Snapshot() map[string]any {
 	defer regMu.Unlock()
 	out := make(map[string]any, len(regVars))
 	for _, k := range regKeys {
-		out[k] = regVars[k].value()
+		out[k] = regVars[k].v.value()
 	}
 	return out
 }
@@ -174,6 +241,7 @@ var (
 	MCacheHits      = NewCounter("session_cache_hits_total")
 	MCacheMisses    = NewCounter("session_cache_misses_total")
 	MCacheEvictions = NewCounter("session_cache_evictions_total")
+	MCacheBytes     = NewGauge("session_cache_bytes")
 	MQueryDur       = NewHistogram("query_duration_ms")
 
 	MCandidates   = NewCounter("candidates_counted_total")
@@ -218,11 +286,13 @@ func MetricsHandler() http.Handler {
 	})
 }
 
-// NewMetricsMux builds the HTTP mux behind cmd/cfq's -metrics-addr flag:
-// /metrics (registry JSON) and /debug/vars (standard expvar).
+// NewMetricsMux builds the HTTP mux behind cmd/cfq's -metrics-addr flag and
+// cfqd's ops port: /metrics (Prometheus text exposition), /metrics.json
+// (the registry snapshot as JSON) and /debug/vars (standard expvar).
 func NewMetricsMux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", MetricsHandler())
+	mux.Handle("/metrics", PromHandler())
+	mux.Handle("/metrics.json", MetricsHandler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	return mux
 }

@@ -54,8 +54,9 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
-// TestSnapshotAndHandler: the registry snapshot includes the standard vars
-// and /metrics serves it as JSON.
+// TestSnapshotAndHandler: the registry snapshot includes the standard vars,
+// /metrics serves Prometheus exposition text, and /metrics.json keeps the
+// JSON form.
 func TestSnapshotAndHandler(t *testing.T) {
 	MQueries.Inc()
 	snap := Snapshot()
@@ -68,15 +69,28 @@ func TestSnapshotAndHandler(t *testing.T) {
 
 	rec := httptest.NewRecorder()
 	NewMetricsMux().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	text := rec.Body.String()
+	if !strings.Contains(text, "# TYPE db_scans_total counter") {
+		t.Errorf("db_scans_total TYPE line missing from /metrics:\n%s", text)
+	}
+	if !strings.Contains(text, `query_duration_ms_bucket{le="+Inf"}`) {
+		t.Error("histogram +Inf bucket missing from /metrics")
+	}
+
+	rec = httptest.NewRecorder()
+	NewMetricsMux().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.json", nil))
 	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
-		t.Errorf("Content-Type = %q", ct)
+		t.Errorf("/metrics.json Content-Type = %q", ct)
 	}
 	var body map[string]any
 	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := body["db_scans_total"]; !ok {
-		t.Errorf("db_scans_total missing from /metrics: %v", body)
+		t.Errorf("db_scans_total missing from /metrics.json: %v", body)
 	}
 
 	// /debug/vars exposes the same registry under the "cfq" expvar.

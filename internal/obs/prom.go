@@ -1,0 +1,116 @@
+package obs
+
+// Prometheus text exposition (format version 0.0.4), hand-rolled over the
+// registry's typed Families() view — no client library dependency. All
+// exposition formatting in the repository is confined to internal/obs (a
+// scripts/check.sh hygiene gate enforces it), the same way runtime/pprof
+// is: the rest of the stack registers metrics and never touches the wire
+// format.
+//
+// Rendering rules:
+//   - counters and gauges: one line per series, labels sorted by series;
+//   - histograms: cumulative _bucket lines with an `le` label (the registry
+//     stores non-cumulative buckets; the cumulation happens here), then
+//     _sum and _count. A histogram family named X_ms therefore exposes
+//     X_ms_bucket / X_ms_sum / X_ms_count;
+//   - every family gets exactly one # TYPE header, families in name order,
+//     so scrapes diff cleanly and the golden test is stable.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in Prometheus text
+// format.
+func WritePrometheus(w io.Writer) error {
+	for _, f := range Families() {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind); err != nil {
+			return err
+		}
+		for _, s := range f.Series {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f Family, s Series) error {
+	base := labelPairs(f.Labels, s.LabelValues)
+	if f.Kind != KindHistogram {
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.Name, braced(base), fmtFloat(s.Value))
+		return err
+	}
+	h := s.Hist
+	if h == nil {
+		return nil
+	}
+	var cum int64
+	for i, n := range h.Counts {
+		cum += n
+		le := "+Inf"
+		if i < len(h.BoundsMS) {
+			le = fmtFloat(h.BoundsMS[i])
+		}
+		pairs := append(append([]string(nil), base...), `le="`+le+`"`)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.Name, braced(pairs), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.Name, braced(base), fmtFloat(h.SumMS)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.Name, braced(base), h.Count)
+	return err
+}
+
+// labelPairs renders `name="value"` pairs with Prometheus escaping.
+func labelPairs(names, values []string) []string {
+	if len(names) == 0 {
+		return nil
+	}
+	pairs := make([]string, 0, len(names))
+	for i, n := range names {
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		pairs = append(pairs, n+`="`+escapeLabel(v)+`"`)
+	}
+	return pairs
+}
+
+func braced(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// fmtFloat renders a sample value the way Prometheus expects: integral
+// values without a decimal point, everything else in shortest form.
+func fmtFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// PromHandler serves the Prometheus exposition.
+func PromHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w)
+	})
+}

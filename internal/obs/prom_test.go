@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bufio"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+var familyName = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// TestPrometheusExpositionLint scrapes the full registry and checks the
+// invariants every downstream scraper relies on: exactly one # TYPE header
+// per family, families in name order, snake_case names with the kind-suffix
+// convention (counters _total, histograms _ms, gauges neither), and
+// cumulative histogram buckets whose +Inf sample equals the _count.
+func TestPrometheusExpositionLint(t *testing.T) {
+	// Exercise every family shape, including labels that need escaping.
+	c := NewCounterVec("promlint_requests_total", "endpoint", "status")
+	c.WithLabels(`we"ird\nlabel`, "200").Add(3)
+	c.WithLabels("query", "429").Inc()
+	NewGauge("promlint_depth").Set(7)
+	h := NewHistogramVec("promlint_duration_ms", "endpoint")
+	h.WithLabels("query").Observe(3 * time.Millisecond)
+	h.WithLabels("query").Observe(2 * time.Minute)
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+
+	types := map[string]string{} // family -> kind
+	var order []string
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		parts := strings.Fields(line)
+		if len(parts) != 4 {
+			t.Fatalf("malformed TYPE line: %q", line)
+		}
+		name, kind := parts[2], parts[3]
+		if _, dup := types[name]; dup {
+			t.Errorf("duplicate # TYPE for family %s", name)
+		}
+		types[name] = kind
+		order = append(order, name)
+	}
+	if len(types) == 0 {
+		t.Fatal("no families in exposition")
+	}
+	if !strings.Contains(text, `promlint_requests_total{endpoint="we\"ird\\nlabel",status="200"} 3`) {
+		t.Errorf("escaped label series missing:\n%s", text)
+	}
+
+	for i := 1; i < len(order); i++ {
+		if order[i-1] >= order[i] {
+			t.Errorf("families out of order: %s before %s", order[i-1], order[i])
+		}
+	}
+	for name, kind := range types {
+		if !familyName.MatchString(name) {
+			t.Errorf("family %s is not snake_case", name)
+		}
+		switch kind {
+		case "counter":
+			if !strings.HasSuffix(name, "_total") {
+				t.Errorf("counter %s missing _total suffix", name)
+			}
+		case "histogram":
+			if !strings.HasSuffix(name, "_ms") {
+				t.Errorf("histogram %s missing _ms suffix", name)
+			}
+		case "gauge":
+			if strings.HasSuffix(name, "_total") || strings.HasSuffix(name, "_ms") {
+				t.Errorf("gauge %s carries a kind suffix", name)
+			}
+		default:
+			t.Errorf("family %s has unknown kind %s", name, kind)
+		}
+	}
+
+	checkHistogramSeries(t, text, "promlint_duration_ms", `endpoint="query"`)
+}
+
+// checkHistogramSeries asserts the named histogram series has nondecreasing
+// cumulative buckets ending at le="+Inf" with a value equal to _count.
+func checkHistogramSeries(t *testing.T, text, family, label string) {
+	t.Helper()
+	var prev, inf, count int64
+	inf = -1
+	sawInf := false
+	for _, line := range strings.Split(text, "\n") {
+		switch {
+		case strings.HasPrefix(line, family+"_bucket{") && strings.Contains(line, label):
+			v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket line %q: %v", line, err)
+			}
+			if v < prev {
+				t.Errorf("bucket regressed on %q (prev %d)", line, prev)
+			}
+			prev = v
+			if strings.Contains(line, `le="+Inf"`) {
+				inf, sawInf = v, true
+			}
+		case strings.HasPrefix(line, family+"_count{") && strings.Contains(line, label):
+			count, _ = strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		}
+	}
+	if !sawInf {
+		t.Fatalf("%s has no +Inf bucket", family)
+	}
+	if inf != count || count == 0 {
+		t.Errorf("+Inf bucket %d != count %d", inf, count)
+	}
+}
+
+// TestVecChildrenShareFamily: labeled children accumulate independently and
+// the family snapshot carries every series.
+func TestVecChildrenShareFamily(t *testing.T) {
+	v := NewCounterVec("promlint_vec_total", "k")
+	v.WithLabels("a").Add(2)
+	v.WithLabels("b").Inc()
+	if v.WithLabels("a") != v.WithLabels("a") {
+		t.Error("WithLabels minted a fresh child for the same label values")
+	}
+	for _, f := range Families() {
+		if f.Name != "promlint_vec_total" {
+			continue
+		}
+		got := map[string]float64{}
+		for _, s := range f.Series {
+			got[s.LabelValues[0]] = s.Value
+		}
+		if got["a"] != 2 || got["b"] != 1 {
+			t.Errorf("series = %v", got)
+		}
+		return
+	}
+	t.Fatal("promlint_vec_total family not found")
+}

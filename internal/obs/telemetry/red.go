@@ -1,0 +1,211 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Rolling RED (rate / errors / duration) windows for /statz. Each tracked
+// key — an endpoint, a dataset — keeps the last windowSecs seconds of
+// one-second buckets; a snapshot folds the live buckets into request rate,
+// error rate, shed rate, and interpolated latency quantiles. Buckets are
+// fixed-size arrays indexed by wall second modulo the window, so the
+// structure is O(keys × window) regardless of traffic.
+
+const (
+	// windowSecs is the rolling window length.
+	windowSecs = 60
+	// maxKeys bounds the per-dimension key cardinality (datasets are
+	// client-controlled input); overflow traffic folds into OverflowKey.
+	maxKeys = 64
+	// OverflowKey absorbs observations for keys beyond the maxKeys bound.
+	OverflowKey = "_other"
+)
+
+// redBucket is one second of observations for one key.
+type redBucket struct {
+	sec    int64 // unix second this bucket currently holds
+	count  int64
+	errors int64
+	shed   int64
+	sumMS  float64
+	hist   []int64 // per-bounds counts, len(bounds)+1, last is +Inf
+}
+
+// redWindow is the rolling window for one key.
+type redWindow struct {
+	buckets [windowSecs]redBucket
+}
+
+// RED accumulates rolling request statistics along two dimensions:
+// endpoint and dataset.
+type RED struct {
+	mu        sync.Mutex
+	bounds    []float64
+	endpoints map[string]*redWindow
+	datasets  map[string]*redWindow
+	now       func() time.Time // test seam
+}
+
+// NewRED builds an empty rollup tracker.
+func NewRED() *RED {
+	return &RED{
+		bounds:    obs.BucketBoundsMS(),
+		endpoints: map[string]*redWindow{},
+		datasets:  map[string]*redWindow{},
+		now:       time.Now,
+	}
+}
+
+// Observe records one finished request. Status classifies the outcome:
+// 429/503 count as shed (load rejected before evaluation), any other
+// status >= 400 as an error. dataset may be "" (e.g. /v1/datasets).
+func (r *RED) Observe(endpoint, dataset string, status int, dur time.Duration) {
+	if r == nil {
+		return
+	}
+	shed := status == 429 || status == 503
+	errored := !shed && status >= 400
+	ms := float64(dur) / float64(time.Millisecond)
+	sec := r.now().Unix()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.observeLocked(r.endpoints, endpoint, sec, ms, errored, shed)
+	if dataset != "" {
+		r.observeLocked(r.datasets, dataset, sec, ms, errored, shed)
+	}
+}
+
+func (r *RED) observeLocked(dim map[string]*redWindow, key string, sec int64, ms float64, errored, shed bool) {
+	w := dim[key]
+	if w == nil {
+		if len(dim) >= maxKeys {
+			key = OverflowKey
+			w = dim[key]
+		}
+		if w == nil {
+			w = &redWindow{}
+			dim[key] = w
+		}
+	}
+	b := &w.buckets[sec%windowSecs]
+	if b.sec != sec {
+		*b = redBucket{sec: sec, hist: b.hist}
+		if b.hist == nil {
+			b.hist = make([]int64, len(r.bounds)+1)
+		} else {
+			for i := range b.hist {
+				b.hist[i] = 0
+			}
+		}
+	}
+	b.count++
+	if errored {
+		b.errors++
+	}
+	if shed {
+		b.shed++
+	}
+	b.sumMS += ms
+	b.hist[sort.SearchFloat64s(r.bounds, ms)]++
+}
+
+// Rollup is the folded view of one key's rolling window.
+type Rollup struct {
+	WindowSecs int     `json:"window_secs"`
+	Requests   int64   `json:"requests"`
+	Errors     int64   `json:"errors"`
+	Shed       int64   `json:"shed"`
+	RatePerSec float64 `json:"rate_per_sec"`
+	ErrorRate  float64 `json:"error_rate"`
+	ShedRate   float64 `json:"shed_rate"`
+	P50MS      float64 `json:"p50_ms"`
+	P95MS      float64 `json:"p95_ms"`
+	P99MS      float64 `json:"p99_ms"`
+}
+
+// Snapshot folds both dimensions' live buckets into rollups, keyed by
+// endpoint and dataset respectively. Keys whose windows hold no live
+// observations are omitted.
+func (r *RED) Snapshot() (endpoints, datasets map[string]Rollup) {
+	if r == nil {
+		return nil, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cutoff := r.now().Unix() - windowSecs
+	return r.foldLocked(r.endpoints, cutoff), r.foldLocked(r.datasets, cutoff)
+}
+
+func (r *RED) foldLocked(dim map[string]*redWindow, cutoff int64) map[string]Rollup {
+	out := map[string]Rollup{}
+	hist := make([]int64, len(r.bounds)+1)
+	for key, w := range dim {
+		var ru Rollup
+		ru.WindowSecs = windowSecs
+		for i := range hist {
+			hist[i] = 0
+		}
+		var sumMS float64
+		for i := range w.buckets {
+			b := &w.buckets[i]
+			if b.sec <= cutoff || b.count == 0 {
+				continue
+			}
+			ru.Requests += b.count
+			ru.Errors += b.errors
+			ru.Shed += b.shed
+			sumMS += b.sumMS
+			for j, n := range b.hist {
+				hist[j] += n
+			}
+		}
+		if ru.Requests == 0 {
+			continue
+		}
+		ru.RatePerSec = float64(ru.Requests) / windowSecs
+		ru.ErrorRate = float64(ru.Errors) / float64(ru.Requests)
+		ru.ShedRate = float64(ru.Shed) / float64(ru.Requests)
+		ru.P50MS = quantile(r.bounds, hist, ru.Requests, 0.50)
+		ru.P95MS = quantile(r.bounds, hist, ru.Requests, 0.95)
+		ru.P99MS = quantile(r.bounds, hist, ru.Requests, 0.99)
+		out[key] = ru
+	}
+	return out
+}
+
+// quantile estimates the q-th quantile from per-bounds counts by linear
+// interpolation within the containing bucket (the standard
+// histogram_quantile estimate). Observations in the +Inf bucket clamp to
+// the last finite bound.
+func quantile(bounds []float64, hist []int64, total int64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, n := range hist {
+		prev := cum
+		cum += n
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(bounds) { // +Inf bucket
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[i]
+		if n == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-float64(prev))/float64(n)
+	}
+	return bounds[len(bounds)-1]
+}

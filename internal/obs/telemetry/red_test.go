@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeRED returns a RED with a controllable clock starting at t0.
+func fakeRED(t0 int64) (*RED, *int64) {
+	r := NewRED()
+	now := t0
+	r.now = func() time.Time { return time.Unix(now, 0) }
+	return r, &now
+}
+
+func TestREDRollup(t *testing.T) {
+	r, now := fakeRED(1000)
+	for i := 0; i < 80; i++ {
+		r.Observe("query", "ds", 200, 2*time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		r.Observe("query", "ds", 422, 40*time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		r.Observe("query", "ds", 429, time.Millisecond)
+	}
+	r.Observe("datasets.list", "", 200, time.Millisecond)
+
+	eps, dss := r.Snapshot()
+	q, ok := eps["query"]
+	if !ok {
+		t.Fatalf("no query rollup: %v", eps)
+	}
+	if q.Requests != 100 || q.Errors != 10 || q.Shed != 10 {
+		t.Errorf("rollup = %+v", q)
+	}
+	if q.ErrorRate != 0.10 || q.ShedRate != 0.10 {
+		t.Errorf("rates = %v / %v", q.ErrorRate, q.ShedRate)
+	}
+	if q.RatePerSec != 100.0/60 {
+		t.Errorf("rate_per_sec = %v", q.RatePerSec)
+	}
+	// 90% of observations are <= 2ms; p50 must sit in a low bucket, p99 in
+	// the bucket containing the 40ms tail.
+	if q.P50MS <= 0 || q.P50MS > 5 {
+		t.Errorf("p50 = %v", q.P50MS)
+	}
+	if q.P99MS < 20 || q.P99MS > 50 {
+		t.Errorf("p99 = %v", q.P99MS)
+	}
+	if _, ok := dss["ds"]; !ok {
+		t.Errorf("dataset dimension missing: %v", dss)
+	}
+	if _, ok := eps["datasets.list"]; !ok {
+		t.Error("endpoint without dataset missing from endpoint dimension")
+	}
+	if _, ok := dss[""]; ok {
+		t.Error("empty dataset key tracked")
+	}
+
+	// Advance past the window: everything ages out.
+	*now += 2 * windowSecs
+	eps, _ = r.Snapshot()
+	if len(eps) != 0 {
+		t.Errorf("stale rollups survived the window: %v", eps)
+	}
+}
+
+func TestREDBucketReuseAcrossWindow(t *testing.T) {
+	r, now := fakeRED(2000)
+	r.Observe("q", "", 200, time.Millisecond)
+	// Same bucket slot one window later must reset, not accumulate.
+	*now += windowSecs
+	r.Observe("q", "", 200, time.Millisecond)
+	eps, _ := r.Snapshot()
+	if got := eps["q"].Requests; got != 1 {
+		t.Errorf("requests = %d, want 1 (old bucket must be reset)", got)
+	}
+}
+
+func TestREDKeyOverflow(t *testing.T) {
+	r, _ := fakeRED(3000)
+	for i := 0; i < maxKeys+20; i++ {
+		r.Observe("q", fmt.Sprintf("ds-%03d", i), 200, time.Millisecond)
+	}
+	_, dss := r.Snapshot()
+	over, ok := dss[OverflowKey]
+	if !ok {
+		t.Fatalf("no overflow key in %d-key snapshot", len(dss))
+	}
+	if over.Requests != 20 {
+		t.Errorf("overflow requests = %d, want 20", over.Requests)
+	}
+	if len(dss) > maxKeys+1 {
+		t.Errorf("dataset dimension grew to %d keys", len(dss))
+	}
+}
+
+func TestREDNilSafe(t *testing.T) {
+	var r *RED
+	r.Observe("q", "d", 200, time.Millisecond)
+	if eps, dss := r.Snapshot(); eps != nil || dss != nil {
+		t.Error("nil RED not inert")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	bounds := []float64{1, 5, 10}
+	// 10 observations uniformly inside (1, 5].
+	hist := []int64{0, 10, 0, 0}
+	if got := quantile(bounds, hist, 10, 0.5); got != 3 {
+		t.Errorf("p50 = %v, want 3 (midpoint of (1,5])", got)
+	}
+	// Everything in +Inf clamps to the last finite bound.
+	hist = []int64{0, 0, 0, 4}
+	if got := quantile(bounds, hist, 4, 0.99); got != 10 {
+		t.Errorf("+Inf quantile = %v, want 10", got)
+	}
+	if got := quantile(bounds, nil, 0, 0.5); got != 0 {
+		t.Errorf("empty quantile = %v", got)
+	}
+}

@@ -1,0 +1,303 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// The slow-query log: every request that crosses the configured latency
+// threshold — or ends in a budget/error state — leaves a structured JSON
+// record explaining *why* it was slow: per-phase span deltas, attributed
+// pruning sites, and an auto-captured ExplainReport. Records land in an
+// in-memory ring (served by GET /v1/slowlog) and, when a directory is
+// configured, in a bounded on-disk ring of JSONL segments that survives
+// restarts without ever growing past its byte budget.
+
+// Slow-log metrics.
+var (
+	mSlowRecords = obs.NewCounter("server_slow_queries_total")
+	mSlowDropped = obs.NewCounter("server_slowlog_dropped_total")
+)
+
+// SlowRecordSchema versions the slow-query record shape (it tracks
+// obs.ReportSchema: the embedded ExplainReport is the versioned payload).
+const SlowRecordSchema = obs.ReportSchema
+
+// SlowQueryRecord is one captured slow (or failed) request.
+type SlowQueryRecord struct {
+	Schema    int       `json:"schema"`
+	Time      time.Time `json:"time"`
+	TraceID   string    `json:"trace_id"`
+	RequestID string    `json:"request_id"`
+	Endpoint  string    `json:"endpoint"`
+	// Dataset / Generation pin the snapshot the query ran against.
+	Dataset    string `json:"dataset"`
+	Generation uint64 `json:"generation,omitempty"`
+	Strategy   string `json:"strategy,omitempty"`
+	// Query is the canonical form (cfq.Query.Canonical) when the request
+	// parsed, else the raw text.
+	Query string `json:"query"`
+	// Status / Code describe the outcome (Code only for error outcomes).
+	Status int    `json:"status"`
+	Code   string `json:"code,omitempty"`
+	// DurationMS is the request's wall time; ThresholdMS the configured
+	// slow threshold it was measured against.
+	DurationMS  float64 `json:"duration_ms"`
+	ThresholdMS float64 `json:"threshold_ms"`
+	// Phases maps span paths (under the request's root) to wall
+	// milliseconds — the per-phase breakdown of DurationMS.
+	Phases map[string]float64 `json:"phases,omitempty"`
+	// PruneSites is the per-constraint-site pruning attribution captured
+	// during the run; by the attribution contract the values sum to
+	// CandidatesPruned.
+	PruneSites       obs.Counters `json:"prune_sites,omitempty"`
+	CandidatesPruned int64        `json:"candidates_pruned"`
+	// Explain is the auto-captured plan report, analyzed with the run's
+	// actual pruning (Explain.SumPruned() == CandidatesPruned).
+	Explain *obs.ExplainReport `json:"explain,omitempty"`
+}
+
+// PhasesFromReport flattens a RunReport into the record's Phases map:
+// span path (relative to the root) → duration in milliseconds.
+func PhasesFromReport(rep *obs.RunReport) map[string]float64 {
+	if rep == nil || rep.Root == nil {
+		return nil
+	}
+	out := map[string]float64{}
+	var walk func(prefix string, s *obs.SpanReport)
+	walk = func(prefix string, s *obs.SpanReport) {
+		for _, c := range s.Children {
+			path := c.Name
+			if prefix != "" {
+				path = prefix + "/" + c.Name
+			}
+			out[path] += c.DurationMS
+			walk(path, c)
+		}
+	}
+	walk("", rep.Root)
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// SlowLogOptions configures OpenSlowLog. Zero values get serving defaults.
+type SlowLogOptions struct {
+	// Dir is the on-disk ring directory ("" = in-memory only).
+	Dir string
+	// MemRecords bounds the in-memory ring served over the API
+	// (default 128).
+	MemRecords int
+	// SegmentBytes rotates the active JSONL segment past this size
+	// (default 4 MiB).
+	SegmentBytes int64
+	// Segments bounds the on-disk ring: oldest segments beyond this count
+	// are deleted (default 4). The disk budget is therefore roughly
+	// Segments × SegmentBytes.
+	Segments int
+}
+
+func (o SlowLogOptions) withDefaults() SlowLogOptions {
+	if o.MemRecords <= 0 {
+		o.MemRecords = 128
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.Segments <= 0 {
+		o.Segments = 4
+	}
+	return o
+}
+
+// SlowLog is the bounded slow-query record sink. All methods are safe for
+// concurrent use.
+type SlowLog struct {
+	opts SlowLogOptions
+
+	mu       sync.Mutex
+	mem      []*SlowQueryRecord // ring, oldest first
+	cur      *os.File
+	curBytes int64
+	curIdx   uint64
+	closed   bool
+}
+
+// OpenSlowLog opens (creating if needed) the slow-query log. With a Dir it
+// continues the existing segment numbering, so restarts append rather than
+// clobber.
+func OpenSlowLog(opts SlowLogOptions) (*SlowLog, error) {
+	l := &SlowLog{opts: opts.withDefaults()}
+	if l.opts.Dir == "" {
+		return l, nil
+	}
+	if err := os.MkdirAll(l.opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	idxs, err := l.segmentIndexes()
+	if err != nil {
+		return nil, err
+	}
+	l.curIdx = 1
+	if n := len(idxs); n > 0 {
+		l.curIdx = idxs[n-1]
+	}
+	f, err := os.OpenFile(l.segPath(l.curIdx), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if st, err := f.Stat(); err == nil {
+		l.curBytes = st.Size()
+	}
+	l.cur = f
+	return l, nil
+}
+
+func (l *SlowLog) segPath(idx uint64) string {
+	return filepath.Join(l.opts.Dir, fmt.Sprintf("slow-%08d.jsonl", idx))
+}
+
+// segmentIndexes lists existing segment indexes, ascending.
+func (l *SlowLog) segmentIndexes() ([]uint64, error) {
+	ents, err := os.ReadDir(l.opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var idxs []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "slow-") || !strings.HasSuffix(name, ".jsonl") {
+			continue
+		}
+		n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "slow-"), ".jsonl"), 10, 64)
+		if err != nil {
+			continue
+		}
+		idxs = append(idxs, n)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	return idxs, nil
+}
+
+// Record appends one slow-query record to the memory ring and the on-disk
+// ring. Disk failures drop the record (counted, never blocking the request
+// path) — the slow log is evidence, not a ledger.
+func (l *SlowLog) Record(rec *SlowQueryRecord) {
+	if l == nil || rec == nil {
+		return
+	}
+	if rec.Schema == 0 {
+		rec.Schema = SlowRecordSchema
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		mSlowDropped.Inc()
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		mSlowDropped.Inc()
+		return
+	}
+	l.mem = append(l.mem, rec)
+	if over := len(l.mem) - l.opts.MemRecords; over > 0 {
+		l.mem = append(l.mem[:0], l.mem[over:]...)
+	}
+	mSlowRecords.Inc()
+	if l.cur == nil {
+		return
+	}
+	if l.curBytes+int64(len(line))+1 > l.opts.SegmentBytes {
+		l.rotateLocked()
+	}
+	if l.cur == nil {
+		mSlowDropped.Inc()
+		return
+	}
+	n, err := l.cur.Write(append(line, '\n'))
+	l.curBytes += int64(n)
+	if err != nil {
+		mSlowDropped.Inc()
+	}
+}
+
+// rotateLocked opens the next segment and prunes the ring to its bound.
+func (l *SlowLog) rotateLocked() {
+	if err := l.cur.Close(); err != nil {
+		// The handle is being abandoned either way; the close error carries
+		// no durability obligation for a diagnostic ring.
+		_ = err
+	}
+	l.cur = nil
+	l.curIdx++
+	f, err := os.OpenFile(l.segPath(l.curIdx), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return
+	}
+	l.cur = f
+	l.curBytes = 0
+	if idxs, err := l.segmentIndexes(); err == nil {
+		for len(idxs) > l.opts.Segments {
+			if err := os.Remove(l.segPath(idxs[0])); err != nil {
+				break
+			}
+			idxs = idxs[1:]
+		}
+	}
+}
+
+// Recent returns up to n records, newest first. n <= 0 returns the whole
+// memory ring.
+func (l *SlowLog) Recent(n int) []*SlowQueryRecord {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	total := len(l.mem)
+	if n <= 0 || n > total {
+		n = total
+	}
+	out := make([]*SlowQueryRecord, 0, n)
+	for i := total - 1; i >= total-n; i-- {
+		out = append(out, l.mem[i])
+	}
+	return out
+}
+
+// Len returns the number of records in the memory ring.
+func (l *SlowLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.mem)
+}
+
+// Close flushes and closes the active segment.
+func (l *SlowLog) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	if l.cur == nil {
+		return nil
+	}
+	err := l.cur.Close()
+	l.cur = nil
+	return err
+}

@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func rec(i int) *SlowQueryRecord {
+	return &SlowQueryRecord{
+		Time:       time.Unix(int64(i), 0).UTC(),
+		TraceID:    fmt.Sprintf("%032x", i),
+		Endpoint:   "query",
+		Dataset:    "d",
+		Query:      fmt.Sprintf("{(S,T) | freq(S) >= %d}", i),
+		Status:     200,
+		DurationMS: float64(i),
+	}
+}
+
+func TestSlowLogMemoryRing(t *testing.T) {
+	l, err := OpenSlowLog(SlowLogOptions{MemRecords: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 5; i++ {
+		l.Record(rec(i))
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (ring bound)", l.Len())
+	}
+	got := l.Recent(0)
+	if len(got) != 3 || got[0].DurationMS != 4 || got[2].DurationMS != 2 {
+		t.Errorf("Recent order wrong: %v, %v, %v", got[0].DurationMS, got[1].DurationMS, got[2].DurationMS)
+	}
+	if two := l.Recent(2); len(two) != 2 || two[0].DurationMS != 4 {
+		t.Errorf("Recent(2) = %d records, first %v", len(two), two[0].DurationMS)
+	}
+	if rec(0).Schema == 0 {
+		// Record stamps the schema on the stored pointer.
+		if got[0].Schema != SlowRecordSchema {
+			t.Errorf("Schema = %d, want %d", got[0].Schema, SlowRecordSchema)
+		}
+	}
+}
+
+func TestSlowLogDiskRingRotationAndBound(t *testing.T) {
+	dir := t.TempDir()
+	opts := SlowLogOptions{Dir: dir, SegmentBytes: 256, Segments: 2}
+	l, err := OpenSlowLog(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		l.Record(rec(i))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) > opts.Segments {
+		t.Fatalf("%d segments on disk, bound is %d", len(ents), opts.Segments)
+	}
+	var total int64
+	for _, e := range ents {
+		st, err := os.Stat(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += st.Size()
+	}
+	// Each segment may exceed SegmentBytes by at most one record.
+	if max := int64(opts.Segments) * (opts.SegmentBytes + 512); total > max {
+		t.Errorf("disk ring holds %d bytes, want <= %d", total, max)
+	}
+
+	// Every surviving line is valid JSON with the schema stamped.
+	for _, e := range ents {
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			var r SlowQueryRecord
+			if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+				t.Fatalf("%s: bad line %q: %v", e.Name(), sc.Text(), err)
+			}
+			if r.Schema != SlowRecordSchema {
+				t.Errorf("%s: schema = %d", e.Name(), r.Schema)
+			}
+		}
+		f.Close()
+	}
+}
+
+func TestSlowLogReopenContinuesNumbering(t *testing.T) {
+	dir := t.TempDir()
+	opts := SlowLogOptions{Dir: dir, SegmentBytes: 64 << 10, Segments: 4}
+	l, err := OpenSlowLog(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		l.Record(rec(i))
+	}
+	l.Close()
+
+	// Reopen: records must append to the existing newest segment, not
+	// clobber it or restart numbering at 1.
+	l2, err := OpenSlowLog(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 20; i++ {
+		l2.Record(rec(i))
+	}
+	l2.Close()
+
+	names := segNames(t, dir)
+	if len(names) != 1 || names[0] != "slow-00000001.jsonl" {
+		t.Fatalf("segments after reopen = %v, want the original slow-00000001.jsonl", names)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, names[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines != 20 {
+		t.Errorf("segment holds %d records, want 20 (both generations)", lines)
+	}
+
+	// A pre-existing high-numbered segment anchors the numbering: the next
+	// rotation must mint index+1, not recount from 1.
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, "slow-00000007.jsonl"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l3, err := OpenSlowLog(SlowLogOptions{Dir: dir2, SegmentBytes: 64, Segments: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l3.Record(rec(1)) // record exceeds 64 bytes -> lands after one rotation
+	l3.Record(rec(2))
+	l3.Close()
+	if names := segNames(t, dir2); !contains(names, "slow-00000008.jsonl") {
+		t.Errorf("rotation after reopen minted %v, want slow-00000008.jsonl present", names)
+	}
+}
+
+func TestSlowLogNilSafe(t *testing.T) {
+	var l *SlowLog
+	l.Record(rec(1)) // must not panic
+	if l.Recent(5) != nil || l.Len() != 0 || l.Close() != nil {
+		t.Error("nil SlowLog not inert")
+	}
+}
+
+func segNames(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".jsonl") {
+			names = append(names, e.Name())
+		}
+	}
+	return names
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

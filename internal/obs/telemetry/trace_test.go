@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	const (
+		tid = "4bf92f3577b34da6a3ce929d0e0e4736"
+		sid = "00f067aa0ba902b7"
+	)
+	cases := []struct {
+		name    string
+		header  string
+		ok      bool
+		sampled bool
+	}{
+		{"sampled", "00-" + tid + "-" + sid + "-01", true, true},
+		{"unsampled", "00-" + tid + "-" + sid + "-00", true, false},
+		{"future version", "cc-" + tid + "-" + sid + "-01", true, true},
+		{"surrounding space", "  00-" + tid + "-" + sid + "-01\t", true, true},
+		{"version ff reserved", "ff-" + tid + "-" + sid + "-01", false, false},
+		{"empty", "", false, false},
+		{"too few fields", "00-" + tid + "-" + sid, false, false},
+		{"all-zero trace id", "00-" + strings.Repeat("0", 32) + "-" + sid + "-01", false, false},
+		{"all-zero span id", "00-" + tid + "-" + strings.Repeat("0", 16) + "-01", false, false},
+		{"short trace id", "00-" + tid[:30] + "-" + sid + "-01", false, false},
+		{"uppercase hex", "00-" + strings.ToUpper(tid) + "-" + sid + "-01", false, false},
+		{"non-hex flags", "00-" + tid + "-" + sid + "-zz", false, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tc, ok := ParseTraceparent(c.header)
+			if ok != c.ok {
+				t.Fatalf("ok = %v, want %v", ok, c.ok)
+			}
+			if !ok {
+				return
+			}
+			if tc.TraceID != tid {
+				t.Errorf("TraceID = %q", tc.TraceID)
+			}
+			if tc.ParentSpanID != sid {
+				t.Errorf("ParentSpanID = %q", tc.ParentSpanID)
+			}
+			if tc.SpanID == sid || len(tc.SpanID) != 16 || !isLowerHex(tc.SpanID) {
+				t.Errorf("SpanID = %q; want a fresh 16-hex local span", tc.SpanID)
+			}
+			if tc.Sampled != c.sampled {
+				t.Errorf("Sampled = %v", tc.Sampled)
+			}
+			if !tc.Remote {
+				t.Error("Remote = false for a parsed header")
+			}
+		})
+	}
+}
+
+func TestEnsureTraceMints(t *testing.T) {
+	tc := EnsureTrace("not a header")
+	if len(tc.TraceID) != 32 || !isLowerHex(tc.TraceID) || allZero(tc.TraceID) {
+		t.Errorf("minted TraceID = %q", tc.TraceID)
+	}
+	if len(tc.SpanID) != 16 || tc.Remote || !tc.Sampled {
+		t.Errorf("minted context = %+v", tc)
+	}
+	if tc2 := EnsureTrace(""); tc2.TraceID == tc.TraceID {
+		t.Error("two minted traces share an id")
+	}
+
+	// Round-trip: a rendered traceparent parses back to the same trace.
+	parsed, ok := ParseTraceparent(tc.Traceparent())
+	if !ok || parsed.TraceID != tc.TraceID || parsed.ParentSpanID != tc.SpanID {
+		t.Errorf("round-trip parse = %+v, %v", parsed, ok)
+	}
+}
+
+func TestCleanRequestID(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"abc-123", "abc-123"},
+		{"trace/req.7:a+b=c_d", "trace/req.7:a+b=c_d"},
+		{"bad\r\nheader: injected", "badheader:injected"},
+		{"héllo wörld", "hllowrld"},
+		{"\x00\x7f", ""},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := CleanRequestID(c.in); got != c.want {
+			t.Errorf("CleanRequestID(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	long := strings.Repeat("a", 3*MaxRequestIDLen)
+	if got := CleanRequestID(long); len(got) != MaxRequestIDLen {
+		t.Errorf("long id clamped to %d, want %d", len(got), MaxRequestIDLen)
+	}
+	// Junk ahead of the cap must not starve the scan bound.
+	junkThenID := strings.Repeat("\x00", 4*MaxRequestIDLen+10) + "tail"
+	if got := CleanRequestID(junkThenID); got != "" {
+		t.Errorf("scan bound ignored: %q", got)
+	}
+}

@@ -95,6 +95,9 @@ type Options struct {
 	// leaf name), so CPU/heap profile samples aggregate by phase. See
 	// pprof.go.
 	PprofLabels bool
+	// Attrs annotate the root span — correlation ids (trace_id, request_id)
+	// that should appear on the RunReport without a dedicated child span.
+	Attrs []Attr
 }
 
 // Tracer records a tree of phase spans for one evaluation. Create one with
@@ -129,7 +132,7 @@ func NewTracer(opts Options) *Tracer {
 		pprof:  opts.PprofLabels,
 		start:  time.Now(),
 	}
-	t.root = &Span{tracer: t, name: opts.Name, start: t.start}
+	t.root = &Span{tracer: t, name: opts.Name, attrs: opts.Attrs, start: t.start}
 	return t
 }
 

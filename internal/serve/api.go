@@ -18,6 +18,7 @@ import (
 
 	"repro/cfq"
 	"repro/internal/obs"
+	"repro/internal/obs/telemetry"
 )
 
 // SchemaVersion is the wire version of every response envelope. It tracks
@@ -78,6 +79,7 @@ type BudgetSpec struct {
 type QueryResponse struct {
 	Schema     int             `json:"schema"`
 	RequestID  string          `json:"request_id"`
+	TraceID    string          `json:"trace_id,omitempty"`
 	Dataset    string          `json:"dataset"`
 	Generation uint64          `json:"generation"`
 	Strategy   string          `json:"strategy"`
@@ -103,10 +105,13 @@ const (
 	CodeInternal        = "internal"
 )
 
-// ErrorResponse is the error envelope of every endpoint.
+// ErrorResponse is the error envelope of every endpoint. TraceID is
+// present on every error, 429/503/422 included, so a shed or failed
+// request is still joinable to the server's logs and slow-query records.
 type ErrorResponse struct {
 	Schema    int        `json:"schema"`
 	RequestID string     `json:"request_id"`
+	TraceID   string     `json:"trace_id,omitempty"`
 	Error     *ErrorBody `json:"error"`
 }
 
@@ -181,9 +186,22 @@ type DatasetInfo struct {
 type DatasetsResponse struct {
 	Schema    int           `json:"schema"`
 	RequestID string        `json:"request_id"`
+	TraceID   string        `json:"trace_id,omitempty"`
 	Datasets  []DatasetInfo `json:"datasets,omitempty"`
 	Dataset   *DatasetInfo  `json:"dataset,omitempty"`
 	Dropped   string        `json:"dropped,omitempty"`
+}
+
+// SlowlogResponse is the envelope of GET /v1/slowlog: the most recent
+// slow-query records, newest first. Enabled is false (and Records empty)
+// when the server runs without -slow-query-ms.
+type SlowlogResponse struct {
+	Schema      int                          `json:"schema"`
+	RequestID   string                       `json:"request_id"`
+	TraceID     string                       `json:"trace_id,omitempty"`
+	Enabled     bool                         `json:"enabled"`
+	ThresholdMS float64                      `json:"threshold_ms,omitempty"`
+	Records     []*telemetry.SlowQueryRecord `json:"records"`
 }
 
 // Limits are the server's default/maximum evaluation bounds. A request

@@ -110,6 +110,7 @@ func (c *resultCache) put(key string, v cachedResult) {
 		(c.maxBytes > 0 && c.bytes > c.maxBytes) {
 		c.evictOldest()
 	}
+	c.publishLocked()
 }
 
 // invalidate drops every entry for the dataset (all generations). Called on
@@ -125,6 +126,14 @@ func (c *resultCache) invalidate(dataset string) {
 		}
 		el = next
 	}
+	c.publishLocked()
+}
+
+// publishLocked mirrors the cache's occupancy into the registry gauges.
+// Callers hold c.mu.
+func (c *resultCache) publishLocked() {
+	mResultEntries.Set(int64(c.lru.Len()))
+	mResultBytes.Set(c.bytes)
 }
 
 func (c *resultCache) evictOldest() {

@@ -11,28 +11,60 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/cfq"
 	"repro/internal/obs"
+	"repro/internal/obs/telemetry"
 	"repro/internal/store"
 )
 
 // The daemon's metrics, in the same lock-free registry the engine metrics
 // live in: one /metrics scrape shows the full stack, admission to lattice.
+// Request-shaped families are labeled by endpoint (and status / dataset /
+// strategy where the dimension is meaningful); dataset labels are
+// cardinality-capped by dsLabel.
 var (
-	mReqs            = obs.NewCounter("server_requests_total")
+	mReqs            = obs.NewCounterVec("server_requests_total", "endpoint", "status")
 	mReqErrors       = obs.NewCounter("server_request_errors_total")
 	mShed            = obs.NewCounter("server_shed_total")
 	mResultHits      = obs.NewCounter("server_result_cache_hits_total")
 	mResultMisses    = obs.NewCounter("server_result_cache_misses_total")
 	mResultEvictions = obs.NewCounter("server_result_cache_evictions_total")
-	mActive          = obs.NewGauge("server_active_requests")
+	mResultEntries   = obs.NewGauge("server_result_cache_entries")
+	mResultBytes     = obs.NewGauge("server_result_cache_bytes")
+	mActive          = obs.NewGaugeVec("server_active_requests", "endpoint")
 	mQueued          = obs.NewGauge("server_queued_requests")
-	mReqDur          = obs.NewHistogram("server_request_duration_ms")
+	mReqDur          = obs.NewHistogramVec("server_request_duration_ms", "endpoint")
+	mQueries         = obs.NewCounterVec("server_queries_total", "dataset", "strategy")
 )
+
+// dsLabel caps the dataset label's cardinality: the first maxDatasetLabels
+// distinct names keep their own series, the rest share "_other" (dataset
+// names are client input; an adversarial client must not be able to grow
+// the registry without bound).
+const maxDatasetLabels = 64
+
+var (
+	dsLabelMu   sync.Mutex
+	dsLabelSeen = map[string]bool{}
+)
+
+func dsLabel(name string) string {
+	dsLabelMu.Lock()
+	defer dsLabelMu.Unlock()
+	if dsLabelSeen[name] {
+		return name
+	}
+	if len(dsLabelSeen) >= maxDatasetLabels {
+		return telemetry.OverflowKey
+	}
+	dsLabelSeen[name] = true
+	return name
+}
 
 // Request body limits.
 const (
@@ -84,6 +116,16 @@ type Config struct {
 	// server starts not-ready (503 not_ready on /v1, /readyz failing) until
 	// Recover completes.
 	Store *store.Options
+	// SlowQuery, when positive, enables the slow-query log: a query request
+	// whose wall time crosses the threshold — or that ends in a budget or
+	// server error — is captured as a structured record carrying its trace
+	// id, per-phase span deltas, pruning-site attribution, and an
+	// auto-captured ExplainReport, surfaced via GET /v1/slowlog.
+	SlowQuery time.Duration
+	// SlowLogDir additionally persists slow-query records to a bounded
+	// on-disk JSONL ring under this directory ("" keeps them in memory
+	// only).
+	SlowLogDir string
 	// Logger, when set, receives one line per request plus span events.
 	Logger *slog.Logger
 }
@@ -125,6 +167,8 @@ type Server struct {
 	cache *resultCache
 	log   *slog.Logger
 	mux   *http.ServeMux
+	red   *telemetry.RED
+	slow  *telemetry.SlowLog
 
 	baseCtx  context.Context
 	cancel   context.CancelFunc
@@ -149,9 +193,23 @@ func NewServer(cfg Config) *Server {
 		adm:      newAdmission(cfg.Workers, cfg.QueueDepth, cfg.QueueWait),
 		cache:    newResultCache(maxInt(cfg.ResultCacheEntries, 0), max64(cfg.ResultCacheBytes, 0)),
 		log:      cfg.Logger,
+		red:      telemetry.NewRED(),
 		baseCtx:  baseCtx,
 		cancel:   cancel,
 		idPrefix: fmt.Sprintf("%08x", time.Now().UnixNano()&0xffffffff),
+	}
+	if cfg.SlowQuery > 0 {
+		slow, err := telemetry.OpenSlowLog(telemetry.SlowLogOptions{Dir: cfg.SlowLogDir})
+		if err != nil {
+			// The slow log is diagnostics, not correctness: fall back to the
+			// in-memory ring rather than refusing to serve.
+			if cfg.Logger != nil {
+				cfg.Logger.Error("slowlog disk ring unavailable; keeping records in memory only",
+					slog.String("dir", cfg.SlowLogDir), slog.Any("err", err))
+			}
+			slow, _ = telemetry.OpenSlowLog(telemetry.SlowLogOptions{})
+		}
+		s.slow = slow
 	}
 	s.mux = s.buildMux()
 	// Without a durable store there is nothing to recover: the server is
@@ -226,35 +284,108 @@ func (s *Server) Registry() *Registry { return s.reg }
 // Handler returns the /v1 API handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// OpsHandler returns the operations surface: /metrics, /debug/vars,
-// /debug/pprof (all confined to internal/obs), /healthz, and /statz (the
-// result-cache counters). Serve it on a separate, non-public port.
+// OpsHandler returns the operations surface: /metrics (Prometheus text),
+// /metrics.json, /debug/vars, /debug/pprof (all confined to internal/obs),
+// /healthz, /readyz, and /statz — the RED/SLO rollup document. Serve it on
+// a separate, non-public port.
 func (s *Server) OpsHandler() http.Handler {
 	mux := obs.NewProfilingMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/readyz", s.handleReady)
-	mux.HandleFunc("/statz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(map[string]any{"result_cache": s.cache.stats()})
-	})
+	mux.HandleFunc("/statz", s.handleStatz)
 	return mux
+}
+
+// handleStatz renders the operator rollup: rolling p50/p95/p99, error and
+// shed rates per endpoint and per dataset; explicit request-duration bucket
+// boundaries and counts (the transparent form of the Prometheus
+// histograms, under the same "schema": 1 contract as the API envelopes);
+// cache and store health. Everything here is derived from the same
+// registry /metrics scrapes, so the two surfaces cannot disagree.
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	endpoints, datasets := s.red.Snapshot()
+	doc := map[string]any{
+		"schema":       SchemaVersion,
+		"result_cache": s.cache.stats(),
+		"endpoints":    endpoints,
+		"datasets":     datasets,
+		"server_request_duration_ms": requestDurationBuckets(),
+		"store":   storeHealth(),
+		"slowlog": map[string]any{"enabled": s.slow != nil, "records": s.slow.Len(), "threshold_ms": float64(s.cfg.SlowQuery) / float64(time.Millisecond)},
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}
+
+// requestDurationBuckets exposes the server_request_duration_ms histogram
+// with explicit bucket boundaries and non-cumulative counts, per endpoint.
+func requestDurationBuckets() map[string]*obs.HistogramSnapshot {
+	out := map[string]*obs.HistogramSnapshot{}
+	for _, f := range obs.Families() {
+		if f.Name != "server_request_duration_ms" {
+			continue
+		}
+		for _, series := range f.Series {
+			if series.Hist == nil || len(series.LabelValues) == 0 {
+				continue
+			}
+			out[series.LabelValues[0]] = series.Hist
+		}
+	}
+	return out
+}
+
+// storeHealth extracts the WAL/compaction families from the registry
+// snapshot (empty when the daemon runs without a durable store).
+func storeHealth() map[string]any {
+	out := map[string]any{}
+	for name, v := range obs.Snapshot() {
+		if strings.HasPrefix(name, "store_") {
+			out[name] = v
+		}
+	}
+	return out
 }
 
 func (s *Server) buildMux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/query", s.handleQueryKind(kindQuery))
-	mux.HandleFunc("POST /v1/explain", s.handleQueryKind(kindExplain))
-	mux.HandleFunc("POST /v1/explain-analyze", s.handleQueryKind(kindAnalyze))
-	mux.HandleFunc("GET /v1/datasets", s.handleList)
-	mux.HandleFunc("POST /v1/datasets", s.handleCreate)
-	mux.HandleFunc("GET /v1/datasets/{name}", s.handleInfo)
-	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDrop)
-	mux.HandleFunc("POST /v1/datasets/{name}/transactions", s.handleMutate)
+	mux.HandleFunc("POST /v1/query", s.instrument(kindQuery, s.handleQueryKind(kindQuery)))
+	mux.HandleFunc("POST /v1/explain", s.instrument(kindExplain, s.handleQueryKind(kindExplain)))
+	mux.HandleFunc("POST /v1/explain-analyze", s.instrument(kindAnalyze, s.handleQueryKind(kindAnalyze)))
+	mux.HandleFunc("GET /v1/datasets", s.instrument("datasets.list", s.handleList))
+	mux.HandleFunc("POST /v1/datasets", s.instrument("datasets.create", s.handleCreate))
+	mux.HandleFunc("GET /v1/datasets/{name}", s.instrument("datasets.info", s.handleInfo))
+	mux.HandleFunc("DELETE /v1/datasets/{name}", s.instrument("datasets.drop", s.handleDrop))
+	mux.HandleFunc("POST /v1/datasets/{name}/transactions", s.instrument("datasets.mutate", s.handleMutate))
+	mux.HandleFunc("GET /v1/slowlog", s.instrument("slowlog", s.handleSlowlog))
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	return mux
+}
+
+// handleSlowlog serves the in-memory slow-query ring, newest first.
+// ?n= bounds the count (default 32).
+func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	sc := s.scope(r)
+	n := 32
+	if v := r.URL.Query().Get("n"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil || p < 0 {
+			s.writeError(w, sc, http.StatusBadRequest,
+				&ErrorBody{Code: CodeBadRequest, Message: "n must be a non-negative integer"})
+			return
+		}
+		n = p
+	}
+	resp := &SlowlogResponse{
+		Schema: SchemaVersion, RequestID: sc.reqID, TraceID: sc.tc.TraceID,
+		Enabled:     s.slow != nil,
+		ThresholdMS: float64(s.cfg.SlowQuery) / float64(time.Millisecond),
+		Records:     s.slow.Recent(n),
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // Serve accepts connections on ln until Shutdown. Request contexts descend
@@ -303,38 +434,164 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			err = cerr
 		}
 	}
+	if cerr := s.slow.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
 	return err
 }
 
-// requestID honors a caller-supplied X-Request-ID (so a client can thread
-// its own correlation id through logs and spans) or mints one.
-func (s *Server) requestID(r *http.Request) string {
-	if id := r.Header.Get("X-Request-ID"); id != "" && len(id) <= 128 {
-		return id
-	}
+// mintID creates a server-local request id (used when the client sent none,
+// or sent one that cleans to nothing).
+func (s *Server) mintID() string {
 	return fmt.Sprintf("%s-%06d", s.idPrefix, s.reqSeq.Add(1))
+}
+
+// reqScope is the per-request correlation state every instrumented handler
+// runs under: the request id (client-supplied after CleanRequestID, else
+// minted), the W3C trace context (propagated or minted), and the fields the
+// request accretes on its way through serveQuery that the finish hooks
+// (request log line, RED rollup, slow-query capture) read back.
+type reqScope struct {
+	reqID string
+	tc    telemetry.TraceContext
+
+	// Set by serveQuery as the request progresses.
+	dataset   string
+	strategy  string
+	gen       uint64
+	canonical string
+	code      string // error code of the response, "" on success
+	cached    bool
+	tracer    *obs.Tracer
+	prune     *cfq.PruneSet
+	query     *cfq.Query
+	strat     cfq.Strategy
+	pruned    int64
+}
+
+type scopeKey struct{}
+
+// scope returns the request's reqScope, minting a detached one for handlers
+// driven without the instrument middleware (direct Handler() tests).
+func (s *Server) scope(r *http.Request) *reqScope {
+	if sc, ok := r.Context().Value(scopeKey{}).(*reqScope); ok {
+		return sc
+	}
+	return &reqScope{reqID: s.mintID(), tc: telemetry.MintTrace()}
+}
+
+// statusWriter captures the response status for the finish hooks.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with the per-request telemetry envelope:
+// trace/request-id extraction (client headers accepted, validated, clamped;
+// minted otherwise), correlation headers on *every* response — 429s, 503s
+// and 422s included — labeled request metrics, the RED rollup observation,
+// the request log line, and the slow-query capture decision.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sc := &reqScope{tc: telemetry.EnsureTrace(r.Header.Get("traceparent"))}
+		if sc.reqID = telemetry.CleanRequestID(r.Header.Get("X-Request-ID")); sc.reqID == "" {
+			sc.reqID = s.mintID()
+		}
+		w.Header().Set("X-Request-ID", sc.reqID)
+		w.Header().Set("Traceparent", sc.tc.Traceparent())
+
+		active := mActive.WithLabels(endpoint)
+		active.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r.WithContext(context.WithValue(r.Context(), scopeKey{}, sc)))
+		active.Add(-1)
+
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		dur := time.Since(start)
+		mReqs.WithLabels(endpoint, strconv.Itoa(status)).Inc()
+		mReqDur.WithLabels(endpoint).Observe(dur)
+		ds := ""
+		if sc.dataset != "" {
+			ds = dsLabel(sc.dataset)
+		}
+		s.red.Observe(endpoint, ds, status, dur)
+		s.maybeCaptureSlow(sc, endpoint, status, dur)
+		if s.log != nil {
+			s.log.Info("request",
+				slog.String("request_id", sc.reqID),
+				slog.String("trace_id", sc.tc.TraceID),
+				slog.String("endpoint", endpoint),
+				slog.Int("status", status),
+				slog.Bool("cached", sc.cached),
+				slog.Duration("elapsed", dur))
+		}
+	}
+}
+
+// maybeCaptureSlow records the request in the slow-query log when it
+// crossed the latency threshold, exhausted its budget, or failed
+// server-side. The capture — including the ExplainReport rebuild, which
+// costs one database scan — happens after the response is written, so the
+// client never waits on it.
+func (s *Server) maybeCaptureSlow(sc *reqScope, endpoint string, status int, dur time.Duration) {
+	if s.slow == nil || sc.query == nil {
+		return
+	}
+	slow := dur >= s.cfg.SlowQuery
+	failed := sc.code == CodeBudgetExhausted || status >= http.StatusInternalServerError
+	if !slow && !failed {
+		return
+	}
+	rec := &telemetry.SlowQueryRecord{
+		Time:             time.Now(),
+		TraceID:          sc.tc.TraceID,
+		RequestID:        sc.reqID,
+		Endpoint:         endpoint,
+		Dataset:          sc.dataset,
+		Generation:       sc.gen,
+		Strategy:         sc.strategy,
+		Query:            sc.canonical,
+		Status:           status,
+		Code:             sc.code,
+		DurationMS:       float64(dur) / float64(time.Millisecond),
+		ThresholdMS:      float64(s.cfg.SlowQuery) / float64(time.Millisecond),
+		CandidatesPruned: sc.pruned,
+	}
+	if sc.tracer != nil {
+		rec.Phases = telemetry.PhasesFromReport(sc.tracer.Report())
+	}
+	if sc.prune != nil {
+		rec.PruneSites = sc.prune.Snapshot()
+	}
+	if rep, err := sc.query.AnalyzeCapture(sc.strat, sc.prune, sc.pruned); err == nil {
+		rec.Explain = rep
+	}
+	s.slow.Record(rec)
 }
 
 // --- query endpoints ---
 
 func (s *Server) handleQueryKind(kind string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		reqID := s.requestID(r)
-		mReqs.Inc()
-		mActive.Add(1)
-		defer mActive.Add(-1)
-		defer func() { mReqDur.Observe(time.Since(start)) }()
-
-		status, cached := s.serveQuery(w, r, kind, reqID)
-		if s.log != nil {
-			s.log.Info("request",
-				slog.String("request_id", reqID),
-				slog.String("endpoint", kind),
-				slog.Int("status", status),
-				slog.Bool("cached", cached),
-				slog.Duration("elapsed", time.Since(start)))
-		}
+		s.serveQuery(w, r, kind, s.scope(r))
 	}
 }
 
@@ -342,37 +599,56 @@ func (s *Server) handleQueryKind(kind string) http.HandlerFunc {
 // parse, admission, evaluate, encode — each a span on the request's tracer
 // (see IMPLEMENTATION_NOTES §12). Returns the HTTP status and whether the
 // result came from the cache.
-func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind, reqID string) (int, bool) {
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind string, sc *reqScope) (int, bool) {
 	if !s.ready.Load() {
-		return s.notReady(w, reqID), false
+		return s.notReady(w, sc), false
 	}
 	if s.draining.Load() {
-		return s.writeError(w, reqID, http.StatusServiceUnavailable,
+		return s.writeError(w, sc, http.StatusServiceUnavailable,
 			&ErrorBody{Code: CodeDraining, Message: "server is shutting down"}), false
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxQueryBody))
 	if err != nil {
-		return s.writeError(w, reqID, http.StatusBadRequest,
+		return s.writeError(w, sc, http.StatusBadRequest,
 			&ErrorBody{Code: CodeBadRequest, Message: "read body: " + err.Error()}), false
 	}
 	req, err := DecodeQueryRequest(body)
 	if err != nil {
-		return s.writeError(w, reqID, http.StatusBadRequest,
+		return s.writeError(w, sc, http.StatusBadRequest,
 			&ErrorBody{Code: CodeBadRequest, Message: err.Error()}), false
 	}
 
 	// The request tracer: per-phase spans feed the slog stream (always, when
-	// the server has a logger) and the response's RunReport (when the client
-	// asked with trace).
+	// the server has a logger), the response's RunReport (when the client
+	// asked with trace), and the slow-query record's phase breakdown (when
+	// the slow log is enabled). The root span carries the correlation ids so
+	// any rendering of the report joins back to the request.
 	var tracer *obs.Tracer
-	if req.Trace || s.log != nil {
+	if req.Trace || s.log != nil || s.slow != nil {
 		var spanLog *slog.Logger
 		if s.log != nil {
-			spanLog = s.log.With(slog.String("request_id", reqID), slog.String("endpoint", kind))
+			spanLog = s.log.With(
+				slog.String("request_id", sc.reqID),
+				slog.String("trace_id", sc.tc.TraceID),
+				slog.String("endpoint", kind))
 		}
-		tracer = obs.NewTracer(obs.Options{Name: "serve:" + kind, Logger: spanLog})
+		tracer = obs.NewTracer(obs.Options{
+			Name:   "serve:" + kind,
+			Logger: spanLog,
+			Attrs: []obs.Attr{
+				obs.String("trace_id", sc.tc.TraceID),
+				obs.String("request_id", sc.reqID),
+			},
+		})
 	}
+	sc.tracer = tracer
 	ctx := obs.WithTracer(r.Context(), tracer)
+	// With the slow log on, every request carries a PruneSet: should it end
+	// up slow or failed, the capture has the run's actual per-site pruning.
+	if s.slow != nil {
+		sc.prune = cfq.NewPruneSet()
+		ctx = cfq.WithPruning(ctx, sc.prune)
+	}
 	// A forced server drain must reach requests even when the handler is
 	// driven without Serve (httptest), where request contexts do not descend
 	// from baseCtx.
@@ -383,16 +659,17 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind, reqID 
 
 	// parse: registry lookup, query text, defaults, clamped limits.
 	psp := tracer.Start("parse")
+	sc.dataset = req.Dataset
 	ds, sess, gen, err := s.reg.Lookup(req.Dataset)
 	if err != nil {
 		psp.End(nil)
-		return s.writeError(w, reqID, http.StatusNotFound,
+		return s.writeError(w, sc, http.StatusNotFound,
 			&ErrorBody{Code: CodeUnknownDataset, Message: err.Error()}), false
 	}
 	q, strat, timeout, err := s.buildQuery(ds, req)
 	if err != nil {
 		psp.End(nil)
-		return s.writeError(w, reqID, http.StatusBadRequest,
+		return s.writeError(w, sc, http.StatusBadRequest,
 			&ErrorBody{Code: CodeBadRequest, Message: err.Error()}), false
 	}
 	mode := strat.String()
@@ -400,6 +677,9 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind, reqID 
 		mode = "session"
 	}
 	canonical := q.Canonical()
+	sc.strategy, sc.gen, sc.canonical = mode, gen, canonical
+	sc.query, sc.strat = q, strat
+	mQueries.WithLabels(dsLabel(req.Dataset), mode).Inc()
 	psp.SetAttrs(obs.String("dataset", req.Dataset), obs.String("mode", mode))
 	psp.End(nil)
 
@@ -409,8 +689,10 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind, reqID 
 	key := resultKey(req.Dataset, gen, kind, mode, canonical)
 	if cacheable {
 		if hit, ok := s.cache.get(key); ok {
+			sc.cached = true
 			return s.writeJSON(w, http.StatusOK, &QueryResponse{
-				Schema: SchemaVersion, RequestID: reqID, Dataset: req.Dataset,
+				Schema: SchemaVersion, RequestID: sc.reqID, TraceID: sc.tc.TraceID,
+				Dataset: req.Dataset,
 				Generation: hit.Generation, Strategy: hit.Strategy, Cached: true,
 				Result: hit.Result, Explain: hit.Explain,
 			}), true
@@ -425,11 +707,11 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind, reqID 
 		if errors.Is(err, ErrOverloaded) {
 			retry := s.adm.retryAfter()
 			w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
-			return s.writeError(w, reqID, http.StatusTooManyRequests,
+			return s.writeError(w, sc, http.StatusTooManyRequests,
 				&ErrorBody{Code: CodeOverloaded, Message: "all workers busy and queue full",
 					RetryAfterMS: retry.Milliseconds()}), false
 		}
-		return s.writeEvalError(w, reqID, err), false
+		return s.writeEvalError(w, sc, err), false
 	}
 	defer s.adm.release()
 
@@ -457,6 +739,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind, reqID 
 			// The span tree is delivered once, in the envelope's report
 			// field, not embedded in the result document too.
 			res.Report = nil
+			sc.pruned = res.Stats.CandidatesPruned
 			result, evalErr = json.Marshal(res)
 		}
 	case kindExplain:
@@ -471,6 +754,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind, reqID 
 		res, rep, evalErr = q.ExplainAnalyzeContext(ctx, strat)
 		if evalErr == nil {
 			res.Report = nil
+			sc.pruned = res.Stats.CandidatesPruned
 			if result, evalErr = json.Marshal(res); evalErr == nil {
 				explain, evalErr = json.Marshal(rep)
 			}
@@ -478,7 +762,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind, reqID 
 	}
 	esp.End(nil)
 	if evalErr != nil {
-		return s.writeEvalError(w, reqID, evalErr), false
+		return s.writeEvalError(w, sc, evalErr), false
 	}
 
 	// Store only if the dataset generation we evaluated against is still
@@ -494,7 +778,8 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind, reqID 
 	}
 
 	resp := &QueryResponse{
-		Schema: SchemaVersion, RequestID: reqID, Dataset: req.Dataset,
+		Schema: SchemaVersion, RequestID: sc.reqID, TraceID: sc.tc.TraceID,
+		Dataset: req.Dataset,
 		Generation: gen, Strategy: mode, Result: result, Explain: explain,
 	}
 	if req.Trace && tracer != nil {
@@ -536,161 +821,169 @@ func (s *Server) buildQuery(ds *cfq.Dataset, req *QueryRequest) (*cfq.Query, cfq
 // writeEvalError maps evaluation failures onto the wire: budget exhaustion
 // carries its partial stats (422), deadline and cancellation are told apart
 // (504 / 503), anything else is a 500.
-func (s *Server) writeEvalError(w http.ResponseWriter, reqID string, err error) int {
+func (s *Server) writeEvalError(w http.ResponseWriter, sc *reqScope, err error) int {
 	var be *cfq.BudgetError
 	switch {
 	case errors.As(err, &be):
 		stats := be.Stats
-		return s.writeError(w, reqID, http.StatusUnprocessableEntity, &ErrorBody{
+		// The partial counters are the budget-tripped run's actuals; the
+		// slow-query capture reports pruning up to the abort.
+		sc.pruned = stats.CandidatesPruned
+		return s.writeError(w, sc, http.StatusUnprocessableEntity, &ErrorBody{
 			Code: CodeBudgetExhausted, Message: err.Error(),
 			Resource: be.Resource, Where: be.Where, Limit: be.Limit, Used: be.Used,
 			PartialStats: &stats,
 		})
 	case errors.Is(err, context.DeadlineExceeded):
-		return s.writeError(w, reqID, http.StatusGatewayTimeout,
+		return s.writeError(w, sc, http.StatusGatewayTimeout,
 			&ErrorBody{Code: CodeDeadline, Message: err.Error()})
 	case errors.Is(err, context.Canceled):
 		code := CodeCanceled
 		if s.draining.Load() {
 			code = CodeDraining
 		}
-		return s.writeError(w, reqID, http.StatusServiceUnavailable,
+		return s.writeError(w, sc, http.StatusServiceUnavailable,
 			&ErrorBody{Code: code, Message: err.Error()})
 	}
-	return s.writeError(w, reqID, http.StatusInternalServerError,
+	return s.writeError(w, sc, http.StatusInternalServerError,
 		&ErrorBody{Code: CodeInternal, Message: err.Error()})
 }
 
 // --- dataset endpoints ---
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	reqID := s.requestID(r)
+	sc := s.scope(r)
 	if !s.ready.Load() {
-		s.notReady(w, reqID)
+		s.notReady(w, sc)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, &DatasetsResponse{
-		Schema: SchemaVersion, RequestID: reqID, Datasets: s.reg.List(),
+		Schema: SchemaVersion, RequestID: sc.reqID, TraceID: sc.tc.TraceID, Datasets: s.reg.List(),
 	})
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
-	reqID := s.requestID(r)
+	sc := s.scope(r)
 	if !s.ready.Load() {
-		s.notReady(w, reqID)
+		s.notReady(w, sc)
 		return
 	}
 	if s.draining.Load() {
-		s.writeError(w, reqID, http.StatusServiceUnavailable,
+		s.writeError(w, sc, http.StatusServiceUnavailable,
 			&ErrorBody{Code: CodeDraining, Message: "server is shutting down"})
 		return
 	}
 	var spec DatasetSpec
-	if !s.decodeBody(w, r, reqID, maxDatasetBody, &spec) {
+	if !s.decodeBody(w, r, sc, maxDatasetBody, &spec) {
 		return
 	}
+	sc.dataset = spec.Name
 	info, err := s.reg.Create(&spec)
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrExists):
-			s.writeError(w, reqID, http.StatusConflict,
+			s.writeError(w, sc, http.StatusConflict,
 				&ErrorBody{Code: CodeDatasetExists, Message: err.Error()})
 		case errors.Is(err, store.ErrWedged):
-			s.writeError(w, reqID, http.StatusServiceUnavailable,
+			s.writeError(w, sc, http.StatusServiceUnavailable,
 				&ErrorBody{Code: CodeStorage, Message: err.Error()})
 		default:
-			s.writeError(w, reqID, http.StatusBadRequest,
+			s.writeError(w, sc, http.StatusBadRequest,
 				&ErrorBody{Code: CodeBadRequest, Message: err.Error()})
 		}
 		return
 	}
 	if s.log != nil {
-		s.log.Info("dataset created", slog.String("request_id", reqID),
+		s.log.Info("dataset created", slog.String("request_id", sc.reqID),
+			slog.String("trace_id", sc.tc.TraceID),
 			slog.String("dataset", info.Name), slog.Int("transactions", info.Transactions))
 	}
 	s.writeJSON(w, http.StatusCreated, &DatasetsResponse{
-		Schema: SchemaVersion, RequestID: reqID, Dataset: &info,
+		Schema: SchemaVersion, RequestID: sc.reqID, TraceID: sc.tc.TraceID, Dataset: &info,
 	})
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
-	reqID := s.requestID(r)
+	sc := s.scope(r)
 	if !s.ready.Load() {
-		s.notReady(w, reqID)
+		s.notReady(w, sc)
 		return
 	}
-	info, err := s.reg.Info(r.PathValue("name"))
+	sc.dataset = r.PathValue("name")
+	info, err := s.reg.Info(sc.dataset)
 	if err != nil {
-		s.writeError(w, reqID, http.StatusNotFound,
+		s.writeError(w, sc, http.StatusNotFound,
 			&ErrorBody{Code: CodeUnknownDataset, Message: err.Error()})
 		return
 	}
 	s.writeJSON(w, http.StatusOK, &DatasetsResponse{
-		Schema: SchemaVersion, RequestID: reqID, Dataset: &info,
+		Schema: SchemaVersion, RequestID: sc.reqID, TraceID: sc.tc.TraceID, Dataset: &info,
 	})
 }
 
 func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
-	reqID := s.requestID(r)
+	sc := s.scope(r)
 	if !s.ready.Load() {
-		s.notReady(w, reqID)
+		s.notReady(w, sc)
 		return
 	}
 	name := r.PathValue("name")
+	sc.dataset = name
 	if err := s.reg.Drop(name); err != nil {
 		switch {
 		case errors.Is(err, store.ErrWedged):
-			s.writeError(w, reqID, http.StatusServiceUnavailable,
+			s.writeError(w, sc, http.StatusServiceUnavailable,
 				&ErrorBody{Code: CodeStorage, Message: err.Error()})
 		default:
-			s.writeError(w, reqID, http.StatusNotFound,
+			s.writeError(w, sc, http.StatusNotFound,
 				&ErrorBody{Code: CodeUnknownDataset, Message: err.Error()})
 		}
 		return
 	}
 	s.cache.invalidate(name)
 	s.writeJSON(w, http.StatusOK, &DatasetsResponse{
-		Schema: SchemaVersion, RequestID: reqID, Dropped: name,
+		Schema: SchemaVersion, RequestID: sc.reqID, TraceID: sc.tc.TraceID, Dropped: name,
 	})
 }
 
 func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
-	reqID := s.requestID(r)
+	sc := s.scope(r)
 	if !s.ready.Load() {
-		s.notReady(w, reqID)
+		s.notReady(w, sc)
 		return
 	}
 	if s.draining.Load() {
-		s.writeError(w, reqID, http.StatusServiceUnavailable,
+		s.writeError(w, sc, http.StatusServiceUnavailable,
 			&ErrorBody{Code: CodeDraining, Message: "server is shutting down"})
 		return
 	}
 	var req MutateRequest
-	if !s.decodeBody(w, r, reqID, maxDatasetBody, &req) {
+	if !s.decodeBody(w, r, sc, maxDatasetBody, &req) {
 		return
 	}
 	if len(req.Transactions) == 0 {
-		s.writeError(w, reqID, http.StatusBadRequest,
+		s.writeError(w, sc, http.StatusBadRequest,
 			&ErrorBody{Code: CodeBadRequest, Message: "no transactions"})
 		return
 	}
 	name := r.PathValue("name")
+	sc.dataset = name
 	info, err := s.reg.Mutate(name, req.Transactions)
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrNotFound):
-			s.writeError(w, reqID, http.StatusNotFound,
+			s.writeError(w, sc, http.StatusNotFound,
 				&ErrorBody{Code: CodeUnknownDataset, Message: err.Error()})
 		case errors.Is(err, ErrDropped):
 			// The mutation raced a concurrent drop: the durable log never
 			// saw it, so it is a structured conflict, not a lost write.
-			s.writeError(w, reqID, http.StatusConflict,
+			s.writeError(w, sc, http.StatusConflict,
 				&ErrorBody{Code: CodeDatasetDropped, Message: err.Error()})
 		case errors.Is(err, store.ErrWedged):
-			s.writeError(w, reqID, http.StatusServiceUnavailable,
+			s.writeError(w, sc, http.StatusServiceUnavailable,
 				&ErrorBody{Code: CodeStorage, Message: err.Error()})
 		default:
-			s.writeError(w, reqID, http.StatusBadRequest,
+			s.writeError(w, sc, http.StatusBadRequest,
 				&ErrorBody{Code: CodeBadRequest, Message: err.Error()})
 		}
 		return
@@ -699,11 +992,12 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	// generation fails its gen-unchanged check and stores nothing.
 	s.cache.invalidate(name)
 	if s.log != nil {
-		s.log.Info("dataset mutated", slog.String("request_id", reqID),
+		s.log.Info("dataset mutated", slog.String("request_id", sc.reqID),
+			slog.String("trace_id", sc.tc.TraceID),
 			slog.String("dataset", name), slog.Uint64("generation", info.Generation))
 	}
 	s.writeJSON(w, http.StatusOK, &DatasetsResponse{
-		Schema: SchemaVersion, RequestID: reqID, Dataset: &info,
+		Schema: SchemaVersion, RequestID: sc.reqID, TraceID: sc.tc.TraceID, Dataset: &info,
 	})
 }
 
@@ -734,9 +1028,9 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 }
 
 // notReady rejects /v1 traffic while boot recovery is still replaying WALs.
-func (s *Server) notReady(w http.ResponseWriter, reqID string) int {
+func (s *Server) notReady(w http.ResponseWriter, sc *reqScope) int {
 	w.Header().Set("Retry-After", "1")
-	return s.writeError(w, reqID, http.StatusServiceUnavailable,
+	return s.writeError(w, sc, http.StatusServiceUnavailable,
 		&ErrorBody{Code: CodeNotReady, Message: "server is recovering datasets; retry shortly",
 			RetryAfterMS: 1000})
 }
@@ -745,22 +1039,25 @@ func (s *Server) notReady(w http.ResponseWriter, reqID string) int {
 
 // decodeBody strictly decodes a JSON body into v, writing the 400 itself on
 // failure.
-func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, reqID string, limit int64, v any) bool {
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, sc *reqScope, limit int64, v any) bool {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
 	if err == nil {
 		err = decodeStrict(body, v)
 	}
 	if err != nil {
-		s.writeError(w, reqID, http.StatusBadRequest,
+		s.writeError(w, sc, http.StatusBadRequest,
 			&ErrorBody{Code: CodeBadRequest, Message: err.Error()})
 		return false
 	}
 	return true
 }
 
+// writeJSON writes a success envelope. The correlation headers are set by
+// the instrument middleware; handlers driven without it (direct tests) get
+// them here as a fallback.
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) int {
 	w.Header().Set("Content-Type", "application/json")
-	if resp, ok := v.(*QueryResponse); ok {
+	if resp, ok := v.(*QueryResponse); ok && w.Header().Get("X-Request-ID") == "" {
 		w.Header().Set("X-Request-ID", resp.RequestID)
 	}
 	w.WriteHeader(status)
@@ -768,13 +1065,20 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) int {
 	return status
 }
 
-func (s *Server) writeError(w http.ResponseWriter, reqID string, status int, body *ErrorBody) int {
+// writeError writes the error envelope — request id and trace id in the
+// body and (via the middleware) the headers, on every status including
+// 429, 503 and 422 — and records the error code on the scope for the
+// request log line and slow-query capture.
+func (s *Server) writeError(w http.ResponseWriter, sc *reqScope, status int, body *ErrorBody) int {
 	mReqErrors.Inc()
+	sc.code = body.Code
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Request-ID", reqID)
+	if w.Header().Get("X-Request-ID") == "" {
+		w.Header().Set("X-Request-ID", sc.reqID)
+	}
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(&ErrorResponse{
-		Schema: SchemaVersion, RequestID: reqID, Error: body,
+		Schema: SchemaVersion, RequestID: sc.reqID, TraceID: sc.tc.TraceID, Error: body,
 	})
 	return status
 }

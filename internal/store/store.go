@@ -42,14 +42,18 @@ import (
 // Store-wide metrics, in the same lock-free registry as the engine and
 // server metrics: one /metrics scrape shows WAL pressure next to query load.
 var (
-	mWalRecords  = obs.NewCounter("store_wal_records_total")
-	mWalBytes    = obs.NewCounter("store_wal_bytes_total")
-	mFsyncs      = obs.NewCounter("store_fsyncs_total")
-	mCompactions = obs.NewCounter("store_compactions_total")
-	mRecovered   = obs.NewCounter("store_recovered_datasets_total")
-	mReplayed    = obs.NewCounter("store_replayed_records_total")
-	mTornTails   = obs.NewCounter("store_truncated_tails_total")
-	mWedged      = obs.NewCounter("store_wedged_logs_total")
+	mWalRecords   = obs.NewCounter("store_wal_records_total")
+	mWalBytes     = obs.NewCounter("store_wal_bytes_total")
+	mFsyncs       = obs.NewCounterVec("store_fsyncs_total", "policy")
+	mFsyncDur     = obs.NewHistogram("store_fsync_duration_ms")
+	mCompactions  = obs.NewCounter("store_compactions_total")
+	mCompactDur   = obs.NewHistogram("store_compaction_duration_ms")
+	mCompactFreed = obs.NewCounter("store_compact_reclaimed_bytes_total")
+	mRecoveryDur  = obs.NewHistogram("store_recovery_duration_ms")
+	mRecovered    = obs.NewCounter("store_recovered_datasets_total")
+	mReplayed     = obs.NewCounter("store_replayed_records_total")
+	mTornTails    = obs.NewCounter("store_truncated_tails_total")
+	mWedged       = obs.NewCounter("store_wedged_logs_total")
 )
 
 // Store errors.
@@ -149,8 +153,9 @@ func (o Options) withDefaults() Options {
 
 // Store manages every dataset log under one data directory.
 type Store struct {
-	opts Options
-	fs   VFS
+	opts   Options
+	fs     VFS
+	fsyncs *obs.Counter // store_fsyncs_total child for this store's policy
 
 	mu     sync.Mutex
 	logs   map[string]*dsLog
@@ -212,6 +217,7 @@ func Open(opts Options) (*Store, []Recovered, error) {
 	s := &Store{
 		opts:   opts,
 		fs:     opts.FS,
+		fsyncs: mFsyncs.WithLabels(opts.Policy.String()),
 		logs:   map[string]*dsLog{},
 		failed: map[string]bool{},
 		stopc:  make(chan struct{}),
@@ -225,6 +231,7 @@ func Open(opts Options) (*Store, []Recovered, error) {
 	}
 	names := datasetNames(entries)
 
+	recoverStart := time.Now()
 	tracer := obs.NewTracer(obs.Options{Name: "store:recover", Logger: opts.Logger})
 	var recovered []Recovered
 	for _, name := range names {
@@ -250,11 +257,25 @@ func Open(opts Options) (*Store, []Recovered, error) {
 		sp.End(nil)
 		recovered = append(recovered, *rec)
 	}
+	mRecoveryDur.Observe(time.Since(recoverStart))
 	if opts.Policy == SyncInterval {
 		s.bg.Add(1)
 		go s.syncLoop()
 	}
 	return s, recovered, nil
+}
+
+// timedSync fsyncs f, timing the call and counting it under the store's
+// policy label. The caller handles the error (wedging, abort) — a failed
+// sync is neither timed nor counted.
+func (s *Store) timedSync(f File) error {
+	start := time.Now()
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	mFsyncDur.Observe(time.Since(start))
+	s.fsyncs.Inc()
+	return nil
 }
 
 // datasetNames extracts the dataset names present in a data directory.
@@ -541,10 +562,9 @@ func (s *Store) Create(name string, meta Meta, txs []itemset.Set) error {
 		if _, err := f.Write(rec); err != nil {
 			return err
 		}
-		if err := f.Sync(); err != nil {
+		if err := s.timedSync(f); err != nil {
 			return err
 		}
-		mFsyncs.Inc()
 		return s.fs.SyncDir(s.opts.Dir)
 	}()
 	if writeErr != nil {
@@ -572,11 +592,10 @@ func (lg *dsLog) writeRecordLocked(typ byte, payload []byte, sync bool) error {
 		return err
 	}
 	if sync || lg.st.opts.Policy == SyncAlways {
-		if err := lg.wal.Sync(); err != nil {
+		if err := lg.st.timedSync(lg.wal); err != nil {
 			lg.wedge(err)
 			return err
 		}
-		mFsyncs.Inc()
 	} else {
 		lg.dirty = true
 	}
@@ -658,11 +677,10 @@ func (lg *dsLog) maybeRotateLocked() bool {
 	}
 	// The rotated log must be durable before the snapshot claims to cover
 	// it, and before its name changes out from under the page cache.
-	if err := lg.wal.Sync(); err != nil {
+	if err := lg.st.timedSync(lg.wal); err != nil {
 		lg.wedge(err)
 		return false
 	}
-	mFsyncs.Inc()
 	lg.dirty = false
 	if err := lg.wal.Close(); err != nil {
 		lg.wedge(err)
@@ -710,6 +728,13 @@ func (s *Store) compact(lg *dsLog) {
 	if dropped {
 		return
 	}
+	foldStart := time.Now()
+	// The rotated log is what the fold reclaims; its size is gone from disk
+	// once the new snapshot covers it.
+	var oldBytes int64
+	if st, err := s.fs.Stat(s.oldPath(lg.name)); err == nil {
+		oldBytes = st.Size()
+	}
 	rp := &replay{}
 	if s.exists(s.snapPath(lg.name)) {
 		seq, gen, meta, txs, err := readSnapshotFile(s.fs, s.snapPath(lg.name))
@@ -744,6 +769,8 @@ func (s *Store) compact(lg *dsLog) {
 	lg.hasOld = false
 	lg.mu.Unlock()
 	mCompactions.Inc()
+	mCompactDur.Observe(time.Since(foldStart))
+	mCompactFreed.Add(oldBytes)
 	if l := s.opts.Logger; l != nil {
 		l.Info("store: compacted", slog.String("dataset", lg.name),
 			slog.Uint64("seq", rp.seq), slog.Uint64("generation", rp.gen),
@@ -833,11 +860,10 @@ func (s *Store) syncAll() {
 	for _, lg := range logs {
 		lg.mu.Lock()
 		if lg.dirty && lg.wedged == nil && lg.wal != nil {
-			if err := lg.wal.Sync(); err != nil {
+			if err := s.timedSync(lg.wal); err != nil {
 				lg.wedge(err)
 			} else {
 				lg.dirty = false
-				mFsyncs.Inc()
 			}
 		}
 		lg.mu.Unlock()

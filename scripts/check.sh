@@ -28,6 +28,20 @@ if grep -rnE '"(runtime/pprof|net/http/pprof)"' \
   exit 1
 fi
 
+echo "== exposition hygiene =="
+# Metrics exposition is confined to internal/obs the same way pprof is: the
+# rest of the stack registers families and never touches the wire format.
+# An expvar import or hand-formatted "# TYPE" line anywhere else forks the
+# exposition contract (and its lint guarantees).
+if grep -rnE '"expvar"' --include='*.go' . | grep -v '^./internal/obs/'; then
+  echo "check.sh: expvar import outside internal/obs (register through obs)" >&2
+  exit 1
+fi
+if grep -rn '# TYPE' --include='*.go' . | grep -v '^./internal/obs/' | grep -v '_test.go'; then
+  echo "check.sh: Prometheus exposition text formatted outside internal/obs" >&2
+  exit 1
+fi
+
 echo "== durability hygiene =="
 # Inside the WAL/snapshot store every Close and Sync return is load-bearing:
 # a swallowed fsync error is a silent durability hole. Bare call statements
@@ -120,6 +134,77 @@ if ! wait "$cfqd_pid"; then
   echo "check.sh: cfqd did not drain cleanly on SIGTERM" >&2
   exit 1
 fi
+cfqd_pid=""
+
+echo "== telemetry smoke (trace join, /metrics monotonicity, slowlog) =="
+# Boot cfqd with the slow-query log and an ops port, push cfqload traffic
+# (which mints traceparent headers and reports its slow outliers), scrape
+# /metrics before and after a second load round, and require: the telemetry
+# families present, the request counter monotone and growing, a slow-query
+# record reachable over /v1/slowlog, and a client-chosen trace id joining
+# the server-side record.
+rm -rf "$check_tmp/data"
+rm -f "$check_tmp/addr"
+"$check_tmp/cfqd" -addr 127.0.0.1:0 -addr-file "$check_tmp/addr" \
+  -ops-addr 127.0.0.1:0 -data-dir "$check_tmp/data" -slow-query-ms 1 \
+  2> "$check_tmp/cfqd.log" &
+cfqd_pid=$!
+ops_addr=""
+for _ in $(seq 1 100); do
+  ops_addr="$(sed -n 's/.*msg="ops listening" addr=//p' "$check_tmp/cfqd.log" | head -1)"
+  [[ -n "$ops_addr" && -s "$check_tmp/addr" ]] && break
+  sleep 0.1
+done
+if [[ -z "$ops_addr" || ! -s "$check_tmp/addr" ]]; then
+  echo "check.sh: cfqd never advertised its API/ops addresses" >&2
+  exit 1
+fi
+api_addr="$(cat "$check_tmp/addr")"
+
+"$check_tmp/cfqload" -addr "$api_addr" -wait-ready 10s -create \
+  -gen-tx 200 -gen-items 20 -minsup 20 -clients 2 -requests 5 -slow-ms 1 \
+  > "$check_tmp/telemetry.out"
+if ! grep -q 'slow requests' "$check_tmp/telemetry.out"; then
+  echo "check.sh: cfqload -slow-ms printed no outlier report" >&2
+  cat "$check_tmp/telemetry.out" >&2
+  exit 1
+fi
+
+curl -fsS "http://$ops_addr/metrics" > "$check_tmp/scrape1.txt"
+for fam in server_requests_total server_request_duration_ms server_queries_total \
+    server_active_requests server_slow_queries_total server_result_cache_hits_total \
+    server_result_cache_bytes session_cache_bytes store_wal_records_total \
+    store_fsyncs_total store_fsync_duration_ms; do
+  if ! grep -q "^# TYPE $fam " "$check_tmp/scrape1.txt"; then
+    echo "check.sh: family $fam missing from /metrics" >&2
+    exit 1
+  fi
+done
+
+# A budget-exhausted query is captured by the slow log regardless of wall
+# time, so the trace join below is deterministic; the trace id is ours.
+trace_id="cafe0000000000000000000000000001"
+curl -s -o /dev/null -X POST "http://$api_addr/v1/query" \
+  -H "Traceparent: 00-$trace_id-cafe000000000001-01" \
+  -H 'Content-Type: application/json' \
+  -d '{"dataset":"load","query":"{(S,T) | freq(S) & freq(T)}","min_support":20,"budget":{"max_candidates":1},"no_cache":true,"no_session":true}'
+if ! curl -fsS "http://$api_addr/v1/slowlog" | grep -q "$trace_id"; then
+  echo "check.sh: slow-query log has no record joining trace $trace_id" >&2
+  exit 1
+fi
+
+"$check_tmp/cfqload" -addr "$api_addr" -wait-ready 10s \
+  -minsup 20 -clients 2 -requests 5 > /dev/null
+curl -fsS "http://$ops_addr/metrics" > "$check_tmp/scrape2.txt"
+reqs1="$(awk -F' ' '/^server_requests_total{/ {s+=$2} END {print s+0}' "$check_tmp/scrape1.txt")"
+reqs2="$(awk -F' ' '/^server_requests_total{/ {s+=$2} END {print s+0}' "$check_tmp/scrape2.txt")"
+if [[ "$reqs2" -le "$reqs1" ]]; then
+  echo "check.sh: server_requests_total not monotone across scrapes ($reqs1 -> $reqs2)" >&2
+  exit 1
+fi
+
+kill -TERM "$cfqd_pid"
+wait "$cfqd_pid" || true
 cfqd_pid=""
 
 echo "== crash-recovery property (kill -9 storm, -race) =="
