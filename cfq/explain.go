@@ -60,6 +60,24 @@ func (q *Query) ExplainQuery(strat Strategy) (rep *ExplainReport, err error) {
 	return core.BuildExplain(icfq, strat.internal())
 }
 
+// QueryFeatures is the strategy-independent feature vector of a query —
+// the workload journal's cost-model input (see obs.QueryFeatures).
+type QueryFeatures = obs.QueryFeatures
+
+// ProfileQuery renders the plan together with the query's feature vector
+// (database shape, L1 stats, selectivity products, constraint mix) off the
+// same single support scan ExplainQuery pays. It is the workload journal's
+// profiling seam: one call per distinct canonical query per dataset
+// generation yields everything the journal records besides run actuals.
+func (q *Query) ProfileQuery(strat Strategy) (rep *ExplainReport, feats *QueryFeatures, err error) {
+	defer recoverToError(&err)
+	icfq, err := q.compile()
+	if err != nil {
+		return nil, nil, err
+	}
+	return core.BuildExplainFeatures(icfq, strat.internal())
+}
+
 // ExplainAnalyze is ExplainAnalyzeContext(context.Background(), strat).
 func (q *Query) ExplainAnalyze(strat Strategy) (*Result, *ExplainReport, error) {
 	return q.ExplainAnalyzeContext(context.Background(), strat)

@@ -149,14 +149,19 @@ func (s *Session) RunContext(ctx context.Context, q *Query) (res *Result, err er
 	start := time.Now()
 	budget := q.budget.internal(start)
 	tracer := obs.FromContext(ctx)
+	prune := obs.PruningFromContext(ctx)
 
+	// Mining on a cache miss accumulates into the run's Stats directly, so a
+	// session result's counters describe this run's actual work and its
+	// CandidatesPruned stays equal to the per-site pruning attribution — the
+	// same accounting contract the engine strategies keep.
 	ires := &core.Result{}
-	sSets, err := s.side(ctx, "S", db, icfq.DomainS, icfq.MinSupportS, budget)
+	sSets, err := s.side(ctx, "S", db, icfq.DomainS, icfq.MinSupportS, budget, &ires.Stats)
 	if err != nil {
 		publishRun(time.Since(start), nil, err)
 		return nil, convertErr(err)
 	}
-	tSets, err := s.side(ctx, "T", db, icfq.DomainT, icfq.MinSupportT, budget)
+	tSets, err := s.side(ctx, "T", db, icfq.DomainT, icfq.MinSupportT, budget, &ires.Stats)
 	if err != nil {
 		publishRun(time.Since(start), nil, err)
 		return nil, convertErr(err)
@@ -168,7 +173,7 @@ func (s *Session) RunContext(ctx context.Context, q *Query) (res *Result, err er
 		fsp = tracer.Start("S:filter", obs.Int("cached", len(sSets))).
 			WithStats(ires.Stats.Counters())
 	}
-	ires.LevelsS = filterLattice(sSets, icfq.MinSupportS, icfq.ConstraintsS, &ires.Stats)
+	ires.LevelsS = filterLattice(sSets, icfq.MinSupportS, icfq.ConstraintsS, &ires.Stats, prune, "S:filter")
 	if fsp != nil {
 		fsp.End(ires.Stats.Counters())
 	}
@@ -176,7 +181,7 @@ func (s *Session) RunContext(ctx context.Context, q *Query) (res *Result, err er
 		fsp = tracer.Start("T:filter", obs.Int("cached", len(tSets))).
 			WithStats(ires.Stats.Counters())
 	}
-	ires.LevelsT = filterLattice(tSets, icfq.MinSupportT, icfq.ConstraintsT, &ires.Stats)
+	ires.LevelsT = filterLattice(tSets, icfq.MinSupportT, icfq.ConstraintsT, &ires.Stats, prune, "T:filter")
 	if fsp != nil {
 		fsp.End(ires.Stats.Counters())
 	}
@@ -186,7 +191,11 @@ func (s *Session) RunContext(ctx context.Context, q *Query) (res *Result, err er
 		psp = tracer.Start("pairs").WithStats(ires.Stats.Counters())
 	}
 
-	// Pair formation with the 2-var constraints, as in the engine.
+	// Pair formation with the 2-var constraints, as in the engine: a
+	// rejected pair is one pruned answer candidate charged to its
+	// constraint's "pairs:" site, and the enumeration yields to ctx
+	// periodically so a drain or deadline can abort a dense answer space.
+	const pairCancelStride = 8192
 	validS, validT := ires.ValidS(), ires.ValidT()
 	if len(icfq.Constraints2) == 0 {
 		ires.PairCount = int64(len(validS)) * int64(len(validT))
@@ -195,17 +204,33 @@ func (s *Session) RunContext(ctx context.Context, q *Query) (res *Result, err er
 			limit = int64(icfq.MaxPairs)
 		}
 		for i := int64(0); i < limit; i++ {
+			if i%pairCancelStride == 0 && ctx.Err() != nil {
+				publishRun(time.Since(start), nil, ctx.Err())
+				return nil, convertErr(fmt.Errorf("cfq: forming pairs: %w", ctx.Err()))
+			}
 			ires.Pairs = append(ires.Pairs, core.Pair{
 				S: validS[i/int64(len(validT))], T: validT[i%int64(len(validT))]})
 		}
 	} else {
+		sites := make([]string, len(icfq.Constraints2))
+		for i, c2 := range icfq.Constraints2 {
+			sites[i] = fmt.Sprintf("pairs:%v", c2)
+		}
+		var iter int64
 		for _, sv := range validS {
 			for _, tv := range validT {
+				if iter%pairCancelStride == 0 && ctx.Err() != nil {
+					publishRun(time.Since(start), nil, ctx.Err())
+					return nil, convertErr(fmt.Errorf("cfq: forming pairs: %w", ctx.Err()))
+				}
+				iter++
 				ok := true
-				for _, c2 := range icfq.Constraints2 {
+				for i, c2 := range icfq.Constraints2 {
 					ires.Stats.PairChecks++
 					if !c2.Satisfies(sv.Set, tv.Set) {
 						ok = false
+						ires.Stats.CandidatesPruned++
+						prune.Charge(sites[i], 1)
 						break
 					}
 				}
@@ -237,7 +262,7 @@ func (s *Session) RunContext(ctx context.Context, q *Query) (res *Result, err er
 // captured; a store is skipped when the cache has moved to a newer
 // snapshot, so a slow run racing a dataset mutation cannot resurrect a
 // stale lattice.
-func (s *Session) side(ctx context.Context, label string, db *txdb.DB, domain itemset.Set, minSup int, budget *mine.Budget) ([]mine.Counted, error) {
+func (s *Session) side(ctx context.Context, label string, db *txdb.DB, domain itemset.Set, minSup int, budget *mine.Budget, stats *mine.Stats) ([]mine.Counted, error) {
 	key := "*"
 	if domain != nil {
 		key = domain.Key()
@@ -273,6 +298,7 @@ func (s *Session) side(ctx context.Context, label string, db *txdb.DB, domain it
 		Domain:     domain,
 		Budget:     budget,
 		Label:      label,
+		Stats:      stats,
 	})
 	if err != nil {
 		msp.End(nil)
@@ -351,11 +377,14 @@ func latticeBytes(sets []mine.Counted) int64 {
 
 // filterLattice applies the support threshold and 1-var constraints to a
 // cached lattice, regrouping by level (generate-and-test over the cache:
-// each check is counted as a set-level constraint check).
-func filterLattice(sets []mine.Counted, minSup int, cons []constraint.Constraint, stats *mine.Stats) [][]mine.Counted {
+// each check is counted as a set-level constraint check, and each rejected
+// set is a pruned candidate charged to the side's filter site).
+func filterLattice(sets []mine.Counted, minSup int, cons []constraint.Constraint, stats *mine.Stats, prune *obs.PruneSet, site string) [][]mine.Counted {
 	var levels [][]mine.Counted
 	for _, c := range sets {
 		if c.Support < minSup {
+			stats.CandidatesPruned++
+			prune.Charge(site, 1)
 			continue
 		}
 		ok := true
@@ -367,6 +396,8 @@ func filterLattice(sets []mine.Counted, minSup int, cons []constraint.Constraint
 			}
 		}
 		if !ok {
+			stats.CandidatesPruned++
+			prune.Charge(site, 1)
 			continue
 		}
 		for len(levels) < c.Set.Len() {

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -95,6 +96,7 @@ func realMain() error {
 		threshold    = flag.Float64("threshold", 2.0, "regression ratio: new/old beyond this fails the -compare gate")
 		workloadList = flag.String("workloads", "", "comma-separated workload names to run (default all)")
 		strategyList = flag.String("strategies", "", "comma-separated strategy names to run (default all)")
+		regretFlag   = flag.Bool("regret", false, "print a per-workload strategy-regret table (with -compare, cross-check best strategies against the baseline)")
 	)
 	flag.Parse()
 
@@ -125,11 +127,18 @@ func realMain() error {
 		}
 	}
 
+	var old *benchFile
 	if *compareFile != "" {
-		old, err := readSnapshot(*compareFile)
-		if err != nil {
+		if old, err = readSnapshot(*compareFile); err != nil {
 			return err
 		}
+	}
+
+	if *regretFlag {
+		printRegret(&snap, old)
+	}
+
+	if old != nil {
 		problems := compare(old, &snap, *threshold)
 		for _, p := range problems {
 			fmt.Fprintln(os.Stderr, "REGRESSION:", p)
@@ -150,6 +159,61 @@ func realMain() error {
 		return err
 	}
 	return os.WriteFile(*out, b, 0o644)
+}
+
+// printRegret renders the per-workload strategy-regret table from the fresh
+// measurements: each strategy's wall time against the workload's best, the
+// same ratio the daemon's shadow sampler publishes per query class. With a
+// baseline, each row also carries the baseline's ratio and a best-strategy
+// disagreement is called out — the cross-check that shadow-measured regret
+// on a served workload (e.g. the fig8a cap-vs-optimized gap) reproduces
+// what the committed BENCH.json snapshot recorded, and the place where a
+// drifted belief (like BENCH's nojmax micro-inversion, now within noise)
+// shows up as a NOTE.
+func printRegret(fresh, base *benchFile) {
+	baseline := map[string]entry{}
+	baseBest := map[string]entry{}
+	if base != nil {
+		for _, e := range base.Entries {
+			baseline[e.key()] = e
+			if b, ok := baseBest[e.Workload]; !ok || e.WallNS < b.WallNS {
+				baseBest[e.Workload] = e
+			}
+		}
+	}
+	byWL := map[string][]entry{}
+	var names []string
+	for _, e := range fresh.Entries {
+		if len(byWL[e.Workload]) == 0 {
+			names = append(names, e.Workload)
+		}
+		byWL[e.Workload] = append(byWL[e.Workload], e)
+	}
+	fmt.Fprintln(os.Stderr, "regret table (wall vs best per workload):")
+	for _, name := range names {
+		entries := byWL[name]
+		sort.Slice(entries, func(i, j int) bool { return entries[i].WallNS < entries[j].WallNS })
+		best := entries[0]
+		fmt.Fprintf(os.Stderr, "  %s\n", name)
+		for _, e := range entries {
+			mark := " "
+			if e.Strategy == best.Strategy {
+				mark = "*"
+			}
+			line := fmt.Sprintf("   %s %-16s wall=%-12v regret %.2fx",
+				mark, e.Strategy, time.Duration(e.WallNS), float64(e.WallNS)/float64(best.WallNS))
+			if o, ok := baseline[e.key()]; ok {
+				if ob, ok := baseBest[e.Workload]; ok && ob.WallNS > 0 {
+					line += fmt.Sprintf("  (baseline %.2fx)", float64(o.WallNS)/float64(ob.WallNS))
+				}
+			}
+			fmt.Fprintln(os.Stderr, line)
+		}
+		if ob, ok := baseBest[name]; ok && ob.Strategy != best.Strategy {
+			fmt.Fprintf(os.Stderr, "   NOTE: best strategy here is %s, baseline recorded %s\n",
+				best.Strategy, ob.Strategy)
+		}
+	}
 }
 
 // measure runs one workload point under one strategy. The work counters

@@ -30,6 +30,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -72,6 +73,9 @@ func run(args []string, ready chan<- string) error {
 		compactRecords = fs.Int("compact-records", 1024, "snapshot+truncate a dataset log after this many WAL records (negative disables)")
 		compactBytes   = fs.Int64("compact-bytes", 64<<20, "snapshot+truncate a dataset log after this many WAL bytes (negative disables)")
 		slowQueryMS    = fs.Int64("slow-query-ms", 0, "capture queries slower than this (or budget/error outcomes) in the slow-query log; 0 disables")
+		workloadOn     = fs.Bool("workload", false, "journal every completed query (features, strategy, pruning, outcome) for GET /v1/workload")
+		shadowSample   = fs.Float64("shadow-sample", 0, "fraction of completed queries the shadow sampler re-runs under alternate strategies (0 disables, implies -workload)")
+		shadowStrats   = fs.String("shadow-strategies", "", "comma-separated strategies the shadow sampler re-runs (default: optimized,nojmax,cap,apriori,sequential)")
 		drainTimeout   = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain window for in-flight requests")
 		logLevel       = fs.String("log-level", "info", "log level: debug, info, warn, error")
 		quiet          = fs.Bool("quiet", false, "disable request logging")
@@ -112,8 +116,26 @@ func run(args []string, ready chan<- string) error {
 		slowLogDir = filepath.Join(*dataDir, "slowlog")
 	}
 
+	// The workload journal likewise persists beside the WALs when both the
+	// journal and a data directory are configured.
+	if *shadowSample < 0 || *shadowSample > 1 {
+		return fmt.Errorf("bad -shadow-sample %v: want a fraction in [0, 1]", *shadowSample)
+	}
+	var workloadDir string
+	if (*workloadOn || *shadowSample > 0) && *dataDir != "" {
+		workloadDir = filepath.Join(*dataDir, "workload")
+	}
+	var shadowStrategies []string
+	if *shadowStrats != "" {
+		for _, name := range strings.Split(*shadowStrats, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				shadowStrategies = append(shadowStrategies, name)
+			}
+		}
+	}
+
 	srv := serve.NewServer(serve.Config{
-		Store: storeOpts,
+		Store:      storeOpts,
 		Workers:    *workers,
 		QueueDepth: *queueDepth,
 		QueueWait:  *queueWait,
@@ -132,6 +154,10 @@ func run(args []string, ready chan<- string) error {
 		AllowFiles:            *allowFiles,
 		SlowQuery:             time.Duration(*slowQueryMS) * time.Millisecond,
 		SlowLogDir:            slowLogDir,
+		Workload:              *workloadOn,
+		WorkloadDir:           workloadDir,
+		ShadowSample:          *shadowSample,
+		ShadowStrategies:      shadowStrategies,
 		Logger:                logger,
 	})
 

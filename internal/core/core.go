@@ -375,7 +375,9 @@ func runBaseline(ctx context.Context, q CFQ, pushOneVar bool) (*Result, error) {
 	res := &Result{LevelsS: sRes.Levels, LevelsT: tRes.Levels}
 	res.Stats.Add(sRes.Stats)
 	res.Stats.Add(tRes.Stats)
-	formPairsTraced(obs.FromContext(ctx), obs.PruningFromContext(ctx), q, res)
+	if err := formPairsTraced(ctx, obs.FromContext(ctx), obs.PruningFromContext(ctx), q, res); err != nil {
+		return res, err
+	}
 	return res, nil
 }
 
@@ -591,23 +593,26 @@ func runOptimized(ctx context.Context, q CFQ, useJmax bool) (*Result, error) {
 		fsp.End(res.Stats.Counters())
 	}
 
-	formPairsTraced(tracer, prune, q, res)
+	if err := formPairsTraced(ctx, tracer, prune, q, res); err != nil {
+		return res, err
+	}
 	return res, nil
 }
 
 // formPairsTraced wraps pair formation in a delta span attributing the
 // PairChecks cost. The span must open after every Stats.Add fold into
 // res.Stats, so its delta is exactly the pair-formation work.
-func formPairsTraced(tracer *obs.Tracer, prune *obs.PruneSet, q CFQ, res *Result) {
+func formPairsTraced(ctx context.Context, tracer *obs.Tracer, prune *obs.PruneSet, q CFQ, res *Result) error {
 	var sp *obs.Span
 	if tracer != nil {
 		sp = tracer.Start("pairs").WithStats(res.Stats.Counters())
 	}
-	formPairs(q, res, prune)
+	err := formPairs(ctx, q, res, prune)
 	if sp != nil {
 		sp.SetAttrs(obs.Int64("pair_count", res.PairCount))
 		sp.End(res.Stats.Counters())
 	}
+	return err
 }
 
 // dynFilter builds the candidate filter enforcing the anti-monotone
@@ -740,29 +745,53 @@ func applyFinalDynamic(dyns []*dynState, side twovar.Side, levels [][]mine.Count
 	return out
 }
 
+// pairCancelStride is how many pair iterations run between context checks
+// in formPairs. On dense queries the S×T cross product can dwarf the mining
+// work, and a drain or query deadline must be able to abort mid-answer.
+const pairCancelStride = 8192
+
 // formPairs materializes the answer: every (valid S, valid T) pair
 // satisfying all 2-var constraints. With no 2-var constraints the answer is
-// the cross product and no checks are spent.
-func formPairs(q CFQ, res *Result, prune *obs.PruneSet) {
+// the cross product and no checks are spent. A cancelled ctx aborts the
+// enumeration within pairCancelStride iterations, leaving res partial.
+func formPairs(ctx context.Context, q CFQ, res *Result, prune *obs.PruneSet) error {
 	validS, validT := res.ValidS(), res.ValidT()
 	if len(q.Constraints2) == 0 {
 		res.PairCount = int64(len(validS)) * int64(len(validT))
 		if res.PairCount == 0 {
-			return
+			return nil
 		}
 		limit := res.PairCount
 		if q.MaxPairs > 0 && int64(q.MaxPairs) < limit {
 			limit = int64(q.MaxPairs)
 		}
 		for i := int64(0); i < limit; i++ {
+			if i%pairCancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("core: forming pairs: %w", err)
+				}
+			}
 			res.Pairs = append(res.Pairs, Pair{S: validS[i/int64(len(validT))], T: validT[i%int64(len(validT))]})
 		}
-		return
+		return nil
 	}
+	// Site labels are hoisted out of the loops: formatting one per rejected
+	// pair turns a dense answer space into minutes of fmt work.
+	sites := make([]string, len(q.Constraints2))
+	for i, c2 := range q.Constraints2 {
+		sites[i] = fmt.Sprintf("pairs:%v", c2)
+	}
+	var iter int64
 	for _, s := range validS {
 		for _, t := range validT {
+			if iter%pairCancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("core: forming pairs: %w", err)
+				}
+			}
+			iter++
 			ok := true
-			for _, c2 := range q.Constraints2 {
+			for i, c2 := range q.Constraints2 {
 				res.Stats.PairChecks++
 				if !c2.Satisfies(s.Set, t.Set) {
 					ok = false
@@ -770,7 +799,7 @@ func formPairs(q CFQ, res *Result, prune *obs.PruneSet) {
 					// cost a plan pays for 2-var constraints it could not
 					// push into the lattices.
 					res.Stats.CandidatesPruned++
-					prune.Charge(fmt.Sprintf("pairs:%v", c2), 1)
+					prune.Charge(sites[i], 1)
 					break
 				}
 			}
@@ -783,6 +812,7 @@ func formPairs(q CFQ, res *Result, prune *obs.PruneSet) {
 			}
 		}
 	}
+	return nil
 }
 
 // runSequential is the non-dovetailed alternative of Section 5.2: the T
@@ -973,7 +1003,9 @@ func runSequential(ctx context.Context, q CFQ) (*Result, error) {
 	}
 	recordTrajectories(plan, dyns)
 
-	formPairsTraced(tracer, prune, q, res)
+	if err := formPairsTraced(ctx, tracer, prune, q, res); err != nil {
+		return res, err
+	}
 	return res, nil
 }
 
@@ -1085,6 +1117,8 @@ func runFM(ctx context.Context, q CFQ) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	formPairsTraced(tracer, prune, q, res)
+	if err := formPairsTraced(ctx, tracer, prune, q, res); err != nil {
+		return res, err
+	}
 	return res, nil
 }

@@ -84,8 +84,16 @@ func describeQuery(q CFQ) string {
 // strategy as an ExplainReport, without running the query. The estimated
 // selectivities cost one database scan (item supports).
 func BuildExplain(q CFQ, strat Strategy) (*obs.ExplainReport, error) {
+	rep, _, err := BuildExplainFeatures(q, strat)
+	return rep, err
+}
+
+// BuildExplainFeatures renders the plan and the query's strategy-independent
+// feature vector (workload journal / cost-model input) off the same single
+// item-support scan BuildExplain pays.
+func BuildExplainFeatures(q CFQ, strat Strategy) (*obs.ExplainReport, *obs.QueryFeatures, error) {
 	if err := q.normalize(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	domS, domT := q.DomainS, q.DomainT
 	if domS == nil {
@@ -179,7 +187,55 @@ func BuildExplain(q CFQ, strat Strategy) (*obs.ExplainReport, error) {
 		}
 		rep.Constraints = append(rep.Constraints, ce)
 	}
-	return rep, nil
+	return rep, buildFeatures(q, domS, domT, sup), nil
+}
+
+// buildFeatures assembles the feature vector from the normalized query and
+// the already-computed item supports (no extra scan).
+func buildFeatures(q CFQ, domS, domT itemset.Set, sup map[itemset.Item]int64) *obs.QueryFeatures {
+	f := &obs.QueryFeatures{
+		Transactions:  q.DB.Len(),
+		Items:         q.DB.ActiveItems().Len(),
+		MinSupportS:   q.MinSupportS,
+		MinSupportT:   q.MinSupportT,
+		DomainS:       domS.Len(),
+		DomainT:       domT.Len(),
+		Constraints1S: len(q.ConstraintsS),
+		Constraints1T: len(q.ConstraintsT),
+		Constraints2:  len(q.Constraints2),
+	}
+	l1 := func(dom itemset.Set, minsup int) int {
+		n := 0
+		for _, it := range dom {
+			if sup[it] >= int64(minsup) {
+				n++
+			}
+		}
+		return n
+	}
+	f.FrequentItemsS = l1(domS, q.MinSupportS)
+	f.FrequentItemsT = l1(domT, q.MinSupportT)
+	selProduct := func(cons []constraint.Constraint, dom itemset.Set) float64 {
+		prod, any := 1.0, false
+		for _, c := range cons {
+			if s := estimateSelectivity(c, dom, sup); s >= 0 {
+				prod *= s
+				any = true
+			}
+		}
+		if !any && len(cons) > 0 {
+			return -1
+		}
+		return prod
+	}
+	f.SelectivityS = selProduct(q.ConstraintsS, domS)
+	f.SelectivityT = selProduct(q.ConstraintsT, domT)
+	for _, c2 := range q.Constraints2 {
+		if c2.Classify(domS, domT).QuasiSuccinct {
+			f.QuasiSuccinct2++
+		}
+	}
+	return f
 }
 
 // stageWords are the site-key stage tokens (obs.PruneSet's key grammar).

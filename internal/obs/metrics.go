@@ -38,7 +38,8 @@ type regEntry struct {
 
 // register adds a family to the registry, enforcing the naming contract the
 // exposition lint tests assert: snake_case names, counters end in _total,
-// duration histograms in _ms, gauges in neither.
+// duration histograms in _ms (unitless value histograms in _ratio), gauges
+// in neither.
 func register(name string, kind FamilyKind, labels []string, v metricVar) {
 	if !nameOK(name) {
 		panic(fmt.Sprintf("obs: metric name %q is not snake_case", name))
@@ -49,12 +50,12 @@ func register(name string, kind FamilyKind, labels []string, v metricVar) {
 			panic(fmt.Sprintf("obs: counter %q must end in _total", name))
 		}
 	case KindGauge:
-		if strings.HasSuffix(name, "_total") || strings.HasSuffix(name, "_ms") {
+		if strings.HasSuffix(name, "_total") || strings.HasSuffix(name, "_ms") || strings.HasSuffix(name, "_ratio") {
 			panic(fmt.Sprintf("obs: gauge %q must not carry a counter/histogram suffix", name))
 		}
 	case KindHistogram:
-		if !strings.HasSuffix(name, "_ms") {
-			panic(fmt.Sprintf("obs: histogram %q must end in _ms (durations in milliseconds)", name))
+		if !strings.HasSuffix(name, "_ms") && !strings.HasSuffix(name, "_ratio") {
+			panic(fmt.Sprintf("obs: histogram %q must end in _ms (durations) or _ratio (unitless values)", name))
 		}
 	}
 	regMu.Lock()
@@ -167,6 +168,20 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[i].Add(1)
 	h.count.Add(1)
 	h.sumUS.Add(int64(d / time.Microsecond))
+}
+
+// ObserveValue records one unitless observation — for *_ratio value
+// histograms (e.g. regret = chosen/best), which reuse the registry's bucket
+// bounds as plain numbers rather than milliseconds. Negative values clamp
+// to zero so the monotone sum stays meaningful.
+func (h *Histogram) ObserveValue(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	i := sort.SearchFloat64s(histBounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(int64(v * 1e3))
 }
 
 // Count returns the number of observations.

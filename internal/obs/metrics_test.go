@@ -54,6 +54,25 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+// TestHistogramObserveValue: _ratio families record plain numbers against
+// the shared bucket bounds, and the snapshot sum is the value sum.
+func TestHistogramObserveValue(t *testing.T) {
+	h := NewHistogram("test_regret_ratio")
+	h.ObserveValue(1.0) // -> bucket "1"
+	h.ObserveValue(2.2) // -> bucket "5"
+	h.ObserveValue(-3)  // clamps to 0 -> bucket "1"
+	if h.Count() != 3 {
+		t.Errorf("count = %d", h.Count())
+	}
+	snap := h.Snapshot()
+	if snap.Counts[0] != 2 || snap.Counts[2] != 1 {
+		t.Errorf("counts = %v", snap.Counts)
+	}
+	if snap.SumMS < 3.199 || snap.SumMS > 3.201 {
+		t.Errorf("value sum = %v", snap.SumMS)
+	}
+}
+
 // TestSnapshotAndHandler: the registry snapshot includes the standard vars,
 // /metrics serves Prometheus exposition text, and /metrics.json keeps the
 // JSON form.

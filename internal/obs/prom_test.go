@@ -74,11 +74,11 @@ func TestPrometheusExpositionLint(t *testing.T) {
 				t.Errorf("counter %s missing _total suffix", name)
 			}
 		case "histogram":
-			if !strings.HasSuffix(name, "_ms") {
-				t.Errorf("histogram %s missing _ms suffix", name)
+			if !strings.HasSuffix(name, "_ms") && !strings.HasSuffix(name, "_ratio") {
+				t.Errorf("histogram %s missing _ms/_ratio suffix", name)
 			}
 		case "gauge":
-			if strings.HasSuffix(name, "_total") || strings.HasSuffix(name, "_ms") {
+			if strings.HasSuffix(name, "_total") || strings.HasSuffix(name, "_ms") || strings.HasSuffix(name, "_ratio") {
 				t.Errorf("gauge %s carries a kind suffix", name)
 			}
 		default:

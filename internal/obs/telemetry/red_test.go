@@ -97,6 +97,52 @@ func TestREDKeyOverflow(t *testing.T) {
 	}
 }
 
+// TestREDBackwardsClock: a wall-clock step backwards (NTP correction,
+// frozen fake clock) leaves buckets stamped in the future. Observing and
+// snapshotting around them must not panic, lose the new traffic, or corrupt
+// the quantile fold with negative or out-of-range values.
+func TestREDBackwardsClock(t *testing.T) {
+	r, now := fakeRED(5000)
+	for i := 0; i < 10; i++ {
+		r.Observe("q", "ds", 200, 4*time.Millisecond)
+	}
+	// Step the clock half a window backwards: the bucket at sec=5000 is now
+	// in the future relative to every later observation.
+	*now -= windowSecs / 2
+	for i := 0; i < 20; i++ {
+		r.Observe("q", "ds", 500, 8*time.Millisecond)
+	}
+	eps, _ := r.Snapshot()
+	q, ok := eps["q"]
+	if !ok {
+		t.Fatal("rollup vanished after clock step")
+	}
+	// Both generations are inside the window (future buckets are > cutoff),
+	// so nothing may be dropped or double counted.
+	if q.Requests != 30 || q.Errors != 20 {
+		t.Errorf("requests/errors = %d/%d, want 30/20", q.Requests, q.Errors)
+	}
+	last := obsBoundsLast()
+	for name, v := range map[string]float64{"p50": q.P50MS, "p95": q.P95MS, "p99": q.P99MS} {
+		if v < 0 || v > last {
+			t.Errorf("%s = %v out of range [0, %v] after clock step", name, v, last)
+		}
+	}
+	// Same-slot collision: advancing back onto the future bucket's second
+	// must accumulate into it without resetting or panicking.
+	*now += windowSecs / 2
+	r.Observe("q", "ds", 200, 4*time.Millisecond)
+	eps, _ = r.Snapshot()
+	if got := eps["q"].Requests; got != 31 {
+		t.Errorf("requests after rejoining future bucket = %d, want 31", got)
+	}
+}
+
+func obsBoundsLast() float64 {
+	b := NewRED().bounds
+	return b[len(b)-1]
+}
+
 func TestREDNilSafe(t *testing.T) {
 	var r *RED
 	r.Observe("q", "d", 200, time.Millisecond)

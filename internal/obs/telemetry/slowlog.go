@@ -2,12 +2,6 @@ package telemetry
 
 import (
 	"encoding/json"
-	"fmt"
-	"os"
-	"path/filepath"
-	"sort"
-	"strconv"
-	"strings"
 	"sync"
 	"time"
 
@@ -19,8 +13,8 @@ import (
 // record explaining *why* it was slow: per-phase span deltas, attributed
 // pruning sites, and an auto-captured ExplainReport. Records land in an
 // in-memory ring (served by GET /v1/slowlog) and, when a directory is
-// configured, in a bounded on-disk ring of JSONL segments that survives
-// restarts without ever growing past its byte budget.
+// configured, in a bounded on-disk SegmentRing that survives restarts
+// without ever growing past its byte budget.
 
 // Slow-log metrics.
 var (
@@ -125,12 +119,10 @@ func (o SlowLogOptions) withDefaults() SlowLogOptions {
 type SlowLog struct {
 	opts SlowLogOptions
 
-	mu       sync.Mutex
-	mem      []*SlowQueryRecord // ring, oldest first
-	cur      *os.File
-	curBytes int64
-	curIdx   uint64
-	closed   bool
+	mu     sync.Mutex
+	mem    []*SlowQueryRecord // ring, oldest first
+	ring   *SegmentRing       // nil when in-memory only
+	closed bool
 }
 
 // OpenSlowLog opens (creating if needed) the slow-query log. With a Dir it
@@ -141,52 +133,12 @@ func OpenSlowLog(opts SlowLogOptions) (*SlowLog, error) {
 	if l.opts.Dir == "" {
 		return l, nil
 	}
-	if err := os.MkdirAll(l.opts.Dir, 0o755); err != nil {
-		return nil, err
-	}
-	idxs, err := l.segmentIndexes()
+	ring, err := OpenSegmentRing(l.opts.Dir, "slow", l.opts.SegmentBytes, l.opts.Segments)
 	if err != nil {
 		return nil, err
 	}
-	l.curIdx = 1
-	if n := len(idxs); n > 0 {
-		l.curIdx = idxs[n-1]
-	}
-	f, err := os.OpenFile(l.segPath(l.curIdx), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, err
-	}
-	if st, err := f.Stat(); err == nil {
-		l.curBytes = st.Size()
-	}
-	l.cur = f
+	l.ring = ring
 	return l, nil
-}
-
-func (l *SlowLog) segPath(idx uint64) string {
-	return filepath.Join(l.opts.Dir, fmt.Sprintf("slow-%08d.jsonl", idx))
-}
-
-// segmentIndexes lists existing segment indexes, ascending.
-func (l *SlowLog) segmentIndexes() ([]uint64, error) {
-	ents, err := os.ReadDir(l.opts.Dir)
-	if err != nil {
-		return nil, err
-	}
-	var idxs []uint64
-	for _, e := range ents {
-		name := e.Name()
-		if !strings.HasPrefix(name, "slow-") || !strings.HasSuffix(name, ".jsonl") {
-			continue
-		}
-		n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "slow-"), ".jsonl"), 10, 64)
-		if err != nil {
-			continue
-		}
-		idxs = append(idxs, n)
-	}
-	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
-	return idxs, nil
 }
 
 // Record appends one slow-query record to the memory ring and the on-disk
@@ -215,45 +167,11 @@ func (l *SlowLog) Record(rec *SlowQueryRecord) {
 		l.mem = append(l.mem[:0], l.mem[over:]...)
 	}
 	mSlowRecords.Inc()
-	if l.cur == nil {
+	if l.ring == nil {
 		return
 	}
-	if l.curBytes+int64(len(line))+1 > l.opts.SegmentBytes {
-		l.rotateLocked()
-	}
-	if l.cur == nil {
+	if err := l.ring.Append(line); err != nil {
 		mSlowDropped.Inc()
-		return
-	}
-	n, err := l.cur.Write(append(line, '\n'))
-	l.curBytes += int64(n)
-	if err != nil {
-		mSlowDropped.Inc()
-	}
-}
-
-// rotateLocked opens the next segment and prunes the ring to its bound.
-func (l *SlowLog) rotateLocked() {
-	if err := l.cur.Close(); err != nil {
-		// The handle is being abandoned either way; the close error carries
-		// no durability obligation for a diagnostic ring.
-		_ = err
-	}
-	l.cur = nil
-	l.curIdx++
-	f, err := os.OpenFile(l.segPath(l.curIdx), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return
-	}
-	l.cur = f
-	l.curBytes = 0
-	if idxs, err := l.segmentIndexes(); err == nil {
-		for len(idxs) > l.opts.Segments {
-			if err := os.Remove(l.segPath(idxs[0])); err != nil {
-				break
-			}
-			idxs = idxs[1:]
-		}
 	}
 }
 
@@ -294,10 +212,10 @@ func (l *SlowLog) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.closed = true
-	if l.cur == nil {
+	if l.ring == nil {
 		return nil
 	}
-	err := l.cur.Close()
-	l.cur = nil
+	err := l.ring.Close()
+	l.ring = nil
 	return err
 }

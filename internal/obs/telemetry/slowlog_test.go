@@ -157,6 +157,38 @@ func TestSlowLogReopenContinuesNumbering(t *testing.T) {
 	}
 }
 
+// TestSlowLogReopenZeroLengthSegment: a crash right after rotation leaves
+// the newest segment zero-length. Reopen must adopt that segment (not skip
+// past it, not restart at 1) and append into it.
+func TestSlowLogReopenZeroLengthSegment(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "slow-00000003.jsonl"), []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "slow-00000004.jsonl"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := OpenSlowLog(SlowLogOptions{Dir: dir, SegmentBytes: 64 << 10, Segments: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Record(rec(1))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names := segNames(t, dir)
+	if len(names) != 2 || !contains(names, "slow-00000004.jsonl") {
+		t.Fatalf("segments after reopen = %v, want the zero-length slow-00000004.jsonl adopted", names)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "slow-00000004.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines != 1 {
+		t.Errorf("zero-length segment holds %d records after reopen, want 1", lines)
+	}
+}
+
 func TestSlowLogNilSafe(t *testing.T) {
 	var l *SlowLog
 	l.Record(rec(1)) // must not panic

@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/obs/telemetry"
+)
+
+// Shadow-sampler metrics. Runs are labeled by strategy and outcome; the
+// regret ratio histogram is labeled by the strategy the live path chose, so
+// a planner regression shows up as mass above 1.0 under its label.
+var (
+	mShadowRuns   = obs.NewCounterVec("workload_shadow_runs_total", "strategy", "outcome")
+	mRegretRatio  = obs.NewHistogramVec("workload_regret_ratio", "strategy")
+	mShadowDrops  = obs.NewCounter("workload_shadow_dropped_total")
+	mShadowQueued = obs.NewGauge("workload_shadow_queue_depth")
+)
+
+// ObserveShadowRun publishes one shadow re-run's outcome ("ok" / "error").
+func ObserveShadowRun(strategy, outcome string) {
+	mShadowRuns.WithLabels(strategy, outcome).Inc()
+}
+
+// ObserveRegretRatio publishes one measured regret ratio (chosen wall /
+// best shadow wall, >= 1 when the chosen strategy was not the best).
+func ObserveRegretRatio(chosen string, ratio float64) {
+	mRegretRatio.WithLabels(chosen).ObserveValue(ratio)
+}
+
+// ShadowDropped counts shadow jobs discarded (full queue, stale
+// generation, admission starvation).
+func ShadowDropped() { mShadowDrops.Inc() }
+
+// SetShadowQueueDepth publishes the sampler's queue occupancy.
+func SetShadowQueueDepth(n int) { mShadowQueued.Set(int64(n)) }
+
+// Regret accumulates measured strategy cost per query class: every shadow
+// re-run contributes its wall time under (class, strategy), every live
+// query its chosen strategy. The snapshot is the regret table — per class,
+// each strategy's mean wall against the best strategy's.
+type Regret struct {
+	mu         sync.Mutex
+	maxClasses int
+	classes    map[string]*classRegret
+}
+
+type classRegret struct {
+	strategies map[string]*stratAgg
+	chosen     map[string]int64
+}
+
+type stratAgg struct {
+	runs  int64
+	sumMS float64
+	minMS float64
+	maxMS float64
+}
+
+// NewRegret builds an empty regret accumulator bounded to maxClasses class
+// keys (<= 0 uses the journal default, 64); overflow folds into
+// telemetry.OverflowKey.
+func NewRegret(maxClasses int) *Regret {
+	if maxClasses <= 0 {
+		maxClasses = 64
+	}
+	return &Regret{maxClasses: maxClasses, classes: map[string]*classRegret{}}
+}
+
+func (r *Regret) classLocked(class string) *classRegret {
+	if class == "" {
+		class = "unconstrained"
+	}
+	cr := r.classes[class]
+	if cr == nil {
+		if len(r.classes) >= r.maxClasses {
+			class = telemetry.OverflowKey
+			cr = r.classes[class]
+		}
+		if cr == nil {
+			cr = &classRegret{strategies: map[string]*stratAgg{}, chosen: map[string]int64{}}
+			r.classes[class] = cr
+		}
+	}
+	return cr
+}
+
+// ObserveShadow folds one successful shadow re-run into the table.
+func (r *Regret) ObserveShadow(class, strategy string, ms float64) {
+	if r == nil || strategy == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cr := r.classLocked(class)
+	agg := cr.strategies[strategy]
+	if agg == nil {
+		agg = &stratAgg{minMS: ms, maxMS: ms}
+		cr.strategies[strategy] = agg
+	}
+	agg.runs++
+	agg.sumMS += ms
+	if ms < agg.minMS {
+		agg.minMS = ms
+	}
+	if ms > agg.maxMS {
+		agg.maxMS = ms
+	}
+}
+
+// ObserveChosen counts the live path's strategy choice for a class.
+func (r *Regret) ObserveChosen(class, strategy string) {
+	if r == nil || strategy == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.classLocked(class).chosen[strategy]++
+}
+
+// StrategyRegret is one strategy's measured cost within a class.
+type StrategyRegret struct {
+	Strategy string  `json:"strategy"`
+	Runs     int64   `json:"runs"`
+	MeanMS   float64 `json:"mean_ms"`
+	MinMS    float64 `json:"min_ms"`
+	MaxMS    float64 `json:"max_ms"`
+	// Regret is MeanMS over the class's best strategy's MeanMS (1.0 for
+	// the best strategy itself).
+	Regret float64 `json:"regret"`
+	Best   bool    `json:"best,omitempty"`
+	// Chosen counts how often the live path picked this strategy.
+	Chosen int64 `json:"chosen,omitempty"`
+}
+
+// ClassRegret is the regret table's row group for one query class,
+// strategies ordered fastest first.
+type ClassRegret struct {
+	Class      string           `json:"class"`
+	ShadowRuns int64            `json:"shadow_runs"`
+	Strategies []StrategyRegret `json:"strategies"`
+}
+
+// Snapshot renders the regret table, classes in name order.
+func (r *Regret) Snapshot() []ClassRegret {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ClassRegret, 0, len(r.classes))
+	for class, cr := range r.classes {
+		row := ClassRegret{Class: class}
+		best := 0.0
+		for name, agg := range cr.strategies {
+			mean := agg.sumMS / float64(agg.runs)
+			row.ShadowRuns += agg.runs
+			row.Strategies = append(row.Strategies, StrategyRegret{
+				Strategy: name,
+				Runs:     agg.runs,
+				MeanMS:   mean,
+				MinMS:    agg.minMS,
+				MaxMS:    agg.maxMS,
+				Chosen:   cr.chosen[name],
+			})
+			if best == 0 || mean < best {
+				best = mean
+			}
+		}
+		for i := range row.Strategies {
+			sr := &row.Strategies[i]
+			if best > 0 {
+				sr.Regret = sr.MeanMS / best
+			} else {
+				sr.Regret = 1
+			}
+			sr.Best = sr.MeanMS == best
+		}
+		// Chosen-only strategies (never shadowed — e.g. session mode) still
+		// appear so the table shows what the live path actually picks.
+		for name, n := range cr.chosen {
+			if _, ok := cr.strategies[name]; !ok {
+				row.Strategies = append(row.Strategies, StrategyRegret{Strategy: name, Chosen: n})
+			}
+		}
+		sort.Slice(row.Strategies, func(i, k int) bool {
+			a, b := row.Strategies[i], row.Strategies[k]
+			if (a.Runs > 0) != (b.Runs > 0) {
+				return a.Runs > 0
+			}
+			if a.MeanMS != b.MeanMS {
+				return a.MeanMS < b.MeanMS
+			}
+			return a.Strategy < b.Strategy
+		})
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Class < out[k].Class })
+	return out
+}
+
+// FromRecords rebuilds a regret table from journal records — the offline
+// path cmd/cfqstat uses on a journal directory.
+func FromRecords(recs []*Record) *Regret {
+	r := NewRegret(0)
+	for _, rec := range recs {
+		switch rec.Kind {
+		case KindShadow:
+			if rec.Error == "" {
+				r.ObserveShadow(rec.Class, rec.Strategy, rec.DurationMS)
+			}
+		case KindQuery:
+			r.ObserveChosen(rec.Class, rec.Strategy)
+		}
+	}
+	return r
+}

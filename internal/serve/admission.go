@@ -81,6 +81,20 @@ func (a *admission) acquire(ctx context.Context) error {
 	}
 }
 
+// tryAcquire grabs a worker slot only if one is free right now, without
+// joining the queue or touching the shed metrics. The shadow sampler polls
+// this: a blocked user request (parked in acquire's channel receive) always
+// wins a freed slot over a poll that has not happened yet, which is exactly
+// the lowest-priority behaviour shadow re-runs need.
+func (a *admission) tryAcquire() bool {
+	select {
+	case <-a.slots:
+		return true
+	default:
+		return false
+	}
+}
+
 // release returns a worker slot.
 func (a *admission) release() {
 	a.slots <- struct{}{}

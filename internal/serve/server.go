@@ -39,6 +39,7 @@ var (
 	mActive          = obs.NewGaugeVec("server_active_requests", "endpoint")
 	mQueued          = obs.NewGauge("server_queued_requests")
 	mReqDur          = obs.NewHistogramVec("server_request_duration_ms", "endpoint")
+	mQueueWait       = obs.NewHistogramVec("server_queue_wait_ms", "endpoint")
 	mQueries         = obs.NewCounterVec("server_queries_total", "dataset", "strategy")
 )
 
@@ -126,6 +127,23 @@ type Config struct {
 	// on-disk JSONL ring under this directory ("" keeps them in memory
 	// only).
 	SlowLogDir string
+	// Workload enables the workload journal: every completed /v1/query
+	// appends one record (constraint classification, selectivity features,
+	// chosen strategy, phase deltas, per-site pruning, outcome), surfaced
+	// via GET /v1/workload. Also implied by WorkloadDir or ShadowSample.
+	Workload bool
+	// WorkloadDir persists journal records to a bounded on-disk JSONL ring
+	// under this directory ("" keeps them in memory only).
+	WorkloadDir string
+	// ShadowSample, when in (0, 1], makes the shadow sampler re-run that
+	// fraction of completed queries under the alternate strategies — through
+	// the normal admission path at lowest priority — and publish measured
+	// regret via GET /v1/workload/regret. 0 disables shadowing.
+	ShadowSample float64
+	// ShadowStrategies overrides the strategy set the sampler re-runs
+	// (wire spellings; default: optimized, nojmax, cap, apriori,
+	// sequential).
+	ShadowStrategies []string
 	// Logger, when set, receives one line per request plus span events.
 	Logger *slog.Logger
 }
@@ -161,14 +179,15 @@ func (c Config) withDefaults() Config {
 // Server is the CFQ query daemon: Handler serves the /v1 API, OpsHandler
 // the metrics/pprof surface, Shutdown drains gracefully.
 type Server struct {
-	cfg   Config
-	reg   *Registry
-	adm   *admission
-	cache *resultCache
-	log   *slog.Logger
-	mux   *http.ServeMux
-	red   *telemetry.RED
-	slow  *telemetry.SlowLog
+	cfg      Config
+	reg      *Registry
+	adm      *admission
+	cache    *resultCache
+	log      *slog.Logger
+	mux      *http.ServeMux
+	red      *telemetry.RED
+	slow     *telemetry.SlowLog
+	workload *workloadCollector
 
 	baseCtx  context.Context
 	cancel   context.CancelFunc
@@ -210,6 +229,9 @@ func NewServer(cfg Config) *Server {
 			slow, _ = telemetry.OpenSlowLog(telemetry.SlowLogOptions{})
 		}
 		s.slow = slow
+	}
+	if cfg.Workload || cfg.WorkloadDir != "" || cfg.ShadowSample > 0 {
+		s.workload = newWorkloadCollector(s, cfg)
 	}
 	s.mux = s.buildMux()
 	// Without a durable store there is nothing to recover: the server is
@@ -305,13 +327,14 @@ func (s *Server) OpsHandler() http.Handler {
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	endpoints, datasets := s.red.Snapshot()
 	doc := map[string]any{
-		"schema":       SchemaVersion,
-		"result_cache": s.cache.stats(),
-		"endpoints":    endpoints,
-		"datasets":     datasets,
+		"schema":                     SchemaVersion,
+		"result_cache":               s.cache.stats(),
+		"endpoints":                  endpoints,
+		"datasets":                   datasets,
 		"server_request_duration_ms": requestDurationBuckets(),
-		"store":   storeHealth(),
-		"slowlog": map[string]any{"enabled": s.slow != nil, "records": s.slow.Len(), "threshold_ms": float64(s.cfg.SlowQuery) / float64(time.Millisecond)},
+		"store":                      storeHealth(),
+		"slowlog":                    map[string]any{"enabled": s.slow != nil, "records": s.slow.Len(), "threshold_ms": float64(s.cfg.SlowQuery) / float64(time.Millisecond)},
+		"workload":                   s.workloadStatz(),
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
@@ -360,30 +383,55 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("DELETE /v1/datasets/{name}", s.instrument("datasets.drop", s.handleDrop))
 	mux.HandleFunc("POST /v1/datasets/{name}/transactions", s.instrument("datasets.mutate", s.handleMutate))
 	mux.HandleFunc("GET /v1/slowlog", s.instrument("slowlog", s.handleSlowlog))
+	mux.HandleFunc("GET /v1/workload", s.instrument("workload", s.handleWorkload))
+	mux.HandleFunc("GET /v1/workload/regret", s.instrument("workload.regret", s.handleWorkloadRegret))
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	return mux
 }
 
 // handleSlowlog serves the in-memory slow-query ring, newest first.
-// ?n= bounds the count (default 32).
+// ?n= bounds the count (default 32); ?dataset= keeps only one dataset's
+// records. Malformed values are a structured 422 — the parameter parsed as
+// HTTP but fails this endpoint's semantics.
 func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
 	sc := s.scope(r)
 	n := 32
 	if v := r.URL.Query().Get("n"); v != "" {
 		p, err := strconv.Atoi(v)
 		if err != nil || p < 0 {
-			s.writeError(w, sc, http.StatusBadRequest,
+			s.writeError(w, sc, http.StatusUnprocessableEntity,
 				&ErrorBody{Code: CodeBadRequest, Message: "n must be a non-negative integer"})
 			return
 		}
 		n = p
 	}
+	dataset := r.URL.Query().Get("dataset")
+	if dataset != "" {
+		if err := validateName(dataset); err != nil {
+			s.writeError(w, sc, http.StatusUnprocessableEntity,
+				&ErrorBody{Code: CodeBadRequest, Message: "dataset: " + err.Error()})
+			return
+		}
+	}
+	records := s.slow.Recent(0)
+	if dataset != "" {
+		kept := records[:0]
+		for _, rec := range records {
+			if rec.Dataset == dataset {
+				kept = append(kept, rec)
+			}
+		}
+		records = kept
+	}
+	if len(records) > n {
+		records = records[:n] // Recent is newest first; keep the n newest
+	}
 	resp := &SlowlogResponse{
 		Schema: SchemaVersion, RequestID: sc.reqID, TraceID: sc.tc.TraceID,
 		Enabled:     s.slow != nil,
 		ThresholdMS: float64(s.cfg.SlowQuery) / float64(time.Millisecond),
-		Records:     s.slow.Recent(n),
+		Records:     records,
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -437,6 +485,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if cerr := s.slow.Close(); cerr != nil && err == nil {
 		err = cerr
 	}
+	// The workload collector closes after the base-context cancel above: the
+	// shadow executor sees the cancel, aborts any in-flight re-run at its
+	// next checkpoint, and exits before the journal is closed.
+	if cerr := s.workload.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
 	return err
 }
 
@@ -467,6 +521,7 @@ type reqScope struct {
 	query     *cfq.Query
 	strat     cfq.Strategy
 	pruned    int64
+	timeout   time.Duration
 }
 
 type scopeKey struct{}
@@ -534,6 +589,7 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		}
 		s.red.Observe(endpoint, ds, status, dur)
 		s.maybeCaptureSlow(sc, endpoint, status, dur)
+		s.observeWorkload(sc, endpoint, status, dur)
 		if s.log != nil {
 			s.log.Info("request",
 				slog.String("request_id", sc.reqID),
@@ -624,7 +680,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind string,
 	// the slow log is enabled). The root span carries the correlation ids so
 	// any rendering of the report joins back to the request.
 	var tracer *obs.Tracer
-	if req.Trace || s.log != nil || s.slow != nil {
+	if req.Trace || s.log != nil || s.slow != nil || s.workload != nil {
 		var spanLog *slog.Logger
 		if s.log != nil {
 			spanLog = s.log.With(
@@ -643,9 +699,10 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind string,
 	}
 	sc.tracer = tracer
 	ctx := obs.WithTracer(r.Context(), tracer)
-	// With the slow log on, every request carries a PruneSet: should it end
-	// up slow or failed, the capture has the run's actual per-site pruning.
-	if s.slow != nil {
+	// With the slow log or workload journal on, every request carries a
+	// PruneSet: the capture has the run's actual per-site pruning, and the
+	// journal's prune-site counters sum to CandidatesPruned by construction.
+	if s.slow != nil || s.workload != nil {
 		sc.prune = cfq.NewPruneSet()
 		ctx = cfq.WithPruning(ctx, sc.prune)
 	}
@@ -678,7 +735,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind string,
 	}
 	canonical := q.Canonical()
 	sc.strategy, sc.gen, sc.canonical = mode, gen, canonical
-	sc.query, sc.strat = q, strat
+	sc.query, sc.strat, sc.timeout = q, strat, timeout
 	mQueries.WithLabels(dsLabel(req.Dataset), mode).Inc()
 	psp.SetAttrs(obs.String("dataset", req.Dataset), obs.String("mode", mode))
 	psp.End(nil)
@@ -692,16 +749,20 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind string,
 			sc.cached = true
 			return s.writeJSON(w, http.StatusOK, &QueryResponse{
 				Schema: SchemaVersion, RequestID: sc.reqID, TraceID: sc.tc.TraceID,
-				Dataset: req.Dataset,
+				Dataset:    req.Dataset,
 				Generation: hit.Generation, Strategy: hit.Strategy, Cached: true,
 				Result: hit.Result, Explain: hit.Explain,
 			}), true
 		}
 	}
 
-	// admission: a worker slot, or a bounded queue wait, or 429.
+	// admission: a worker slot, or a bounded queue wait, or 429. The wait is
+	// its own histogram so queueing pressure is visible separately from
+	// evaluation time.
 	asp := tracer.Start("admission")
+	admStart := time.Now()
 	err = s.adm.acquire(ctx)
+	mQueueWait.WithLabels(kind).Observe(time.Since(admStart))
 	asp.End(nil)
 	if err != nil {
 		if errors.Is(err, ErrOverloaded) {
@@ -779,7 +840,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind string,
 
 	resp := &QueryResponse{
 		Schema: SchemaVersion, RequestID: sc.reqID, TraceID: sc.tc.TraceID,
-		Dataset: req.Dataset,
+		Dataset:    req.Dataset,
 		Generation: gen, Strategy: mode, Result: result, Explain: explain,
 	}
 	if req.Trace && tracer != nil {

@@ -226,8 +226,16 @@ func TestSlowQueryCapture(t *testing.T) {
 		t.Fatal(err)
 	}
 	hr.Body.Close()
-	if hr.StatusCode != http.StatusBadRequest {
+	if hr.StatusCode != http.StatusUnprocessableEntity {
 		t.Errorf("bogus n: status %d", hr.StatusCode)
+	}
+	hr, err = http.Get(ts.URL + "/v1/slowlog?dataset=..bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("bad dataset filter: status %d", hr.StatusCode)
 	}
 }
 

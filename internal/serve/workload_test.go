@@ -1,0 +1,475 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/gen"
+	"repro/internal/obs/workload"
+)
+
+func getWorkload(t *testing.T, base string) *WorkloadResponse {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/workload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("GET /v1/workload: status %d", resp.StatusCode)
+	}
+	var wl WorkloadResponse
+	decodeInto(t, resp, &wl)
+	return &wl
+}
+
+func getRegret(t *testing.T, base string) *RegretResponse {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/workload/regret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("GET /v1/workload/regret: status %d", resp.StatusCode)
+	}
+	var rt RegretResponse
+	decodeInto(t, resp, &rt)
+	return &rt
+}
+
+// awaitShadowRuns polls the regret endpoint until the total shadow-run count
+// across classes reaches want, or the deadline passes.
+func awaitShadowRuns(t *testing.T, base string, want int64, wait time.Duration) *RegretResponse {
+	t.Helper()
+	deadline := time.Now().Add(wait)
+	for {
+		rt := getRegret(t, base)
+		var runs int64
+		for _, cr := range rt.Classes {
+			runs += cr.ShadowRuns
+		}
+		if runs >= want {
+			return rt
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shadow runs = %d after %v, want >= %d (%+v)", runs, wait, want, rt.Classes)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestWorkloadJournalContract: with the journal on, every completed query
+// request — cached ones included — lands in the journal with its
+// classification, feature vector, phase deltas, and per-site pruning counts
+// that sum exactly to CandidatesPruned; non-query endpoints and requests
+// that never built a query stay out.
+func TestWorkloadJournalContract(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workload: true})
+
+	q := &QueryRequest{Dataset: "market", Query: readmeQueryText, MinSupport: 2}
+	for i := 0; i < 2; i++ { // second run is a result-cache hit
+		status, body := postJSON(t, ts.URL+"/v1/query", q)
+		if status != http.StatusOK {
+			t.Fatalf("query %d: status %d: %s", i, status, body)
+		}
+	}
+	// A parse failure builds no query: journaled nowhere.
+	if status, _ := postJSON(t, ts.URL+"/v1/query", &QueryRequest{Dataset: "market", Query: "{bogus"}); status != http.StatusBadRequest {
+		t.Fatalf("bogus query: status %d", status)
+	}
+	// Explain is a different endpoint: not part of the workload journal.
+	if status, _ := postJSON(t, ts.URL+"/v1/explain", q); status != http.StatusOK {
+		t.Fatal("explain failed")
+	}
+
+	recs := s.workload.journal.Recent(0)
+	if len(recs) != 2 {
+		t.Fatalf("journal holds %d records, want 2", len(recs))
+	}
+	cached := 0
+	for _, rec := range recs {
+		if rec.Kind != workload.KindQuery || rec.Schema != workload.RecordSchema {
+			t.Errorf("record kind/schema = %s/%d", rec.Kind, rec.Schema)
+		}
+		if rec.Class == "" || rec.Class == "unconstrained" {
+			t.Errorf("class = %q, want a constraint classification", rec.Class)
+		}
+		if rec.Features == nil || rec.Features.Transactions != 8 {
+			t.Errorf("features = %+v", rec.Features)
+		}
+		if len(rec.EnforcedAt) == 0 {
+			t.Error("no enforcement sites")
+		}
+		if rec.Strategy != "session" || rec.Status != http.StatusOK {
+			t.Errorf("strategy/status = %s/%d", rec.Strategy, rec.Status)
+		}
+		if rec.QueryHash == "" || len(rec.Phases) == 0 {
+			t.Errorf("hash %q phases %v", rec.QueryHash, rec.Phases)
+		}
+		var sum int64
+		for _, n := range rec.PruneSites {
+			sum += n
+		}
+		if sum != rec.CandidatesPruned {
+			t.Errorf("prune sites sum %d != candidates_pruned %d (%v)",
+				sum, rec.CandidatesPruned, rec.PruneSites)
+		}
+		if rec.Cached {
+			cached++
+			if rec.CandidatesPruned != 0 {
+				t.Error("cached record claims pruning work")
+			}
+		} else if rec.CandidatesPruned == 0 {
+			t.Error("uncached run pruned nothing — constraint push-down not attributed")
+		}
+	}
+	if cached != 1 {
+		t.Errorf("cached records = %d, want 1", cached)
+	}
+
+	wl := getWorkload(t, ts.URL)
+	if !wl.Enabled || wl.Schema != SchemaVersion || wl.Journal == nil {
+		t.Fatalf("workload envelope = %+v", wl)
+	}
+	if wl.Journal.Appended != 2 || len(wl.Classes) != 1 {
+		t.Fatalf("journal state %+v classes %+v", wl.Journal, wl.Classes)
+	}
+	cr := wl.Classes[0]
+	if cr.Count != 2 || cr.Cached != 1 || cr.Strategies["session"] != 2 {
+		t.Errorf("rollup = %+v", cr)
+	}
+	if wl.Sampler != nil {
+		t.Error("sampler reported without -shadow-sample")
+	}
+
+	// Without shadowing, the regret table still records what the live path
+	// chose per class.
+	rt := getRegret(t, ts.URL)
+	if rt.Enabled || len(rt.Classes) != 1 {
+		t.Fatalf("regret envelope = %+v", rt)
+	}
+	if st := rt.Classes[0].Strategies; len(st) != 1 || st[0].Strategy != "session" || st[0].Chosen != 2 {
+		t.Errorf("chosen-only regret rows = %+v", rt.Classes[0].Strategies)
+	}
+
+	// /statz carries the journal state.
+	ops := httptest.NewServer(s.OpsHandler())
+	defer ops.Close()
+	resp, err := http.Get(ops.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	decodeInto(t, resp, &doc)
+	sect, ok := doc["workload"].(map[string]any)
+	if !ok || sect["enabled"] != true {
+		t.Errorf("statz workload section = %v", doc["workload"])
+	}
+}
+
+func TestWorkloadDisabledByDefault(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	if status, body := postJSON(t, ts.URL+"/v1/query",
+		&QueryRequest{Dataset: "market", Query: readmeQueryText, MinSupport: 2}); status != http.StatusOK {
+		t.Fatalf("query: status %d: %s", status, body)
+	}
+	if s.workload != nil {
+		t.Fatal("collector built without config")
+	}
+	if wl := getWorkload(t, ts.URL); wl.Enabled || wl.Journal != nil || len(wl.Classes) != 0 {
+		t.Errorf("workload envelope = %+v", wl)
+	}
+	if rt := getRegret(t, ts.URL); rt.Enabled || len(rt.Classes) != 0 {
+		t.Errorf("regret envelope = %+v", rt)
+	}
+}
+
+// TestShadowSamplerRegretAndIsolation: with -shadow-sample 1.0 every
+// completed query is re-run under the alternate strategies, the regret table
+// fills in, and none of it leaks into user-facing surfaces — the RED
+// rollups, the slow-query log, and the result cache see only live traffic.
+func TestShadowSamplerRegretAndIsolation(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Workers:          2,
+		ShadowSample:     1.0,
+		ShadowStrategies: []string{"optimized", "nojmax"},
+		SlowQuery:        time.Minute, // slowlog on, threshold unreachable
+	})
+
+	const live = 3
+	q := &QueryRequest{Dataset: "market", Query: readmeQueryText, MinSupport: 2,
+		Strategy: "optimized", NoSession: true, NoCache: true}
+	for i := 0; i < live; i++ {
+		if status, body := postJSON(t, ts.URL+"/v1/query", q); status != http.StatusOK {
+			t.Fatalf("query %d: status %d: %s", i, status, body)
+		}
+	}
+
+	rt := awaitShadowRuns(t, ts.URL, live*2, 10*time.Second)
+	if !rt.Enabled || rt.SampleFraction != 1.0 {
+		t.Fatalf("regret envelope = %+v", rt)
+	}
+	if len(rt.Classes) != 1 {
+		t.Fatalf("classes = %+v", rt.Classes)
+	}
+	cls := rt.Classes[0]
+	byName := map[string]workload.StrategyRegret{}
+	for _, sr := range cls.Strategies {
+		byName[sr.Strategy] = sr
+	}
+	for _, name := range []string{"optimized", "nojmax"} {
+		sr, ok := byName[name]
+		if !ok || sr.Runs != live {
+			t.Fatalf("strategy %s: %+v (want %d runs)", name, sr, live)
+		}
+		if sr.Regret < 1 {
+			t.Errorf("%s regret = %v, want >= 1", name, sr.Regret)
+		}
+	}
+	if byName["optimized"].Chosen != live {
+		t.Errorf("chosen count = %d, want %d", byName["optimized"].Chosen, live)
+	}
+	best := 0
+	for _, sr := range cls.Strategies {
+		if sr.Best {
+			best++
+		}
+	}
+	if best == 0 {
+		t.Error("no strategy marked best")
+	}
+
+	// Shadow journal records carry the re-run strategy and the live choice.
+	shadows := 0
+	for _, rec := range s.workload.journal.Recent(0) {
+		if rec.Kind != workload.KindShadow {
+			continue
+		}
+		shadows++
+		if rec.Chosen != "optimized" || rec.Error != "" || rec.Class == "" {
+			t.Errorf("shadow record = %+v", rec)
+		}
+	}
+	if shadows != live*2 {
+		t.Errorf("shadow records = %d, want %d", shadows, live*2)
+	}
+
+	// Isolation: user-facing telemetry shows exactly the live requests.
+	endpoints, _ := s.red.Snapshot()
+	if got := endpoints[kindQuery].Requests; got != live {
+		t.Errorf("RED query requests = %d, want %d (shadow leaked in)", got, live)
+	}
+	if n := s.slow.Len(); n != 0 {
+		t.Errorf("slowlog captured %d records from shadow traffic", n)
+	}
+	if entries := s.cache.stats()["entries"]; entries != 0 {
+		t.Errorf("result cache entries = %d, want 0 (shadow stored a result)", entries)
+	}
+
+	// Shutdown stops the executor: the journal closes only after it exits.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestShadowSamplerConcurrentStorm drives concurrent live traffic, workload
+// reads, and a mid-storm dataset mutation (which forces generation-stale
+// shadow drops) — the -race soak for the journal + sampler machinery.
+func TestShadowSamplerConcurrentStorm(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Workers:          2,
+		WorkloadDir:      t.TempDir(),
+		ShadowSample:     1.0,
+		ShadowStrategies: []string{"optimized", "nojmax"},
+	})
+
+	const clients, perClient = 4, 6
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				q := &QueryRequest{Dataset: "market", Query: readmeQueryText,
+					MinSupport: 2, NoSession: true, Strategy: "optimized"}
+				if i%2 == 0 {
+					q.NoCache = true
+				}
+				postJSON(t, ts.URL+"/v1/query", q)
+				if i == perClient/2 {
+					getWorkload(t, ts.URL)
+					getRegret(t, ts.URL)
+				}
+			}
+		}(c)
+	}
+	// A concurrent mutation bumps the generation so queued shadow jobs for
+	// the old generation are dropped, not measured.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(5 * time.Millisecond)
+		postJSON(t, ts.URL+"/v1/datasets/market/transactions",
+			&MutateRequest{Transactions: [][]int{{0, 5}}})
+	}()
+	wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// The durable journal must be readable and honor the accounting contract
+	// on every persisted query record.
+	recs, err := workload.ReadDir(s.cfg.WorkloadDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no journal records persisted")
+	}
+	for _, rec := range recs {
+		if rec.Kind != workload.KindQuery {
+			continue
+		}
+		var sum int64
+		for _, n := range rec.PruneSites {
+			sum += n
+		}
+		if sum != rec.CandidatesPruned {
+			t.Fatalf("persisted record violates prune-sum contract: %d != %d",
+				sum, rec.CandidatesPruned)
+		}
+	}
+}
+
+// TestFig8aRegretInversion reproduces the committed BENCH.json strategy gap
+// through the full service path: on the Figure 8(a) 33%-overlap point the
+// published CAP baseline (1-var pushdown only, "cap" on the wire,
+// "cap-1var" in BENCH.json) pays an order of magnitude over the optimized
+// 2-var plan — 654ms vs 54ms in the committed run. A planner pinned to the
+// baseline therefore carries large measured regret, exactly what the shadow
+// sampler exists to surface. (BENCH.json also records a nojmax-vs-optimized
+// micro-inversion at this point; on current builds those two strategies are
+// within scheduling noise of each other, so the assertion pins the robust
+// cap gap instead — see EXPERIMENTS.md.)
+func TestFig8aRegretInversion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig8a workload is seconds-scale; skipped under -short")
+	}
+	// Same scale/seed as BENCH.json (scale 25 = 4000 transactions over 1000
+	// items, minsup 1% = 40).
+	cfg := exp.Config{Scale: 25, Seed: 1}
+	db, err := cfg.QuestDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs := make([][]int, db.Len())
+	for i := 0; i < db.Len(); i++ {
+		set := db.Transaction(i)
+		tx := make([]int, 0, set.Len())
+		for _, it := range set {
+			tx = append(tx, int(it))
+		}
+		txs[i] = tx
+	}
+	prices := gen.UniformPrices(1000, 0, 1000, cfg.Seed+101)
+
+	s := NewServer(Config{
+		ShadowSample:     1.0,
+		ShadowStrategies: []string{"cap", "optimized"},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	spec := &DatasetSpec{Name: "fig8a", Items: 1000, Transactions: txs,
+		Numeric: map[string][]float64{"Price": prices}}
+	if status, body := postJSON(t, ts.URL+"/v1/datasets", spec); status != http.StatusCreated {
+		t.Fatalf("create: status %d: %s", status, body)
+	}
+
+	// The fig8a-overlap-33 point as wire CFQ text: S over [400, 1000]-priced
+	// items, T over [0, 600], quasi-succinct max<=min across them. The live
+	// requests deliberately pin the CAP baseline — the "wrong" plan whose
+	// regret the sampler should expose.
+	query := "{(S,T) | freq(S) >= 40 & freq(T) >= 40 & range(S.Price, 400, 1000) & range(T.Price, 0, 600) & max(S.Price) <= min(T.Price)}"
+	const live = 2
+	for i := 0; i < live; i++ {
+		status, body := postJSON(t, ts.URL+"/v1/query", &QueryRequest{
+			Dataset: "fig8a", Query: query, Strategy: "cap",
+			NoSession: true, NoCache: true,
+		})
+		if status != http.StatusOK {
+			t.Fatalf("query %d: status %d: %s", i, status, body)
+		}
+	}
+
+	rt := awaitShadowRuns(t, ts.URL, live*2, 2*time.Minute)
+	var cls *workload.ClassRegret
+	for i := range rt.Classes {
+		if rt.Classes[i].ShadowRuns >= live*2 {
+			cls = &rt.Classes[i]
+			break
+		}
+	}
+	if cls == nil {
+		t.Fatalf("no shadowed class in %+v", rt.Classes)
+	}
+	byName := map[string]workload.StrategyRegret{}
+	for _, sr := range cls.Strategies {
+		byName[sr.Strategy] = sr
+	}
+	cap1, opt := byName["cap"], byName["optimized"]
+	if cap1.Runs != live || opt.Runs != live {
+		t.Fatalf("runs: cap=%d optimized=%d, want %d each", cap1.Runs, opt.Runs, live)
+	}
+	// The committed gap is ~12x; even on a loaded single-core box the
+	// ordering and a conservative 3x margin are far outside scheduling
+	// noise. Min-of-k wall is the noise-robust estimate (delays only ever
+	// inflate a run).
+	if cap1.MinMS < 3*opt.MinMS {
+		t.Errorf("BENCH.json gap not reproduced: cap min %.3fms vs optimized min %.3fms (want >= 3x)",
+			cap1.MinMS, opt.MinMS)
+	}
+	if cap1.Best || cap1.Regret < 2 {
+		t.Errorf("regret table misses the gap: cap best=%v regret=%.2f, want regret >= 2", cap1.Best, cap1.Regret)
+	}
+	if opt.Regret < 1 {
+		t.Errorf("optimized regret = %.2f, want >= 1 by construction", opt.Regret)
+	}
+	t.Logf("fig8a-overlap-33 regret: cap mean %.2fms min %.2fms (%.2fx), optimized mean %.2fms min %.2fms (best=%v)",
+		cap1.MeanMS, cap1.MinMS, cap1.Regret, opt.MeanMS, opt.MinMS, opt.Best)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestQueueWaitHistogram: the admission queue-wait histogram is labeled by
+// endpoint and sees every query request, including uncontended ones.
+func TestQueueWaitHistogram(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	before := queueWaitCount(t, kindQuery)
+	if status, _ := postJSON(t, ts.URL+"/v1/query",
+		&QueryRequest{Dataset: "market", Query: readmeQueryText, MinSupport: 2}); status != http.StatusOK {
+		t.Fatalf("query failed: %d", status)
+	}
+	if after := queueWaitCount(t, kindQuery); after != before+1 {
+		t.Errorf("queue-wait observations %d -> %d, want +1", before, after)
+	}
+}
+
+func queueWaitCount(t *testing.T, endpoint string) int64 {
+	t.Helper()
+	return mQueueWait.WithLabels(endpoint).Snapshot().Count
+}
