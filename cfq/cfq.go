@@ -110,17 +110,39 @@ const (
 	// exact sum bounds instead of the dovetailed Vᵏ series (Section 5.2's
 	// non-dovetailed alternative).
 	Sequential
+	// Auto defers the choice to the cost-based planner (internal/plan): the
+	// query is profiled, its strategies costed, and the cheapest predicted
+	// plan executed. Every entry point accepting a Strategy resolves Auto
+	// through Prepare, so `auto` works wherever a strategy name does.
+	Auto
 )
 
+// coreStrategyNames are the engine spellings of the public strategies, in
+// enum order; Auto has no engine spelling (it must be resolved by the
+// planner first). Strategies are resolved by name through
+// core.ParseStrategy so that no engine strategy-selection literal lives
+// outside internal/plan (scripts/check.sh enforces this with a grep gate).
+var coreStrategyNames = [...]string{
+	"optimized", "optimized-nojmax", "cap-1var", "apriori+", "fm", "sequential",
+}
+
 func (s Strategy) internal() core.Strategy {
-	return [...]core.Strategy{core.StrategyOptimized, core.StrategyOptimizedNoJmax,
-		core.StrategyCAPOnly, core.StrategyAprioriPlus, core.StrategyFM,
-		core.StrategySequential}[s]
+	if s == Auto {
+		panic("cfq: strategy auto must be resolved via Prepare before execution")
+	}
+	if int(s) < 0 || int(s) >= len(coreStrategyNames) {
+		panic(fmt.Sprintf("cfq: unknown strategy %d", int(s)))
+	}
+	cs, err := core.ParseStrategy(coreStrategyNames[s])
+	if err != nil {
+		panic(fmt.Sprintf("cfq: %v", err))
+	}
+	return cs
 }
 
 // String renders the strategy in the spelling ParseStrategy accepts.
 func (s Strategy) String() string {
-	names := [...]string{"optimized", "nojmax", "cap", "apriori", "fm", "sequential"}
+	names := [...]string{"optimized", "nojmax", "cap", "apriori", "fm", "sequential", "auto"}
 	if int(s) < 0 || int(s) >= len(names) {
 		return fmt.Sprintf("strategy(%d)", int(s))
 	}
@@ -128,7 +150,7 @@ func (s Strategy) String() string {
 }
 
 // ParseStrategy maps a strategy name (the CLI / wire spelling) to its
-// Strategy value: optimized, nojmax, cap, apriori, fm, sequential.
+// Strategy value: optimized, nojmax, cap, apriori, fm, sequential, auto.
 func ParseStrategy(s string) (Strategy, error) {
 	switch s {
 	case "optimized", "":
@@ -143,6 +165,8 @@ func ParseStrategy(s string) (Strategy, error) {
 		return FM, nil
 	case "sequential":
 		return Sequential, nil
+	case "auto":
+		return Auto, nil
 	}
 	return 0, fmt.Errorf("cfq: unknown strategy %q", s)
 }

@@ -11,6 +11,11 @@
 // -wait-ready polls /readyz before the run — so a daemon still replaying
 // its durable store at boot is waited for, not counted as errors.
 //
+// -strategy forwards a strategy on every request ("auto" exercises the
+// server's cost-based planner); -prepare instead plans once via /v1/prepare
+// and drives /v1/query by handle, re-preparing when a mid-run dataset
+// mutation invalidates the handle with 409 stale_generation.
+//
 //	cfqload -addr localhost:8344 -create -clients 8 -requests 50 \
 //	        -query '{(S,T) | freq(S) >= 20 & max(S.Price) <= min(T.Price)}'
 package main
@@ -27,6 +32,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs/telemetry"
@@ -61,6 +67,8 @@ func run(args []string, out io.Writer) error {
 		genItems    = fs.Int("gen-items", 50, "item domain size for -create")
 		genSeed     = fs.Int64("gen-seed", 1, "generator seed for -create")
 		query       = fs.String("query", "{(S,T) | freq(S) & freq(T)}", "CFQ text to issue")
+		strategy    = fs.String("strategy", "", "strategy each request carries (e.g. auto for the cost-based planner); empty = server default")
+		prepareMode = fs.Bool("prepare", false, "plan once via /v1/prepare and execute by handle, re-preparing on 409 stale_generation")
 		minSup      = fs.Int("minsup", 0, "absolute minimum support (0 = server default)")
 		clients     = fs.Int("clients", 8, "concurrent closed-loop clients")
 		requests    = fs.Int("requests", 50, "requests per client")
@@ -113,12 +121,30 @@ func run(args []string, out io.Writer) error {
 	req := serve.QueryRequest{
 		Dataset:    *dataset,
 		Query:      *query,
+		Strategy:   *strategy,
 		MinSupport: *minSup,
 		TimeoutMS:  *timeoutMS,
 		NoCache:    *noCache,
 	}
 	if *budgetN > 0 {
 		req.Budget = &serve.BudgetSpec{MaxCandidates: *budgetN}
+	}
+
+	// Prepared mode: plan once up front, then drive /v1/query by handle. A
+	// 409 stale_generation mid-run (the dataset mutated) re-prepares and
+	// retries — the closed-loop client's version of the re-prepare protocol.
+	var sharedHandle string
+	var repreps atomic.Int64
+	if *prepareMode {
+		if *explainEach > 0 {
+			return fmt.Errorf("-prepare is incompatible with -explain-every (handles execute on /v1/query only)")
+		}
+		h, strat, err := prepareHandle(hc, pol, base, req)
+		if err != nil {
+			return err
+		}
+		sharedHandle = h
+		fmt.Fprintf(out, "prepared: handle %s strategy %s\n", h, strat)
 	}
 
 	results := make([][]outcome, *clients)
@@ -128,18 +154,31 @@ func run(args []string, out io.Writer) error {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			handle := sharedHandle
 			results[c] = make([]outcome, 0, *requests)
 			for i := 0; i < *requests; i++ {
 				url := base + "/v1/query"
 				if *explainEach > 0 && (i+1)%*explainEach == 0 {
 					url = base + "/v1/explain"
 				}
+				body := req
+				if *prepareMode {
+					body = serve.QueryRequest{Prepared: handle, TimeoutMS: *timeoutMS, NoCache: *noCache}
+				}
 				// One trace per logical request, shared across retried
 				// attempts, so the server-side spans of every attempt
 				// join under a single trace id.
 				tc := telemetry.MintTrace()
 				t0 := time.Now()
-				status, body, tries, err := pol.post(hc, url, req, tc.Traceparent())
+				status, rbody, tries, err := pol.post(hc, url, body, tc.Traceparent())
+				if *prepareMode && err == nil && status == http.StatusConflict {
+					if h, _, perr := prepareHandle(hc, pol, base, req); perr == nil {
+						handle = h
+						repreps.Add(1)
+						body = serve.QueryRequest{Prepared: handle, TimeoutMS: *timeoutMS, NoCache: *noCache}
+						status, rbody, tries, err = pol.post(hc, url, body, tc.Traceparent())
+					}
+				}
 				lat := time.Since(t0)
 				if err != nil {
 					results[c] = append(results[c], outcome{status: -1, retries: tries, latency: lat, traceID: tc.TraceID})
@@ -147,7 +186,7 @@ func run(args []string, out io.Writer) error {
 				}
 				var resp serve.QueryResponse
 				cached := false
-				if status == http.StatusOK && json.Unmarshal(body, &resp) == nil {
+				if status == http.StatusOK && json.Unmarshal(rbody, &resp) == nil {
 					cached = resp.Cached
 				}
 				results[c] = append(results[c], outcome{status: status, cached: cached, retries: tries, latency: lat, traceID: tc.TraceID})
@@ -158,12 +197,32 @@ func run(args []string, out io.Writer) error {
 	elapsed := time.Since(start)
 
 	report(out, results, elapsed, time.Duration(*slowMS)*time.Millisecond)
+	if *prepareMode && repreps.Load() > 0 {
+		fmt.Fprintf(out, "  re-prepared %d time(s) after 409 stale_generation\n", repreps.Load())
+	}
 	if *workloadRep {
 		if err := reportWorkload(out, hc, base); err != nil {
 			return fmt.Errorf("workload report: %w", err)
 		}
 	}
 	return nil
+}
+
+// prepareHandle plans the request once through POST /v1/prepare and returns
+// the wire handle plus the strategy the planner resolved.
+func prepareHandle(hc *http.Client, pol retryPolicy, base string, req serve.QueryRequest) (string, string, error) {
+	status, body, _, err := pol.post(hc, base+"/v1/prepare", req, telemetry.MintTrace().Traceparent())
+	if err != nil {
+		return "", "", fmt.Errorf("prepare: %w", err)
+	}
+	if status != http.StatusOK {
+		return "", "", fmt.Errorf("prepare: status %d: %s", status, body)
+	}
+	var pr serve.PrepareResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		return "", "", fmt.Errorf("prepare: %w", err)
+	}
+	return pr.Handle, pr.Strategy, nil
 }
 
 // reportWorkload prints the server's workload rollups and regret table —

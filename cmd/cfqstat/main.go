@@ -7,11 +7,21 @@
 //
 //	cfqstat -dir /var/lib/cfqd/workload
 //	cfqstat -dir /var/lib/cfqd/workload -verify   # enforce journal invariants
+//	cfqstat -dir /var/lib/cfqd/workload -plan     # planner replay vs measurements
 //
 // -verify checks the journal's accounting contract: every query record's
 // per-site pruning counters must sum exactly to its candidates_pruned total
 // (the engine's pruning-attribution invariant, persisted). Violations are
 // listed and exit nonzero.
+//
+// -plan replays the journal through the cost-based planner offline — no
+// server needed: each class's persisted feature vector is priced by the same
+// model cfqd's /v1/prepare uses, before and after folding the journal's own
+// measured regret back in, and the predictions are scored against the
+// shadow-measured best strategy per class. -assert-auto (implies -plan)
+// additionally fails unless every class with shadowed "auto" runs shows auto
+// regret no worse than the worst fixed strategy — the offline form of the
+// daemon's planner smoke gate.
 package main
 
 import (
@@ -23,6 +33,7 @@ import (
 	"sort"
 
 	"repro/internal/obs/workload"
+	"repro/internal/plan"
 )
 
 func main() {
@@ -35,11 +46,13 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("cfqstat", flag.ContinueOnError)
 	var (
-		dir    = fs.String("dir", "", "workload journal directory (required)")
-		topN   = fs.Int("top", 10, "clusters to print, busiest first (0 = all)")
-		verify = fs.Bool("verify", false, "check journal invariants (prune-site sums) and fail on violations")
-		asJSON = fs.Bool("json", false, "emit the rollups and regret table as one JSON document")
-		noShad = fs.Bool("no-shadow", false, "ignore shadow records (cluster view of user traffic only)")
+		dir        = fs.String("dir", "", "workload journal directory (required)")
+		topN       = fs.Int("top", 10, "clusters to print, busiest first (0 = all)")
+		verify     = fs.Bool("verify", false, "check journal invariants (prune-site sums) and fail on violations")
+		asJSON     = fs.Bool("json", false, "emit the rollups and regret table as one JSON document")
+		noShad     = fs.Bool("no-shadow", false, "ignore shadow records (cluster view of user traffic only)")
+		doPlan     = fs.Bool("plan", false, "replay each class's features through the cost-based planner and score predictions against shadow-measured best strategies")
+		assertAuto = fs.Bool("assert-auto", false, "fail unless shadow-measured auto regret is no worse than the worst fixed strategy in every class (implies -plan)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,15 +87,30 @@ func run(args []string, out io.Writer) error {
 	rollups := workload.Replay(recs).Rollups()
 	regret := workload.FromRecords(recs).Snapshot()
 
+	var agreements []classAgreement
+	if *doPlan || *assertAuto {
+		agreements = planReplay(recs, rollups, regret)
+	}
+
 	if *asJSON {
-		enc := json.NewEncoder(out)
-		enc.SetIndent("", "  ")
-		return enc.Encode(map[string]any{
+		doc := map[string]any{
 			"schema":  workload.RecordSchema,
 			"records": len(recs),
 			"classes": rollups,
 			"regret":  regret,
-		})
+		}
+		if agreements != nil {
+			doc["plan"] = agreements
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			return err
+		}
+		if *assertAuto {
+			return assertAutoRegret(out, regret)
+		}
+		return nil
 	}
 
 	queries, shadows := 0, 0
@@ -135,6 +163,143 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 	}
+
+	if agreements != nil {
+		fmt.Fprintln(out, "\nplanner replay (predicted vs shadow-measured, offline):")
+		for _, a := range agreements {
+			line := fmt.Sprintf("  %-48s model=%-12s", a.Class, a.Predicted)
+			if a.WithFeedback != "" && a.WithFeedback != a.Predicted {
+				line += fmt.Sprintf(" feedback=%-12s", a.WithFeedback)
+			}
+			if a.MeasuredBest != "" {
+				line += fmt.Sprintf(" best=%-12s", a.MeasuredBest)
+				if a.PredictedRegret > 0 {
+					line += fmt.Sprintf(" predicted-regret=%.2fx", a.PredictedRegret)
+				}
+				if a.Agree {
+					line += "  AGREE"
+				} else {
+					line += "  DISAGREE"
+				}
+			} else {
+				line += " (no shadow measurements for this class)"
+			}
+			fmt.Fprintln(out, line)
+		}
+	}
+	if *assertAuto {
+		return assertAutoRegret(out, regret)
+	}
+	return nil
+}
+
+// classAgreement scores one class: the strategy the static cost model
+// predicts, the prediction after folding the journal's measured regret back
+// in (the daemon's feedback loop, replayed offline), the shadow-measured
+// best, and whether the prediction lands within noise of it.
+type classAgreement struct {
+	Class           string  `json:"class"`
+	Predicted       string  `json:"predicted"`
+	WithFeedback    string  `json:"with_feedback,omitempty"`
+	MeasuredBest    string  `json:"measured_best,omitempty"`
+	PredictedRegret float64 `json:"predicted_regret,omitempty"`
+	Agree           bool    `json:"agree"`
+}
+
+// agreeTolerance is the measured-regret ratio under which a prediction that
+// differs from the literal best strategy still counts as agreement — two
+// strategies within 10% wall of each other are the same pick in practice.
+const agreeTolerance = 1.1
+
+// planReplay prices each class's persisted feature vector through the same
+// cost model cfqd serves, before and after one feedback fold of the
+// journal's own measured regret, and scores the static prediction against
+// the shadow-measured best strategy.
+func planReplay(recs []*workload.Record, rollups []workload.ClassRollup,
+	regret []workload.ClassRegret) []classAgreement {
+	feats := map[string]*workload.Record{}
+	var classes []string
+	for _, rec := range recs {
+		if rec.Class == "" || rec.Features == nil {
+			continue
+		}
+		if _, ok := feats[rec.Class]; !ok {
+			feats[rec.Class] = rec
+			classes = append(classes, rec.Class)
+		}
+	}
+	sort.Strings(classes)
+	measured := map[string]workload.ClassRegret{}
+	for _, cr := range regret {
+		measured[cr.Class] = cr
+	}
+
+	static := plan.New(plan.Options{})
+	folded := plan.New(plan.Options{})
+	folded.Fold(regret, rollups)
+
+	var out []classAgreement
+	for _, class := range classes {
+		rec := feats[class]
+		a := classAgreement{Class: class}
+		a.Predicted = static.Decide(rec.Features, class).Strategy
+		a.WithFeedback = folded.Decide(rec.Features, class).Strategy
+		if cr, ok := measured[class]; ok && cr.ShadowRuns > 0 {
+			for _, sr := range cr.Strategies {
+				if sr.Best {
+					a.MeasuredBest = sr.Strategy
+				}
+				if sr.Strategy == a.Predicted {
+					a.PredictedRegret = sr.Regret
+				}
+			}
+			a.Agree = a.Predicted == a.MeasuredBest ||
+				(a.PredictedRegret > 0 && a.PredictedRegret <= agreeTolerance)
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// assertAutoRegret is the -assert-auto gate: in every class where the shadow
+// sampler measured "auto", auto's regret must be no worse than the worst
+// fixed strategy's — the planner can be imperfect, but it must never be the
+// worst way to run a query. No measured auto runs at all is a failure too
+// (an assertion over nothing proves nothing).
+func assertAutoRegret(out io.Writer, regret []workload.ClassRegret) error {
+	checked, failures := 0, 0
+	for _, cr := range regret {
+		var auto *workload.StrategyRegret
+		worstFixed := 0.0
+		worstName := ""
+		for i := range cr.Strategies {
+			sr := &cr.Strategies[i]
+			if sr.Runs == 0 {
+				continue
+			}
+			if sr.Strategy == "auto" {
+				auto = sr
+			} else if sr.Regret > worstFixed {
+				worstFixed, worstName = sr.Regret, sr.Strategy
+			}
+		}
+		if auto == nil || worstFixed == 0 {
+			continue
+		}
+		checked++
+		if auto.Regret > worstFixed {
+			failures++
+			fmt.Fprintf(out, "assert-auto: %s: auto regret %.2fx exceeds worst fixed strategy %s (%.2fx)\n",
+				cr.Class, auto.Regret, worstName, worstFixed)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("assert-auto: %d class(es) where the planner is the worst measured choice", failures)
+	}
+	if checked == 0 {
+		return fmt.Errorf("assert-auto: no class has both shadowed auto and fixed-strategy runs")
+	}
+	fmt.Fprintf(out, "assert-auto: ok (%d class(es), auto never the worst measured strategy)\n", checked)
 	return nil
 }
 

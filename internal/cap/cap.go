@@ -64,6 +64,11 @@ type Query struct {
 	// mine.Budget). Shared by pointer so one budget can span several
 	// runners.
 	Budget *mine.Budget
+	// Miner selects the complete-mining algorithm for AprioriPlus, which
+	// enforces every constraint after mining and so can swap the frequent-set
+	// engine freely. Prepare/Run ignore it: constraint pushdown (Required
+	// classes, candidate filters, preset L1) is levelwise by construction.
+	Miner mine.Miner
 	// Label, when non-empty, prefixes trace span names (the CFQ engine
 	// labels its two runners "S" and "T" so a dovetailed run's spans stay
 	// distinguishable).
@@ -449,8 +454,10 @@ func Prepare(ctx context.Context, q Query) (*Runner, error) {
 
 // AprioriPlus is the naive baseline: mine every frequent set over the
 // domain, then test each against every constraint (generate-and-test).
-// ctx cancellation and budget overruns abort the run with the mining
-// layer's wrapped error.
+// Because every constraint is enforced after mining, the frequent-set
+// engine is pluggable: q.Miner selects levelwise (default), FP-growth,
+// Eclat or partition mining. ctx cancellation and budget overruns abort
+// the run with the mining layer's wrapped error.
 func AprioriPlus(ctx context.Context, q Query) (*Result, error) {
 	if q.DB == nil {
 		return nil, fmt.Errorf("cap: Query.DB is nil")
@@ -458,35 +465,13 @@ func AprioriPlus(ctx context.Context, q Query) (*Result, error) {
 	stats := &mine.Stats{}
 	tracer := obs.FromContext(ctx)
 	prune := obs.PruningFromContext(ctx)
-	lw, err := mine.New(ctx, mine.Config{
-		DB:         q.DB,
-		MinSupport: q.MinSupport,
-		Domain:     q.Domain,
-		GenMode:    q.GenMode,
-		MaxLevel:   q.MaxLevel,
-		Workers:    q.Workers,
-		Budget:     q.Budget,
-		Stats:      stats,
-		Label:      q.Label,
-	})
-	if err != nil {
-		return nil, err
-	}
-	var levels [][]mine.Counted
-	var l1 itemset.Set
-	for !lw.Done() {
-		sets, _, err := lw.Step()
-		if err != nil {
-			return nil, err
-		}
-		if lw.Level() == 1 {
-			l1 = lw.FrequentItems()
-		}
-		// The generate-and-test pass is what Apriori⁺ burns set-level checks
-		// on; its per-level span makes that cost visible next to CAP's.
+
+	// filterLevel is the generate-and-test pass Apriori⁺ burns set-level
+	// checks on; its per-level span makes that cost visible next to CAP's.
+	filterLevel := func(level int, sets []mine.Counted) []mine.Counted {
 		var fsp *obs.Span
 		if tracer != nil && len(q.Constraints) > 0 {
-			fsp = tracer.Start(spanName(q.Label, fmt.Sprintf("filter-%d", lw.Level()))).
+			fsp = tracer.Start(spanName(q.Label, fmt.Sprintf("filter-%d", level))).
 				WithStats(stats.Counters())
 		}
 		kept := make([]mine.Counted, 0, len(sets))
@@ -509,11 +494,61 @@ func AprioriPlus(ctx context.Context, q Query) (*Result, error) {
 			fsp.SetAttrs(obs.Int("kept", len(kept)))
 			fsp.End(stats.Counters())
 		}
-		if lw.Level() > len(levels) {
-			levels = append(levels, kept)
-		}
 		if q.OnLevel != nil {
-			q.OnLevel(lw.Level(), kept)
+			q.OnLevel(level, kept)
+		}
+		return kept
+	}
+
+	var levels [][]mine.Counted
+	var l1 itemset.Set
+	if q.Miner != mine.MinerLevelwise {
+		// Alternate engines mine all levels up front (no resumable stepping);
+		// MaxLevel truncation happens after the fact.
+		mined, err := mine.FrequentLevels(ctx, q.Miner, q.DB, q.MinSupport, q.Domain, q.Budget, stats)
+		if err != nil {
+			return nil, err
+		}
+		if q.MaxLevel > 0 && len(mined) > q.MaxLevel {
+			mined = mined[:q.MaxLevel]
+		}
+		if len(mined) > 0 {
+			items := make([]itemset.Item, 0, len(mined[0]))
+			for _, c := range mined[0] {
+				items = append(items, c.Set[0])
+			}
+			l1 = itemset.New(items...)
+		}
+		for i, sets := range mined {
+			levels = append(levels, filterLevel(i+1, sets))
+		}
+	} else {
+		lw, err := mine.New(ctx, mine.Config{
+			DB:         q.DB,
+			MinSupport: q.MinSupport,
+			Domain:     q.Domain,
+			GenMode:    q.GenMode,
+			MaxLevel:   q.MaxLevel,
+			Workers:    q.Workers,
+			Budget:     q.Budget,
+			Stats:      stats,
+			Label:      q.Label,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for !lw.Done() {
+			sets, _, err := lw.Step()
+			if err != nil {
+				return nil, err
+			}
+			if lw.Level() == 1 {
+				l1 = lw.FrequentItems()
+			}
+			kept := filterLevel(lw.Level(), sets)
+			if lw.Level() > len(levels) {
+				levels = append(levels, kept)
+			}
 		}
 	}
 	for len(levels) > 0 && len(levels[len(levels)-1]) == 0 {

@@ -1,0 +1,86 @@
+package mine
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/itemset"
+	"repro/internal/txdb"
+)
+
+// Miner selects which complete frequent-set mining algorithm backs a
+// generate-and-test run. The constrained levelwise miner (CAP's host) is the
+// only algorithm that supports Required classes, candidate filters and
+// preset L1 frontiers, so alternate miners are legal only where every
+// constraint is enforced after mining — i.e. the apriori+ baseline and
+// unconstrained side queries.
+type Miner int
+
+const (
+	// MinerLevelwise is the default breadth-first Apriori miner.
+	MinerLevelwise Miner = iota
+	// MinerFPGrowth mines via FP-growth conditional trees (two passes plus
+	// projections; no candidate generation).
+	MinerFPGrowth
+	// MinerEclat mines depth-first over vertical tid-lists.
+	MinerEclat
+	// MinerPartition mines with the two-phase partition algorithm
+	// (exactly two logical database passes).
+	MinerPartition
+)
+
+var minerNames = [...]string{"levelwise", "fpgrowth", "eclat", "partition"}
+
+func (m Miner) String() string {
+	if m < 0 || int(m) >= len(minerNames) {
+		return fmt.Sprintf("miner(%d)", int(m))
+	}
+	return minerNames[m]
+}
+
+// ParseMiner maps a wire name to a Miner. The empty string is the default
+// levelwise miner.
+func ParseMiner(name string) (Miner, error) {
+	if name == "" {
+		return MinerLevelwise, nil
+	}
+	for i, n := range minerNames {
+		if n == name {
+			return Miner(i), nil
+		}
+	}
+	return MinerLevelwise, fmt.Errorf("unknown miner %q", name)
+}
+
+// Miners lists every miner in enum order.
+func Miners() []Miner {
+	out := make([]Miner, len(minerNames))
+	for i := range out {
+		out[i] = Miner(i)
+	}
+	return out
+}
+
+// defaultPartitions is the partition count FrequentLevels uses for
+// MinerPartition: enough to shrink per-partition lattices without inflating
+// the phase-2 candidate pool on the paper's workload scales.
+const defaultPartitions = 4
+
+// FrequentLevels mines every frequent itemset over domain with the selected
+// algorithm, returning levels in the same shape as AllFrequent (level k at
+// index k-1, lexicographic within a level). All miners honour ctx, budget
+// and stats identically, so the caller's accounting is algorithm-agnostic.
+func FrequentLevels(ctx context.Context, m Miner, db *txdb.DB, minSupport int, domain itemset.Set, budget *Budget, stats *Stats) ([][]Counted, error) {
+	switch m {
+	case MinerLevelwise:
+		return AllFrequent(ctx, db, minSupport, domain, budget, stats)
+	case MinerFPGrowth:
+		return FPGrowth(ctx, db, minSupport, domain, budget, stats)
+	case MinerEclat:
+		return VerticalFrequent(ctx, db, minSupport, domain, budget, stats)
+	case MinerPartition:
+		return PartitionFrequent(ctx, db, minSupport, domain, defaultPartitions, budget, stats)
+	default:
+		return nil, fmt.Errorf("unknown miner %d", int(m))
+	}
+}

@@ -39,8 +39,14 @@ type QueryRequest struct {
 	Query string `json:"query"`
 	// Strategy selects the computation strategy for engine-driven
 	// evaluations (explain, explain-analyze, and no_session queries):
-	// optimized (default), nojmax, cap, apriori, fm, sequential.
+	// optimized, nojmax, cap, apriori, fm, sequential, or auto (the
+	// cost-based planner picks). Empty uses the server's default strategy.
 	Strategy string `json:"strategy,omitempty"`
+	// Prepared executes a plan prepared via POST /v1/prepare by its handle
+	// (query endpoints only; Query/Strategy must be empty). A handle whose
+	// dataset generation has moved is rejected with 409 stale_generation —
+	// never silently answered from the stale snapshot.
+	Prepared string `json:"prepared,omitempty"`
 	// MinSupport / MinSupportFrac set the default frequency thresholds for
 	// freq() conjuncts the query leaves implicit (absolute count wins over
 	// fraction; both zero uses the server default).
@@ -90,12 +96,31 @@ type QueryResponse struct {
 	Report     *obs.RunReport  `json:"report,omitempty"`
 }
 
+// PrepareResponse is the success envelope of POST /v1/prepare: the plan
+// handle to pass back as "prepared" on /v1/query, the concrete strategy
+// the planner resolved (never "auto"), and — for planner-chosen plans —
+// the decision with its costed rejected alternatives. Cached is true when
+// the handle came from the plan cache (no planning work was done).
+type PrepareResponse struct {
+	Schema     int             `json:"schema"`
+	RequestID  string          `json:"request_id"`
+	TraceID    string          `json:"trace_id,omitempty"`
+	Dataset    string          `json:"dataset"`
+	Generation uint64          `json:"generation"`
+	Handle     string          `json:"handle"`
+	Strategy   string          `json:"strategy"`
+	Cached     bool            `json:"cached,omitempty"`
+	Plan       *obs.PlanChoice `json:"plan,omitempty"`
+}
+
 // Error codes of the ErrorBody.Code field.
 const (
 	CodeBadRequest      = "bad_request"
 	CodeUnknownDataset  = "unknown_dataset"
 	CodeDatasetExists   = "dataset_exists"
 	CodeDatasetDropped  = "dataset_dropped"  // mutation raced a concurrent drop (409)
+	CodeUnknownPrepared = "unknown_prepared" // prepared handle expired, evicted, or never issued (404)
+	CodeStaleGeneration = "stale_generation" // prepared plan's dataset generation has moved (409)
 	CodeNotReady        = "not_ready"        // server still recovering datasets at boot
 	CodeStorage         = "storage_failed"   // durable log wedged by an earlier write failure
 	CodeOverloaded      = "overloaded"       // admission queue full or queue-wait deadline
@@ -287,7 +312,11 @@ func (l Limits) ResolvePairs(req *QueryRequest) int {
 
 // Validate rejects structurally bad query requests before any work.
 func (r *QueryRequest) Validate() error {
-	if r.Dataset == "" {
+	if r.Prepared != "" {
+		if r.Query != "" || r.Strategy != "" {
+			return fmt.Errorf("prepared is exclusive with query and strategy")
+		}
+	} else if r.Dataset == "" {
 		return fmt.Errorf("missing dataset")
 	}
 	if r.TimeoutMS < 0 || r.MinSupport < 0 || r.MaxPairs < 0 {

@@ -19,6 +19,7 @@ import (
 	"repro/cfq"
 	"repro/internal/obs"
 	"repro/internal/obs/telemetry"
+	"repro/internal/plan"
 	"repro/internal/store"
 )
 
@@ -109,6 +110,15 @@ type Config struct {
 	// SessionCacheBytes bounds each dataset session's lattice cache
 	// (default: 256 MiB; negative = unbounded).
 	SessionCacheBytes int64
+	// DefaultStrategy is applied when a request sets no strategy
+	// (default: "optimized"; "auto" makes the cost-based planner the
+	// default for every engine-driven evaluation).
+	DefaultStrategy string
+	// PlanCacheEntries / PlanCacheBytes bound the prepared-plan cache
+	// behind POST /v1/prepare and strategy "auto" (defaults: 256 entries,
+	// 8 MiB; set both negative to disable prepared handles).
+	PlanCacheEntries int
+	PlanCacheBytes   int64
 	// AllowFiles permits DatasetSpec.File (a server-side path read).
 	AllowFiles bool
 	// Store, when set, makes the dataset registry durable: every create,
@@ -173,6 +183,12 @@ func (c Config) withDefaults() Config {
 	if c.SessionCacheBytes == 0 {
 		c.SessionCacheBytes = 256 << 20
 	}
+	if c.PlanCacheEntries == 0 {
+		c.PlanCacheEntries = 256
+	}
+	if c.PlanCacheBytes == 0 {
+		c.PlanCacheBytes = 8 << 20
+	}
 	return c
 }
 
@@ -188,6 +204,8 @@ type Server struct {
 	red      *telemetry.RED
 	slow     *telemetry.SlowLog
 	workload *workloadCollector
+	planner  *plan.Planner
+	plans    *planCache
 
 	baseCtx  context.Context
 	cancel   context.CancelFunc
@@ -207,12 +225,17 @@ func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	baseCtx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:      cfg,
-		reg:      NewRegistry(max64(cfg.SessionCacheBytes, 0), cfg.AllowFiles),
-		adm:      newAdmission(cfg.Workers, cfg.QueueDepth, cfg.QueueWait),
-		cache:    newResultCache(maxInt(cfg.ResultCacheEntries, 0), max64(cfg.ResultCacheBytes, 0)),
-		log:      cfg.Logger,
-		red:      telemetry.NewRED(),
+		cfg:   cfg,
+		reg:   NewRegistry(max64(cfg.SessionCacheBytes, 0), cfg.AllowFiles),
+		adm:   newAdmission(cfg.Workers, cfg.QueueDepth, cfg.QueueWait),
+		cache: newResultCache(maxInt(cfg.ResultCacheEntries, 0), max64(cfg.ResultCacheBytes, 0)),
+		log:   cfg.Logger,
+		red:   telemetry.NewRED(),
+		// The planner's fallback must be a concrete strategy: "auto" (or
+		// empty) as the server default leaves the planner's own default at
+		// optimized (plan.Options sanitizes unknown names).
+		planner:  plan.New(plan.Options{Default: cfg.DefaultStrategy}),
+		plans:    newPlanCache(maxInt(cfg.PlanCacheEntries, 0), max64(cfg.PlanCacheBytes, 0)),
 		baseCtx:  baseCtx,
 		cancel:   cancel,
 		idPrefix: fmt.Sprintf("%08x", time.Now().UnixNano()&0xffffffff),
@@ -335,6 +358,7 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		"store":                      storeHealth(),
 		"slowlog":                    map[string]any{"enabled": s.slow != nil, "records": s.slow.Len(), "threshold_ms": float64(s.cfg.SlowQuery) / float64(time.Millisecond)},
 		"workload":                   s.workloadStatz(),
+		"planner":                    s.plannerStatz(),
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
@@ -377,6 +401,7 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/query", s.instrument(kindQuery, s.handleQueryKind(kindQuery)))
 	mux.HandleFunc("POST /v1/explain", s.instrument(kindExplain, s.handleQueryKind(kindExplain)))
 	mux.HandleFunc("POST /v1/explain-analyze", s.instrument(kindAnalyze, s.handleQueryKind(kindAnalyze)))
+	mux.HandleFunc("POST /v1/prepare", s.instrument("prepare", s.handlePrepare))
 	mux.HandleFunc("GET /v1/datasets", s.instrument("datasets.list", s.handleList))
 	mux.HandleFunc("POST /v1/datasets", s.instrument("datasets.create", s.handleCreate))
 	mux.HandleFunc("GET /v1/datasets/{name}", s.instrument("datasets.info", s.handleInfo))
@@ -714,42 +739,76 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind string,
 	stop := context.AfterFunc(s.baseCtx, cancelReq)
 	defer stop()
 
-	// parse: registry lookup, query text, defaults, clamped limits.
+	// parse: registry lookup, query text, defaults, clamped limits — or,
+	// for a prepared handle, plan-cache resolution with the staleness check.
 	psp := tracer.Start("parse")
-	sc.dataset = req.Dataset
-	ds, sess, gen, err := s.reg.Lookup(req.Dataset)
-	if err != nil {
-		psp.End(nil)
-		return s.writeError(w, sc, http.StatusNotFound,
-			&ErrorBody{Code: CodeUnknownDataset, Message: err.Error()}), false
+	var (
+		sess      *cfq.Session
+		gen       uint64
+		q         *cfq.Query
+		strat     cfq.Strategy
+		timeout   time.Duration
+		prepared  *cfq.Prepared
+		mode      string
+		canonical string
+		dataset   string
+	)
+	if req.Prepared != "" {
+		if kind != kindQuery {
+			psp.End(nil)
+			return s.writeError(w, sc, http.StatusBadRequest,
+				&ErrorBody{Code: CodeBadRequest, Message: "prepared handles are only valid on /v1/query"}), false
+		}
+		entry, status, ebody := s.resolvePrepared(sc, req)
+		if ebody != nil {
+			psp.End(nil)
+			sc.dataset = req.Dataset
+			return s.writeError(w, sc, status, ebody), false
+		}
+		dataset, gen, canonical = entry.dataset, entry.gen, entry.canonical
+		q, strat, timeout, prepared = entry.query, entry.strategy, entry.timeout, entry.prepared
+		mode = strat.String()
+	} else {
+		dataset = req.Dataset
+		sc.dataset = dataset
+		ds, dsess, dgen, err := s.reg.Lookup(dataset)
+		if err != nil {
+			psp.End(nil)
+			return s.writeError(w, sc, http.StatusNotFound,
+				&ErrorBody{Code: CodeUnknownDataset, Message: err.Error()}), false
+		}
+		sess, gen = dsess, dgen
+		if q, strat, timeout, err = s.buildQuery(ds, req); err != nil {
+			psp.End(nil)
+			return s.writeError(w, sc, http.StatusBadRequest,
+				&ErrorBody{Code: CodeBadRequest, Message: err.Error()}), false
+		}
+		// Strategy auto always evaluates through the planner path ("auto"
+		// mode), never the session — the planner's choices are what the
+		// feedback loop measures.
+		mode = strat.String()
+		if strat != cfq.Auto && kind == kindQuery && !req.NoSession {
+			mode = "session"
+		}
+		canonical = q.Canonical()
 	}
-	q, strat, timeout, err := s.buildQuery(ds, req)
-	if err != nil {
-		psp.End(nil)
-		return s.writeError(w, sc, http.StatusBadRequest,
-			&ErrorBody{Code: CodeBadRequest, Message: err.Error()}), false
-	}
-	mode := strat.String()
-	if kind == kindQuery && !req.NoSession {
-		mode = "session"
-	}
-	canonical := q.Canonical()
+	sc.dataset = dataset
 	sc.strategy, sc.gen, sc.canonical = mode, gen, canonical
 	sc.query, sc.strat, sc.timeout = q, strat, timeout
-	mQueries.WithLabels(dsLabel(req.Dataset), mode).Inc()
-	psp.SetAttrs(obs.String("dataset", req.Dataset), obs.String("mode", mode))
+	mQueries.WithLabels(dsLabel(dataset), mode).Inc()
+	psp.SetAttrs(obs.String("dataset", dataset), obs.String("mode", mode))
 	psp.End(nil)
 
 	// Result-cache lookup. Traced requests bypass the cache: the report
 	// must describe this run, not a previous one.
 	cacheable := !req.NoCache && !req.Trace && s.cache.enabled()
-	key := resultKey(req.Dataset, gen, kind, mode, canonical)
+	key := resultKey(dataset, gen, kind, mode, canonical)
 	if cacheable {
 		if hit, ok := s.cache.get(key); ok {
 			sc.cached = true
 			return s.writeJSON(w, http.StatusOK, &QueryResponse{
 				Schema: SchemaVersion, RequestID: sc.reqID, TraceID: sc.tc.TraceID,
-				Dataset:    req.Dataset,
+				Dataset:    dataset,
 				Generation: hit.Generation, Strategy: hit.Strategy, Cached: true,
 				Result: hit.Result, Explain: hit.Explain,
 			}), true
@@ -785,15 +844,31 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind string,
 		defer cancel()
 	}
 
+	// Strategy auto resolves through the plan cache before evaluation: a
+	// cache hit replays the stored decision with no planner work at all (no
+	// plan:decide span on the trace); a miss plans once under this request's
+	// tracer and caches the prepared plan for the dataset's generation.
+	if strat == cfq.Auto && prepared == nil {
+		entry, _, perr := s.preparePlan(sc, dataset, gen, canonical, q, strat, timeout, tracer)
+		if perr != nil {
+			return s.writeEvalError(w, sc, perr), false
+		}
+		prepared, strat = entry.prepared, entry.strategy
+		sc.strat = strat
+	}
+
 	esp := tracer.Start("evaluate")
 	var result, explain json.RawMessage
 	var evalErr error
 	switch kind {
 	case kindQuery:
 		var res *cfq.Result
-		if req.NoSession {
+		switch {
+		case prepared != nil:
+			res, evalErr = prepared.RunContext(ctx)
+		case req.NoSession:
 			res, evalErr = q.RunContext(ctx, strat)
-		} else {
+		default:
 			res, evalErr = sess.RunContext(ctx, q)
 		}
 		if evalErr == nil {
@@ -805,14 +880,22 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind string,
 		}
 	case kindExplain:
 		var rep *cfq.ExplainReport
-		rep, evalErr = q.ExplainQuery(strat)
+		if prepared != nil {
+			rep, evalErr = prepared.Explain()
+		} else {
+			rep, evalErr = q.ExplainQuery(strat)
+		}
 		if evalErr == nil {
 			explain, evalErr = json.Marshal(rep)
 		}
 	case kindAnalyze:
 		var res *cfq.Result
 		var rep *cfq.ExplainReport
-		res, rep, evalErr = q.ExplainAnalyzeContext(ctx, strat)
+		if prepared != nil {
+			res, rep, evalErr = prepared.ExplainAnalyzeContext(ctx)
+		} else {
+			res, rep, evalErr = q.ExplainAnalyzeContext(ctx, strat)
+		}
 		if evalErr == nil {
 			res.Report = nil
 			sc.pruned = res.Stats.CandidatesPruned
@@ -833,14 +916,14 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind string,
 	// unreachable anyway — this check keeps dead generations from occupying
 	// cache space at all.)
 	if cacheable {
-		if cur, ok := s.reg.Generation(req.Dataset); ok && cur == gen {
+		if cur, ok := s.reg.Generation(dataset); ok && cur == gen {
 			s.cache.put(key, cachedResult{Generation: gen, Strategy: mode, Result: result, Explain: explain})
 		}
 	}
 
 	resp := &QueryResponse{
 		Schema: SchemaVersion, RequestID: sc.reqID, TraceID: sc.tc.TraceID,
-		Dataset:    req.Dataset,
+		Dataset:    dataset,
 		Generation: gen, Strategy: mode, Result: result, Explain: explain,
 	}
 	if req.Trace && tracer != nil {
@@ -852,7 +935,11 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind string,
 // buildQuery parses the CFQ text and applies the server's defaults and
 // clamped limits.
 func (s *Server) buildQuery(ds *cfq.Dataset, req *QueryRequest) (*cfq.Query, cfq.Strategy, time.Duration, error) {
-	strat, err := cfq.ParseStrategy(req.Strategy)
+	name := req.Strategy
+	if name == "" {
+		name = s.cfg.DefaultStrategy
+	}
+	strat, err := cfq.ParseStrategy(name)
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -1002,6 +1089,7 @@ func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.cache.invalidate(name)
+	s.plans.invalidate(name)
 	s.writeJSON(w, http.StatusOK, &DatasetsResponse{
 		Schema: SchemaVersion, RequestID: sc.reqID, TraceID: sc.tc.TraceID, Dropped: name,
 	})
@@ -1050,7 +1138,13 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Invalidate after the generation bump: a racing evaluation of the old
-	// generation fails its gen-unchanged check and stores nothing.
+	// generation fails its gen-unchanged check and stores nothing. The
+	// result cache and the plan cache retire off this one bump together —
+	// a prepared handle can never outlive the answers it would produce. The
+	// plan cache keeps its (generation-keyed) entries so a held handle fails
+	// closed as a structured 409 stale_generation on its next use instead of
+	// a bare 404; the stale entry is evicted at that point (resolvePrepared),
+	// or by LRU pressure, whichever comes first.
 	s.cache.invalidate(name)
 	if s.log != nil {
 		s.log.Info("dataset mutated", slog.String("request_id", sc.reqID),

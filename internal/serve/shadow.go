@@ -13,9 +13,11 @@ import (
 
 // defaultShadowStrategies are the alternates re-run per sampled query when
 // Config.ShadowStrategies is empty: every evaluation strategy whose cost the
-// paper's figures compare. FM is excluded by default — its multi-pass scans
-// are expensive enough to crowd out user traffic even at lowest priority.
-var defaultShadowStrategies = []string{"optimized", "nojmax", "cap", "apriori", "sequential"}
+// paper's figures compare, plus "auto" so the planner's pick earns a measured
+// wall of its own (its regret ratio is what the feedback loop folds back).
+// FM is excluded by default — its multi-pass scans are expensive enough to
+// crowd out user traffic even at lowest priority.
+var defaultShadowStrategies = []string{"optimized", "nojmax", "cap", "apriori", "sequential", "auto"}
 
 // shadowQueueDepth bounds jobs waiting for the shadow executor; beyond it,
 // sampled queries are dropped (counted), never queued without bound.
@@ -228,6 +230,10 @@ func (ss *shadowSampler) runJob(job *shadowJob) {
 	if chosenMS, ok := walls[job.chosen]; ok && best > 0 {
 		workload.ObserveRegretRatio(job.chosen, chosenMS/best)
 	}
+	// Feedback fold: the planner re-reads the regret and journal rollups
+	// after every shadow round, so a strategy the model overrates is
+	// demoted as soon as measured walls contradict the prediction.
+	ss.s.foldFeedback()
 }
 
 // runOne measures one strategy's wall time under the same doubled-timeout
@@ -241,7 +247,18 @@ func (ss *shadowSampler) runOne(job *shadowJob, strat cfq.Strategy) (float64, er
 		defer cancel()
 	}
 	start := time.Now()
-	_, err := job.query.RunContext(ctx, strat)
+	var err error
+	if strat == cfq.Auto {
+		// Shadow "auto" through the server's planner (not the package
+		// default) so its wall includes planning and reflects exactly the
+		// decisions the feedback loop is adjusting.
+		var p *cfq.Prepared
+		if p, err = job.query.PrepareWith(ctx, ss.s.planner, cfq.Auto); err == nil {
+			_, err = p.RunContext(ctx)
+		}
+	} else {
+		_, err = job.query.RunContext(ctx, strat)
+	}
 	return float64(time.Since(start)) / float64(time.Millisecond), err
 }
 
