@@ -31,10 +31,12 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/cfq"
 	"repro/internal/obs/telemetry"
 	"repro/internal/serve"
 )
@@ -55,6 +57,13 @@ type outcome struct {
 	retries int
 	latency time.Duration
 	traceID string
+	// class is the admission class the request was sent under; degraded
+	// marks sheds the server issued while browned out (memory pressure);
+	// missingRA counts 429/503 attempts that carried no retry hint at all
+	// (header or body) — the server contract says there should be none.
+	class     string
+	degraded  bool
+	missingRA int
 }
 
 func run(args []string, out io.Writer) error {
@@ -76,6 +85,8 @@ func run(args []string, out io.Writer) error {
 		budgetN     = fs.Int64("budget", 0, "per-request candidate budget (exercises 422 partial-stats responses)")
 		timeoutMS   = fs.Int64("timeout-ms", 0, "per-request soft deadline override")
 		noCache     = fs.Bool("no-cache", false, "bypass the server result cache")
+		priorities  = fs.String("priority", "", "comma-separated admission classes cycled across clients (interactive, batch); empty = endpoint default")
+		compareAddr = fs.String("compare-addr", "", "after the run, issue the query uncached to this second cfqd and require byte-identical answers")
 		retries     = fs.Int("retries", 3, "max extra attempts per request on 429/503 (0 = never retry)")
 		retryBase   = fs.Duration("retry-base", 25*time.Millisecond, "base of the jittered exponential backoff")
 		retryCap    = fs.Duration("retry-cap", 2*time.Second, "upper bound on a single backoff sleep")
@@ -85,6 +96,23 @@ func run(args []string, out io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var classes []string
+	if *priorities != "" {
+		for _, c := range strings.Split(*priorities, ",") {
+			c = strings.TrimSpace(c)
+			if c != "interactive" && c != "batch" {
+				return fmt.Errorf("bad -priority class %q (want interactive or batch)", c)
+			}
+			classes = append(classes, c)
+		}
+	}
+	// The label each client reports under when -priority is unset: the
+	// endpoint's default class (prepared replays admit as batch).
+	defaultClass := "interactive"
+	if *prepareMode {
+		defaultClass = "batch"
 	}
 
 	base := "http://" + *addr
@@ -107,7 +135,7 @@ func run(args []string, out io.Writer) error {
 				UniformPrices: true,
 			},
 		}
-		status, _, _, err := pol.post(hc, base+"/v1/datasets", spec, telemetry.MintTrace().Traceparent())
+		status, _, _, _, err := pol.post(hc, base+"/v1/datasets", spec, telemetry.MintTrace().Traceparent())
 		if err != nil {
 			return err
 		}
@@ -155,6 +183,12 @@ func run(args []string, out io.Writer) error {
 		go func(c int) {
 			defer wg.Done()
 			handle := sharedHandle
+			class := defaultClass
+			var override string
+			if len(classes) > 0 {
+				class = classes[c%len(classes)]
+				override = class
+			}
 			results[c] = make([]outcome, 0, *requests)
 			for i := 0; i < *requests; i++ {
 				url := base + "/v1/query"
@@ -162,34 +196,46 @@ func run(args []string, out io.Writer) error {
 					url = base + "/v1/explain"
 				}
 				body := req
+				body.Priority = override
 				if *prepareMode {
-					body = serve.QueryRequest{Prepared: handle, TimeoutMS: *timeoutMS, NoCache: *noCache}
+					body = serve.QueryRequest{Prepared: handle, TimeoutMS: *timeoutMS, NoCache: *noCache, Priority: override}
 				}
 				// One trace per logical request, shared across retried
 				// attempts, so the server-side spans of every attempt
 				// join under a single trace id.
 				tc := telemetry.MintTrace()
 				t0 := time.Now()
-				status, rbody, tries, err := pol.post(hc, url, body, tc.Traceparent())
+				status, rbody, tries, missing, err := pol.post(hc, url, body, tc.Traceparent())
 				if *prepareMode && err == nil && status == http.StatusConflict {
 					if h, _, perr := prepareHandle(hc, pol, base, req); perr == nil {
 						handle = h
 						repreps.Add(1)
-						body = serve.QueryRequest{Prepared: handle, TimeoutMS: *timeoutMS, NoCache: *noCache}
-						status, rbody, tries, err = pol.post(hc, url, body, tc.Traceparent())
+						body = serve.QueryRequest{Prepared: handle, TimeoutMS: *timeoutMS, NoCache: *noCache, Priority: override}
+						var m2 int
+						status, rbody, tries, m2, err = pol.post(hc, url, body, tc.Traceparent())
+						missing += m2
 					}
 				}
 				lat := time.Since(t0)
+				o := outcome{status: status, retries: tries, latency: lat, traceID: tc.TraceID, class: class, missingRA: missing}
 				if err != nil {
-					results[c] = append(results[c], outcome{status: -1, retries: tries, latency: lat, traceID: tc.TraceID})
+					o.status = -1
+					results[c] = append(results[c], o)
 					continue
 				}
-				var resp serve.QueryResponse
-				cached := false
-				if status == http.StatusOK && json.Unmarshal(rbody, &resp) == nil {
-					cached = resp.Cached
+				switch {
+				case status == http.StatusOK:
+					var resp serve.QueryResponse
+					if json.Unmarshal(rbody, &resp) == nil {
+						o.cached = resp.Cached
+					}
+				case status == http.StatusTooManyRequests:
+					var er serve.ErrorResponse
+					if json.Unmarshal(rbody, &er) == nil && er.Error != nil {
+						o.degraded = er.Error.DegradationLevel > 0
+					}
 				}
-				results[c] = append(results[c], outcome{status: status, cached: cached, retries: tries, latency: lat, traceID: tc.TraceID})
+				results[c] = append(results[c], o)
 			}
 		}(c)
 	}
@@ -205,13 +251,64 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("workload report: %w", err)
 		}
 	}
+	if *compareAddr != "" {
+		if err := compareAnswers(hc, pol, base, "http://"+*compareAddr, req); err != nil {
+			return fmt.Errorf("compare: %w", err)
+		}
+		fmt.Fprintf(out, "compare: answers byte-identical across %s and %s\n", *addr, *compareAddr)
+	}
+	return nil
+}
+
+// compareAnswers issues the run's query — uncached, so both sides evaluate
+// fresh — against two daemons and requires the marshaled answers to match
+// byte for byte. The post-storm correctness check: a server that just shed,
+// browned out, and recovered must answer exactly like an untouched replica.
+// The execution-stats block is stripped before comparing: scan counts and
+// lattice bytes legitimately differ with each server's session history,
+// while the answer itself may not.
+func compareAnswers(hc *http.Client, pol retryPolicy, baseA, baseB string, req serve.QueryRequest) error {
+	req.Prepared = ""
+	req.NoCache = true
+	req.Priority = ""
+	fetch := func(base string) (json.RawMessage, error) {
+		status, body, _, _, err := pol.post(hc, base+"/v1/query", req, telemetry.MintTrace().Traceparent())
+		if err != nil {
+			return nil, err
+		}
+		if status != http.StatusOK {
+			return nil, fmt.Errorf("%s: status %d: %s", base, status, body)
+		}
+		var resp serve.QueryResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			return nil, fmt.Errorf("%s: %w", base, err)
+		}
+		var res cfq.Result
+		if err := json.Unmarshal(resp.Result, &res); err != nil {
+			return nil, fmt.Errorf("%s: %w", base, err)
+		}
+		res.Stats = cfq.Stats{}
+		res.Plan = ""
+		return json.Marshal(&res)
+	}
+	a, err := fetch(baseA)
+	if err != nil {
+		return err
+	}
+	b, err := fetch(baseB)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(a, b) {
+		return fmt.Errorf("answers differ: %d bytes vs %d bytes", len(a), len(b))
+	}
 	return nil
 }
 
 // prepareHandle plans the request once through POST /v1/prepare and returns
 // the wire handle plus the strategy the planner resolved.
 func prepareHandle(hc *http.Client, pol retryPolicy, base string, req serve.QueryRequest) (string, string, error) {
-	status, body, _, err := pol.post(hc, base+"/v1/prepare", req, telemetry.MintTrace().Traceparent())
+	status, body, _, _, err := pol.post(hc, base+"/v1/prepare", req, telemetry.MintTrace().Traceparent())
 	if err != nil {
 		return "", "", fmt.Errorf("prepare: %w", err)
 	}
@@ -314,18 +411,22 @@ type retryPolicy struct {
 }
 
 // post issues one logical request, retrying per the policy. It returns the
-// final status/body plus the number of extra attempts spent. The traceparent
-// header is resent verbatim on every attempt — retries are the same logical
-// request, so they share one trace.
-func (p retryPolicy) post(hc *http.Client, url string, v any, traceparent string) (status int, body []byte, tries int, err error) {
+// final status/body, the number of extra attempts spent, and how many
+// shed/unavailable attempts violated the server contract by carrying no
+// retry hint at all. The traceparent header is resent verbatim on every
+// attempt — retries are the same logical request, so they share one trace.
+func (p retryPolicy) post(hc *http.Client, url string, v any, traceparent string) (status int, body []byte, tries, missingRA int, err error) {
 	for attempt := 0; ; attempt++ {
 		var hint time.Duration
 		status, body, hint, err = postOnce(hc, url, v, traceparent)
 		if err != nil || (status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable) {
-			return status, body, attempt, err
+			return status, body, attempt, missingRA, err
+		}
+		if hint <= 0 {
+			missingRA++
 		}
 		if attempt >= p.max {
-			return status, body, attempt, nil
+			return status, body, attempt, missingRA, nil
 		}
 		time.Sleep(p.delay(attempt, hint))
 	}
@@ -429,13 +530,64 @@ func report(out io.Writer, results [][]outcome, elapsed time.Duration, slow time
 	fmt.Fprintf(out, "  result-cache hits: %d\n", cached)
 	fmt.Fprintf(out, "  retries: %d extra attempts across %d requests; shed after retries: %d\n",
 		retryAttempts, retried, byStatus[http.StatusTooManyRequests])
+	missing := 0
+	for _, o := range all {
+		missing += o.missingRA
+	}
+	fmt.Fprintf(out, "  missing retry-after: %d\n", missing)
 	if len(lats) > 0 {
 		fmt.Fprintf(out, "latency: p50 %v  p90 %v  p99 %v  max %v\n",
 			pct(lats, 50).Round(time.Microsecond), pct(lats, 90).Round(time.Microsecond),
 			pct(lats, 99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
 	}
+	reportClasses(out, all)
 	if slow > 0 {
 		reportSlow(out, all, slow)
+	}
+}
+
+// reportClasses breaks the run down by admission class: how many requests
+// each class offered, how many the server admitted (200) vs shed (429, split
+// out when the shed happened under memory-pressure brownout), and the
+// class's own latency percentiles — the client-side view of priority
+// ordering under overload.
+func reportClasses(out io.Writer, all []outcome) {
+	byClass := map[string][]outcome{}
+	for _, o := range all {
+		byClass[o.class] = append(byClass[o.class], o)
+	}
+	if len(byClass) == 0 {
+		return
+	}
+	names := make([]string, 0, len(byClass))
+	for c := range byClass {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	for _, c := range names {
+		os := byClass[c]
+		admitted, shed, degraded := 0, 0, 0
+		lats := make([]time.Duration, 0, len(os))
+		for _, o := range os {
+			switch o.status {
+			case http.StatusOK:
+				admitted++
+			case http.StatusTooManyRequests:
+				shed++
+				if o.degraded {
+					degraded++
+				}
+			}
+			lats = append(lats, o.latency)
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		fmt.Fprintf(out, "class %-12s requests=%-5d admitted=%-5d shed=%-5d degraded=%d\n",
+			c, len(os), admitted, shed, degraded)
+		if len(lats) > 0 {
+			fmt.Fprintf(out, "  latency: p50 %v  p95 %v  p99 %v\n",
+				pct(lats, 50).Round(time.Microsecond), pct(lats, 95).Round(time.Microsecond),
+				pct(lats, 99).Round(time.Microsecond))
+		}
 	}
 }
 

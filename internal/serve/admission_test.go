@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// drain empties an admission controller's slot for the test: acquire
+// without a deadline at the given class, failing the test on shed.
+func mustAcquire(t *testing.T, a *admission, prio priority) {
+	t.Helper()
+	if err := a.acquire(context.Background(), prio, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdmissionPriorityOrdering: a freed slot goes to the
+// highest-priority waiter regardless of arrival order — the batch waiter
+// that queued first still yields to the interactive waiter.
+func TestAdmissionPriorityOrdering(t *testing.T) {
+	a := newAdmission(1, 4, time.Second, 0)
+	mustAcquire(t, a, prioInteractive) // hold the only slot
+
+	order := make(chan priority, 2)
+	// Batch queues first...
+	go func() {
+		if err := a.acquire(context.Background(), prioBatch, 0); err == nil {
+			order <- prioBatch
+		}
+	}()
+	waitQueued(t, a, 1)
+	// ...then interactive.
+	go func() {
+		if err := a.acquire(context.Background(), prioInteractive, 0); err == nil {
+			order <- prioInteractive
+		}
+	}()
+	waitQueued(t, a, 2)
+
+	a.release(0) // slot handover: must pick interactive
+	if got := <-order; got != prioInteractive {
+		t.Fatalf("first grant went to %v, want interactive", got)
+	}
+	a.release(0)
+	if got := <-order; got != prioBatch {
+		t.Fatalf("second grant went to %v, want batch", got)
+	}
+	a.release(0)
+}
+
+func waitQueued(t *testing.T, a *admission, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for a.state().Queued < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth %d never reached %d", a.state().Queued, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdmissionAIMD: sustained p95 above the target decays the concurrency
+// limit multiplicatively down to the floor; once service times recover, the
+// limit climbs back one slot at a time to the configured worker count.
+func TestAdmissionAIMD(t *testing.T) {
+	const workers = 8
+	a := newAdmission(workers, 8, time.Second, 100*time.Millisecond)
+	if got := a.state().Limit; got != workers {
+		t.Fatalf("initial limit %d, want %d", got, workers)
+	}
+
+	// Feed slow samples (5× the target) until the limit hits the AIMD floor.
+	cycle := func(served time.Duration) {
+		mustAcquire(t, a, prioInteractive)
+		a.release(served)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for a.state().Limit > a.min {
+		if time.Now().After(deadline) {
+			t.Fatalf("limit stuck at %d, want decay to %d", a.state().Limit, a.min)
+		}
+		cycle(500 * time.Millisecond)
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Overwrite the whole sample window with fast samples, then keep cycling:
+	// the limit recovers additively to the ceiling and never beyond.
+	for i := 0; i < admWindow; i++ {
+		cycle(time.Millisecond)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for a.state().Limit < workers {
+		if time.Now().After(deadline) {
+			t.Fatalf("limit stuck at %d, want recovery to %d", a.state().Limit, workers)
+		}
+		cycle(time.Millisecond)
+		time.Sleep(10 * time.Millisecond)
+	}
+	cycle(time.Millisecond)
+	if got := a.state().Limit; got != workers {
+		t.Fatalf("limit %d overshot the configured worker ceiling %d", got, workers)
+	}
+}
+
+// TestAdmissionDeadlineShed: a request whose projected queue wait already
+// exceeds its own deadline is shed immediately (reason "deadline") instead
+// of being admitted to do doomed work.
+func TestAdmissionDeadlineShed(t *testing.T) {
+	a := newAdmission(1, 4, time.Second, 0)
+	// Seed the service-time estimate: one 500ms completion.
+	mustAcquire(t, a, prioInteractive)
+	a.release(500 * time.Millisecond)
+
+	mustAcquire(t, a, prioInteractive) // saturate
+	err := a.acquire(context.Background(), prioInteractive, time.Millisecond)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("tight-deadline acquire: %v, want ErrOverloaded", err)
+	}
+	var oe *overloadError
+	if !errors.As(err, &oe) || oe.reason != shedDeadline {
+		t.Fatalf("shed reason %+v, want %q", err, shedDeadline)
+	}
+	// A generous deadline queues instead (and is granted on release).
+	got := make(chan error, 1)
+	go func() { got <- a.acquire(context.Background(), prioInteractive, 10*time.Second) }()
+	waitQueued(t, a, 1)
+	a.release(0)
+	if err := <-got; err != nil {
+		t.Fatalf("generous-deadline acquire: %v", err)
+	}
+	a.release(0)
+}
+
+// TestRetryAfterGrowsUnderOverload: the Retry-After hint is load-derived —
+// measured p95 × work ahead — so it grows with in-flight work and queue
+// depth instead of sitting at a constant.
+func TestRetryAfterGrowsUnderOverload(t *testing.T) {
+	a := newAdmission(1, 8, time.Second, 0)
+
+	// Cold server, no samples: the fallback is half the queue wait.
+	if got, want := a.retryAfter(prioInteractive), 500*time.Millisecond; got != want {
+		t.Fatalf("cold retry hint %v, want %v", got, want)
+	}
+
+	// One 200ms completion seeds the estimate.
+	mustAcquire(t, a, prioInteractive)
+	a.release(200 * time.Millisecond)
+	idle := a.retryAfter(prioInteractive)
+
+	mustAcquire(t, a, prioInteractive) // one in flight
+	busy := a.retryAfter(prioInteractive)
+
+	// Three queued waiters behind the in-flight one.
+	for i := 0; i < 3; i++ {
+		go func() {
+			if a.acquire(context.Background(), prioInteractive, 0) == nil {
+				a.release(0)
+			}
+		}()
+	}
+	waitQueued(t, a, 3)
+	queued := a.retryAfter(prioInteractive)
+
+	if !(idle < busy && busy < queued) {
+		t.Fatalf("retry hint not monotone under load: idle %v, busy %v, queued %v", idle, busy, queued)
+	}
+
+	// Unwind: release the held slot, then the three granted waiters release
+	// themselves.
+	a.release(0)
+}

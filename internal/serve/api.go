@@ -70,6 +70,11 @@ type QueryRequest struct {
 	// Trace attaches the per-phase RunReport to the response. Traced
 	// requests bypass the result cache (the report describes this run).
 	Trace bool `json:"trace,omitempty"`
+	// Priority overrides the request's admission class: "interactive"
+	// (shed last) or "batch" (shed first under pressure). Empty uses the
+	// endpoint default — interactive for inline /v1/query, batch for
+	// prepared replays and the explain endpoints.
+	Priority string `json:"priority,omitempty"`
 }
 
 // BudgetSpec is the wire form of cfq.Budget's resource caps.
@@ -84,16 +89,20 @@ type BudgetSpec struct {
 // (exactly what cmd/cfq emits on stdout); which of them is present depends
 // on the endpoint.
 type QueryResponse struct {
-	Schema     int             `json:"schema"`
-	RequestID  string          `json:"request_id"`
-	TraceID    string          `json:"trace_id,omitempty"`
-	Dataset    string          `json:"dataset"`
-	Generation uint64          `json:"generation"`
-	Strategy   string          `json:"strategy"`
-	Cached     bool            `json:"cached,omitempty"`
-	Result     json.RawMessage `json:"result,omitempty"`
-	Explain    json.RawMessage `json:"explain,omitempty"`
-	Report     *obs.RunReport  `json:"report,omitempty"`
+	Schema     int    `json:"schema"`
+	RequestID  string `json:"request_id"`
+	TraceID    string `json:"trace_id,omitempty"`
+	Dataset    string `json:"dataset"`
+	Generation uint64 `json:"generation"`
+	Strategy   string `json:"strategy"`
+	Cached     bool   `json:"cached,omitempty"`
+	// Collapsed marks a response fanned out from a concurrent identical
+	// in-flight evaluation (request collapsing) rather than evaluated or
+	// cached for this request alone.
+	Collapsed bool            `json:"collapsed,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+	Explain   json.RawMessage `json:"explain,omitempty"`
+	Report    *obs.RunReport  `json:"report,omitempty"`
 }
 
 // PrepareResponse is the success envelope of POST /v1/prepare: the plan
@@ -157,6 +166,10 @@ type ErrorBody struct {
 	// RetryAfterMS accompanies overloaded responses (also sent as the
 	// Retry-After header, in whole seconds).
 	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// DegradationLevel accompanies sheds issued while the memory watchdog
+	// has the server browned out (0 = normal overload shedding), so clients
+	// can tell queue pressure from memory pressure.
+	DegradationLevel int `json:"degradation_level,omitempty"`
 }
 
 // DatasetSpec is the body of POST /v1/datasets. Exactly one transaction
@@ -327,6 +340,11 @@ func (r *QueryRequest) Validate() error {
 	}
 	if b := r.Budget; b != nil && (b.MaxCandidates < 0 || b.MaxFrequentSets < 0 || b.MaxLatticeBytes < 0) {
 		return fmt.Errorf("negative budget")
+	}
+	if r.Priority != "" {
+		if _, err := parsePriority(r.Priority); err != nil {
+			return err
+		}
 	}
 	return nil
 }

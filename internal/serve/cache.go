@@ -152,6 +152,19 @@ func (c *resultCache) removeLocked(el *list.Element, e *cacheEntry) {
 	c.bytes -= e.size
 }
 
+// setMaxBytes retunes the byte bound at runtime (the memory watchdog's
+// brownout shrinks it, recovery restores it), evicting immediately to fit.
+// A bound of 0 leaves bytes unbounded, matching the constructor.
+func (c *resultCache) setMaxBytes(maxBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxBytes = maxBytes
+	for c.maxBytes > 0 && c.bytes > c.maxBytes && c.lru.Len() > 0 {
+		c.evictOldest()
+	}
+	c.publishLocked()
+}
+
 // stats snapshots the cache counters (the ops /statz surface).
 func (c *resultCache) stats() map[string]int64 {
 	c.mu.Lock()

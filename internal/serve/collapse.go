@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Request collapsing (singleflight) for the concurrent cache-miss stampede:
+// the result cache already absorbs repeats of a completed query, but N
+// clients issuing the same cacheable query while the first evaluation is
+// still in flight would each mine the lattice. The collapser keys in-flight
+// evaluations by the same dataset × generation × kind × mode × canonical
+// key the result cache uses, so followers wait on the leader's raw result
+// instead of holding worker slots — a thundering herd on one hot query
+// mines once and fans out. Generation is part of the key: a request that
+// reads the registry after a mutation lands forms a new flight and can
+// never be handed the pre-mutation result.
+var (
+	mCollapsed      = obs.NewCounter("server_collapsed_requests_total")
+	mCollapseLeads  = obs.NewCounter("server_collapse_leaders_total")
+	mCollapseFailed = obs.NewCounter("server_collapse_leader_failures_total")
+)
+
+// collapseGroup is one in-flight evaluation. done closes when the leader
+// finishes; ok is true only when res holds a shareable success. Followers
+// of a failed leader fall through to their own evaluation — each then pays
+// admission individually, so a failing hot query cannot amplify itself.
+type collapseGroup struct {
+	done chan struct{}
+	res  cachedResult
+	ok   bool
+}
+
+// collapser indexes in-flight groups by result-cache key.
+type collapser struct {
+	mu     sync.Mutex
+	groups map[string]*collapseGroup
+}
+
+func newCollapser() *collapser {
+	return &collapser{groups: map[string]*collapseGroup{}}
+}
+
+// join returns the flight for key and whether the caller leads it. The
+// leader must call finish exactly once, after setting res/ok on success.
+func (c *collapser) join(key string) (*collapseGroup, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if g, ok := c.groups[key]; ok {
+		return g, false
+	}
+	g := &collapseGroup{done: make(chan struct{})}
+	c.groups[key] = g
+	mCollapseLeads.Inc()
+	return g, true
+}
+
+// finish retires the flight and releases its followers.
+func (c *collapser) finish(key string, g *collapseGroup) {
+	c.mu.Lock()
+	if cur, ok := c.groups[key]; ok && cur == g {
+		delete(c.groups, key)
+	}
+	c.mu.Unlock()
+	if !g.ok {
+		mCollapseFailed.Inc()
+	}
+	close(g.done)
+}
+
+// inflight reports the current number of open flights (statz).
+func (c *collapser) inflight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.groups)
+}

@@ -189,6 +189,24 @@ func (c *planCache) removeLocked(el *list.Element, e *planEntry) {
 	c.bytes -= e.size
 }
 
+// setMaxBytes retunes the byte bound at runtime (memory watchdog brownout
+// and recovery), evicting immediately to fit.
+func (c *planCache) setMaxBytes(maxBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxBytes = maxBytes
+	for c.maxBytes > 0 && c.bytes > c.maxBytes {
+		el := c.lru.Back()
+		if el == nil {
+			break
+		}
+		c.removeLocked(el, el.Value.(*planEntry))
+		c.evictions++
+		mPlanEvictions.Inc()
+	}
+	c.publishLocked()
+}
+
 func (c *planCache) publishLocked() {
 	mPlanEntries.Set(int64(c.lru.Len()))
 	mPlanBytes.Set(c.bytes)

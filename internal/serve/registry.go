@@ -106,6 +106,26 @@ func (r *Registry) Adopt(name string, meta store.Meta, db *txdb.DB, generation u
 	return nil
 }
 
+// SetSessionCacheLimit retunes every live session's lattice-cache bound
+// (and the bound future sessions start with). The memory watchdog shrinks
+// it under pressure and restores it on recovery; sessions evict eagerly on
+// the next touch past the new bound.
+func (r *Registry) SetSessionCacheLimit(bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	r.mu.Lock()
+	r.sessionCacheBytes = bytes
+	sessions := make([]*cfq.Session, 0, len(r.entries))
+	for _, e := range r.entries {
+		sessions = append(sessions, e.sess)
+	}
+	r.mu.Unlock()
+	for _, sess := range sessions {
+		sess.SetCacheLimit(bytes)
+	}
+}
+
 // Lookup returns a dataset's handle: the dataset, its shared session, and
 // the generation current at the time of the call.
 func (r *Registry) Lookup(name string) (*cfq.Dataset, *cfq.Session, uint64, error) {

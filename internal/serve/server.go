@@ -92,6 +92,21 @@ type Config struct {
 	// QueueWait bounds how long an admitted-to-queue request waits for a
 	// worker before being shed with 429 + Retry-After (default: 1s).
 	QueueWait time.Duration
+	// TargetLatency is the service-time SLO driving the adaptive admission
+	// limit: while the measured p95 service time exceeds it, the concurrency
+	// limit decays (AIMD) below Workers; once back under, it recovers.
+	// Default: 500ms. Negative disables adaptation (fixed Workers slots).
+	TargetLatency time.Duration
+	// MemSoftLimit, when positive, starts the memory back-pressure watchdog:
+	// as live heap use approaches the limit the server browns out
+	// progressively (pause diagnostics → shrink caches → shed non-interactive
+	// admissions) and recovers with hysteresis. 0 disables the watchdog.
+	MemSoftLimit int64
+	// MemCheckInterval is the watchdog's sampling period (default: 250ms).
+	MemCheckInterval time.Duration
+	// memProbe overrides the watchdog's memory reading (tests drive the
+	// brownout ladder deterministically with a synthetic heap).
+	memProbe func() int64
 	// QueryWorkers is the per-query support-counting parallelism passed to
 	// Query.Workers (default: 0 = serial; evaluation concurrency comes from
 	// Workers).
@@ -168,6 +183,12 @@ func (c Config) withDefaults() Config {
 	if c.QueueWait <= 0 {
 		c.QueueWait = time.Second
 	}
+	if c.TargetLatency == 0 {
+		c.TargetLatency = 500 * time.Millisecond
+	}
+	if c.MemCheckInterval <= 0 {
+		c.MemCheckInterval = defaultMemTick
+	}
 	if c.Limits.DefaultTimeout <= 0 {
 		c.Limits.DefaultTimeout = 30 * time.Second
 	}
@@ -206,6 +227,8 @@ type Server struct {
 	workload *workloadCollector
 	planner  *plan.Planner
 	plans    *planCache
+	flights  *collapser
+	watchdog *watchdog // nil unless Config.MemSoftLimit > 0
 
 	baseCtx  context.Context
 	cancel   context.CancelFunc
@@ -227,7 +250,7 @@ func NewServer(cfg Config) *Server {
 	s := &Server{
 		cfg:   cfg,
 		reg:   NewRegistry(max64(cfg.SessionCacheBytes, 0), cfg.AllowFiles),
-		adm:   newAdmission(cfg.Workers, cfg.QueueDepth, cfg.QueueWait),
+		adm:   newAdmission(cfg.Workers, cfg.QueueDepth, cfg.QueueWait, cfg.TargetLatency),
 		cache: newResultCache(maxInt(cfg.ResultCacheEntries, 0), max64(cfg.ResultCacheBytes, 0)),
 		log:   cfg.Logger,
 		red:   telemetry.NewRED(),
@@ -236,6 +259,7 @@ func NewServer(cfg Config) *Server {
 		// optimized (plan.Options sanitizes unknown names).
 		planner:  plan.New(plan.Options{Default: cfg.DefaultStrategy}),
 		plans:    newPlanCache(maxInt(cfg.PlanCacheEntries, 0), max64(cfg.PlanCacheBytes, 0)),
+		flights:  newCollapser(),
 		baseCtx:  baseCtx,
 		cancel:   cancel,
 		idPrefix: fmt.Sprintf("%08x", time.Now().UnixNano()&0xffffffff),
@@ -255,6 +279,11 @@ func NewServer(cfg Config) *Server {
 	}
 	if cfg.Workload || cfg.WorkloadDir != "" || cfg.ShadowSample > 0 {
 		s.workload = newWorkloadCollector(s, cfg)
+	}
+	if cfg.MemSoftLimit > 0 {
+		s.watchdog = newWatchdog(s, cfg)
+	} else {
+		mDegradeLevel.Set(0)
 	}
 	s.mux = s.buildMux()
 	// Without a durable store there is nothing to recover: the server is
@@ -351,6 +380,9 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	endpoints, datasets := s.red.Snapshot()
 	doc := map[string]any{
 		"schema":                     SchemaVersion,
+		"admission":                  s.adm.state(),
+		"degradation":                s.degradationStatz(),
+		"collapse":                   map[string]any{"inflight": s.flights.inflight()},
 		"result_cache":               s.cache.stats(),
 		"endpoints":                  endpoints,
 		"datasets":                   datasets,
@@ -499,6 +531,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 	}
 	s.cancel()
+	// The watchdog stops before the stores and caches it retunes are torn
+	// down: its loop exits on the base-context cancel (restoring degradation
+	// level 0 on the way out), and waiting here means no watchdog goroutine
+	// survives Shutdown — the load soak's goroutine-leak check counts on it.
+	if s.watchdog != nil {
+		s.watchdog.wait()
+	}
 	// Close the durable store after the drain: no handler is writing once
 	// Shutdown returns from srv.Shutdown, and a clean close fsyncs every
 	// log regardless of policy.
@@ -541,6 +580,8 @@ type reqScope struct {
 	canonical string
 	code      string // error code of the response, "" on success
 	cached    bool
+	collapsed bool
+	priority  priority
 	tracer    *obs.Tracer
 	prune     *cfq.PruneSet
 	query     *cfq.Query
@@ -636,6 +677,11 @@ func (s *Server) maybeCaptureSlow(sc *reqScope, endpoint string, status int, dur
 	if s.slow == nil || sc.query == nil {
 		return
 	}
+	// Brownout level 1+: the capture's ExplainReport rebuild costs a
+	// database scan the server cannot afford while shedding memory.
+	if s.degradeLevel() >= 1 {
+		return
+	}
 	slow := dur >= s.cfg.SlowQuery
 	failed := sc.code == CodeBudgetExhausted || status >= http.StatusInternalServerError
 	if !slow && !failed {
@@ -698,6 +744,20 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind string,
 		return s.writeError(w, sc, http.StatusBadRequest,
 			&ErrorBody{Code: CodeBadRequest, Message: err.Error()}), false
 	}
+
+	// Priority class: interactive for inline /v1/query, batch for prepared
+	// replays and the explain endpoints, explicit request override wins
+	// (validated in Validate, so parse cannot fail here).
+	prio := prioInteractive
+	if kind != kindQuery || req.Prepared != "" {
+		prio = prioBatch
+	}
+	if req.Priority != "" {
+		if p, perr := parsePriority(req.Priority); perr == nil {
+			prio = p
+		}
+	}
+	sc.priority = prio
 
 	// The request tracer: per-phase spans feed the slog stream (always, when
 	// the server has a logger), the response's RunReport (when the client
@@ -815,25 +875,58 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind string,
 		}
 	}
 
-	// admission: a worker slot, or a bounded queue wait, or 429. The wait is
-	// its own histogram so queueing pressure is visible separately from
-	// evaluation time.
+	// Collapse concurrent identical cache misses: the first request through
+	// leads the flight (and evaluates below); followers park here — holding
+	// no worker slot — and fan the leader's raw result out under their own
+	// envelopes and correlation headers. A follower of a failed leader falls
+	// through and evaluates on its own, paying admission individually.
+	var flight *collapseGroup
+	if cacheable && kind == kindQuery {
+		g, leader := s.flights.join(key)
+		if leader {
+			flight = g
+			defer s.flights.finish(key, g)
+		} else {
+			select {
+			case <-g.done:
+				if g.ok {
+					sc.collapsed = true
+					mCollapsed.Inc()
+					return s.writeJSON(w, http.StatusOK, &QueryResponse{
+						Schema: SchemaVersion, RequestID: sc.reqID, TraceID: sc.tc.TraceID,
+						Dataset:    dataset,
+						Generation: g.res.Generation, Strategy: g.res.Strategy, Collapsed: true,
+						Result: g.res.Result, Explain: g.res.Explain,
+					}), false
+				}
+			case <-ctx.Done():
+				return s.writeEvalError(w, sc, ctx.Err()), false
+			}
+		}
+	}
+
+	// admission: a worker slot, or a bounded priority-classed queue wait, or
+	// 429. The wait is its own histogram so queueing pressure is visible
+	// separately from evaluation time. The request's soft deadline rides
+	// along so a projected queue wait that would consume it sheds instantly.
 	asp := tracer.Start("admission")
 	admStart := time.Now()
-	err = s.adm.acquire(ctx)
+	err = s.adm.acquire(ctx, prio, timeout)
 	mQueueWait.WithLabels(kind).Observe(time.Since(admStart))
 	asp.End(nil)
 	if err != nil {
-		if errors.Is(err, ErrOverloaded) {
-			retry := s.adm.retryAfter()
-			w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
+		var oe *overloadError
+		if errors.As(err, &oe) {
+			w.Header().Set("Retry-After", strconv.Itoa(int((oe.retry+time.Second-1)/time.Second)))
 			return s.writeError(w, sc, http.StatusTooManyRequests,
-				&ErrorBody{Code: CodeOverloaded, Message: "all workers busy and queue full",
-					RetryAfterMS: retry.Milliseconds()}), false
+				&ErrorBody{Code: CodeOverloaded, Message: oe.Message(),
+					RetryAfterMS:     oe.retry.Milliseconds(),
+					DegradationLevel: s.degradeLevel()}), false
 		}
 		return s.writeEvalError(w, sc, err), false
 	}
-	defer s.adm.release()
+	admitted := time.Now()
+	defer func() { s.adm.release(time.Since(admitted)) }()
 
 	// The soft budget deadline (timeout, partial stats) is the primary
 	// bound; a hard context deadline at 2× backstops evaluations stuck
@@ -919,6 +1012,13 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind string,
 		if cur, ok := s.reg.Generation(dataset); ok && cur == gen {
 			s.cache.put(key, cachedResult{Generation: gen, Strategy: mode, Result: result, Explain: explain})
 		}
+	}
+	// Release the flight's followers with the shared raw result. The key
+	// carries the generation, so a request that observed a later mutation is
+	// in a different flight and can never receive this snapshot's answer.
+	if flight != nil {
+		flight.res = cachedResult{Generation: gen, Strategy: mode, Result: result, Explain: explain}
+		flight.ok = true
 	}
 
 	resp := &QueryResponse{
@@ -1230,6 +1330,18 @@ func (s *Server) writeError(w http.ResponseWriter, sc *reqScope, status int, bod
 	w.Header().Set("Content-Type", "application/json")
 	if w.Header().Get("X-Request-ID") == "" {
 		w.Header().Set("X-Request-ID", sc.reqID)
+	}
+	// Every shed or unavailable response carries a retry hint: specific
+	// paths (admission, not-ready) set a load-derived one above; anything
+	// else that reaches the wire as 429/503 gets an honest floor here, so
+	// clients never see a shed without backoff guidance.
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		if w.Header().Get("Retry-After") == "" {
+			w.Header().Set("Retry-After", "1")
+		}
+		if body.RetryAfterMS == 0 {
+			body.RetryAfterMS = 1000
+		}
 	}
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(&ErrorResponse{

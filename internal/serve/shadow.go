@@ -98,6 +98,13 @@ func minFloat(v, max float64) float64 {
 // offer samples one completed query into the shadow queue. Called from
 // observeWorkload after the response is written; never blocks.
 func (ss *shadowSampler) offer(sc *reqScope, prof *queryProfile) {
+	// Brownout level >= 1 pauses shadow sampling entirely: re-runs are the
+	// first load the watchdog sheds, before anything user-visible.
+	if ss.s.degradeLevel() >= 1 {
+		ss.dropped.Add(1)
+		workload.ShadowDropped()
+		return
+	}
 	if rand.Float64() >= ss.sample {
 		return
 	}
@@ -186,13 +193,23 @@ func (ss *shadowSampler) runJob(job *shadowJob) {
 		workload.ShadowDropped()
 		return
 	}
+	// A job queued before a brownout began is dropped, not run: memory
+	// pressure means the re-run's lattice allocations are the last thing
+	// the process needs.
+	if ss.s.degradeLevel() >= 1 {
+		ss.dropped.Add(1)
+		workload.ShadowDropped()
+		return
+	}
 	walls := make(map[string]float64, len(ss.strategies))
 	for _, strat := range ss.strategies {
 		if !ss.acquireSlot() {
 			return
 		}
 		ms, err := ss.runOne(job, strat)
-		ss.s.adm.release()
+		// Shadow walls are excluded from the admission p95 (release(0)):
+		// the AIMD target tracks user-visible service time only.
+		ss.s.adm.release(0)
 		name := strat.String()
 		ss.runs.Add(1)
 		rec := &workload.Record{

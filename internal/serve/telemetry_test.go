@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -118,8 +119,10 @@ func TestCorrelationOnErrorStatuses(t *testing.T) {
 	t.Run("429 overloaded", func(t *testing.T) {
 		// Hold the only worker slot; with queue depth 0 the next request is
 		// shed immediately.
-		<-s.adm.slots
-		defer s.adm.release()
+		if err := s.adm.acquire(context.Background(), prioInteractive, 0); err != nil {
+			t.Fatal(err)
+		}
+		defer s.adm.release(0)
 		resp := postWithHeaders(t, ts.URL+"/v1/query", q, hdr)
 		check(t, resp, http.StatusTooManyRequests, CodeOverloaded)
 		if resp.Header.Get("Retry-After") == "" {

@@ -1,0 +1,145 @@
+package store_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/itemset"
+	"repro/internal/store"
+)
+
+// calibrateOps counts the mutating filesystem operations of the breaker
+// test's script (open an empty store, create a dataset, append one batch):
+// the returned count is the index of the append's fsync, the op the fault
+// plans target.
+func calibrateOps(t *testing.T) int64 {
+	t.Helper()
+	dir := t.TempDir()
+	ffs := faultinject.NewFaultFS(store.OSFS{}, faultinject.FaultPlan{})
+	st, _, err := store.Open(store.Options{Dir: dir, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := testMeta()
+	if err := st.Create("sales", meta, mustSets(t, baseTxs(), meta.Items)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append("sales", mustSets(t, [][]int{{0, 4}, {1, 3}}, meta.Items)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return ffs.Ops()
+}
+
+// TestBreakerRecoversFromTransientSyncFault: a one-shot injected fsync
+// failure wedges the log (the ack is refused), further mutations fail fast
+// inside the cooloff, and the first mutation after the cooloff probes the
+// disk, repairs the WAL, and is acked — no restart. A reopen from the same
+// directory then proves the recovered log holds exactly the acked records:
+// the un-acked append that hit the fault is gone, the post-recovery append
+// is present.
+func TestBreakerRecoversFromTransientSyncFault(t *testing.T) {
+	syncOp := calibrateOps(t)
+
+	dir := t.TempDir()
+	ffs := faultinject.NewFaultFS(store.OSFS{}, faultinject.FaultPlan{SyncErrAt: syncOp})
+	const cooloff = 50 * time.Millisecond
+	st, _, err := store.Open(store.Options{Dir: dir, FS: ffs, BreakerCooloff: cooloff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := testMeta()
+	base := mustSets(t, baseTxs(), meta.Items)
+	if err := st.Create("sales", meta, base); err != nil {
+		t.Fatal(err)
+	}
+
+	// The targeted append: its record is written, the fsync fails, the ack
+	// is refused and the log wedges.
+	doomed := mustSets(t, [][]int{{0, 4}, {1, 3}}, meta.Items)
+	if _, err := st.Append("sales", doomed); !errors.Is(err, faultinject.ErrInjectedSync) {
+		t.Fatalf("append at fault: %v, want ErrInjectedSync", err)
+	}
+
+	// Inside the cooloff the breaker is open: mutations fail fast with
+	// ErrWedged and no disk probe happens.
+	opsBefore := ffs.Ops()
+	if _, err := st.Append("sales", doomed); !errors.Is(err, store.ErrWedged) {
+		t.Fatalf("append while wedged: %v, want ErrWedged", err)
+	}
+	if got := ffs.Ops(); got != opsBefore {
+		t.Errorf("fast-fail touched the disk: %d mutating ops, want %d", got, opsBefore)
+	}
+
+	// After the cooloff the next mutation half-opens the breaker: the probe
+	// truncates back to the acked prefix, fsyncs (the fault was one-shot, so
+	// it succeeds), and the append itself is then written and acked.
+	time.Sleep(cooloff + 20*time.Millisecond)
+	recovered := mustSets(t, [][]int{{2, 5}}, meta.Items)
+	gen, err := st.Append("sales", recovered)
+	if err != nil {
+		t.Fatalf("append after cooloff: %v, want recovery", err)
+	}
+	if gen != 2 {
+		t.Errorf("post-recovery generation %d, want 2 (the faulted append was never acked)", gen)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen on the bare filesystem: replay must yield exactly the acked
+	// history — base create plus the post-recovery append, nothing from the
+	// un-acked faulted append.
+	st2, recs, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rec := findRecovered(recs, "sales")
+	if rec == nil || rec.Err != nil {
+		t.Fatalf("reopen: %+v", rec)
+	}
+	if rec.Gen != 2 {
+		t.Errorf("replayed generation %d, want 2", rec.Gen)
+	}
+	want := append(append([]itemset.Set{}, base...), recovered...)
+	if !sameTxs(t, rec.DB.Transactions(), want) {
+		t.Error("replayed transactions differ from the acked history")
+	}
+}
+
+// TestBreakerStaysOpenOnPersistentFault: when the disk fault persists (a
+// simulated dead device), every post-cooloff probe fails and the log keeps
+// failing fast with ErrWedged — the breaker never falsely closes.
+func TestBreakerStaysOpenOnPersistentFault(t *testing.T) {
+	syncOp := calibrateOps(t)
+
+	dir := t.TempDir()
+	ffs := faultinject.NewFaultFS(store.OSFS{}, faultinject.FaultPlan{CrashAt: syncOp})
+	const cooloff = 20 * time.Millisecond
+	st, _, err := store.Open(store.Options{Dir: dir, FS: ffs, BreakerCooloff: cooloff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := testMeta()
+	if err := st.Create("sales", meta, mustSets(t, baseTxs(), meta.Items)); err != nil {
+		t.Fatal(err)
+	}
+	batch := mustSets(t, [][]int{{0, 4}}, meta.Items)
+	if _, err := st.Append("sales", batch); !errors.Is(err, faultinject.ErrCrashed) {
+		t.Fatalf("append at fault: %v, want ErrCrashed", err)
+	}
+	// Every later mutation — inside the cooloff (fast fail) and after it
+	// (failed probe, backoff doubles) — reports ErrWedged, never a false ack.
+	for i := 0; i < 3; i++ {
+		time.Sleep(cooloff + 10*time.Millisecond)
+		if _, err := st.Append("sales", batch); !errors.Is(err, store.ErrWedged) {
+			t.Fatalf("attempt %d: %v, want ErrWedged", i, err)
+		}
+	}
+	_ = st.Close()
+}

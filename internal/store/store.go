@@ -54,6 +54,13 @@ var (
 	mReplayed     = obs.NewCounter("store_replayed_records_total")
 	mTornTails    = obs.NewCounter("store_truncated_tails_total")
 	mWedged       = obs.NewCounter("store_wedged_logs_total")
+
+	// Circuit-breaker metrics: opened counts wedges, probes counts half-open
+	// repair attempts by outcome, recovered counts logs that resumed acking
+	// without a restart.
+	mBreakerOpened    = obs.NewCounter("store_breaker_opened_total")
+	mBreakerProbes    = obs.NewCounterVec("store_breaker_probes_total", "outcome")
+	mBreakerRecovered = obs.NewCounter("store_breaker_recovered_total")
 )
 
 // Store errors.
@@ -62,8 +69,12 @@ var (
 	ErrNotFound = errors.New("store: unknown dataset")
 	// ErrWedged reports a log that refuses mutations because an earlier
 	// write or fsync failed: once durability is uncertain the log stops
-	// acking, and only a restart (which re-derives state from disk) clears
-	// the condition.
+	// acking. For repairable faults (a failed append write or fsync, where
+	// the on-disk prefix up to the last acked record is intact) the log's
+	// circuit breaker half-opens after Options.BreakerCooloff and probes the
+	// disk; a successful probe resumes acking without a restart. Faults that
+	// leave the file layout uncertain (mid-rotation failures) stay wedged
+	// until restart, which re-derives state from disk.
 	ErrWedged = errors.New("store: log wedged by earlier write failure")
 )
 
@@ -131,6 +142,11 @@ type Options struct {
 	// triggered it instead of on a background goroutine — deterministic
 	// operation order for the crash property tests.
 	SyncCompact bool
+	// BreakerCooloff is how long a repairably-wedged log waits before its
+	// first half-open disk probe (default 5s; each failed probe doubles the
+	// wait, capped at 8×). Negative disables the breaker: every wedge is
+	// permanent until restart, the pre-breaker behavior.
+	BreakerCooloff time.Duration
 	// Logger, when set, receives recovery spans and compaction events.
 	Logger *slog.Logger
 }
@@ -147,6 +163,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CompactBytes == 0 {
 		o.CompactBytes = 64 << 20
+	}
+	if o.BreakerCooloff == 0 {
+		o.BreakerCooloff = 5 * time.Second
 	}
 	return o
 }
@@ -180,6 +199,9 @@ type dsLog struct {
 	recsSince  int // records in the active WAL (since last rotation)
 	dirty      bool
 	wedged     error
+	repairable bool          // wedge cause left the acked on-disk prefix intact
+	wedgedAt   time.Time     // when the wedge (or last failed probe) happened
+	backoff    time.Duration // wait before the next half-open probe
 	dropped    bool
 	compacting bool
 	hasOld     bool
@@ -588,13 +610,18 @@ func (lg *dsLog) writeRecordLocked(typ byte, payload []byte, sync bool) error {
 	}
 	rec := encodeRecord(typ, lg.seq+1, payload)
 	if _, err := lg.wal.Write(rec); err != nil {
-		lg.wedge(err)
-		return err
+		// Repairable: lg.walBytes still marks the last acked byte, so a
+		// probe can truncate the torn tail and resume. The returned error
+		// matches both the fault and ErrWedged, so callers can map the very
+		// first failure to the same storage outcome as the fast-fails that
+		// follow it.
+		lg.wedge(err, true)
+		return fmt.Errorf("%w: %w", ErrWedged, err)
 	}
 	if sync || lg.st.opts.Policy == SyncAlways {
 		if err := lg.st.timedSync(lg.wal); err != nil {
-			lg.wedge(err)
-			return err
+			lg.wedge(err, true)
+			return fmt.Errorf("%w: %w", ErrWedged, err)
 		}
 	} else {
 		lg.dirty = true
@@ -607,15 +634,95 @@ func (lg *dsLog) writeRecordLocked(typ byte, payload []byte, sync bool) error {
 	return nil
 }
 
-// wedge marks the log as refusing further mutations. Callers hold lg.mu.
-func (lg *dsLog) wedge(err error) {
+// wedge marks the log as refusing further mutations. repairable says the
+// fault left the on-disk prefix up to the last acked record intact (a failed
+// append write or fsync), so the circuit breaker may probe and recover;
+// mid-rotation faults leave the file layout uncertain and are permanent
+// until restart. Callers hold lg.mu.
+func (lg *dsLog) wedge(err error, repairable bool) {
 	if lg.wedged == nil {
 		lg.wedged = err
+		lg.repairable = repairable && lg.st.opts.BreakerCooloff > 0
+		lg.wedgedAt = time.Now()
+		lg.backoff = lg.st.opts.BreakerCooloff
 		mWedged.Inc()
+		mBreakerOpened.Inc()
 		if l := lg.st.opts.Logger; l != nil {
-			l.Error("store: log wedged", slog.String("dataset", lg.name), slog.Any("err", err))
+			l.Error("store: log wedged", slog.String("dataset", lg.name),
+				slog.Bool("repairable", lg.repairable), slog.Any("err", err))
 		}
 	}
+}
+
+// tryRepairLocked is the breaker's half-open transition: once the cooloff
+// has elapsed, probe the disk by truncating the WAL back to the last acked
+// byte, seeking to it, and fsyncing. A successful probe clears the wedge —
+// every acked record is durable again, nothing unacked survives — and the
+// log resumes. A failed probe doubles the backoff (capped at 8× the
+// configured cooloff) and keeps failing fast. Returns true when the log was
+// repaired. Callers hold lg.mu.
+func (lg *dsLog) tryRepairLocked() bool {
+	if lg.wedged == nil {
+		return true
+	}
+	if !lg.repairable || lg.dropped {
+		return false
+	}
+	if time.Since(lg.wedgedAt) < lg.backoff {
+		return false
+	}
+	if err := lg.probeLocked(); err != nil {
+		mBreakerProbes.WithLabels("fail").Inc()
+		lg.wedgedAt = time.Now()
+		lg.backoff *= 2
+		if max := 8 * lg.st.opts.BreakerCooloff; lg.backoff > max {
+			lg.backoff = max
+		}
+		if l := lg.st.opts.Logger; l != nil {
+			l.Warn("store: breaker probe failed", slog.String("dataset", lg.name),
+				slog.Duration("next_probe", lg.backoff), slog.Any("err", err))
+		}
+		return false
+	}
+	mBreakerProbes.WithLabels("ok").Inc()
+	mBreakerRecovered.Inc()
+	if l := lg.st.opts.Logger; l != nil {
+		l.Info("store: breaker recovered; log resumed",
+			slog.String("dataset", lg.name), slog.Any("was", lg.wedged))
+	}
+	lg.wedged = nil
+	lg.repairable = false
+	lg.backoff = 0
+	return true
+}
+
+// probeLocked restores the WAL to its last acked state: lg.walBytes only
+// advances after a record's write (and, under SyncAlways, its fsync)
+// succeeds, so it is exactly the last acked byte offset. Truncating there
+// discards any torn tail a failed write left, the seek re-aims the file
+// cursor past reopen, and the fsync both proves the device accepts writes
+// again and makes any acked-but-unflushed interval-policy records durable.
+// Callers hold lg.mu.
+func (lg *dsLog) probeLocked() error {
+	s := lg.st
+	if lg.wal == nil {
+		f, err := s.fs.OpenFile(s.walPath(lg.name), os.O_RDWR, 0o644)
+		if err != nil {
+			return err
+		}
+		lg.wal = f
+	}
+	if err := s.fs.Truncate(s.walPath(lg.name), lg.walBytes); err != nil {
+		return err
+	}
+	if _, err := lg.wal.Seek(lg.walBytes, 0); err != nil {
+		return err
+	}
+	if err := s.timedSync(lg.wal); err != nil {
+		return err
+	}
+	lg.dirty = false
+	return nil
 }
 
 // Append durably logs a batch of transactions and returns the dataset's new
@@ -632,7 +739,7 @@ func (s *Store) Append(name string, txs []itemset.Set) (uint64, error) {
 		lg.mu.Unlock()
 		return 0, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	if lg.wedged != nil {
+	if lg.wedged != nil && !lg.tryRepairLocked() {
 		err := fmt.Errorf("%w: %q: %v", ErrWedged, name, lg.wedged)
 		lg.mu.Unlock()
 		return 0, err
@@ -676,30 +783,34 @@ func (lg *dsLog) maybeRotateLocked() bool {
 		return false
 	}
 	// The rotated log must be durable before the snapshot claims to cover
-	// it, and before its name changes out from under the page cache.
+	// it, and before its name changes out from under the page cache. The
+	// pre-rotation sync failure is repairable (the WAL is still whole at its
+	// path); everything after Close is not — the file layout is mid-change
+	// and only restart recovery re-derives it.
 	if err := lg.st.timedSync(lg.wal); err != nil {
-		lg.wedge(err)
+		lg.wedge(err, true)
 		return false
 	}
 	lg.dirty = false
 	if err := lg.wal.Close(); err != nil {
-		lg.wedge(err)
+		lg.wedge(err, false)
 		return false
 	}
+	lg.wal = nil
 	s := lg.st
 	if err := s.fs.Rename(s.walPath(lg.name), s.oldPath(lg.name)); err != nil {
-		lg.wedge(err)
+		lg.wedge(err, false)
 		return false
 	}
 	f, err := s.fs.OpenFile(s.walPath(lg.name), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		lg.wedge(err)
+		lg.wedge(err, false)
 		return false
 	}
 	if err := s.fs.SyncDir(s.opts.Dir); err != nil {
 		cerr := f.Close()
 		_ = cerr
-		lg.wedge(err)
+		lg.wedge(err, false)
 		return false
 	}
 	lg.wal = f
@@ -798,7 +909,7 @@ func (s *Store) Drop(name string) error {
 		lg.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	if lg.wedged != nil {
+	if lg.wedged != nil && !lg.tryRepairLocked() {
 		err := fmt.Errorf("%w: %q: %v", ErrWedged, name, lg.wedged)
 		lg.mu.Unlock()
 		return err
@@ -861,7 +972,10 @@ func (s *Store) syncAll() {
 		lg.mu.Lock()
 		if lg.dirty && lg.wedged == nil && lg.wal != nil {
 			if err := s.timedSync(lg.wal); err != nil {
-				lg.wedge(err)
+				// Repairable: the records being flushed were fully written
+				// (walBytes covers them), so the probe's truncate keeps them
+				// and its fsync finishes the interrupted flush.
+				lg.wedge(err, true)
 			} else {
 				lg.dirty = false
 			}

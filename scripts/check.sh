@@ -95,8 +95,10 @@ echo "== perf-trajectory smoke (cmd/bench -compare) =="
 # this checks the harness, not the machine.
 check_tmp="$(mktemp -d)"
 cfqd_pid=""
+replica_pid=""
 cleanup() {
   if [[ -n "$cfqd_pid" ]]; then kill "$cfqd_pid" 2> /dev/null || true; fi
+  if [[ -n "$replica_pid" ]]; then kill "$replica_pid" 2> /dev/null || true; fi
   rm -rf "$check_tmp"
 }
 trap cleanup EXIT
@@ -392,6 +394,94 @@ if ! grep -q 'assert-auto: ok' "$check_tmp/assert.out"; then
   cat "$check_tmp/assert.out" >&2
   exit 1
 fi
+
+echo "== overload & degradation smoke (4x-slot storm, priorities, replica equality) =="
+# Boot cfqd with 2 workers + 2 queue slots and the memory watchdog armed,
+# then storm it with 4x as many closed-loop clients split across admission
+# classes. The structured-overload contract, end to end: no unstructured
+# 500s, every shed attempt carrying a retry hint ("missing retry-after: 0"),
+# per-class rollups in the report, the degradation level back at 0 once the
+# storm ends, and — via -compare-addr — answers identical to an untouched
+# replica daemon serving the same generated dataset.
+rm -rf "$check_tmp/data" "$check_tmp/data2"
+rm -f "$check_tmp/addr" "$check_tmp/addr2"
+: > "$check_tmp/cfqd.log"
+"$check_tmp/cfqd" -addr 127.0.0.1:0 -addr-file "$check_tmp/addr" \
+  -ops-addr 127.0.0.1:0 -data-dir "$check_tmp/data" \
+  -workers 2 -queue-depth 2 -queue-wait 250ms \
+  -mem-soft-limit $((256 * 1024 * 1024)) -mem-check-interval 50ms \
+  2> "$check_tmp/cfqd.log" &
+cfqd_pid=$!
+"$check_tmp/cfqd" -addr 127.0.0.1:0 -addr-file "$check_tmp/addr2" \
+  -data-dir "$check_tmp/data2" -quiet &
+replica_pid=$!
+ops_addr=""
+for _ in $(seq 1 100); do
+  ops_addr="$(sed -n 's/.*msg="ops listening" addr=//p' "$check_tmp/cfqd.log" | head -1)"
+  [[ -n "$ops_addr" && -s "$check_tmp/addr" && -s "$check_tmp/addr2" ]] && break
+  sleep 0.1
+done
+if [[ -z "$ops_addr" || ! -s "$check_tmp/addr" || ! -s "$check_tmp/addr2" ]]; then
+  echo "check.sh: overload-smoke daemons never advertised their addresses" >&2
+  exit 1
+fi
+api_addr="$(cat "$check_tmp/addr")"
+replica_addr="$(cat "$check_tmp/addr2")"
+
+# Seed the replica with the identical generated dataset (same seed), then
+# storm the primary at 4x its admission slots, half interactive half batch,
+# forcing evaluations past the result cache.
+"$check_tmp/cfqload" -addr "$replica_addr" -wait-ready 10s -create \
+  -gen-tx 200 -gen-items 20 -gen-seed 7 -minsup 20 -clients 1 -requests 1 \
+  > /dev/null
+"$check_tmp/cfqload" -addr "$api_addr" -wait-ready 10s -create \
+  -gen-tx 200 -gen-items 20 -gen-seed 7 -minsup 20 \
+  -clients 16 -requests 8 -no-cache -priority interactive,batch \
+  -compare-addr "$replica_addr" \
+  > "$check_tmp/overload.out"
+
+if ! grep -q 'status 200' "$check_tmp/overload.out"; then
+  echo "check.sh: overload storm saw no 200 responses" >&2
+  cat "$check_tmp/overload.out" >&2
+  exit 1
+fi
+if grep -q 'status 500' "$check_tmp/overload.out"; then
+  echo "check.sh: overload storm saw unstructured 500s" >&2
+  cat "$check_tmp/overload.out" >&2
+  exit 1
+fi
+if ! grep -q 'missing retry-after: 0' "$check_tmp/overload.out"; then
+  echo "check.sh: a shed response arrived without a Retry-After hint" >&2
+  cat "$check_tmp/overload.out" >&2
+  exit 1
+fi
+if ! grep -q 'class interactive' "$check_tmp/overload.out" \
+    || ! grep -q 'class batch' "$check_tmp/overload.out"; then
+  echo "check.sh: overload report missing per-class rollups" >&2
+  cat "$check_tmp/overload.out" >&2
+  exit 1
+fi
+if ! grep -q 'compare: answers byte-identical' "$check_tmp/overload.out"; then
+  echo "check.sh: post-storm answers diverged from the untouched replica" >&2
+  cat "$check_tmp/overload.out" >&2
+  exit 1
+fi
+# "level" appears only in the degradation block of /statz (pretty-printed).
+if ! curl -fsS "http://$ops_addr/statz" | grep -qE '"level": *0'; then
+  echo "check.sh: degradation level not back at 0 after the storm" >&2
+  curl -fsS "http://$ops_addr/statz" >&2 || true
+  exit 1
+fi
+
+kill -TERM "$replica_pid"
+wait "$replica_pid" 2> /dev/null || true
+replica_pid=""
+kill -TERM "$cfqd_pid"
+if ! wait "$cfqd_pid"; then
+  echo "check.sh: overload-smoke cfqd did not drain cleanly on SIGTERM" >&2
+  exit 1
+fi
+cfqd_pid=""
 
 echo "== crash-recovery property (kill -9 storm, -race) =="
 # The full acceptance test: a real cfqd SIGKILLed mid-append-storm at
